@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 1 — load pattern of three communication/collaboration
+ * services on a typical weekday, utilization normalized to each
+ * service's peak.
+ *
+ * Paper shape: Service A peaks between 10am and noon; Services B
+ * and C spike for ~5 minutes at the top and bottom of each hour.
+ */
+
+#include <iostream>
+
+#include "telemetry/table.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+using telemetry::fmt;
+
+int
+main()
+{
+    workload::TraceConfig cfg;
+    cfg.start = 0;
+    cfg.end = sim::kDay; // Monday
+    workload::TraceGenerator gen(2024, cfg);
+
+    const auto a = gen.utilSeries(workload::serviceA());
+    const auto b = gen.utilSeries(workload::serviceB());
+    const auto c = gen.utilSeries(workload::serviceC());
+
+    auto normalize = [](const telemetry::TimeSeries &s, double t) {
+        const double peak = s.stats().max();
+        return peak > 0.0 ? s.atTime(static_cast<sim::Tick>(t)) / peak
+                          : 0.0;
+    };
+
+    telemetry::Table table(
+        "Fig. 1 - weekday load, normalized to each service's peak",
+        {"time", "ServiceA", "ServiceB", "ServiceC"});
+    // Sample at :02 (inside the top-of-hour spike) and :17 (calm)
+    // so the spiky services' structure is visible in the table.
+    for (int hour = 0; hour < 24; ++hour) {
+        for (int minute : {2, 17}) {
+            const sim::Tick t = hour * sim::kHour +
+                minute * sim::kMinute;
+            table.addRow({sim::formatTick(t).substr(3, 5),
+                          fmt(normalize(a, t)), fmt(normalize(b, t)),
+                          fmt(normalize(c, t))});
+        }
+    }
+    table.print(std::cout);
+
+    // Quantify the paper's qualitative claims.
+    double a_peak_window = 0.0;
+    for (sim::Tick t = 10 * sim::kHour; t < 12 * sim::kHour;
+         t += sim::kSlot) {
+        a_peak_window = std::max(a_peak_window, a.atTime(t));
+    }
+    std::cout << "Service A peak falls in 10am-noon: "
+              << (a_peak_window >= 0.95 * a.stats().max() ? "yes"
+                                                          : "NO")
+              << "\n";
+    std::cout << "Paper reference: A peaks 10am-noon; B/C spike ~5 "
+                 "min at top/bottom of each hour.\n";
+    return 0;
+}

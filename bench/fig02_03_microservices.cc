@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figures 2 and 3 — per-microservice P99 tail latency and CPU
+ * utilization under low/medium/high load in three environments:
+ *
+ *   Baseline  - one VM at max turbo (3.3 GHz)
+ *   Overclock - one VM overclocked (4.0 GHz)
+ *   ScaleOut  - two VMs at max turbo
+ *
+ * The SLO of each service is 5x its execution time on an unloaded
+ * system.  Expected shape (paper): Overclock keeps many services
+ * under the SLO without the cost of a second VM; Usr tolerates high
+ * utilization; UrlShort violates its SLO even at low utilization;
+ * memory-bound Media benefits little from overclocking.
+ */
+
+#include <iostream>
+
+#include "sim/simulator.hh"
+#include "telemetry/table.hh"
+#include "workload/queueing_service.hh"
+
+using namespace soc;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+namespace
+{
+
+struct Cell {
+    double p99Ms;
+    double util;
+    bool meetsSlo;
+};
+
+Cell
+run(const workload::MicroserviceParams &params, double load_frac,
+    power::FreqMHz freq, int instances, std::uint64_t seed)
+{
+    sim::Simulator simulator;
+    workload::QueueingService service(simulator, params, seed);
+    for (int i = 0; i < instances; ++i)
+        service.addInstance(freq);
+    service.setArrivalRate(
+        load_frac * service.instanceCapacity(power::kTurboMHz));
+    simulator.runUntil(40 * sim::kSecond);
+    service.setArrivalRate(0.0);
+    simulator.runUntil(41 * sim::kSecond);
+
+    Cell cell;
+    const auto window = service.drainWindow();
+    (void)window;
+    cell.p99Ms = service.latencies().p99();
+    // Busy-core utilization over the run.
+    cell.util = service.meanBusyCores() /
+        (params.workersPerVm * instances);
+    cell.meetsSlo = cell.p99Ms <= service.sloMs();
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto catalog = workload::socialNetCatalog();
+    const double loads[3] = {0.35, 0.60, 0.80};
+    const char *load_names[3] = {"low", "med", "high"};
+
+    telemetry::Table fig2(
+        "Fig. 2 - P99 latency (ms); '*' = exceeds SLO (5x unloaded "
+        "exec time)",
+        {"service", "SLO", "load", "Baseline", "Overclock",
+         "ScaleOut"});
+    telemetry::Table fig3(
+        "Fig. 3 - CPU utilization",
+        {"service", "load", "Baseline", "Overclock", "ScaleOut"});
+
+    for (const auto &params : catalog) {
+        for (int l = 0; l < 3; ++l) {
+            const auto base =
+                run(params, loads[l], power::kTurboMHz, 1, 11 + l);
+            const auto oc = run(params, loads[l],
+                                power::kOverclockMHz, 1, 11 + l);
+            const auto out =
+                run(params, loads[l], power::kTurboMHz, 2, 11 + l);
+            auto mark = [](const Cell &c) {
+                return fmt(c.p99Ms, 1) + (c.meetsSlo ? "" : "*");
+            };
+            fig2.addRow({params.name,
+                         fmt(params.sloMultiplier *
+                                 params.meanServiceMs,
+                             0),
+                         load_names[l], mark(base), mark(oc),
+                         mark(out)});
+            fig3.addRow({params.name, load_names[l],
+                         fmtPercent(base.util),
+                         fmtPercent(oc.util),
+                         fmtPercent(out.util)});
+        }
+    }
+    fig2.print(std::cout);
+    fig3.print(std::cout);
+
+    std::cout <<
+        "Paper reference (qualitative): Overclock keeps tails under "
+        "the SLO in many cases\nwithout a second VM; Usr tolerates "
+        "high utilization; UrlShort misses its SLO even\nat low "
+        "utilization; ScaleOut halves utilization at double the "
+        "cost.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 4 — WebConf VM-level vs deployment-level CPU utilization
+ * with and without overclocking.
+ *
+ * Two VMs: VM1 at 10% load, VM2 at 80%.  Overclocking VM2 lowers
+ * its utilization, but the deployment-level goal (mean util <= 50%)
+ * is already met without it, so the overclock is wasted — the
+ * deployment-level insight of §III-Q1.
+ */
+
+#include <iostream>
+
+#include "telemetry/table.hh"
+#include "workload/archetype.hh"
+#include "workload/webconf.hh"
+
+using namespace soc;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    telemetry::Table table(
+        "Fig. 4 - WebConf utilization timeline (VM1=10%, VM2=80%)",
+        {"minute", "VM1", "VM2", "deploy", "VM2+OC", "deploy+OC",
+         "goal met?"});
+
+    // Drive the two VMs with a gently varying call load over an
+    // hour so the timeline isn't a flat line.
+    workload::Archetype wobble;
+    wobble.kind = workload::ShapeKind::Diurnal;
+    wobble.baseUtil = 0.93;
+    wobble.peakUtil = 1.03;
+
+    bool oc_ever_needed = false;
+    for (int minute = 0; minute <= 60; minute += 5) {
+        const sim::Tick t = 12 * sim::kHour +
+            static_cast<sim::Tick>(minute) * sim::kMinute;
+        const double scale = wobble.utilAt(t) / 0.98;
+
+        workload::WebConfDeployment base(0.5);
+        base.addVm(4, 0.4 * scale);
+        const int hot = base.addVm(4, 3.2 * scale);
+
+        workload::WebConfDeployment boosted(0.5);
+        boosted.addVm(4, 0.4 * scale);
+        const int hot2 = boosted.addVm(4, 3.2 * scale);
+        boosted.setFrequency(hot2, power::kOverclockMHz);
+
+        oc_ever_needed |=
+            base.overclockUseful(hot, power::kOverclockMHz);
+
+        table.addRow({std::to_string(minute),
+                      fmtPercent(base.vmUtil(0)),
+                      fmtPercent(base.vmUtil(hot)),
+                      fmtPercent(base.deploymentUtil()),
+                      fmtPercent(boosted.vmUtil(hot2)),
+                      fmtPercent(boosted.deploymentUtil()),
+                      base.meetsTarget() ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "Deployment-level reasoning flags the overclock as "
+              << (oc_ever_needed ? "USEFUL" : "unnecessary")
+              << " (paper: unnecessary - the 50% goal is already "
+                 "met).\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 6 — power consumption of one rack over five weekdays, with
+ * and without overclocking, against the rack power limit.
+ *
+ * Paper findings: the baseline stays below the limit; naively
+ * overclocking the candidate workloads exceeds it during peaks, but
+ * ~85% of the time the headroom suffices; at the 99th percentile the
+ * available headroom covers ~75% of the requisite.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "telemetry/table.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    constexpr int kServers = 12;
+    workload::TraceConfig cfg;
+    cfg.end = 5 * sim::kDay; // Monday-Friday
+    workload::TraceGenerator gen(77, cfg);
+    const power::PowerModel model;
+
+    std::vector<workload::ServerTrace> traces;
+    for (int s = 0; s < kServers; ++s) {
+        traces.push_back(gen.serverTrace(
+            gen.randomVmMix(model.params().cores), model));
+    }
+    const auto baseline = workload::TraceGenerator::rackPower(traces);
+
+    // Overclock demand: every VM whose utilization crosses 0.55
+    // would run at 4.0 GHz.  Compute the overclocked rack series.
+    telemetry::TimeSeries boosted(0, sim::kSlot);
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        double watts = 0.0;
+        for (const auto &trace : traces) {
+            watts += model.params().idleWatts;
+            for (std::size_t v = 0; v < trace.mix.size(); ++v) {
+                const double util = trace.vmUtil[v].at(i);
+                // Candidates: the user-facing spiky services the
+                // paper selects (~45% of cores), overclocked while
+                // their load is at its peak.
+                const auto kind = trace.mix[v].archetype.kind;
+                const bool candidate =
+                    kind == workload::ShapeKind::TopOfHour ||
+                    kind == workload::ShapeKind::MorningPeak ||
+                    kind == workload::ShapeKind::Diurnal;
+                const bool oc = candidate && util >= 0.55;
+                watts += trace.mix[v].cores *
+                    model.corePower(util,
+                                    oc ? power::kOverclockMHz
+                                       : power::kTurboMHz);
+            }
+        }
+        boosted.append(watts);
+    }
+
+    const double limit = baseline.quantile(0.995) * 1.10;
+
+    telemetry::Table table(
+        "Fig. 6 - rack power over 5 weekdays (watts)",
+        {"time", "baseline", "overclocked", "limit", "over?"});
+    for (sim::Tick t = 0; t < 5 * sim::kDay; t += 4 * sim::kHour) {
+        const double b = baseline.atTime(t);
+        const double o = boosted.atTime(t);
+        table.addRow({sim::formatTick(t).substr(0, 8), fmt(b, 0),
+                      fmt(o, 0), fmt(limit, 0),
+                      o > limit ? "CAP" : ""});
+    }
+    table.print(std::cout);
+
+    int over = 0;
+    double shortfall_sum = 0.0;
+    sim::Percentiles deficit_ratio;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        const double need = boosted.at(i) - baseline.at(i);
+        const double headroom = limit - baseline.at(i);
+        if (boosted.at(i) > limit) {
+            ++over;
+            shortfall_sum += boosted.at(i) - limit;
+        }
+        if (need > 0.0)
+            deficit_ratio.add(std::min(1.0, headroom / need));
+    }
+    const double frac_ok = 1.0 -
+        static_cast<double>(over) /
+            static_cast<double>(baseline.size());
+    std::cout << "Time with full overclocking headroom: "
+              << fmtPercent(frac_ok)
+              << "  (paper: ~85% of the time)\n";
+    std::cout << "Headroom covers "
+              << fmtPercent(deficit_ratio.quantile(0.01))
+              << " of the requisite at the 99th percentile of "
+                 "constrained slots (paper: ~75%)\n";
+    (void)shortfall_sum;
+    return 0;
+}

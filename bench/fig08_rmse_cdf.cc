@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 8 — CDF of the RMSE of rack power predictions (DailyMed
+ * templates trained on two weeks, evaluated on the following week)
+ * across racks in four "regions" (fleets with different workload
+ * mixes/noise levels).
+ *
+ * Paper numbers (Region 3): 50% / 99% of racks have RMSE below
+ * 1.95 W / 5.11 W on production racks.  Absolute watts depend on
+ * rack size and sensor granularity; the reproduction checks the
+ * *predictability* claim — RMSE small relative to rack power even
+ * at high fleet percentiles.
+ */
+
+#include <iostream>
+
+#include "core/profile_template.hh"
+#include "telemetry/table.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    constexpr int kRacksPerRegion = 40;
+    constexpr int kServersPerRack = 8;
+    const power::PowerModel model;
+
+    telemetry::Table table(
+        "Fig. 8 - CDF of DailyMed rack-power RMSE per region "
+        "(absolute W and % of mean rack power)",
+        {"region", "P50", "P90", "P99", "P50 rel", "P99 rel"});
+
+    const double noise_levels[4] = {0.020, 0.028, 0.035, 0.045};
+    for (int region = 0; region < 4; ++region) {
+        sim::Percentiles rmse_w, rmse_rel;
+        sim::Rng seeder(9000 + region);
+        for (int r = 0; r < kRacksPerRegion; ++r) {
+            workload::TraceConfig cfg;
+            cfg.end = 3 * sim::kWeek;
+            cfg.dailyAmplitudeSigma = noise_levels[region];
+            workload::TraceGenerator gen(seeder(), cfg);
+            std::vector<workload::ServerTrace> traces;
+            for (int s = 0; s < kServersPerRack; ++s) {
+                traces.push_back(gen.serverTrace(
+                    gen.randomVmMix(model.params().cores), model));
+            }
+            const auto rack =
+                workload::TraceGenerator::rackPower(traces);
+            const auto history = rack.slice(0, 2 * sim::kWeek);
+            const auto future =
+                rack.slice(2 * sim::kWeek, 3 * sim::kWeek);
+            const auto tmpl = core::ProfileTemplate::build(
+                core::TemplateStrategy::DailyMed, history);
+            const double err = tmpl.rmseAgainst(future);
+            rmse_w.add(err);
+            rmse_rel.add(err / future.stats().mean());
+        }
+        table.addRow({"Region " + std::to_string(region + 1),
+                      fmt(rmse_w.p50(), 1) + " W",
+                      fmt(rmse_w.p90(), 1) + " W",
+                      fmt(rmse_w.p99(), 1) + " W",
+                      fmtPercent(rmse_rel.p50()),
+                      fmtPercent(rmse_rel.p99())});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "Paper: RMSE low even at high percentiles (Region 3: "
+        "P50 1.95 W, P99 5.11 W on production\nracks) - rack power "
+        "is highly predictable thanks to long-lived VMs and "
+        "statistical\nmultiplexing.  The reproduced relative errors "
+        "(a few % of mean rack power) carry the\nsame conclusion.\n";
+    return 0;
+}

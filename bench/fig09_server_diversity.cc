@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 9 — normalized power consumption over one week of six
+ * randomly chosen servers in the same rack.
+ *
+ * Paper findings: servers' profiles differ materially (some draw
+ * 30% less than others) and the identity of the power-dominant
+ * server changes over time — the motivation for heterogeneous
+ * budget assignment (§III-Q4).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "telemetry/table.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    constexpr int kServers = 6;
+    workload::TraceConfig cfg;
+    cfg.end = sim::kWeek;
+    workload::TraceGenerator gen(404, cfg);
+    const power::PowerModel model;
+
+    // Servers in a production rack host different roles: some are
+    // packed with hot service VMs, some carry batch or mostly idle
+    // tenants.  Build six role-diverse mixes (the paper's six
+    // randomly chosen servers show up to ~30% spread).
+    auto role_mix = [&](workload::ShapeKind kind, double base,
+                        double peak) {
+        std::vector<workload::VmMix> mix;
+        for (int v = 0; v < 7; ++v) {
+            workload::Archetype arch;
+            arch.kind = kind;
+            arch.baseUtil = base;
+            arch.peakUtil = peak;
+            arch.phaseShift =
+                static_cast<sim::Tick>(v - 3) * 20 * sim::kMinute;
+            mix.push_back({arch, 8});
+        }
+        return mix;
+    };
+    std::vector<workload::ServerTrace> traces;
+    traces.push_back(gen.serverTrace(
+        role_mix(workload::ShapeKind::BusinessHours, 0.15, 0.85),
+        model));
+    traces.push_back(gen.serverTrace(
+        role_mix(workload::ShapeKind::LowIdle, 0.05, 0.25), model));
+    traces.push_back(gen.serverTrace(
+        role_mix(workload::ShapeKind::Diurnal, 0.15, 0.80), model));
+    traces.push_back(gen.serverTrace(
+        role_mix(workload::ShapeKind::MorningPeak, 0.15, 0.95),
+        model));
+    traces.push_back(gen.serverTrace(
+        role_mix(workload::ShapeKind::NightBatch, 0.10, 0.90),
+        model));
+    traces.push_back(gen.serverTrace(
+        gen.randomVmMix(model.params().cores), model));
+
+    // Normalize to the largest instantaneous draw in the group.
+    double peak = 0.0;
+    for (const auto &t : traces)
+        peak = std::max(peak, t.powerWatts.stats().max());
+
+    telemetry::Table table(
+        "Fig. 9 - normalized per-server power over one week",
+        {"time", "A", "B", "C", "D", "E", "F", "dominant"});
+    int dominant_changes = 0;
+    int last_dominant = -1;
+    for (sim::Tick t = 0; t < sim::kWeek; t += 6 * sim::kHour) {
+        std::vector<std::string> row{sim::formatTick(t).substr(0, 8)};
+        int dominant = 0;
+        double best = 0.0;
+        for (int s = 0; s < kServers; ++s) {
+            const double w = traces[s].powerWatts.atTime(t);
+            row.push_back(fmt(w / peak, 2));
+            if (w > best) {
+                best = w;
+                dominant = s;
+            }
+        }
+        row.push_back(std::string(1, static_cast<char>('A' +
+                                                        dominant)));
+        if (last_dominant >= 0 && dominant != last_dominant)
+            ++dominant_changes;
+        last_dominant = dominant;
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    // Spread between the hottest and coolest server on average.
+    double lo = 1e18, hi = 0.0;
+    for (const auto &t : traces) {
+        const double mean = t.powerWatts.stats().mean();
+        lo = std::min(lo, mean);
+        hi = std::max(hi, mean);
+    }
+    std::cout << "Mean-draw spread (coolest vs hottest server): "
+              << fmtPercent(1.0 - lo / hi)
+              << "  (paper: up to ~30% less)\n";
+    std::cout << "Power-dominant server changed " << dominant_changes
+              << " times across the sampled week (paper: the "
+                 "dominant server changes over time)\n";
+    return 0;
+}

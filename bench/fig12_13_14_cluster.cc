@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Figures 12, 13 and 14 — the 36-server cluster experiment: tail
+ * latency, cost (mean active instances) and energy of SocialNet
+ * deployments under Baseline / ScaleOut / ScaleUp / SmartOClock.
+ *
+ * Paper headline numbers: at high load SmartOClock cuts P99 by
+ * 19.0% / 10.5% / 8.9% vs Baseline / ScaleOut / ScaleUp, reduces
+ * missed SLOs by 26x / 4.8x / 2.3x, needs 30.4% fewer instances
+ * than ScaleOut, and lowers total energy by ~10% vs ScaleOut.
+ */
+
+#include <iostream>
+
+#include "cluster/service_sim.hh"
+#include "telemetry/table.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    const Environment envs[4] = {
+        Environment::Baseline, Environment::ScaleOut,
+        Environment::ScaleUp, Environment::SmartOClock};
+
+    ServiceSimResult results[4];
+    for (int e = 0; e < 4; ++e) {
+        ServiceSimConfig cfg;
+        cfg.environment = envs[e];
+        cfg.duration = 20 * sim::kMinute;
+        cfg.warmup = 2 * sim::kMinute;
+        results[e] = runServiceSim(cfg);
+    }
+
+    const char *class_names[3] = {"low", "medium", "high"};
+
+    telemetry::Table fig12(
+        "Fig. 12 - P99 / mean latency (ms) and missed SLOs by load "
+        "class",
+        {"load", "metric", "Baseline", "ScaleOut", "ScaleUp",
+         "SmartOClock"});
+    for (int c = 0; c < 3; ++c) {
+        fig12.addRow({class_names[c], "P99 ms",
+                      fmt(results[0].byClass[c].p99Ms, 1),
+                      fmt(results[1].byClass[c].p99Ms, 1),
+                      fmt(results[2].byClass[c].p99Ms, 1),
+                      fmt(results[3].byClass[c].p99Ms, 1)});
+        fig12.addRow({class_names[c], "mean ms",
+                      fmt(results[0].byClass[c].meanMs, 1),
+                      fmt(results[1].byClass[c].meanMs, 1),
+                      fmt(results[2].byClass[c].meanMs, 1),
+                      fmt(results[3].byClass[c].meanMs, 1)});
+        fig12.addRow(
+            {class_names[c], "missed SLOs",
+             std::to_string(results[0].byClass[c].violations),
+             std::to_string(results[1].byClass[c].violations),
+             std::to_string(results[2].byClass[c].violations),
+             std::to_string(results[3].byClass[c].violations)});
+    }
+    fig12.print(std::cout);
+
+    const auto &high_base = results[0].byClass[2];
+    const auto &high_out = results[1].byClass[2];
+    const auto &high_up = results[2].byClass[2];
+    const auto &high_smart = results[3].byClass[2];
+    auto pct_better = [](double ref, double ours) {
+        return fmtPercent(1.0 - ours / ref);
+    };
+    std::cout << "High-load P99 reduction vs "
+              << "Baseline/ScaleOut/ScaleUp: "
+              << pct_better(high_base.p99Ms, high_smart.p99Ms) << "/"
+              << pct_better(high_out.p99Ms, high_smart.p99Ms) << "/"
+              << pct_better(high_up.p99Ms, high_smart.p99Ms)
+              << "  (paper: 19.0%/10.5%/8.9%)\n";
+    auto ratio = [](std::uint64_t a, std::uint64_t b) {
+        return fmt(static_cast<double>(a) /
+                       std::max<std::uint64_t>(1, b),
+                   1) + "x";
+    };
+    std::cout << "High-load missed-SLO reduction vs "
+              << "Baseline/ScaleOut/ScaleUp: "
+              << ratio(high_base.violations, high_smart.violations)
+              << "/"
+              << ratio(high_out.violations, high_smart.violations)
+              << "/"
+              << ratio(high_up.violations, high_smart.violations)
+              << "  (paper: 26x/4.8x/2.3x)\n\n";
+
+    telemetry::Table fig13(
+        "Fig. 13 - mean concurrently active VM instances (cost)",
+        {"load", "Baseline", "ScaleOut", "ScaleUp", "SmartOClock"});
+    for (int c = 0; c < 3; ++c) {
+        fig13.addRow({class_names[c],
+                      fmt(results[0].byClass[c].meanInstances),
+                      fmt(results[1].byClass[c].meanInstances),
+                      fmt(results[2].byClass[c].meanInstances),
+                      fmt(results[3].byClass[c].meanInstances)});
+    }
+    fig13.print(std::cout);
+    std::cout << "High-load instance reduction vs ScaleOut: "
+              << fmtPercent(1.0 - high_smart.meanInstances /
+                                      high_out.meanInstances)
+              << "  (paper: 30.4%)\n\n";
+
+    telemetry::Table fig14(
+        "Fig. 14 - energy, normalized to Baseline",
+        {"metric", "Baseline", "ScaleOut", "ScaleUp",
+         "SmartOClock"});
+    for (int c = 0; c < 3; ++c) {
+        const double ref = results[0].byClass[c].energyPerServerJ;
+        fig14.addRow(
+            {std::string("per-server (") + class_names[c] + ")",
+             fmt(1.0),
+             fmt(results[1].byClass[c].energyPerServerJ / ref),
+             fmt(results[2].byClass[c].energyPerServerJ / ref),
+             fmt(results[3].byClass[c].energyPerServerJ / ref)});
+    }
+    const double total_ref = results[0].totalEnergyJ;
+    fig14.addRow({"total", fmt(1.0),
+                  fmt(results[1].totalEnergyJ / total_ref),
+                  fmt(results[2].totalEnergyJ / total_ref),
+                  fmt(results[3].totalEnergyJ / total_ref)});
+    const double social_ref = results[0].socialEnergyJ;
+    fig14.addRow({"latency-critical servers", fmt(1.0),
+                  fmt(results[1].socialEnergyJ / social_ref),
+                  fmt(results[2].socialEnergyJ / social_ref),
+                  fmt(results[3].socialEnergyJ / social_ref)});
+    fig14.print(std::cout);
+    std::cout << "Total-energy change vs ScaleOut: "
+              << fmtPercent(results[3].totalEnergyJ /
+                                results[1].totalEnergyJ - 1.0)
+              << "  (paper: -10%)\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 15 — CDF of mean power-prediction error for the five
+ * template-construction techniques of §IV-B / §V-B:
+ *
+ *   FlatMed  - constant median: opportunistic, underpredicts; large
+ *              positive errors at high percentiles
+ *   FlatMax  - constant max: conservative, overpredicts; negative
+ *              errors at low percentiles
+ *   Weekly   - replays last week: sensitive to outlier days
+ *   DailyMed - per-slot weekday median: the paper's choice, most
+ *              accurate
+ *   DailyMax - per-slot weekday max: accurate but conservative
+ */
+
+#include <iostream>
+
+#include "core/profile_template.hh"
+#include "telemetry/table.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+using namespace soc::core;
+using telemetry::fmt;
+
+int
+main()
+{
+    constexpr int kRacks = 60;
+    constexpr int kServersPerRack = 8;
+    const power::PowerModel model;
+
+    const TemplateStrategy strategies[5] = {
+        TemplateStrategy::FlatMed, TemplateStrategy::FlatMax,
+        TemplateStrategy::Weekly, TemplateStrategy::DailyMed,
+        TemplateStrategy::DailyMax};
+
+    sim::Percentiles rmse[5];
+    sim::Percentiles bias[5];
+
+    sim::Rng seeder(31337);
+    for (int r = 0; r < kRacks; ++r) {
+        workload::TraceConfig cfg;
+        cfg.end = 3 * sim::kWeek;
+        cfg.outlierDayProb = 0.03; // stress outlier robustness
+        workload::TraceGenerator gen(seeder(), cfg);
+        std::vector<workload::ServerTrace> traces;
+        for (int s = 0; s < kServersPerRack; ++s) {
+            traces.push_back(gen.serverTrace(
+                gen.randomVmMix(model.params().cores), model));
+        }
+        const auto rack =
+            workload::TraceGenerator::rackPower(traces);
+        const auto history = rack.slice(0, 2 * sim::kWeek);
+        const auto future =
+            rack.slice(2 * sim::kWeek, 3 * sim::kWeek);
+        for (int i = 0; i < 5; ++i) {
+            const auto tmpl =
+                ProfileTemplate::build(strategies[i], history);
+            rmse[i].add(tmpl.rmseAgainst(future));
+            bias[i].add(tmpl.biasAgainst(future));
+        }
+    }
+
+    telemetry::Table table(
+        "Fig. 15 - prediction error per technique across 60 racks "
+        "(W); bias > 0 = overprediction",
+        {"technique", "RMSE P50", "RMSE P90", "RMSE P99",
+         "bias P50"});
+    for (int i = 0; i < 5; ++i) {
+        table.addRow({strategyName(strategies[i]),
+                      fmt(rmse[i].p50(), 1), fmt(rmse[i].p90(), 1),
+                      fmt(rmse[i].p99(), 1), fmt(bias[i].p50(), 1)});
+    }
+    table.print(std::cout);
+
+    // The paper's ranking: DailyMed has the highest accuracy.
+    int best = 0;
+    for (int i = 1; i < 5; ++i)
+        if (rmse[i].p50() < rmse[best].p50())
+            best = i;
+    std::cout << "Most accurate technique (median RMSE): "
+              << strategyName(strategies[best])
+              << "  (paper: DailyMed)\n";
+    std::cout << "FlatMed bias " << fmt(bias[0].p50(), 1)
+              << " W (paper: underpredicts), FlatMax bias "
+              << fmt(bias[1].p50(), 1)
+              << " W (paper: overpredicts)\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot library primitives:
+ * the event queue, the power model, template construction and the
+ * admission decision.  These bound the simulator's throughput and
+ * the per-request cost of the control plane.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/admission.hh"
+#include "core/profile_template.hh"
+#include "power/server.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+
+namespace
+{
+
+const power::PowerModel &
+model()
+{
+    static const power::PowerModel instance;
+    return instance;
+}
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        for (int i = 0; i < state.range(0); ++i)
+            queue.schedule((i * 7919) % 100000, [](sim::Tick) {});
+        queue.run();
+        benchmark::DoNotOptimize(queue.executedCount());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_RngNormal(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    double sink = 0.0;
+    for (auto _ : state)
+        sink += rng.normal();
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngNormal);
+
+void
+BM_ServerPower(benchmark::State &state)
+{
+    power::Server server(0, &model());
+    for (int i = 0; i < 8; ++i)
+        server.addGroup(8, 0.1 * i, power::kTurboMHz, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(server.powerWatts());
+}
+BENCHMARK(BM_ServerPower);
+
+void
+BM_TemplateBuildDailyMed(benchmark::State &state)
+{
+    workload::TraceConfig cfg;
+    cfg.end = 2 * sim::kWeek;
+    workload::TraceGenerator gen(5, cfg);
+    const auto series = gen.utilSeries(workload::serviceA());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::ProfileTemplate::build(
+            core::TemplateStrategy::DailyMed, series));
+    }
+}
+BENCHMARK(BM_TemplateBuildDailyMed);
+
+void
+BM_TemplatePredict(benchmark::State &state)
+{
+    workload::TraceConfig cfg;
+    cfg.end = 2 * sim::kWeek;
+    workload::TraceGenerator gen(5, cfg);
+    const auto tmpl = core::ProfileTemplate::build(
+        core::TemplateStrategy::DailyMed,
+        gen.utilSeries(workload::serviceA()));
+    sim::Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tmpl.predict(t));
+        t += sim::kMinute;
+    }
+}
+BENCHMARK(BM_TemplatePredict);
+
+void
+BM_AdmissionDecision(benchmark::State &state)
+{
+    core::AdmissionController admission(model());
+    core::OverclockBudget lifetime(sim::kWeek, 0.25, 64);
+    core::ProfileTemplate budget =
+        core::ProfileTemplate::flat(500.0);
+    core::OverclockRequest request;
+    request.groupId = 1;
+    request.cores = 8;
+    core::AdmissionInputs in;
+    in.measuredWatts = 300.0;
+    in.budget = &budget;
+    in.lifetime = &lifetime;
+    for (auto _ : state) {
+        in.now += sim::kSecond;
+        benchmark::DoNotOptimize(admission.decide(request, in));
+        lifetime.release(1 << 30, in.now); // undo reservations
+    }
+}
+BENCHMARK(BM_AdmissionDecision);
+
+} // namespace

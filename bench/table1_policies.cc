@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table I — comparison of SmartOClock against Central (oracle),
+ * NaiveOClock, NoFeedback and NoWarning on trace-driven simulations
+ * of High-, Medium- and Low-power clusters.
+ *
+ * Columns, as in the paper: power-capping events normalized to
+ * Central, overclocking-request success rate, capping penalty on
+ * non-overclocked VMs, and performance normalized to the
+ * non-overclocked baseline (max turbo).
+ *
+ * Paper reference (High-power clusters):
+ *   Central 1.0 / 92% / 21% / 1.186      NoWarning 27.4 / 81% / ...
+ *   NaiveOClock 118.6 / 55% / 34% / .963 SmartOClock 6.3 / 89% / 1.164
+ *   NoFeedback 5.5 / 72% / ...
+ */
+
+#include <iostream>
+
+#include "cluster/trace_sim.hh"
+#include "telemetry/table.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    const PowerTier tiers[3] = {PowerTier::High, PowerTier::Medium,
+                                PowerTier::Low};
+    const char *tier_names[3] = {"High-Power", "Medium-Power",
+                                 "Low-Power"};
+    const core::PolicyKind policies[5] = {
+        core::PolicyKind::Central, core::PolicyKind::NaiveOClock,
+        core::PolicyKind::NoFeedback, core::PolicyKind::NoWarning,
+        core::PolicyKind::SmartOClock};
+
+    telemetry::Table table(
+        "Table I - policy comparison (2 racks x 16 servers, "
+        "1 week warm-up + 1 week evaluation)",
+        {"cluster", "system", "norm. caps", "success", "penalty",
+         "norm. perf"});
+
+    for (int t = 0; t < 3; ++t) {
+        TraceSimResult results[5];
+        for (int p = 0; p < 5; ++p) {
+            TraceSimConfig cfg;
+            cfg.policy = policies[p];
+            cfg.racks = 2;
+            cfg.serversPerRack = 16;
+            cfg.warmup = sim::kWeek;
+            cfg.duration = sim::kWeek;
+            cfg.limitFactor =
+                TraceSimConfig::tierLimitFactor(tiers[t]);
+            cfg.seed = 11;
+            results[p] = runTraceSim(cfg);
+        }
+        const double central_caps = std::max<double>(
+            1.0, static_cast<double>(results[0].capEvents));
+        for (int p = 0; p < 5; ++p) {
+            table.addRow(
+                {tier_names[t], core::policyName(policies[p]),
+                 fmt(results[p].capEvents / central_caps, 1),
+                 fmtPercent(results[p].successRate, 0),
+                 fmtPercent(results[p].cappingPenalty, 0),
+                 fmt(results[p].normPerformance, 3)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "Paper shape to compare against: NaiveOClock causes orders "
+        "of magnitude more capping\nevents than Central; warnings "
+        "cut NoWarning's events by ~4x; SmartOClock grants most\n"
+        "requests (within a few points of the oracle at Medium/Low "
+        "power) with near-oracle\nperformance, while NoFeedback "
+        "avoids caps but loses success to rigid budgets.\n";
+    return 0;
+}

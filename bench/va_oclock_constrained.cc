@@ -1,0 +1,61 @@
+/**
+ * @file
+ * §V-A "Overclocking-constrained environments" — the cluster
+ * experiment with the overclocking (lifetime) budget restricted to
+ * 75% / 50% / 25% of its initial value, comparing reactive
+ * scale-out against SmartOClock's proactive scale-out (exhaustion
+ * prediction, §IV-D).
+ *
+ * Paper: reactive scale-out misses the SLO for 5.0% / 6.1% / 7.2%
+ * of the time; proactive scaling eliminates all SLO violations.
+ */
+
+#include <iostream>
+
+#include "cluster/service_sim.hh"
+#include "telemetry/table.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    auto run = [](double budget_scale, bool proactive) {
+        ServiceSimConfig cfg;
+        cfg.environment = Environment::SmartOClock;
+        cfg.overclockBudgetScale = budget_scale;
+        cfg.proactiveScaleOut = proactive;
+        // A tight lifetime budget so the restriction binds within
+        // the run.
+        cfg.overclockFraction = 0.05;
+        cfg.duration = 16 * sim::kMinute;
+        cfg.warmup = 2 * sim::kMinute;
+        cfg.seed = 7;
+        return runServiceSim(cfg);
+    };
+
+    telemetry::Table table(
+        "SS V-A overclocking-constrained: missed-SLO time vs "
+        "remaining overclock budget",
+        {"budget", "reactive missed-SLO time",
+         "proactive missed-SLO time", "proactive scale-outs"});
+    for (double scale : {1.0, 0.75, 0.50, 0.25}) {
+        const auto reactive = run(scale, false);
+        const auto proactive = run(scale, true);
+        table.addRow({fmtPercent(scale, 0),
+                      fmtPercent(reactive.missedSloTimeFrac),
+                      fmtPercent(proactive.missedSloTimeFrac),
+                      std::to_string(
+                          proactive.proactiveScaleOuts)});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "Paper: with the budget cut to 75%/50%/25%, reactive "
+        "scale-out misses the SLO for\n5.0%/6.1%/7.2% of the time; "
+        "proactive scale-out driven by the sOAs' exhaustion\n"
+        "predictions eliminates the violations.\n";
+    return 0;
+}

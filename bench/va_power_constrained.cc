@@ -1,0 +1,85 @@
+/**
+ * @file
+ * §V-A "Power-constrained environments" — the cluster experiment
+ * with a reduced rack limit, comparing NaiveOClock (grant all,
+ * even split on capping) against SmartOClock (admission control +
+ * heterogeneous budgets).
+ *
+ * Paper: SmartOClock reduces SocialNet tail latency by 6.7% / 8.4%
+ * at medium/high load and improves MLTrain throughput by 10.4%.
+ */
+
+#include <iostream>
+
+#include "cluster/service_sim.hh"
+#include "telemetry/table.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    // Average three seeds: the constrained regime is noisy at this
+    // cluster size.
+    auto run = [](core::PolicyKind policy) {
+        ServiceSimResult sum;
+        for (std::uint64_t seed : {7, 8, 9}) {
+            ServiceSimConfig cfg;
+            cfg.environment = Environment::SmartOClock;
+            cfg.soaPolicy = policy;
+            // Constrained configuration: lighter ML tenants so the
+            // latency-critical services' overclocking demand is
+            // large relative to the rack headroom, then a limit
+            // that leaves less headroom than the full demand (the
+            // SS V-A setup).
+            cfg.mlCoresPerServer = 24;
+            cfg.rackLimitFactor = 0.42;
+            cfg.duration = 10 * sim::kMinute;
+            cfg.warmup = 2 * sim::kMinute;
+            cfg.seed = seed;
+            const auto r = runServiceSim(cfg);
+            for (int c = 0; c < 3; ++c) {
+                sum.byClass[c].p99Ms += r.byClass[c].p99Ms / 3.0;
+                sum.byClass[c].meanMs += r.byClass[c].meanMs / 3.0;
+            }
+            sum.capEvents += r.capEvents;
+            sum.mlThroughputNorm += r.mlThroughputNorm / 3.0;
+        }
+        return sum;
+    };
+
+    const auto naive = run(core::PolicyKind::NaiveOClock);
+    const auto smart = run(core::PolicyKind::SmartOClock);
+
+    telemetry::Table table(
+        "SS V-A power-constrained: NaiveOClock vs SmartOClock "
+        "(reduced rack limit)",
+        {"metric", "NaiveOClock", "SmartOClock", "improvement"});
+    const char *class_names[3] = {"low", "medium", "high"};
+    for (int c = 1; c < 3; ++c) {
+        table.addRow(
+            {std::string("P99 ms (") + class_names[c] + ")",
+             fmt(naive.byClass[c].p99Ms, 1),
+             fmt(smart.byClass[c].p99Ms, 1),
+             fmtPercent(1.0 - smart.byClass[c].p99Ms /
+                                  naive.byClass[c].p99Ms)});
+    }
+    table.addRow({"capping events",
+                  std::to_string(naive.capEvents),
+                  std::to_string(smart.capEvents), ""});
+    table.addRow({"MLTrain throughput (norm.)",
+                  fmt(naive.mlThroughputNorm, 3),
+                  fmt(smart.mlThroughputNorm, 3),
+                  fmtPercent(smart.mlThroughputNorm /
+                                 naive.mlThroughputNorm -
+                             1.0)});
+    table.print(std::cout);
+
+    std::cout << "Paper: SmartOClock cuts tail latency by "
+                 "6.7%/8.4% (medium/high) and lifts MLTrain "
+                 "throughput by 10.4% under the reduced limit.\n";
+    return 0;
+}

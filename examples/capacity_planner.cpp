@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Example: capacity / headroom planning with power templates.
+ *
+ * A what-if tool an operator would run before enabling overclocking
+ * on a rack: build DailyMed templates from history, ask how many
+ * cores can be overclocked at each hour without crossing the rack
+ * limit, and how long the lifetime budget sustains the plan.
+ *
+ * Build & run:  ./build/examples/capacity_planner
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/budget_allocator.hh"
+#include "core/lifetime.hh"
+#include "core/profile_template.hh"
+#include "telemetry/table.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main()
+{
+    constexpr int kServers = 10;
+    const power::PowerModel model;
+    const core::LifetimeModel lifetime(model);
+
+    // Two weeks of history for a 10-server rack.
+    workload::TraceConfig cfg;
+    cfg.end = 2 * sim::kWeek;
+    workload::TraceGenerator gen(12, cfg);
+    std::vector<workload::ServerTrace> traces;
+    for (int s = 0; s < kServers; ++s) {
+        traces.push_back(gen.serverTrace(
+            gen.randomVmMix(model.params().cores), model));
+    }
+    const auto rack_power =
+        workload::TraceGenerator::rackPower(traces);
+    const auto rack_template = core::ProfileTemplate::build(
+        core::TemplateStrategy::DailyMed, rack_power);
+    const double limit = rack_power.quantile(0.99) * 1.12;
+
+    // Per-core overclock surcharge at worst-case utilization.
+    const double per_core = model.overclockExtraPower(
+        0.9, power::kOverclockMHz, 1);
+
+    telemetry::Table plan(
+        "overclocking capacity plan (rack limit " + fmt(limit, 0) +
+            " W)",
+        {"hour", "predicted W", "headroom W", "OC cores that fit"});
+    int min_cores = 1 << 30;
+    int max_cores = 0;
+    for (int hour = 0; hour < 24; hour += 2) {
+        // Plan for a weekday (Wednesday).
+        const sim::Tick t = 2 * sim::kDay +
+            static_cast<sim::Tick>(hour) * sim::kHour;
+        const double predicted = rack_template.predict(t);
+        const double headroom = std::max(0.0, limit - predicted);
+        const int cores = static_cast<int>(headroom / per_core);
+        min_cores = std::min(min_cores, cores);
+        max_cores = std::max(max_cores, cores);
+        plan.addRow({std::to_string(hour) + ":00",
+                     fmt(predicted, 0), fmt(headroom, 0),
+                     std::to_string(cores)});
+    }
+    plan.print(std::cout);
+
+    // Lifetime view: what duty cycle keeps the parts on their rated
+    // aging curve at the fleet's typical utilization?
+    const double duty = lifetime.maxOverclockDuty(
+        0.45, power::kOverclockMHz, 1.0);
+    std::cout << "Power headroom supports " << min_cores << "-"
+              << max_cores
+              << " overclocked cores depending on hour.\n";
+    std::cout << "Lifetime budget: overclocking up to "
+              << fmtPercent(duty)
+              << " of the time keeps aging within the rated "
+                 "curve at 45% utilization.\n";
+
+    // Heterogeneous split preview for the three hungriest servers.
+    core::BudgetAllocator allocator(model);
+    std::vector<core::ServerProfile> profiles;
+    for (const auto &trace : traces) {
+        core::ServerProfile profile;
+        profile.power = core::ProfileTemplate::build(
+            core::TemplateStrategy::DailyMed, trace.powerWatts);
+        profile.utilization = core::ProfileTemplate::build(
+            core::TemplateStrategy::DailyMed, trace.serverUtil);
+        profile.overclockedCores = core::ProfileTemplate::flat(0.0);
+        // Assume each server wants its hottest VM overclocked.
+        double hottest = 0.0;
+        for (std::size_t v = 0; v < trace.mix.size(); ++v)
+            hottest = std::max(
+                hottest,
+                static_cast<double>(trace.mix[v].cores));
+        profile.requestedCores =
+            core::ProfileTemplate::flat(hottest);
+        profiles.push_back(std::move(profile));
+    }
+    const auto budgets = allocator.split(limit, profiles);
+    telemetry::Table split("heterogeneous budget preview (noon)",
+                           {"server", "predicted W", "budget W"});
+    const sim::Tick noon = 2 * sim::kDay + 12 * sim::kHour;
+    for (int s = 0; s < kServers; ++s) {
+        split.addRow({std::to_string(s),
+                      fmt(profiles[s].power.predict(noon), 0),
+                      fmt(budgets[s].predict(noon), 0)});
+    }
+    split.print(std::cout);
+    return 0;
+}

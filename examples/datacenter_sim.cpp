@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Example: trace-driven datacenter study — run the five management
+ * policies over the same synthetic production traces and compare
+ * capping events, overclocking success and performance, as a
+ * downstream user would when evaluating a policy change.
+ *
+ * Build & run:  ./build/examples/datacenter_sim [limit_factor]
+ *   limit_factor: rack limit relative to baseline P99 power
+ *                 (default 1.08; smaller = more constrained).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/trace_sim.hh"
+#include "telemetry/table.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main(int argc, char **argv)
+{
+    const double limit_factor =
+        argc > 1 ? std::atof(argv[1]) : 1.08;
+
+    telemetry::Table table(
+        "policy comparison at limit factor " + fmt(limit_factor),
+        {"policy", "cap events", "success", "norm. perf",
+         "mean rack util", "energy (MJ)"});
+
+    for (auto policy :
+         {core::PolicyKind::Central, core::PolicyKind::NaiveOClock,
+          core::PolicyKind::NoFeedback, core::PolicyKind::NoWarning,
+          core::PolicyKind::SmartOClock}) {
+        TraceSimConfig cfg;
+        cfg.policy = policy;
+        cfg.racks = 2;
+        cfg.serversPerRack = 12;
+        cfg.warmup = sim::kWeek;
+        cfg.duration = 3 * sim::kDay;
+        cfg.limitFactor = limit_factor;
+        cfg.seed = 5;
+        const auto result = runTraceSim(cfg);
+        table.addRow({core::policyName(policy),
+                      std::to_string(result.capEvents),
+                      fmtPercent(result.successRate, 1),
+                      fmt(result.normPerformance, 3),
+                      fmtPercent(result.meanRackUtil, 1),
+                      fmt(result.energyJoules / 1e6, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "Try a tighter limit (e.g. `datacenter_sim 1.04`) to watch "
+        "NaiveOClock thrash the\ncapping mechanism while SmartOClock "
+        "keeps nearly the oracle's success rate.\n";
+    return 0;
+}

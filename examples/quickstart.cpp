@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end SmartOClock setup.
+ *
+ * One rack with two servers, one latency-critical VM per server,
+ * the full agent stack (rack manager, sOAs, gOA, WI agents), and a
+ * simulated latency spike that triggers overclocking through the
+ * workload-intelligence path — then subsides and releases it.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "core/goa.hh"
+#include "core/wi.hh"
+#include "power/rack_manager.hh"
+#include "telemetry/table.hh"
+
+using namespace soc;
+
+int
+main()
+{
+    // --- Hardware: one rack, two 64-core servers ---------------------
+    const power::PowerModel model; // default 64-core, 420 W TDP SKU
+    power::Rack rack(/*id=*/0, /*limitWatts=*/1100.0);
+    power::RackManager manager(rack);
+
+    power::Server &server_a = rack.addServer(&model);
+    power::Server &server_b = rack.addServer(&model);
+
+    // One 8-core latency-critical VM per server at 60% utilization.
+    const power::GroupId vm_a = server_a.addGroup(8, 0.6);
+    const power::GroupId vm_b = server_b.addGroup(8, 0.6);
+
+    // --- SmartOClock agents -------------------------------------------
+    core::SoaConfig soa_cfg =
+        core::SoaConfig::forPolicy(core::PolicyKind::SmartOClock);
+    core::ServerOverclockingAgent soa_a(server_a, soa_cfg, &rack);
+    core::ServerOverclockingAgent soa_b(server_b, soa_cfg, &rack);
+    manager.addListener(&soa_a);
+    manager.addListener(&soa_b);
+
+    core::GlobalOverclockingAgent goa(rack, model);
+    goa.addAgent(&soa_a);
+    goa.addAgent(&soa_b);
+    goa.assignEvenSplit(); // bootstrap budgets
+
+    // Workload Intelligence for the "frontend" service: overclock
+    // when P99 nears the 100 ms SLO, scale out as the fallback.
+    core::WiPolicyConfig wi_cfg;
+    wi_cfg.sloMs = 100.0;
+    wi_cfg.baselineP99Ms = 25.0;
+    core::GlobalWiAgent wi("frontend", wi_cfg);
+    wi.addVm(std::make_unique<core::LocalWiAgent>(0, &soa_a, vm_a,
+                                                  8));
+    wi.addVm(std::make_unique<core::LocalWiAgent>(1, &soa_b, vm_b,
+                                                  8));
+    wi.setScaleOutHandler([](int n) {
+        std::cout << "  [WI] corrective action: scale out +" << n
+                  << " VM(s)\n";
+    });
+
+    // --- Drive a latency spike through the stack ---------------------
+    telemetry::Table timeline(
+        "quickstart: latency spike -> overclock -> recovery",
+        {"t", "P99 (ms)", "overclocked?", "VM-A MHz", "rack W",
+         "budget-A W"});
+
+    auto step = [&](sim::Tick t, double p99) {
+        core::VmMetrics metrics;
+        metrics.p99LatencyMs = p99;
+        metrics.utilization = 0.6;
+        wi.onMetrics(t, metrics);
+        // Control plane: sOA feedback loops + rack safety.
+        for (sim::Tick c = t; c < t + 15 * sim::kSecond;
+             c += 5 * sim::kSecond) {
+            soa_a.tick(c);
+            soa_b.tick(c);
+            manager.tick(c);
+        }
+        timeline.addRow(
+            {sim::formatTick(t).substr(3),
+             telemetry::fmt(p99, 0),
+             wi.overclocking() ? "yes" : "no",
+             std::to_string(server_a.group(vm_a)->effectiveMHz()),
+             telemetry::fmt(rack.powerWatts(), 0),
+             telemetry::fmt(soa_a.budgetWatts(t), 0)});
+    };
+
+    sim::Tick t = 0;
+    for (double p99 : {30.0, 45.0, 85.0, 92.0, 90.0, 70.0, 40.0,
+                       20.0}) {
+        step(t, p99);
+        t += 15 * sim::kSecond;
+    }
+    timeline.print(std::cout);
+
+    std::cout << "sOA-A stats: " << soa_a.stats().requests
+              << " request(s), " << soa_a.stats().grants
+              << " grant(s), lifetime budget consumed "
+              << soa_a.stats().overclockedCoreTime / sim::kSecond
+              << " core-seconds\n";
+    return 0;
+}

@@ -1,0 +1,246 @@
+#include "cluster/trace_sim.hh"
+
+#include <memory>
+
+#include "core/goa.hh"
+#include "core/soa.hh"
+#include "power/rack.hh"
+#include "power/rack_manager.hh"
+#include "sim/stats.hh"
+#include "workload/trace_generator.hh"
+
+namespace soc
+{
+namespace cluster
+{
+
+double
+TraceSimConfig::tierLimitFactor(PowerTier tier)
+{
+    // Limit relative to the baseline P99 rack draw.  High-power
+    // clusters run close to their limit; low-power clusters have
+    // ample headroom (Fig. 5: many racks under 73% utilization).
+    switch (tier) {
+      case PowerTier::High: return 1.07;
+      case PowerTier::Medium: return 1.17;
+      case PowerTier::Low: return 1.45;
+    }
+    return 1.1;
+}
+
+namespace
+{
+
+/** One rack with its servers, traces, agents, and manager. */
+struct SimRack {
+    std::unique_ptr<power::Rack> rack;
+    std::unique_ptr<power::RackManager> manager;
+    std::unique_ptr<core::GlobalOverclockingAgent> goa;
+    std::vector<std::unique_ptr<core::ServerOverclockingAgent>> soas;
+    std::vector<workload::ServerTrace> traces;
+    /** groups[s][v]: core-group id of VM v on server s. */
+    std::vector<std::vector<power::GroupId>> groups;
+    /** candidate[s][v]: does this VM ever request overclocking? */
+    std::vector<std::vector<bool>> candidate;
+};
+
+bool
+isCandidate(const workload::VmMix &vm, double threshold)
+{
+    if (vm.archetype.kind == workload::ShapeKind::ConstantHigh ||
+        vm.archetype.kind == workload::ShapeKind::LowIdle) {
+        return false;
+    }
+    return vm.archetype.peakUtil >= threshold;
+}
+
+} // namespace
+
+TraceSimResult
+runTraceSim(const TraceSimConfig &config)
+{
+    const power::PowerModel model(config.hardware);
+    workload::TraceConfig trace_cfg;
+    trace_cfg.end = config.warmup + config.duration;
+    workload::TraceGenerator gen(config.seed, trace_cfg);
+
+    core::SoaConfig soa_cfg =
+        core::SoaConfig::forPolicy(config.policy);
+    soa_cfg.controlPeriod = config.controlStep;
+    // Trace studies stress the power path; keep the lifetime budget
+    // generous enough that peaks fit (the paper's operators size the
+    // budget to the workloads' requirements).
+    soa_cfg.overclockFraction = 0.25;
+
+    std::vector<SimRack> racks(config.racks);
+    for (int r = 0; r < config.racks; ++r) {
+        SimRack &sr = racks[r];
+        // Generate traces first so the rack limit can be derived
+        // from the baseline power profile.
+        for (int s = 0; s < config.serversPerRack; ++s) {
+            sr.traces.push_back(gen.serverTrace(
+                gen.randomVmMix(config.hardware.cores), model));
+        }
+        const telemetry::TimeSeries rack_power =
+            workload::TraceGenerator::rackPower(sr.traces);
+        const double limit =
+            rack_power.quantile(0.99) * config.limitFactor;
+
+        sr.rack = std::make_unique<power::Rack>(r, limit);
+        sr.manager = std::make_unique<power::RackManager>(*sr.rack);
+        sr.goa = std::make_unique<core::GlobalOverclockingAgent>(
+            *sr.rack, model);
+
+        for (int s = 0; s < config.serversPerRack; ++s) {
+            power::Server &server = sr.rack->addServer(&model);
+            std::vector<power::GroupId> server_groups;
+            std::vector<bool> server_candidates;
+            for (const auto &vm : sr.traces[s].mix) {
+                const power::GroupId g = server.addGroup(
+                    vm.cores, 0.0, power::kTurboMHz, /*priority=*/1);
+                server_groups.push_back(g);
+                server_candidates.push_back(
+                    isCandidate(vm, config.ocUtilThreshold));
+            }
+            sr.groups.push_back(std::move(server_groups));
+            sr.candidate.push_back(std::move(server_candidates));
+
+            sr.soas.push_back(
+                std::make_unique<core::ServerOverclockingAgent>(
+                    server, soa_cfg, sr.rack.get()));
+            sr.manager->addListener(sr.soas.back().get());
+            sr.goa->addAgent(sr.soas.back().get());
+        }
+        sr.goa->assignEvenSplit();
+    }
+
+    TraceSimResult result;
+    sim::OnlineStats penalty_stats;
+    sim::OnlineStats rack_util_stats;
+    sim::OnlineStats perf_stats;
+    std::uint64_t cap_base = 0;
+    std::uint64_t capped_tick_base = 0;
+    std::uint64_t warn_base = 0;
+    std::uint64_t req_base = 0;
+
+    sim::Tick next_recompute = config.warmup;
+    const sim::Tick end = config.warmup + config.duration;
+    const double dt_s =
+        static_cast<double>(config.controlStep) / sim::kSecond;
+
+    for (sim::Tick t = 0; t < end; t += config.controlStep) {
+        if (t == config.warmup) {
+            // Snapshot warm-up counters so metrics cover only the
+            // evaluation window.
+            for (auto &sr : racks) {
+                cap_base += sr.manager->stats().capEvents;
+                capped_tick_base += sr.manager->stats().cappedTicks;
+                warn_base += sr.manager->stats().warnings;
+                for (auto &soa : sr.soas)
+                    req_base += soa->stats().requests;
+            }
+        }
+        if (t >= next_recompute && t > 0) {
+            for (auto &sr : racks)
+                sr.goa->recompute(t);
+            next_recompute += sim::kWeek;
+        }
+
+        const bool in_eval = t >= config.warmup;
+        for (auto &sr : racks) {
+            for (std::size_t s = 0; s < sr.soas.size(); ++s) {
+                power::Server &server = sr.rack->server(s);
+                auto &soa = *sr.soas[s];
+                const auto &trace = sr.traces[s];
+                for (std::size_t v = 0; v < sr.groups[s].size();
+                     ++v) {
+                    const power::GroupId g = sr.groups[s][v];
+                    const double util = trace.vmUtil[v].atTime(t);
+                    server.setUtil(g, util);
+                    if (!sr.candidate[s][v])
+                        continue;
+
+                    const bool want =
+                        util >= config.ocUtilThreshold;
+                    const bool active = soa.isOverclockActive(g);
+                    if (want && !active) {
+                        core::OverclockRequest request;
+                        request.groupId = g;
+                        request.cores = trace.mix[v].cores;
+                        request.trigger =
+                            core::TriggerKind::Metrics;
+                        request.duration = config.requestChunk;
+                        request.priority = 1;
+                        soa.requestOverclock(request, t);
+                    } else if (!want && active) {
+                        soa.stopOverclock(g, t);
+                    }
+
+                    if (in_eval && want) {
+                        ++result.wantSteps;
+                        const auto *group = server.group(g);
+                        const double eff = group != nullptr
+                            ? group->effectiveMHz()
+                            : power::kTurboMHz;
+                        perf_stats.add(
+                            eff /
+                            static_cast<double>(power::kTurboMHz));
+                        if (group != nullptr &&
+                            group->overclocked()) {
+                            ++result.successSteps;
+                        }
+                    }
+                }
+                soa.tick(t);
+            }
+            sr.manager->tick(t);
+
+            if (in_eval) {
+                rack_util_stats.add(sr.rack->utilization());
+                result.energyJoules +=
+                    sr.rack->powerWatts() * dt_s;
+                if (sr.manager->capping()) {
+                    double penalty = 0.0;
+                    int affected = 0;
+                    for (const auto &server : sr.rack->servers()) {
+                        const int cores =
+                            server->cappedNonOverclockCores();
+                        penalty +=
+                            server->cappingPenalty() * cores;
+                        affected += cores;
+                    }
+                    if (affected > 0)
+                        penalty_stats.add(penalty / affected);
+                }
+            }
+        }
+    }
+
+    std::uint64_t caps = 0;
+    std::uint64_t capped_ticks = 0;
+    std::uint64_t warnings = 0;
+    std::uint64_t requests = 0;
+    for (auto &sr : racks) {
+        caps += sr.manager->stats().capEvents;
+        capped_ticks += sr.manager->stats().cappedTicks;
+        warnings += sr.manager->stats().warnings;
+        for (auto &soa : sr.soas)
+            requests += soa->stats().requests;
+    }
+    result.capEvents = caps - cap_base;
+    result.cappedTicks = capped_ticks - capped_tick_base;
+    result.warnings = warnings - warn_base;
+    result.requests = requests - req_base;
+    result.successRate = result.wantSteps > 0
+        ? static_cast<double>(result.successSteps) /
+            static_cast<double>(result.wantSteps)
+        : 1.0;
+    result.cappingPenalty = penalty_stats.mean();
+    result.normPerformance =
+        perf_stats.count() > 0 ? perf_stats.mean() : 1.0;
+    result.meanRackUtil = rack_util_stats.mean();
+    return result;
+}
+
+} // namespace cluster
+} // namespace soc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace-driven datacenter simulation (§V-B).
+ *
+ * Replays multi-week synthetic production traces (TraceGenerator)
+ * against racks of servers managed by one of the Table I policies.
+ * VMs whose trace utilization crosses an overclock threshold request
+ * overclocking from their server's sOA; the rack manager enforces
+ * warnings/capping; the gOA recomputes heterogeneous budgets weekly
+ * from the telemetry collected during the warm-up week.
+ *
+ * Outputs the four Table I metrics: power-capping events,
+ * overclocking success rate, capping penalty on non-overclocked
+ * VMs, and normalized performance (mean effective frequency of
+ * overclock-seeking VMs over max turbo).
+ */
+
+#ifndef SOC_CLUSTER_TRACE_SIM_HH
+#define SOC_CLUSTER_TRACE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hh"
+#include "power/power_model.hh"
+#include "sim/time.hh"
+#include "telemetry/time_series.hh"
+
+namespace soc
+{
+namespace cluster
+{
+
+/** Power-draw tiers of Table I (how tight the rack limit is). */
+enum class PowerTier { High, Medium, Low };
+
+/** Configuration of one trace-driven run. */
+struct TraceSimConfig {
+    core::PolicyKind policy = core::PolicyKind::SmartOClock;
+    int racks = 4;
+    int serversPerRack = 28;
+    /** Budgets/templates learn during warm-up; metrics cover the
+     *  evaluation window that follows. */
+    sim::Tick warmup = sim::kWeek;
+    sim::Tick duration = sim::kWeek;
+    sim::Tick controlStep = 30 * sim::kSecond;
+    /** Rack limit = limitFactor x baseline P99 rack power. */
+    double limitFactor = 1.10;
+    /** A VM requests overclocking when its utilization crosses
+     *  this (its workload peak). */
+    double ocUtilThreshold = 0.55;
+    sim::Tick requestChunk = 10 * sim::kMinute;
+    std::uint64_t seed = 1;
+    power::PowerModelParams hardware;
+
+    /** Preset limit factors for the Table I cluster tiers. */
+    static double tierLimitFactor(PowerTier tier);
+};
+
+/** Metrics of one run (Table I row, un-normalized). */
+struct TraceSimResult {
+    std::uint64_t capEvents = 0;
+    /** Control steps spent enforcing a cap (severity measure). */
+    std::uint64_t cappedTicks = 0;
+    std::uint64_t warnings = 0;
+    std::uint64_t requests = 0;
+    /** Per-step overclock want/got accounting. */
+    std::uint64_t wantSteps = 0;
+    std::uint64_t successSteps = 0;
+    /** Fraction of want-steps actually spent overclocked. */
+    double successRate = 0.0;
+    /** Mean frequency penalty of capped non-overclock VMs. */
+    double cappingPenalty = 0.0;
+    /** Mean effective frequency of overclock-seeking VMs during
+     *  want-steps, relative to max turbo. */
+    double normPerformance = 1.0;
+    /** Mean rack power utilization over the evaluation window. */
+    double meanRackUtil = 0.0;
+    /** Integrated energy over the evaluation window (joules). */
+    double energyJoules = 0.0;
+};
+
+/** Run one policy over one generated fleet. */
+TraceSimResult runTraceSim(const TraceSimConfig &config);
+
+} // namespace cluster
+} // namespace soc
+
+#endif // SOC_CLUSTER_TRACE_SIM_HH

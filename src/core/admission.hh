@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Prediction-based overclocking admission control (§IV-B).
+ *
+ * Before granting an overclocking request the sOA checks:
+ *
+ *  1. POWER — will the server's predicted draw plus the overclock
+ *     surcharge stay within the server's (heterogeneously assigned)
+ *     power budget over the requested horizon?  The surcharge is
+ *     estimated at worst-case utilization, per the paper.
+ *  2. LIFETIME — does the epoch's remaining overclocking core-time
+ *     budget cover the request?  Schedule-based requests *reserve*
+ *     budget; metrics-based requests are granted only up to the
+ *     time the remaining budget can sustain.
+ *
+ * The controller is stateless w.r.t. the server; the sOA passes in
+ * current measurements, templates, and the budget ledger so that
+ * the logic stays unit-testable in isolation.
+ */
+
+#ifndef SOC_CORE_ADMISSION_HH
+#define SOC_CORE_ADMISSION_HH
+
+#include "core/lifetime.hh"
+#include "core/messages.hh"
+#include "core/profile_template.hh"
+#include "power/power_model.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** Admission knobs; the flags implement the baseline policies. */
+struct AdmissionConfig {
+    /** Enable the power check (off in NaiveOClock). */
+    bool checkPower = true;
+    /** Enable the lifetime check (off in NaiveOClock). */
+    bool checkLifetime = true;
+    /** Utilization assumed for the overclock surcharge (§IV-D:
+     *  worst-case CPU utilization). */
+    double worstCaseUtil = 0.75;
+    /** Smallest useful grant; shorter grants are rejected. */
+    sim::Tick minGrant = 30 * sim::kSecond;
+};
+
+/** Everything the admission decision needs to observe. */
+struct AdmissionInputs {
+    sim::Tick now = 0;
+    /** Measured server power draw right now. */
+    double measuredWatts = 0.0;
+    /** The server's power budget over time (assigned by the gOA). */
+    const ProfileTemplate *budget = nullptr;
+    /** Exploration bonus currently added to the budget. */
+    double bonusWatts = 0.0;
+    /** The server's own power template for look-ahead (nullable). */
+    const ProfileTemplate *serverPower = nullptr;
+    /** Lifetime ledger (consumed/reserved core-time). */
+    OverclockBudget *lifetime = nullptr;
+};
+
+/**
+ * Stateless admission logic shared by all sOA policy variants.
+ */
+class AdmissionController
+{
+  public:
+    AdmissionController(const power::PowerModel &model,
+                        AdmissionConfig config = {});
+
+    const AdmissionConfig &config() const { return config_; }
+
+    /**
+     * Decide an overclocking request.
+     *
+     * On a granted Schedule request the lifetime budget has been
+     * reserved; the caller must consume or release it.
+     */
+    AdmissionDecision decide(const OverclockRequest &request,
+                             const AdmissionInputs &in) const;
+
+    /** Watts the request would add at worst-case utilization. */
+    double surchargeWatts(const OverclockRequest &request) const;
+
+  private:
+    /**
+     * Earliest tick in [now, now+horizon) where predicted power
+     * plus @p extra exceeds the budget; returns now+horizon when
+     * the whole horizon fits.
+     */
+    sim::Tick firstPowerViolation(const AdmissionInputs &in,
+                                  double extra,
+                                  sim::Tick horizon) const;
+
+    const power::PowerModel &model_;
+    AdmissionConfig config_;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_ADMISSION_HH

@@ -1,0 +1,99 @@
+#include "core/budget_allocator.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soc
+{
+namespace core
+{
+
+BudgetAllocator::BudgetAllocator(const power::PowerModel &model,
+                                 BudgetConfig config)
+    : model_(model), config_(config)
+{
+}
+
+double
+BudgetAllocator::regularPower(const ServerProfile &profile,
+                              sim::Tick t) const
+{
+    const double total = profile.power.predict(t);
+    const double oc_cores = profile.overclockedCores.predict(t);
+    const double util = profile.utilization.predict(t);
+    const double surcharge = model_.overclockExtraPower(
+        util, config_.demandFreq, 1) * std::max(0.0, oc_cores);
+    return std::max(0.0, total - surcharge);
+}
+
+double
+BudgetAllocator::overclockDemand(const ServerProfile &profile,
+                                 sim::Tick t) const
+{
+    const double requested = profile.requestedCores.predict(t);
+    const double util = profile.utilization.predict(t);
+    return model_.overclockExtraPower(util, config_.demandFreq, 1) *
+        std::max(0.0, requested);
+}
+
+std::vector<ProfileTemplate>
+BudgetAllocator::split(double limit_watts,
+                       const std::vector<ServerProfile> &profiles)
+    const
+{
+    assert(!profiles.empty());
+    const std::size_t n = profiles.size();
+    const double usable =
+        limit_watts * (1.0 - config_.safetyFraction);
+
+    std::vector<std::vector<double>> budgets(
+        n, std::vector<double>(sim::kSlotsPerWeek, 0.0));
+
+    for (int slot = 0; slot < sim::kSlotsPerWeek; ++slot) {
+        const sim::Tick t =
+            static_cast<sim::Tick>(slot) * sim::kSlot;
+
+        // Phase 1+2: regular power is the initial budget.
+        double regular_sum = 0.0;
+        std::vector<double> regular(n);
+        std::vector<double> demand(n);
+        double demand_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            regular[i] = regularPower(profiles[i], t);
+            regular_sum += regular[i];
+            demand[i] = overclockDemand(profiles[i], t);
+            demand_sum += demand[i];
+        }
+
+        const double headroom = usable - regular_sum;
+        if (headroom <= 0.0) {
+            // Predicted overload even without overclocking: scale
+            // regular budgets to fit so enforcement remains safe.
+            const double scale =
+                regular_sum > 0.0 ? usable / regular_sum : 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                budgets[i][slot] = regular[i] * scale;
+            continue;
+        }
+
+        // Phase 3: split headroom by overclock demand; with no
+        // recorded demand anywhere, fall back to an even split so
+        // fresh servers can still explore.
+        for (std::size_t i = 0; i < n; ++i) {
+            const double share = demand_sum > 0.0
+                ? headroom * (demand[i] / demand_sum)
+                : headroom / static_cast<double>(n);
+            budgets[i][slot] = regular[i] + share;
+        }
+    }
+
+    std::vector<ProfileTemplate> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(ProfileTemplate::fromWeekly(
+            std::move(budgets[i])));
+    return out;
+}
+
+} // namespace core
+} // namespace soc

@@ -1,0 +1,59 @@
+#include "core/goa.hh"
+
+#include <cassert>
+
+namespace soc
+{
+namespace core
+{
+
+GlobalOverclockingAgent::GlobalOverclockingAgent(
+    power::Rack &rack, const power::PowerModel &model,
+    GoaConfig config)
+    : rack_(rack),
+      model_(model),
+      config_(config),
+      allocator_(model, config.budget)
+{
+}
+
+void
+GlobalOverclockingAgent::addAgent(ServerOverclockingAgent *agent)
+{
+    assert(agent != nullptr);
+    agents_.push_back(agent);
+}
+
+void
+GlobalOverclockingAgent::assignEvenSplit()
+{
+    assert(!agents_.empty());
+    const double share =
+        rack_.limitWatts() / static_cast<double>(agents_.size());
+    for (auto *agent : agents_)
+        agent->assignBudget(ProfileTemplate::flat(share));
+    lastBudgets_.assign(agents_.size(),
+                        ProfileTemplate::flat(share));
+}
+
+void
+GlobalOverclockingAgent::recompute(sim::Tick now)
+{
+    (void)now;
+    assert(!agents_.empty());
+
+    std::vector<ServerProfile> profiles;
+    profiles.reserve(agents_.size());
+    for (auto *agent : agents_) {
+        agent->refreshOwnTemplate(config_.strategy);
+        profiles.push_back(agent->buildProfile(config_.strategy));
+    }
+
+    lastBudgets_ = allocator_.split(rack_.limitWatts(), profiles);
+    for (std::size_t i = 0; i < agents_.size(); ++i)
+        agents_[i]->assignBudget(lastBudgets_[i]);
+    ++recomputes_;
+}
+
+} // namespace core
+} // namespace soc

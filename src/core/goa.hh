@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Global Overclocking Agent (gOA) — the per-rack coordinator of
+ * Fig. 10.  It periodically (weekly in production) collects each
+ * sOA's power/overclock telemetry, rebuilds templates, splits the
+ * rack's power limit heterogeneously (BudgetAllocator), and pushes
+ * the resulting weekly budget templates back to the sOAs.  Budgets
+ * are used locally until the next recompute, so a gOA outage only
+ * freezes budget *updates* — decentralized enforcement continues
+ * (§III-Q5).
+ */
+
+#ifndef SOC_CORE_GOA_HH
+#define SOC_CORE_GOA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/budget_allocator.hh"
+#include "core/soa.hh"
+#include "power/rack.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** gOA knobs. */
+struct GoaConfig {
+    /** Template strategy (the paper ships DailyMed). */
+    TemplateStrategy strategy = TemplateStrategy::DailyMed;
+    /** How often budgets are recomputed. */
+    sim::Tick recomputePeriod = sim::kWeek;
+    BudgetConfig budget;
+};
+
+/**
+ * Per-rack global agent.  Does not own the sOAs.
+ */
+class GlobalOverclockingAgent
+{
+  public:
+    GlobalOverclockingAgent(power::Rack &rack,
+                            const power::PowerModel &model,
+                            GoaConfig config = {});
+
+    const GoaConfig &config() const { return config_; }
+
+    /** Register a managed sOA (same order as the rack's servers). */
+    void addAgent(ServerOverclockingAgent *agent);
+
+    std::size_t agentCount() const { return agents_.size(); }
+
+    /**
+     * Bootstrap assignment before any telemetry exists: every
+     * server gets an even share of the rack limit (§III-Q4's naive
+     * split, which the first recompute replaces).
+     */
+    void assignEvenSplit();
+
+    /**
+     * Periodic recompute: profiles -> heterogeneous weekly budgets
+     * -> push to sOAs (also refreshes each sOA's own template).
+     */
+    void recompute(sim::Tick now);
+
+    /** Budgets from the last recompute (empty before the first). */
+    const std::vector<ProfileTemplate> &lastBudgets() const
+    {
+        return lastBudgets_;
+    }
+
+    std::uint64_t recomputeCount() const { return recomputes_; }
+
+  private:
+    power::Rack &rack_;
+    const power::PowerModel &model_;
+    GoaConfig config_;
+    BudgetAllocator allocator_;
+    std::vector<ServerOverclockingAgent *> agents_;
+    std::vector<ProfileTemplate> lastBudgets_;
+    std::uint64_t recomputes_ = 0;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_GOA_HH

@@ -1,0 +1,207 @@
+#include "core/lifetime.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace soc
+{
+namespace core
+{
+
+LifetimeModel::LifetimeModel(const power::PowerModel &power,
+                             LifetimeParams params)
+    : power_(power), params_(params)
+{
+    // Reference point: a fully utilized core at max turbo ages at
+    // exactly the rated rate (vendors assume near-100% usage when
+    // qualifying parts, §III-Q2).
+    refVolts_ = power_.voltage(power::kTurboMHz);
+    refTempC_ = power_.temperature(1.0, power::kTurboMHz);
+}
+
+double
+LifetimeModel::agingRate(double util, power::FreqMHz f) const
+{
+    util = std::clamp(util, 0.0, 1.0);
+    const double activity =
+        params_.utilFloor + (1.0 - params_.utilFloor) * util;
+    const double volt_accel = std::exp(
+        params_.betaVolts * (power_.voltage(f) - refVolts_));
+    const double temp_accel = std::exp(
+        params_.betaTemp *
+        (power_.temperature(util, f) - refTempC_));
+    return activity * volt_accel * temp_accel;
+}
+
+double
+LifetimeModel::agingOver(sim::Tick span, double util,
+                         power::FreqMHz f) const
+{
+    return agingRate(util, f) * static_cast<double>(span);
+}
+
+double
+LifetimeModel::maxOverclockDuty(double util, power::FreqMHz f_oc,
+                                double budget_rate) const
+{
+    const double base = agingRate(util, power::kTurboMHz);
+    const double boosted = agingRate(util, f_oc);
+    if (boosted <= base)
+        return 1.0;
+    const double duty = (budget_rate - base) / (boosted - base);
+    return std::clamp(duty, 0.0, 1.0);
+}
+
+OverclockBudget::OverclockBudget(sim::Tick epoch, double fraction,
+                                 int cores, double carryover_cap)
+    : epoch_(epoch), fraction_(fraction)
+{
+    assert(epoch_ > 0);
+    assert(fraction_ >= 0.0 && fraction_ <= 1.0);
+    assert(cores > 0);
+    allowance_ = static_cast<sim::Tick>(
+        fraction_ * static_cast<double>(epoch_) * cores);
+    carryCap_ = static_cast<sim::Tick>(
+        carryover_cap * static_cast<double>(allowance_));
+    available_ = allowance_;
+}
+
+void
+OverclockBudget::rollTo(sim::Tick now)
+{
+    const std::int64_t target = now / epoch_;
+    while (currentEpoch_ < target) {
+        ++currentEpoch_;
+        // Carry over unused (non-reserved) budget, capped.
+        const sim::Tick carry =
+            std::min(std::max<sim::Tick>(available_, 0), carryCap_);
+        available_ = allowance_ + carry;
+        // Reservations do not survive epochs: schedule-based
+        // reservations are per-epoch (§IV-B).
+        reserved_ = 0;
+    }
+}
+
+sim::Tick
+OverclockBudget::remaining(sim::Tick now)
+{
+    rollTo(now);
+    return std::max<sim::Tick>(0, available_ - reserved_);
+}
+
+void
+OverclockBudget::consume(sim::Tick core_time, sim::Tick now)
+{
+    rollTo(now);
+    // Consumption first eats any reservation of the caller's; the
+    // budget does not track per-owner reservations, so treat the
+    // consumed amount as drawing down reservations first.
+    const sim::Tick from_reserved = std::min(reserved_, core_time);
+    reserved_ -= from_reserved;
+    available_ -= core_time;
+    totalConsumed_ += core_time;
+    if (available_ < 0) {
+        overdraft_ += -available_;
+        available_ = 0;
+    }
+}
+
+bool
+OverclockBudget::tryReserve(sim::Tick core_time, sim::Tick now)
+{
+    rollTo(now);
+    if (available_ - reserved_ < core_time)
+        return false;
+    reserved_ += core_time;
+    return true;
+}
+
+void
+OverclockBudget::release(sim::Tick core_time, sim::Tick now)
+{
+    rollTo(now);
+    reserved_ = std::max<sim::Tick>(0, reserved_ - core_time);
+}
+
+sim::Tick
+OverclockBudget::reserved(sim::Tick now)
+{
+    rollTo(now);
+    return reserved_;
+}
+
+sim::Tick
+OverclockBudget::timeToExhaustion(sim::Tick now, double burn_rate)
+{
+    rollTo(now);
+    if (burn_rate <= 0.0)
+        return std::numeric_limits<sim::Tick>::max();
+    const sim::Tick left = remaining(now);
+    return static_cast<sim::Tick>(
+        static_cast<double>(left) / burn_rate);
+}
+
+TimeInState::TimeInState(int cores)
+    : accumulated_(cores, 0), sinceTick_(cores, -1)
+{
+    assert(cores > 0);
+}
+
+void
+TimeInState::startOverclock(int core, sim::Tick now)
+{
+    assert(core >= 0 && core < cores());
+    if (sinceTick_[core] < 0)
+        sinceTick_[core] = now;
+}
+
+void
+TimeInState::stopOverclock(int core, sim::Tick now)
+{
+    assert(core >= 0 && core < cores());
+    if (sinceTick_[core] >= 0) {
+        accumulated_[core] += now - sinceTick_[core];
+        sinceTick_[core] = -1;
+    }
+}
+
+bool
+TimeInState::overclocked(int core) const
+{
+    assert(core >= 0 && core < cores());
+    return sinceTick_[core] >= 0;
+}
+
+int
+TimeInState::overclockedCores() const
+{
+    int count = 0;
+    for (sim::Tick since : sinceTick_)
+        if (since >= 0)
+            ++count;
+    return count;
+}
+
+sim::Tick
+TimeInState::overclockedTime(int core, sim::Tick now) const
+{
+    assert(core >= 0 && core < cores());
+    sim::Tick total = accumulated_[core];
+    if (sinceTick_[core] >= 0)
+        total += now - sinceTick_[core];
+    return total;
+}
+
+sim::Tick
+TimeInState::totalOverclockedTime(sim::Tick now) const
+{
+    sim::Tick total = 0;
+    for (int core = 0; core < cores(); ++core)
+        total += overclockedTime(core, now);
+    return total;
+}
+
+} // namespace core
+} // namespace soc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Message types exchanged between the SmartOClock agents (Fig. 10):
+ * WI agent -> sOA overclocking requests, sOA -> WI exhaustion and
+ * rejection signals, and gOA -> sOA budget assignments.
+ */
+
+#ifndef SOC_CORE_MESSAGES_HH
+#define SOC_CORE_MESSAGES_HH
+
+#include <string>
+
+#include "power/frequency.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** How an overclocking request was triggered (§IV-A). */
+enum class TriggerKind {
+    Metrics,  ///< reactive: latency/utilization threshold crossed
+    Schedule, ///< proactive: pre-declared high-traffic window
+};
+
+/**
+ * A request from a VM's local WI agent to its server's sOA to run
+ * the VM's cores beyond turbo.
+ */
+struct OverclockRequest {
+    /** Core group (VM) on the server. */
+    int groupId = -1;
+    /** Cores the VM wants overclocked. */
+    int cores = 0;
+    /** Desired frequency; the sOA may grant less and ramp. */
+    power::FreqMHz desiredMHz = power::kOverclockMHz;
+    TriggerKind trigger = TriggerKind::Metrics;
+    /**
+     * Requested duration.  Schedule-based requests reserve power and
+     * lifetime budget for this span; metrics-based requests use it
+     * as the admission horizon and are re-evaluated continuously.
+     */
+    sim::Tick duration = 15 * sim::kMinute;
+    /** Enforcement priority (higher throttled last). */
+    int priority = 1;
+};
+
+/** sOA's answer to an OverclockRequest. */
+struct AdmissionDecision {
+    bool granted = false;
+    /** Initially granted frequency (feedback loop may raise it). */
+    power::FreqMHz grantedMHz = power::kTurboMHz;
+    /** Time at which the grant expires and must be re-admitted. */
+    sim::Tick grantedUntil = 0;
+    /** Human-readable denial/grant reason for logs and tests. */
+    std::string reason;
+};
+
+/** Why an sOA predicts it cannot keep overclocking (§IV-D). */
+enum class ExhaustionKind {
+    PowerBudget,     ///< predicted draw will exceed power budget
+    OverclockBudget, ///< per-core lifetime budget running out
+};
+
+/**
+ * Proactive signal from the sOA to the global WI agent: within
+ * `eta`, overclocking for this VM will no longer be possible, so
+ * corrective action (scale-out) should start now.
+ */
+struct ExhaustionSignal {
+    int groupId = -1;
+    ExhaustionKind kind = ExhaustionKind::PowerBudget;
+    /** Predicted time of exhaustion. */
+    sim::Tick eta = 0;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_MESSAGES_HH

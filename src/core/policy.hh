@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Overclocking-management policy variants compared in Table I.
+ *
+ *  - Central     : oracle with a global, instantaneous view of the
+ *                  rack's power; admits exactly the requests that
+ *                  will not cause capping.
+ *  - NaiveOClock : grants every request, no budget enforcement.
+ *  - NoFeedback  : SmartOClock without exploration beyond the
+ *                  assigned per-server budgets.
+ *  - NoWarning   : SmartOClock whose exploration ignores warning
+ *                  messages (only capping events stop it).
+ *  - SmartOClock : the full system.
+ */
+
+#ifndef SOC_CORE_POLICY_HH
+#define SOC_CORE_POLICY_HH
+
+#include <string>
+
+namespace soc
+{
+namespace core
+{
+
+enum class PolicyKind {
+    Central,
+    NaiveOClock,
+    NoFeedback,
+    NoWarning,
+    SmartOClock,
+};
+
+inline std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Central: return "Central";
+      case PolicyKind::NaiveOClock: return "NaiveOClock";
+      case PolicyKind::NoFeedback: return "NoFeedback";
+      case PolicyKind::NoWarning: return "NoWarning";
+      case PolicyKind::SmartOClock: return "SmartOClock";
+    }
+    return "unknown";
+}
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_POLICY_HH

@@ -1,0 +1,188 @@
+#include "core/profile_template.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/stats.hh"
+
+namespace soc
+{
+namespace core
+{
+
+std::string
+strategyName(TemplateStrategy strategy)
+{
+    switch (strategy) {
+      case TemplateStrategy::FlatMed: return "FlatMed";
+      case TemplateStrategy::FlatMax: return "FlatMax";
+      case TemplateStrategy::Weekly: return "Weekly";
+      case TemplateStrategy::DailyMed: return "DailyMed";
+      case TemplateStrategy::DailyMax: return "DailyMax";
+    }
+    return "unknown";
+}
+
+ProfileTemplate::ProfileTemplate() = default;
+
+ProfileTemplate
+ProfileTemplate::flat(double value)
+{
+    ProfileTemplate out;
+    out.strategy_ = TemplateStrategy::FlatMed;
+    out.flatValue_ = value;
+    return out;
+}
+
+ProfileTemplate
+ProfileTemplate::fromWeekly(std::vector<double> values)
+{
+    assert(values.size() ==
+           static_cast<std::size_t>(sim::kSlotsPerWeek));
+    ProfileTemplate out;
+    out.strategy_ = TemplateStrategy::Weekly;
+    out.weekly_ = std::move(values);
+    return out;
+}
+
+ProfileTemplate
+ProfileTemplate::build(TemplateStrategy strategy,
+                       const telemetry::TimeSeries &history)
+{
+    assert(history.interval() == sim::kSlot &&
+           "templates require 5-minute telemetry");
+    ProfileTemplate out;
+    out.strategy_ = strategy;
+
+    const auto &values = history.values();
+    if (values.empty())
+        return out;
+
+    switch (strategy) {
+      case TemplateStrategy::FlatMed:
+        out.flatValue_ = sim::median(values);
+        return out;
+      case TemplateStrategy::FlatMax:
+        out.flatValue_ = *std::max_element(values.begin(),
+                                           values.end());
+        return out;
+      case TemplateStrategy::Weekly: {
+        // Replay the most recent week, aligned by slot-of-week.
+        out.weekly_.assign(sim::kSlotsPerWeek, 0.0);
+        std::vector<bool> filled(sim::kSlotsPerWeek, false);
+        for (std::size_t i = history.size(); i-- > 0;) {
+            const sim::Tick t = history.timeOf(i);
+            const int slot = static_cast<int>(
+                (t % sim::kWeek) / sim::kSlot);
+            if (!filled[slot]) {
+                out.weekly_[slot] = history.at(i);
+                filled[slot] = true;
+            }
+        }
+        // Backfill any gap with the history median.
+        const double fallback = sim::median(values);
+        for (int s = 0; s < sim::kSlotsPerWeek; ++s)
+            if (!filled[s])
+                out.weekly_[s] = fallback;
+        return out;
+      }
+      case TemplateStrategy::DailyMed:
+      case TemplateStrategy::DailyMax: {
+        // Aggregate per slot-of-day, weekdays and weekends apart.
+        std::vector<std::vector<double>> weekday(sim::kSlotsPerDay);
+        std::vector<std::vector<double>> weekend(sim::kSlotsPerDay);
+        for (std::size_t i = 0; i < history.size(); ++i) {
+            const sim::Tick t = history.timeOf(i);
+            auto &bucket = sim::isWeekend(t)
+                ? weekend[sim::slotOfDay(t)]
+                : weekday[sim::slotOfDay(t)];
+            bucket.push_back(history.at(i));
+        }
+        const bool use_max = strategy == TemplateStrategy::DailyMax;
+        auto aggregate = [use_max](std::vector<double> &bucket,
+                                   double fallback) {
+            if (bucket.empty())
+                return fallback;
+            if (use_max)
+                return *std::max_element(bucket.begin(), bucket.end());
+            return sim::median(bucket);
+        };
+        const double fallback = sim::median(values);
+        out.weekday_.resize(sim::kSlotsPerDay);
+        out.weekend_.resize(sim::kSlotsPerDay);
+        for (int s = 0; s < sim::kSlotsPerDay; ++s) {
+            out.weekday_[s] = aggregate(weekday[s], fallback);
+            // Weekends fall back to the weekday value when the
+            // history covers no weekend yet.
+            out.weekend_[s] = aggregate(weekend[s], out.weekday_[s]);
+        }
+        return out;
+      }
+    }
+    return out;
+}
+
+double
+ProfileTemplate::predict(sim::Tick t) const
+{
+    switch (strategy_) {
+      case TemplateStrategy::FlatMed:
+      case TemplateStrategy::FlatMax:
+        return flatValue_;
+      case TemplateStrategy::Weekly: {
+        if (weekly_.empty())
+            return flatValue_;
+        const int slot = static_cast<int>(
+            ((t % sim::kWeek) + sim::kWeek) % sim::kWeek / sim::kSlot);
+        return weekly_[slot];
+      }
+      case TemplateStrategy::DailyMed:
+      case TemplateStrategy::DailyMax: {
+        if (weekday_.empty())
+            return flatValue_;
+        const auto &day = sim::isWeekend(t) ? weekend_ : weekday_;
+        return day[sim::slotOfDay(t)];
+      }
+    }
+    return 0.0;
+}
+
+std::vector<double>
+ProfileTemplate::predictSeries(const telemetry::TimeSeries &actual)
+    const
+{
+    std::vector<double> out;
+    out.reserve(actual.size());
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        out.push_back(predict(actual.timeOf(i)));
+    return out;
+}
+
+double
+ProfileTemplate::rmseAgainst(const telemetry::TimeSeries &actual) const
+{
+    return sim::rmse(actual.values(), predictSeries(actual));
+}
+
+double
+ProfileTemplate::biasAgainst(const telemetry::TimeSeries &actual) const
+{
+    return sim::meanSignedError(actual.values(),
+                                predictSeries(actual));
+}
+
+double
+ProfileTemplate::peak() const
+{
+    double best = flatValue_;
+    for (double v : weekday_)
+        best = std::max(best, v);
+    for (double v : weekend_)
+        best = std::max(best, v);
+    for (double v : weekly_)
+        best = std::max(best, v);
+    return best;
+}
+
+} // namespace core
+} // namespace soc

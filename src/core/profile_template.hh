@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Power/utilization profile templates (§IV-B, Figs. 8 and 15).
+ *
+ * A template predicts a server's or rack's telemetry (power draw,
+ * CPU utilization, overclocked-core count) at a future instant from
+ * the prior week's history.  SmartOClock's production choice is
+ * *DailyMed*: aggregate all weekdays of the prior week into one
+ * typical day by taking the per-slot median, with a separate
+ * template for weekends.  The alternative strategies evaluated in
+ * Fig. 15 are implemented for comparison:
+ *
+ *  - FlatMed / FlatMax — constant prediction (median / max of all
+ *    prior measurements);
+ *  - Weekly — replay last week's series slot for slot;
+ *  - DailyMed / DailyMax — per-slot median / max across the week's
+ *    weekdays (weekends aggregated separately).
+ */
+
+#ifndef SOC_CORE_PROFILE_TEMPLATE_HH
+#define SOC_CORE_PROFILE_TEMPLATE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+#include "telemetry/time_series.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** Template-construction strategies compared in Fig. 15. */
+enum class TemplateStrategy {
+    FlatMed,
+    FlatMax,
+    Weekly,
+    DailyMed,
+    DailyMax,
+};
+
+/** Printable strategy name. */
+std::string strategyName(TemplateStrategy strategy);
+
+/**
+ * An immutable prediction function over time-of-week.
+ */
+class ProfileTemplate
+{
+  public:
+    /** Zero template (predicts 0 everywhere). */
+    ProfileTemplate();
+
+    /**
+     * Build a template of the given strategy from history.
+     *
+     * @param strategy Aggregation strategy.
+     * @param history  Telemetry sampled at the 5-minute slot width;
+     *                 typically the prior week(s).
+     */
+    static ProfileTemplate build(TemplateStrategy strategy,
+                                 const telemetry::TimeSeries &history);
+
+    /** Constant template. */
+    static ProfileTemplate flat(double value);
+
+    /**
+     * Template directly from one week of per-slot values
+     * (sim::kSlotsPerWeek entries, Monday 00:00 first).  Used by the
+     * budget allocator to hand per-slot budgets to the sOAs.
+     */
+    static ProfileTemplate fromWeekly(std::vector<double> values);
+
+    TemplateStrategy strategy() const { return strategy_; }
+
+    /** Predicted value at simulated time @p t. */
+    double predict(sim::Tick t) const;
+
+    /** Predictions aligned with @p actual's sampling grid. */
+    std::vector<double>
+    predictSeries(const telemetry::TimeSeries &actual) const;
+
+    /** Root-mean-squared prediction error against @p actual. */
+    double rmseAgainst(const telemetry::TimeSeries &actual) const;
+
+    /** Mean signed error (positive = overprediction). */
+    double biasAgainst(const telemetry::TimeSeries &actual) const;
+
+    /** Largest value the template ever predicts. */
+    double peak() const;
+
+  private:
+    TemplateStrategy strategy_ = TemplateStrategy::FlatMed;
+    double flatValue_ = 0.0;
+    /** Per slot-of-day values for weekdays (DailyMed/DailyMax). */
+    std::vector<double> weekday_;
+    /** Per slot-of-day values for weekends (DailyMed/DailyMax). */
+    std::vector<double> weekend_;
+    /** Per slot-of-week values (Weekly / fromWeekly). */
+    std::vector<double> weekly_;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_PROFILE_TEMPLATE_HH

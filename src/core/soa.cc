@@ -1,0 +1,623 @@
+#include "core/soa.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace soc
+{
+namespace core
+{
+
+SoaConfig
+SoaConfig::forPolicy(PolicyKind kind)
+{
+    SoaConfig config;
+    switch (kind) {
+      case PolicyKind::Central:
+        config.oracleMode = true;
+        config.admission.checkLifetime = false;
+        config.exploreEnabled = false;
+        break;
+      case PolicyKind::NaiveOClock:
+        config.admission.checkPower = false;
+        config.admission.checkLifetime = false;
+        config.exploreEnabled = false;
+        config.enforceBudget = false;
+        break;
+      case PolicyKind::NoFeedback:
+        config.exploreEnabled = false;
+        break;
+      case PolicyKind::NoWarning:
+        config.respectWarnings = false;
+        break;
+      case PolicyKind::SmartOClock:
+        break;
+    }
+    return config;
+}
+
+ServerOverclockingAgent::ServerOverclockingAgent(
+    power::Server &server, SoaConfig config,
+    const power::Rack *oracle_rack)
+    : server_(server),
+      config_(config),
+      oracleRack_(oracle_rack),
+      admission_(server.model(), config.admission),
+      lifetime_(config.budgetEpoch, config.overclockFraction,
+                server.totalCores(), config.carryoverCap),
+      tis_(server.totalCores()),
+      coreUsedEpoch_(server.totalCores(), 0),
+      regularHistory_(0, sim::kSlot),
+      powerHistory_(0, sim::kSlot),
+      utilHistory_(0, sim::kSlot),
+      grantedCoresHistory_(0, sim::kSlot),
+      requestedCoresHistory_(0, sim::kSlot)
+{
+    assert(!config_.oracleMode || oracleRack_ != nullptr);
+    allowancePerCore_ = static_cast<sim::Tick>(
+        config_.overclockFraction *
+        static_cast<double>(config_.budgetEpoch));
+}
+
+void
+ServerOverclockingAgent::assignBudget(ProfileTemplate budget)
+{
+    budget_ = std::move(budget);
+    budgetAssigned_ = true;
+}
+
+double
+ServerOverclockingAgent::budgetWatts(sim::Tick now) const
+{
+    if (!budgetAssigned_) {
+        // Bootstrap: behave as if granted the server's TDP until the
+        // gOA hands out real budgets.
+        return server_.model().params().tdpWatts + bonusWatts_;
+    }
+    return budget_.predict(now) + bonusWatts_;
+}
+
+AdmissionDecision
+ServerOverclockingAgent::requestOverclock(
+    const OverclockRequest &request, sim::Tick now)
+{
+    ++stats_.requests;
+    requestedCoresNow_ += request.cores;
+
+    // Re-requests for an already-granted group just extend it.
+    auto it = active_.find(request.groupId);
+    if (it != active_.end()) {
+        AdmissionDecision decision;
+        decision.granted = true;
+        decision.grantedMHz = it->second.request.desiredMHz;
+        decision.grantedUntil = std::max(it->second.grantedUntil,
+                                         now + request.duration);
+        it->second.grantedUntil = decision.grantedUntil;
+        decision.reason = "extended";
+        return decision;
+    }
+
+    AdmissionDecision decision;
+    if (config_.oracleMode) {
+        // Central: perfect knowledge of the rack's current draw.
+        const double extra = admission_.surchargeWatts(request);
+        if (oracleRack_->powerWatts() + extra >
+            oracleRack_->limitWatts()) {
+            decision.granted = false;
+            decision.reason = "oracle: rack would cap";
+        } else {
+            decision.granted = true;
+            decision.grantedMHz = request.desiredMHz;
+            decision.grantedUntil = now + request.duration;
+            decision.reason = "oracle: fits";
+        }
+    } else {
+        AdmissionInputs in;
+        in.now = now;
+        in.measuredWatts = server_.powerWatts();
+        in.budget = budgetAssigned_ ? &budget_ : nullptr;
+        in.bonusWatts = bonusWatts_;
+        in.serverPower = ownTemplateValid_ ? &ownPower_ : nullptr;
+        in.lifetime = &lifetime_;
+        decision = admission_.decide(request, in);
+    }
+
+    if (!decision.granted) {
+        ++stats_.rejects;
+        recentDenied_[request.groupId] = {request.cores,
+                                          now + 2 *
+                                              config_.controlPeriod};
+        if (decision.reason == "power budget insufficient") {
+            powerDenialUntil_ = now + 2 * config_.warningWindow;
+        }
+        return decision;
+    }
+
+    ++stats_.grants;
+    ActiveOverclock oc;
+    oc.request = request;
+    oc.grantedUntil = decision.grantedUntil;
+    oc.startedAt = now;
+    oc.coreSet = pickCores(request.cores, now);
+    for (int core : oc.coreSet)
+        tis_.startOverclock(core, now);
+    active_.emplace(request.groupId, std::move(oc));
+
+    // Begin the ramp one step above turbo; the feedback loop takes
+    // it the rest of the way.
+    server_.setTarget(request.groupId,
+                      server_.ladder().up(power::kTurboMHz));
+    if (!config_.enforceBudget) {
+        // Naive policy: jump straight to the desired frequency.
+        server_.setTarget(request.groupId, request.desiredMHz);
+    }
+    return decision;
+}
+
+void
+ServerOverclockingAgent::stopOverclock(int group_id, sim::Tick now)
+{
+    auto it = active_.find(group_id);
+    if (it == active_.end())
+        return;
+
+    ActiveOverclock &oc = it->second;
+    // Release any still-reserved schedule budget.
+    if (oc.request.trigger == TriggerKind::Schedule &&
+        oc.grantedUntil > now) {
+        lifetime_.release(
+            (oc.grantedUntil - now) * oc.request.cores, now);
+    }
+    for (int core : oc.coreSet)
+        tis_.stopOverclock(core, now);
+    server_.setTarget(group_id, power::kTurboMHz);
+    active_.erase(it);
+}
+
+bool
+ServerOverclockingAgent::isOverclockActive(int group_id) const
+{
+    return active_.count(group_id) > 0;
+}
+
+void
+ServerOverclockingAgent::revoke(ActiveOverclock &oc, sim::Tick now,
+                                const char *reason)
+{
+    (void)reason;
+    ++stats_.revocations;
+    stopOverclock(oc.request.groupId, now);
+}
+
+bool
+ServerOverclockingAgent::constrained(sim::Tick now) const
+{
+    if (now < powerDenialUntil_)
+        return true;
+    for (const auto &[group_id, oc] : active_) {
+        const auto *group = server_.group(group_id);
+        if (group != nullptr &&
+            group->targetMHz < oc.request.desiredMHz) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<int>
+ServerOverclockingAgent::pickCores(int count, sim::Tick now)
+{
+    rollCoreEpoch(now);
+    std::vector<bool> busy(server_.totalCores(), false);
+    for (const auto &[group_id, oc] : active_)
+        for (int core : oc.coreSet)
+            busy[core] = true;
+
+    std::vector<int> order(server_.totalCores());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](int a, int b) {
+        return coreUsedEpoch_[a] < coreUsedEpoch_[b];
+    });
+
+    std::vector<int> picked;
+    for (int core : order) {
+        if (static_cast<int>(picked.size()) >= count)
+            break;
+        if (!busy[core])
+            picked.push_back(core);
+    }
+    // If the server is fully busy with overclocks, reuse cores (the
+    // request would have been capacity-checked at the cluster layer).
+    for (int core : order) {
+        if (static_cast<int>(picked.size()) >= count)
+            break;
+        if (busy[core])
+            picked.push_back(core);
+    }
+    return picked;
+}
+
+void
+ServerOverclockingAgent::rollCoreEpoch(sim::Tick now)
+{
+    const std::int64_t epoch = now / config_.budgetEpoch;
+    if (epoch != coreEpochIndex_) {
+        coreEpochIndex_ = epoch;
+        std::fill(coreUsedEpoch_.begin(), coreUsedEpoch_.end(), 0);
+    }
+}
+
+sim::Tick
+ServerOverclockingAgent::coreUsed(int core, sim::Tick now)
+{
+    rollCoreEpoch(now);
+    return coreUsedEpoch_[core];
+}
+
+void
+ServerOverclockingAgent::tick(sim::Tick now)
+{
+    // Expire stale denial records.
+    std::erase_if(recentDenied_, [now](const auto &entry) {
+        return entry.second.second <= now;
+    });
+
+    lifetimeAccounting(now);
+    feedbackLoop(now);
+    explorationStep(now);
+    exhaustionPrediction(now);
+    telemetryCollection(now);
+    requestedCoresNow_ = 0;
+}
+
+void
+ServerOverclockingAgent::feedbackLoop(sim::Tick now)
+{
+    if (active_.empty())
+        return;
+
+    if (!config_.enforceBudget) {
+        // NaiveOClock: hold every grant at its desired frequency.
+        for (auto &[group_id, oc] : active_)
+            server_.setTarget(group_id, oc.request.desiredMHz);
+        return;
+    }
+
+    double draw;
+    double limit;
+    if (config_.oracleMode) {
+        draw = oracleRack_->powerWatts();
+        limit = oracleRack_->limitWatts() * 0.995;
+    } else {
+        draw = server_.powerWatts();
+        limit = budgetWatts(now);
+    }
+    const double threshold = limit - config_.bufferWatts;
+
+    if (draw > limit) {
+        // Step down, lowest priority first, multiple steps per tick
+        // so abrupt budget cuts converge quickly.
+        for (int step = 0; step < config_.stepsPerTick; ++step) {
+            ActiveOverclock *victim = nullptr;
+            power::CoreGroup *victim_group = nullptr;
+            for (auto &[group_id, oc] : active_) {
+                auto *group = server_.group(group_id);
+                if (group == nullptr ||
+                    group->targetMHz <= power::kTurboMHz) {
+                    continue;
+                }
+                if (victim == nullptr ||
+                    oc.request.priority < victim->request.priority) {
+                    victim = &oc;
+                    victim_group = group;
+                }
+            }
+            if (victim == nullptr)
+                break;
+            server_.setTarget(victim->request.groupId,
+                              server_.ladder().down(
+                                  victim_group->targetMHz));
+            const double new_draw = config_.oracleMode
+                ? oracleRack_->powerWatts()
+                : server_.powerWatts();
+            if (new_draw <= limit)
+                break;
+        }
+    } else if (draw < threshold) {
+        // Step up constrained groups, highest priority first, while
+        // the predicted draw stays under the limit.
+        for (int step = 0; step < config_.stepsPerTick; ++step) {
+            ActiveOverclock *best = nullptr;
+            power::CoreGroup *best_group = nullptr;
+            for (auto &[group_id, oc] : active_) {
+                auto *group = server_.group(group_id);
+                if (group == nullptr ||
+                    group->targetMHz >= oc.request.desiredMHz) {
+                    continue;
+                }
+                if (best == nullptr ||
+                    oc.request.priority > best->request.priority) {
+                    best = &oc;
+                    best_group = group;
+                }
+            }
+            if (best == nullptr)
+                break;
+            const power::FreqMHz next =
+                server_.ladder().up(best_group->targetMHz);
+            const double predicted = server_.powerWattsIf(
+                best->request.groupId, next);
+            const bool fits = config_.oracleMode
+                ? (oracleRack_->powerWatts() +
+                   (predicted - server_.powerWatts())) <= limit
+                : predicted <= limit;
+            if (!fits)
+                break;
+            server_.setTarget(best->request.groupId, next);
+        }
+    }
+}
+
+void
+ServerOverclockingAgent::explorationStep(sim::Tick now)
+{
+    if (!config_.exploreEnabled)
+        return;
+
+    switch (state_) {
+      case ExploreState::Normal:
+        if (constrained(now) && now >= nextExploreAllowed_ &&
+            bonusWatts_ < config_.maxBonusWatts) {
+            state_ = ExploreState::Exploring;
+            bonusWatts_ += config_.exploreStepWatts;
+            stateDeadline_ = now + config_.warningWindow;
+            ++stats_.explorationsStarted;
+        }
+        break;
+      case ExploreState::Exploring:
+        if (now >= stateDeadline_) {
+            if (!constrained(now)) {
+                // Everyone reached the desired frequency: bank the
+                // discovered budget and exploit it.
+                state_ = ExploreState::Exploiting;
+                stateDeadline_ = now + config_.exploitTime;
+                backoffExp_ = 0;
+            } else if (bonusWatts_ < config_.maxBonusWatts) {
+                bonusWatts_ += config_.exploreStepWatts;
+                stateDeadline_ = now + config_.warningWindow;
+            } else {
+                state_ = ExploreState::Exploiting;
+                stateDeadline_ = now + config_.exploitTime;
+            }
+        }
+        break;
+      case ExploreState::Exploiting:
+        if (now >= stateDeadline_)
+            state_ = ExploreState::Normal;
+        break;
+    }
+}
+
+void
+ServerOverclockingAgent::onWarning(sim::Tick now)
+{
+    if (!config_.respectWarnings)
+        return;
+    if (state_ != ExploreState::Exploring)
+        return; // §IV-D: ignore unless exploring
+    ++stats_.warningsHeeded;
+    bonusWatts_ = std::max(0.0,
+                           bonusWatts_ - config_.exploreStepWatts);
+    backoffExp_ = std::min(backoffExp_ + 1, config_.maxBackoffExp);
+    nextExploreAllowed_ = now +
+        config_.backoffBase * (sim::Tick{1} << backoffExp_);
+    state_ = ExploreState::Normal;
+}
+
+void
+ServerOverclockingAgent::onCapEvent(sim::Tick now)
+{
+    // §IV-D: a capping event resets the sOA to its initial budget.
+    if (bonusWatts_ > 0.0 || state_ != ExploreState::Normal)
+        ++stats_.capResets;
+    bonusWatts_ = 0.0;
+    state_ = ExploreState::Normal;
+    backoffExp_ = std::min(backoffExp_ + 1, config_.maxBackoffExp);
+    nextExploreAllowed_ = std::max(
+        nextExploreAllowed_,
+        now + config_.backoffBase * (sim::Tick{1} << backoffExp_));
+}
+
+void
+ServerOverclockingAgent::lifetimeAccounting(sim::Tick now)
+{
+    const sim::Tick delta = now - lastAccounting_;
+    lastAccounting_ = now;
+    if (delta <= 0)
+        return;
+    rollCoreEpoch(now);
+
+    std::vector<int> expired;
+    for (auto &[group_id, oc] : active_) {
+        // Natural expiry of the grant.
+        if (now >= oc.grantedUntil) {
+            expired.push_back(group_id);
+            continue;
+        }
+
+        const auto *group = server_.group(group_id);
+        const bool actually_overclocked =
+            group != nullptr && group->overclocked();
+        if (!actually_overclocked)
+            continue; // held at/below turbo: no wear consumed
+
+        stats_.overclockedCoreTime +=
+            delta * static_cast<sim::Tick>(oc.coreSet.size());
+        lifetime_.consume(
+            delta * static_cast<sim::Tick>(oc.coreSet.size()), now);
+
+        bool exhausted_core = false;
+        for (int core : oc.coreSet) {
+            coreUsedEpoch_[core] += delta;
+            if (coreUsedEpoch_[core] >= allowancePerCore_)
+                exhausted_core = true;
+        }
+        if (!exhausted_core)
+            continue;
+
+        if (!config_.admission.checkLifetime)
+            continue; // policies without lifetime enforcement
+
+        // §IV-D: explore whether other cores still have budget and
+        // reschedule the VM there; otherwise revoke.
+        for (int core : oc.coreSet)
+            tis_.stopOverclock(core, now);
+        std::vector<int> fresh =
+            pickCores(static_cast<int>(oc.coreSet.size()), now);
+        bool viable = true;
+        for (int core : fresh)
+            if (coreUsedEpoch_[core] >= allowancePerCore_)
+                viable = false;
+        if (viable && fresh.size() == oc.coreSet.size()) {
+            oc.coreSet = std::move(fresh);
+            for (int core : oc.coreSet)
+                tis_.startOverclock(core, now);
+            ++stats_.coreReschedules;
+        } else {
+            expired.push_back(group_id);
+        }
+    }
+
+    for (int group_id : expired) {
+        auto it = active_.find(group_id);
+        if (it != active_.end())
+            revoke(it->second, now, "budget exhausted/expired");
+    }
+}
+
+void
+ServerOverclockingAgent::exhaustionPrediction(sim::Tick now)
+{
+    if (!exhaustionCallback_ || active_.empty())
+        return;
+
+    // Lifetime exhaustion: shared budget divided by the burn rate.
+    int burning_cores = 0;
+    for (const auto &[group_id, oc] : active_)
+        burning_cores += static_cast<int>(oc.coreSet.size());
+    const sim::Tick lifetime_eta = burning_cores > 0
+        ? lifetime_.timeToExhaustion(now, burning_cores)
+        : std::numeric_limits<sim::Tick>::max();
+
+    for (auto &[group_id, oc] : active_) {
+        if (oc.exhaustionSignaled)
+            continue;
+
+        if (config_.admission.checkLifetime &&
+            lifetime_eta < config_.exhaustionWindow) {
+            ExhaustionSignal signal;
+            signal.groupId = group_id;
+            signal.kind = ExhaustionKind::OverclockBudget;
+            signal.eta = now + lifetime_eta;
+            oc.exhaustionSignaled = true;
+            ++stats_.exhaustionSignals;
+            exhaustionCallback_(signal);
+            continue;
+        }
+
+        if (config_.admission.checkPower && budgetAssigned_ &&
+            ownTemplateValid_) {
+            const double extra = admission_.surchargeWatts(
+                oc.request);
+            for (sim::Tick t = now;
+                 t < now + config_.exhaustionWindow;
+                 t += sim::kSlot) {
+                if (ownPower_.predict(t) + extra >
+                    budget_.predict(t)) {
+                    ExhaustionSignal signal;
+                    signal.groupId = group_id;
+                    signal.kind = ExhaustionKind::PowerBudget;
+                    signal.eta = t;
+                    oc.exhaustionSignaled = true;
+                    ++stats_.exhaustionSignals;
+                    exhaustionCallback_(signal);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+ServerOverclockingAgent::telemetryCollection(sim::Tick now)
+{
+    const std::int64_t slot = now / sim::kSlot;
+    if (currentSlot_ < 0)
+        currentSlot_ = slot;
+
+    if (slot != currentSlot_) {
+        const double n = std::max(1, slotSamples_);
+        regularHistory_.append(slotRegularSum_ / n);
+        powerHistory_.append(slotPowerSum_ / n);
+        utilHistory_.append(slotUtilSum_ / n);
+        grantedCoresHistory_.append(slotGrantedSum_ / n);
+        requestedCoresHistory_.append(slotRequestedSum_ / n);
+        slotRegularSum_ = slotPowerSum_ = slotUtilSum_ = 0.0;
+        slotGrantedSum_ = slotRequestedSum_ = 0.0;
+        slotSamples_ = 0;
+        // Gaps (no ticks during a slot) replay the last averages so
+        // the series stays contiguous.
+        while (++currentSlot_ < slot) {
+            regularHistory_.append(regularHistory_.values().back());
+            powerHistory_.append(powerHistory_.values().back());
+            utilHistory_.append(utilHistory_.values().back());
+            grantedCoresHistory_.append(
+                grantedCoresHistory_.values().back());
+            requestedCoresHistory_.append(
+                requestedCoresHistory_.values().back());
+        }
+    }
+
+    int granted = 0;
+    for (const auto &[group_id, oc] : active_)
+        granted += oc.request.cores;
+    int requested = granted + requestedCoresNow_;
+    for (const auto &[group_id, entry] : recentDenied_)
+        requested += entry.first;
+
+    slotRegularSum_ += server_.regularPowerWatts();
+    slotPowerSum_ += server_.powerWatts();
+    slotUtilSum_ += server_.utilization();
+    slotGrantedSum_ += granted;
+    slotRequestedSum_ += requested;
+    ++slotSamples_;
+}
+
+void
+ServerOverclockingAgent::refreshOwnTemplate(TemplateStrategy strategy)
+{
+    if (regularHistory_.empty())
+        return;
+    ownPower_ = ProfileTemplate::build(strategy, regularHistory_);
+    ownTemplateValid_ = true;
+}
+
+ServerProfile
+ServerOverclockingAgent::buildProfile(TemplateStrategy strategy) const
+{
+    ServerProfile profile;
+    profile.power = ProfileTemplate::build(strategy, powerHistory_);
+    profile.utilization =
+        ProfileTemplate::build(strategy, utilHistory_);
+    profile.overclockedCores =
+        ProfileTemplate::build(strategy, grantedCoresHistory_);
+    profile.requestedCores =
+        ProfileTemplate::build(strategy, requestedCoresHistory_);
+    return profile;
+}
+
+} // namespace core
+} // namespace soc

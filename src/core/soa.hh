@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Server Overclocking Agent (sOA) — §IV-B and §IV-D, Fig. 11.
+ *
+ * One sOA runs per server.  It:
+ *
+ *  - admits/denies overclocking requests against the assigned power
+ *    budget and the lifetime budget (AdmissionController);
+ *  - runs a prioritized frequency feedback loop every control tick
+ *    to keep the server's draw within its budget while overclocked
+ *    VMs ramp between turbo and the requested frequency in 100 MHz
+ *    steps;
+ *  - explores beyond its assigned budget in +20 W steps, retreating
+ *    with exponential back-off on rack warning messages and
+ *    resetting to the assigned budget on capping events
+ *    (exploration/exploitation, §IV-D);
+ *  - tracks per-core overclocked time-in-state, enforces the epoch
+ *    overclocking budget, and reschedules overclocked VMs onto
+ *    cores with remaining budget when theirs run out;
+ *  - predicts power/lifetime exhaustion and signals the workload's
+ *    global WI agent `exhaustionWindow` ahead so scale-out can
+ *    happen before overclocking disappears (Fig. 11);
+ *  - collects the power/utilization/overclock telemetry the gOA
+ *    aggregates into templates and heterogeneous budgets.
+ */
+
+#ifndef SOC_CORE_SOA_HH
+#define SOC_CORE_SOA_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission.hh"
+#include "core/budget_allocator.hh"
+#include "core/lifetime.hh"
+#include "core/messages.hh"
+#include "core/policy.hh"
+#include "core/profile_template.hh"
+#include "power/rack.hh"
+#include "power/rack_manager.hh"
+#include "power/server.hh"
+#include "telemetry/time_series.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** sOA tunables; flag combinations implement the Table I policies. */
+struct SoaConfig {
+    /** Feedback-loop period. */
+    sim::Tick controlPeriod = 5 * sim::kSecond;
+    /** threshold = budget - buffer (§IV-D feedback loop). */
+    double bufferWatts = 15.0;
+    /** Exploration budget increment (§IV-D: e.g. 20 W). */
+    double exploreStepWatts = 20.0;
+    /** Quiet time that must pass before raising the bonus again. */
+    sim::Tick warningWindow = 30 * sim::kSecond;
+    /** Exploitation phase length before re-exploring. */
+    sim::Tick exploitTime = 10 * sim::kMinute;
+    /** Base of the exponential back-off after a warning. */
+    sim::Tick backoffBase = 1 * sim::kMinute;
+    int maxBackoffExp = 4;
+    /** Ceiling on the exploration bonus. */
+    double maxBonusWatts = 200.0;
+    /** Exhaustion look-ahead (§IV-D: e.g. 15 minutes). */
+    sim::Tick exhaustionWindow = 15 * sim::kMinute;
+    /** Max feedback-loop frequency steps applied per control tick
+     *  (the real loop runs at millisecond scale, far faster than
+     *  the simulated control period). */
+    int stepsPerTick = 8;
+
+    /** Admission flags (power/lifetime checks). */
+    AdmissionConfig admission;
+    /** Allow exploring beyond the assigned budget. */
+    bool exploreEnabled = true;
+    /** React to rack warning messages while exploring. */
+    bool respectWarnings = true;
+    /** Enforce the power budget with the feedback loop at all. */
+    bool enforceBudget = true;
+    /** Oracle mode (Central): admission and enforcement use the
+     *  actual rack draw instead of local budgets/predictions. */
+    bool oracleMode = false;
+
+    /** Lifetime budget: fraction of each epoch per core. */
+    double overclockFraction = 0.10;
+    sim::Tick budgetEpoch = sim::kWeek;
+    double carryoverCap = 1.0;
+
+    /** Build the config for one of the Table I policy variants. */
+    static SoaConfig forPolicy(PolicyKind kind);
+};
+
+/** Counters exported to the evaluation harnesses. */
+struct SoaStats {
+    std::uint64_t requests = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t revocations = 0;   // grants cut short
+    std::uint64_t warningsHeeded = 0;
+    std::uint64_t capResets = 0;
+    std::uint64_t explorationsStarted = 0;
+    std::uint64_t exhaustionSignals = 0;
+    std::uint64_t coreReschedules = 0;
+    /** Integrated overclocked core-time (lifetime consumption). */
+    sim::Tick overclockedCoreTime = 0;
+};
+
+/**
+ * The per-server overclocking agent.
+ */
+class ServerOverclockingAgent : public power::RackPowerListener
+{
+  public:
+    /**
+     * @param server      The managed server (not owned).
+     * @param config      Policy/tuning knobs.
+     * @param oracle_rack Rack handle for oracleMode (Central); may
+     *                    be null otherwise.
+     */
+    ServerOverclockingAgent(power::Server &server, SoaConfig config,
+                            const power::Rack *oracle_rack = nullptr);
+
+    power::Server &server() { return server_; }
+    const SoaConfig &config() const { return config_; }
+    const SoaStats &stats() const { return stats_; }
+
+    /** Receive a (weekly) budget assignment from the gOA. */
+    void assignBudget(ProfileTemplate budget);
+
+    /** Assigned budget + current exploration bonus, in watts. */
+    double budgetWatts(sim::Tick now) const;
+
+    /** Current exploration bonus in watts. */
+    double explorationBonus() const { return bonusWatts_; }
+
+    /**
+     * WI-facing: request overclocking for a core group.  On grant
+     * the group's target ramps toward the desired frequency under
+     * the feedback loop.
+     */
+    AdmissionDecision
+    requestOverclock(const OverclockRequest &request, sim::Tick now);
+
+    /** WI-facing: stop overclocking a group (scale-down trigger). */
+    void stopOverclock(int group_id, sim::Tick now);
+
+    bool isOverclockActive(int group_id) const;
+
+    /** Number of groups currently holding an overclock grant. */
+    std::size_t activeOverclocks() const { return active_.size(); }
+
+    /** Register the exhaustion-signal sink (global WI agent). */
+    void
+    setExhaustionCallback(
+        std::function<void(const ExhaustionSignal &)> callback)
+    {
+        exhaustionCallback_ = std::move(callback);
+    }
+
+    /** Control tick: feedback loop, exploration, accounting. */
+    void tick(sim::Tick now);
+
+    // RackPowerListener interface.
+    void onWarning(sim::Tick now) override;
+    void onCapEvent(sim::Tick now) override;
+
+    /** Telemetry collected for the gOA (5-minute slots). */
+    const telemetry::TimeSeries &powerHistory() const
+    {
+        return powerHistory_;
+    }
+    const telemetry::TimeSeries &utilHistory() const
+    {
+        return utilHistory_;
+    }
+    const telemetry::TimeSeries &grantedCoreHistory() const
+    {
+        return grantedCoresHistory_;
+    }
+    const telemetry::TimeSeries &requestedCoreHistory() const
+    {
+        return requestedCoresHistory_;
+    }
+
+    /** Build this server's profile from the collected telemetry. */
+    ServerProfile buildProfile(TemplateStrategy strategy =
+                                   TemplateStrategy::DailyMed) const;
+
+    /**
+     * Rebuild the agent's own power template from its history; used
+     * for admission look-ahead and exhaustion prediction.  The gOA
+     * triggers this on its periodic recompute.
+     */
+    void refreshOwnTemplate(TemplateStrategy strategy =
+                                TemplateStrategy::DailyMed);
+
+    /** Remaining lifetime budget (core-time) in this epoch. */
+    sim::Tick lifetimeRemaining(sim::Tick now)
+    {
+        return lifetime_.remaining(now);
+    }
+
+    OverclockBudget &lifetimeBudget() { return lifetime_; }
+
+    /** Per-core overclocked time-in-state tracker. */
+    const TimeInState &timeInState() const { return tis_; }
+
+  private:
+    struct ActiveOverclock {
+        OverclockRequest request;
+        sim::Tick grantedUntil = 0;
+        sim::Tick startedAt = 0;
+        /** Core indices currently carrying this overclock. */
+        std::vector<int> coreSet;
+        bool exhaustionSignaled = false;
+    };
+
+    enum class ExploreState { Normal, Exploring, Exploiting };
+
+    /** Frequency feedback loop against budget/bonus (§IV-D). */
+    void feedbackLoop(sim::Tick now);
+
+    /** Exploration / exploitation state machine. */
+    void explorationStep(sim::Tick now);
+
+    /** Accrue per-core time-in-state, enforce lifetime budget. */
+    void lifetimeAccounting(sim::Tick now);
+
+    /** Predict power/lifetime exhaustion and signal WI (§IV-D). */
+    void exhaustionPrediction(sim::Tick now);
+
+    /** Flush per-slot telemetry when a 5-minute boundary passes. */
+    void telemetryCollection(sim::Tick now);
+
+    /** Is any granted group held below its desired frequency, or
+     *  was a request recently denied for lack of power budget?
+     *  Either way the assigned budget is binding and exploration
+     *  beyond it is warranted (§IV-D). */
+    bool constrained(sim::Tick now) const;
+
+    /** Pick cores with the most remaining per-epoch budget. */
+    std::vector<int> pickCores(int count, sim::Tick now);
+
+    /** Per-epoch used overclock time of a core. */
+    sim::Tick coreUsed(int core, sim::Tick now);
+    void rollCoreEpoch(sim::Tick now);
+
+    void revoke(ActiveOverclock &oc, sim::Tick now,
+                const char *reason);
+
+    power::Server &server_;
+    SoaConfig config_;
+    const power::Rack *oracleRack_;
+    AdmissionController admission_;
+    OverclockBudget lifetime_;
+    TimeInState tis_;
+
+    ProfileTemplate budget_;
+    bool budgetAssigned_ = false;
+    ProfileTemplate ownPower_;
+    bool ownTemplateValid_ = false;
+
+    std::unordered_map<int, ActiveOverclock> active_;
+    /** Recently denied requests: groupId -> (cores, expiry). */
+    std::unordered_map<int, std::pair<int, sim::Tick>> recentDenied_;
+    /** Until when a power-based denial keeps the agent "constrained"
+     *  for exploration purposes. */
+    sim::Tick powerDenialUntil_ = 0;
+
+    // Exploration state.
+    ExploreState state_ = ExploreState::Normal;
+    double bonusWatts_ = 0.0;
+    sim::Tick stateDeadline_ = 0;
+    sim::Tick nextExploreAllowed_ = 0;
+    int backoffExp_ = 0;
+    bool warnedThisWindow_ = false;
+
+    // Lifetime accounting.
+    std::vector<sim::Tick> coreUsedEpoch_;
+    std::int64_t coreEpochIndex_ = 0;
+    sim::Tick lastAccounting_ = 0;
+    sim::Tick allowancePerCore_ = 0;
+
+    // Telemetry accumulation (current slot).
+    telemetry::TimeSeries regularHistory_;
+    telemetry::TimeSeries powerHistory_;
+    telemetry::TimeSeries utilHistory_;
+    telemetry::TimeSeries grantedCoresHistory_;
+    telemetry::TimeSeries requestedCoresHistory_;
+    std::int64_t currentSlot_ = -1;
+    double slotRegularSum_ = 0.0;
+    double slotPowerSum_ = 0.0;
+    double slotUtilSum_ = 0.0;
+    double slotGrantedSum_ = 0.0;
+    double slotRequestedSum_ = 0.0;
+    int slotSamples_ = 0;
+    /** Requested cores seen this tick (granted or not). */
+    int requestedCoresNow_ = 0;
+
+    std::function<void(const ExhaustionSignal &)> exhaustionCallback_;
+    SoaStats stats_;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_SOA_HH

@@ -1,0 +1,290 @@
+#include "core/wi.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soc
+{
+namespace core
+{
+
+bool
+ScheduleWindow::contains(sim::Tick t) const
+{
+    const int day = sim::dayOfWeek(t);
+    if (((dayMask >> day) & 1) == 0)
+        return false;
+    const int minute =
+        static_cast<int>(sim::timeOfDay(t) / sim::kMinute);
+    return minute >= startMinute && minute < endMinute;
+}
+
+LocalWiAgent::LocalWiAgent(int vm_id, ServerOverclockingAgent *soa,
+                           int group_id, int cores)
+    : vmId_(vm_id), soa_(soa), groupId_(group_id), cores_(cores)
+{
+    assert(soa_ != nullptr);
+}
+
+AdmissionDecision
+LocalWiAgent::start(sim::Tick now, TriggerKind trigger,
+                    sim::Tick duration, power::FreqMHz f,
+                    int priority)
+{
+    OverclockRequest request;
+    request.groupId = groupId_;
+    request.cores = cores_;
+    request.desiredMHz = f;
+    request.trigger = trigger;
+    request.duration = duration;
+    request.priority = priority;
+    return soa_->requestOverclock(request, now);
+}
+
+void
+LocalWiAgent::stop(sim::Tick now)
+{
+    soa_->stopOverclock(groupId_, now);
+}
+
+bool
+LocalWiAgent::overclocked() const
+{
+    return soa_->isOverclockActive(groupId_);
+}
+
+GlobalWiAgent::GlobalWiAgent(std::string service,
+                             WiPolicyConfig config)
+    : service_(std::move(service)), config_(config)
+{
+}
+
+LocalWiAgent &
+GlobalWiAgent::addVm(std::unique_ptr<LocalWiAgent> vm)
+{
+    assert(vm != nullptr);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+}
+
+std::unique_ptr<LocalWiAgent>
+GlobalWiAgent::removeLastVm(sim::Tick now)
+{
+    if (vms_.empty())
+        return nullptr;
+    std::unique_ptr<LocalWiAgent> vm = std::move(vms_.back());
+    vms_.pop_back();
+    vm->stop(now);
+    return vm;
+}
+
+double
+GlobalWiAgent::deploymentUtil() const
+{
+    if (vms_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &vm : vms_)
+        sum += vm->lastMetrics.utilization;
+    return sum / static_cast<double>(vms_.size());
+}
+
+bool
+GlobalWiAgent::scheduleActive(sim::Tick now) const
+{
+    for (const auto &window : config_.windows)
+        if (window.contains(now))
+            return true;
+    return false;
+}
+
+void
+GlobalWiAgent::startOverclockAll(sim::Tick now, TriggerKind trigger)
+{
+    if (!config_.enableOverclock)
+        return;
+
+    // Deployment-level gate (§III-Q1, WebConf): if the deployment
+    // already meets its utilization goal, overclocking is wasted.
+    if (config_.deploymentUtilTarget > 0.0 &&
+        deploymentUtil() <= config_.deploymentUtilTarget) {
+        ++stats_.suppressedByDeploymentGoal;
+        return;
+    }
+
+    const sim::Tick chunk = trigger == TriggerKind::Schedule
+        ? config_.scheduleChunk
+        : config_.metricsChunk;
+
+    int denials = 0;
+    bool any_granted = false;
+    for (auto &vm : vms_) {
+        if (vm->overclocked()) {
+            any_granted = true;
+            continue;
+        }
+        const AdmissionDecision decision =
+            vm->start(now, trigger, chunk, config_.desiredMHz,
+                      config_.priority);
+        if (decision.granted) {
+            any_granted = true;
+            ++stats_.overclockStarts;
+        } else {
+            ++denials;
+            ++stats_.denials;
+        }
+    }
+
+    if (any_granted && !overclockActive_)
+        overclockSince_ = now;
+    overclockActive_ = any_granted;
+    activeTrigger_ = trigger;
+
+    // Corrective action: "create x new VMs if y existing VMs cannot
+    // be overclocked" (§IV-D).
+    pendingDenials_ += denials;
+    if (pendingDenials_ >= config_.denialsPerScaleOut) {
+        pendingDenials_ = 0;
+        maybeScaleOut(now, config_.scaleOutStep, false);
+    }
+}
+
+void
+GlobalWiAgent::stopOverclockAll(sim::Tick now)
+{
+    for (auto &vm : vms_) {
+        if (vm->overclocked()) {
+            vm->stop(now);
+            ++stats_.overclockStops;
+        }
+    }
+    overclockActive_ = false;
+}
+
+void
+GlobalWiAgent::maybeScaleOut(sim::Tick now, int step, bool proactive)
+{
+    if (!config_.enableScaleOut || !scaleOutHandler_)
+        return;
+    if (now - lastScaleAction_ < config_.scaleCooldown)
+        return;
+    const int room = config_.maxInstances -
+        static_cast<int>(vms_.size());
+    const int n = std::min(step, room);
+    if (n <= 0)
+        return;
+    lastScaleAction_ = now;
+    ++stats_.scaleOuts;
+    if (proactive)
+        ++stats_.proactiveScaleOuts;
+    scaleOutHandler_(n);
+}
+
+void
+GlobalWiAgent::maybeScaleIn(sim::Tick now)
+{
+    if (!config_.enableScaleOut || !scaleInHandler_)
+        return;
+    if (now - lastScaleAction_ < config_.scaleCooldown)
+        return;
+    if (static_cast<int>(vms_.size()) <= config_.minInstances)
+        return;
+    lastScaleAction_ = now;
+    ++stats_.scaleIns;
+    scaleInHandler_(1);
+}
+
+double
+GlobalWiAgent::latencyThresholdMs(double frac) const
+{
+    const double slo = config_.sloMs;
+    const double base = config_.baselineP99Ms;
+    if (base > 0.0 && base < slo) {
+        // Interpolate inside the profiled headroom.
+        return base + frac * (slo - base);
+    }
+    return slo * frac;
+}
+
+void
+GlobalWiAgent::onMetrics(sim::Tick now, const VmMetrics &metrics)
+{
+    const double slo = config_.sloMs;
+    const bool latency_triggers = slo > 0.0;
+    const bool util_triggers = config_.overclockUpUtil > 0.0;
+
+    bool want_up = false;
+    bool want_down = true;
+    if (latency_triggers) {
+        want_up = metrics.p99LatencyMs >
+            latencyThresholdMs(config_.overclockUpFrac);
+        want_down = metrics.p99LatencyMs <
+            latencyThresholdMs(config_.overclockDownFrac);
+    }
+    if (util_triggers) {
+        want_up = want_up ||
+            metrics.utilization > config_.overclockUpUtil;
+        want_down = want_down &&
+            metrics.utilization < config_.overclockDownUtil;
+    }
+
+    if (want_up) {
+        startOverclockAll(now, TriggerKind::Metrics);
+    } else if (want_down && overclockActive_ &&
+               activeTrigger_ == TriggerKind::Metrics &&
+               !scheduleActive(now)) {
+        stopOverclockAll(now);
+    }
+
+    // Horizontal fallback runs on its own (later) threshold, so
+    // overclocking gets the first chance to absorb the spike.
+    if (latency_triggers && config_.enableScaleOut) {
+        severeWindows_ = metrics.p99LatencyMs > slo
+            ? severeWindows_ + 1
+            : 0;
+        if (metrics.p99LatencyMs >
+            latencyThresholdMs(config_.scaleOutFrac)) {
+            // Overclocking gets a grace period to absorb the spike
+            // before the horizontal fallback kicks in; a sustained
+            // outright SLO breach (two consecutive windows) cuts
+            // the grace short.
+            const bool exhausted_vertical =
+                !config_.enableOverclock || pendingDenials_ > 0 ||
+                (overclockActive_ &&
+                 now - overclockSince_ >= config_.overclockGrace) ||
+                severeWindows_ >= 2;
+            if (exhausted_vertical)
+                maybeScaleOut(now, config_.scaleOutStep, false);
+        } else if (metrics.p99LatencyMs <
+                   latencyThresholdMs(config_.scaleInFrac)) {
+            maybeScaleIn(now);
+        }
+    }
+}
+
+void
+GlobalWiAgent::tick(sim::Tick now)
+{
+    const bool in_window = scheduleActive(now);
+    if (in_window && !overclockActive_) {
+        startOverclockAll(now, TriggerKind::Schedule);
+    } else if (!in_window && overclockActive_ &&
+               activeTrigger_ == TriggerKind::Schedule) {
+        stopOverclockAll(now);
+    } else if (in_window && overclockActive_) {
+        // Renew grants that are about to expire.
+        startOverclockAll(now, TriggerKind::Schedule);
+    }
+}
+
+void
+GlobalWiAgent::onExhaustion(sim::Tick now,
+                            const ExhaustionSignal &signal)
+{
+    (void)signal;
+    if (config_.proactiveScaleOut)
+        maybeScaleOut(now, config_.scaleOutStep, true);
+}
+
+} // namespace core
+} // namespace soc

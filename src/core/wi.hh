@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Workload Intelligence (WI) agents — §IV-A and Fig. 10.
+ *
+ * SmartOClock extends the autoscaling interface with vertical
+ * scaling (overclocking).  Each VM carries a Local WI agent bound
+ * to its server's sOA; the service's Global WI agent aggregates
+ * VM metrics, evaluates the workload's metrics- and schedule-based
+ * thresholds, triggers per-VM overclocking, and falls back to
+ * horizontal scale-out when overclocking is denied or an sOA
+ * predicts exhaustion (§IV-D "Managing resource exhaustion").
+ *
+ * The same class also implements the plain autoscaling baselines of
+ * §V-A: disabling overclocking yields the ScaleOut environment,
+ * disabling scale-out yields ScaleUp, disabling both yields
+ * Baseline.
+ */
+
+#ifndef SOC_CORE_WI_HH
+#define SOC_CORE_WI_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/messages.hh"
+#include "core/soa.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** Metrics a local WI agent reports for its VM (one poll window). */
+struct VmMetrics {
+    double p99LatencyMs = 0.0;
+    double meanLatencyMs = 0.0;
+    /** Busy-core fraction in [0, 1]. */
+    double utilization = 0.0;
+    std::uint64_t completed = 0;
+};
+
+/** A schedule-based overclocking window (§IV-A). */
+struct ScheduleWindow {
+    /** Bitmask of days, bit 0 = Monday; 0x1F = weekdays. */
+    int dayMask = 0x1f;
+    /** Window start/end, minutes since midnight. */
+    int startMinute = 0;
+    int endMinute = 0;
+
+    bool contains(sim::Tick t) const;
+};
+
+/** Thresholds and fallback policy for one service. */
+struct WiPolicyConfig {
+    /** Enable vertical scaling (overclock). */
+    bool enableOverclock = true;
+    /** Enable horizontal scaling (scale-out/in fallback). */
+    bool enableScaleOut = true;
+
+    /** SLO used by latency triggers; <= 0 disables them. */
+    double sloMs = 0.0;
+    /** Profiled unloaded P99 of the service.  When set (> 0 and
+     *  below the SLO), latency thresholds interpolate between it
+     *  and the SLO instead of being plain SLO fractions, the way
+     *  operators tune thresholds after profiling (§IV-A). */
+    double baselineP99Ms = 0.0;
+    /** Overclock when P99 exceeds this fraction of the SLO. */
+    double overclockUpFrac = 0.70;
+    /** Stop overclocking when P99 falls below this fraction. */
+    double overclockDownFrac = 0.35;
+    /** Scale out when P99 exceeds this fraction of the SLO. */
+    double scaleOutFrac = 0.90;
+    /** Scale in when P99 falls below this fraction of the SLO. */
+    double scaleInFrac = 0.45;
+
+    /** Utilization triggers; <= 0 disables them. */
+    double overclockUpUtil = 0.0;
+    double overclockDownUtil = 0.0;
+
+    /** Deployment-level utilization goal (WebConf); <= 0 disables.
+     *  While the deployment meets the goal, overclocking is
+     *  suppressed even if individual VMs run hot (§III-Q1). */
+    double deploymentUtilTarget = 0.0;
+
+    /** Schedule-based windows (may combine with metrics). */
+    std::vector<ScheduleWindow> windows;
+    /** Duration requested per schedule window grant. */
+    sim::Tick scheduleChunk = 30 * sim::kMinute;
+    /** Horizon requested per metrics-based grant. */
+    sim::Tick metricsChunk = 15 * sim::kMinute;
+
+    power::FreqMHz desiredMHz = power::kOverclockMHz;
+    int priority = 1;
+
+    /** Corrective scale-out: create this many VMs per action... */
+    int scaleOutStep = 1;
+    /** ...once this many VMs cannot be overclocked (§IV-D). */
+    int denialsPerScaleOut = 1;
+    int minInstances = 1;
+    int maxInstances = 64;
+    sim::Tick scaleCooldown = 60 * sim::kSecond;
+    /** How long overclocking gets to absorb a spike before the
+     *  horizontal fallback may fire (§IV-A: scale-out is the
+     *  fallback, not a parallel action). */
+    sim::Tick overclockGrace = 60 * sim::kSecond;
+    /** Scale out ahead of predicted exhaustion (proactive, §IV-D). */
+    bool proactiveScaleOut = true;
+};
+
+/**
+ * Local WI agent: the per-VM shim between the VM's metrics source
+ * and the server's sOA.
+ */
+class LocalWiAgent
+{
+  public:
+    /**
+     * @param vm_id    Service-scoped VM identifier.
+     * @param soa      The sOA of the server hosting this VM.
+     * @param group_id The VM's core group on that server.
+     * @param cores    Cores the VM overclocks.
+     */
+    LocalWiAgent(int vm_id, ServerOverclockingAgent *soa,
+                 int group_id, int cores);
+
+    int vmId() const { return vmId_; }
+    int groupId() const { return groupId_; }
+    ServerOverclockingAgent *soa() { return soa_; }
+
+    /** Forward an overclocking request to the sOA. */
+    AdmissionDecision start(sim::Tick now, TriggerKind trigger,
+                            sim::Tick duration, power::FreqMHz f,
+                            int priority);
+
+    /** Stop overclocking this VM. */
+    void stop(sim::Tick now);
+
+    bool overclocked() const;
+
+    /** Latest metrics sample (set by the metric pump). */
+    VmMetrics lastMetrics;
+
+  private:
+    int vmId_;
+    ServerOverclockingAgent *soa_;
+    int groupId_;
+    int cores_;
+};
+
+/** Counters for the evaluation harnesses. */
+struct WiStats {
+    std::uint64_t overclockStarts = 0;
+    std::uint64_t overclockStops = 0;
+    std::uint64_t denials = 0;
+    std::uint64_t scaleOuts = 0;
+    std::uint64_t scaleIns = 0;
+    std::uint64_t proactiveScaleOuts = 0;
+    std::uint64_t suppressedByDeploymentGoal = 0;
+};
+
+/**
+ * Global WI agent for one service deployment.
+ */
+class GlobalWiAgent
+{
+  public:
+    GlobalWiAgent(std::string service, WiPolicyConfig config);
+
+    const std::string &service() const { return service_; }
+    const WiPolicyConfig &config() const { return config_; }
+    WiPolicyConfig &mutableConfig() { return config_; }
+    const WiStats &stats() const { return stats_; }
+
+    /**
+     * Register a VM.  The agent wires itself as the sOA's
+     * exhaustion callback sink for this VM.
+     */
+    LocalWiAgent &addVm(std::unique_ptr<LocalWiAgent> vm);
+
+    /** Deregister the most recently added VM (scale-in). */
+    std::unique_ptr<LocalWiAgent> removeLastVm(sim::Tick now);
+
+    std::size_t vmCount() const { return vms_.size(); }
+    LocalWiAgent &vm(std::size_t idx) { return *vms_[idx]; }
+
+    /** Actuators, wired by the cluster harness. */
+    void setScaleOutHandler(std::function<void(int)> handler)
+    {
+        scaleOutHandler_ = std::move(handler);
+    }
+    void setScaleInHandler(std::function<void(int)> handler)
+    {
+        scaleInHandler_ = std::move(handler);
+    }
+
+    /**
+     * Push one service-level metric window (aggregated across VM
+     * instances) and run the trigger logic.
+     */
+    void onMetrics(sim::Tick now, const VmMetrics &metrics);
+
+    /**
+     * Evaluate schedule windows and grant expiry; call at least
+     * once per minute of simulated time.
+     */
+    void tick(sim::Tick now);
+
+    /** Exhaustion signal from an sOA (proactive scale-out). */
+    void onExhaustion(sim::Tick now, const ExhaustionSignal &signal);
+
+    /** Is the service currently in an overclock episode? */
+    bool overclocking() const { return overclockActive_; }
+
+    /** Current deployment-level utilization estimate. */
+    double deploymentUtil() const;
+
+  private:
+    double latencyThresholdMs(double frac) const;
+    bool scheduleActive(sim::Tick now) const;
+    void startOverclockAll(sim::Tick now, TriggerKind trigger);
+    void stopOverclockAll(sim::Tick now);
+    void maybeScaleOut(sim::Tick now, int step, bool proactive);
+    void maybeScaleIn(sim::Tick now);
+
+    std::string service_;
+    WiPolicyConfig config_;
+    std::vector<std::unique_ptr<LocalWiAgent>> vms_;
+
+    bool overclockActive_ = false;
+    sim::Tick overclockSince_ = 0;
+    /** Consecutive poll windows with P99 beyond the SLO itself. */
+    int severeWindows_ = 0;
+    TriggerKind activeTrigger_ = TriggerKind::Metrics;
+    sim::Tick lastScaleAction_ = -(1 << 30);
+    int pendingDenials_ = 0;
+
+    std::function<void(int)> scaleOutHandler_;
+    std::function<void(int)> scaleInHandler_;
+    WiStats stats_;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_WI_HH

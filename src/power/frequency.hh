@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Core-frequency ladder for the evaluation platform.
+ *
+ * The paper's overclockable servers run AMD 64-core CPUs whose max
+ * turbo is 3.3 GHz and whose overclocking ceiling is 4.0 GHz; the
+ * sOA feedback loop moves frequencies in discrete 100 MHz steps
+ * (Section IV-D).  Power capping may throttle below turbo: the paper
+ * reports 30-50% frequency degradation for capped workloads, which
+ * bounds the ladder floor.
+ */
+
+#ifndef SOC_POWER_FREQUENCY_HH
+#define SOC_POWER_FREQUENCY_HH
+
+#include <algorithm>
+
+namespace soc
+{
+namespace power
+{
+
+/** Core frequency in MHz (integral: the ladder is discrete). */
+using FreqMHz = int;
+
+/** Deep-throttle floor used by power capping (~50% of turbo). */
+constexpr FreqMHz kMinMHz = 1600;
+
+/** Guaranteed base (P1) frequency. */
+constexpr FreqMHz kBaseMHz = 2400;
+
+/** Max all-core turbo: the normal operating point (§V-A). */
+constexpr FreqMHz kTurboMHz = 3300;
+
+/** Overclocking ceiling validated with the CPU vendor (§V-A). */
+constexpr FreqMHz kOverclockMHz = 4000;
+
+/** Feedback-loop step size (§IV-D). */
+constexpr FreqMHz kStepMHz = 100;
+
+/**
+ * The discrete frequency ladder an sOA walks.
+ */
+struct FrequencyLadder {
+    FreqMHz minMHz = kMinMHz;
+    FreqMHz maxMHz = kOverclockMHz;
+    FreqMHz stepMHz = kStepMHz;
+
+    /** Clamp @p f into the ladder's range (not snapped to steps). */
+    FreqMHz
+    clamp(FreqMHz f) const
+    {
+        return std::clamp(f, minMHz, maxMHz);
+    }
+
+    /** One step up, saturating at the ceiling. */
+    FreqMHz
+    up(FreqMHz f) const
+    {
+        return clamp(f + stepMHz);
+    }
+
+    /** One step down, saturating at the floor. */
+    FreqMHz
+    down(FreqMHz f) const
+    {
+        return clamp(f - stepMHz);
+    }
+
+    /** @return true when @p f is beyond max turbo, i.e. overclocked. */
+    static bool
+    isOverclocked(FreqMHz f)
+    {
+        return f > kTurboMHz;
+    }
+};
+
+} // namespace power
+} // namespace soc
+
+#endif // SOC_POWER_FREQUENCY_HH

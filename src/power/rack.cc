@@ -1,0 +1,47 @@
+#include "power/rack.hh"
+
+#include <cassert>
+
+namespace soc
+{
+namespace power
+{
+
+Rack::Rack(int id, double limitWatts)
+    : id_(id), limitWatts_(limitWatts)
+{
+    assert(limitWatts_ > 0.0);
+}
+
+Server &
+Rack::addServer(const PowerModel *model, FrequencyLadder ladder)
+{
+    servers_.push_back(
+        std::make_unique<Server>(nextServerId_++, model, ladder));
+    return *servers_.back();
+}
+
+double
+Rack::powerWatts() const
+{
+    double watts = 0.0;
+    for (const auto &server : servers_)
+        watts += server->powerWatts();
+    return watts;
+}
+
+double
+Rack::utilization() const
+{
+    return powerWatts() / limitWatts_;
+}
+
+double
+Rack::evenShareWatts() const
+{
+    return servers_.empty() ? limitWatts_
+                            : limitWatts_ / servers_.size();
+}
+
+} // namespace power
+} // namespace soc

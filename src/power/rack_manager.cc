@@ -1,0 +1,130 @@
+#include "power/rack_manager.hh"
+
+namespace soc
+{
+namespace power
+{
+
+RackManager::RackManager(Rack &rack, RackManagerConfig config)
+    : rack_(rack), config_(config)
+{
+}
+
+void
+RackManager::addListener(RackPowerListener *listener)
+{
+    listeners_.push_back(listener);
+}
+
+void
+RackManager::broadcastWarning(sim::Tick now)
+{
+    ++stats_.warnings;
+    for (auto *listener : listeners_)
+        listener->onWarning(now);
+}
+
+void
+RackManager::broadcastCapEvent(sim::Tick now)
+{
+    for (auto *listener : listeners_)
+        listener->onCapEvent(now);
+}
+
+void
+RackManager::tick(sim::Tick now)
+{
+    ++stats_.ticks;
+    const double draw = rack_.powerWatts();
+    const double limit = rack_.limitWatts();
+
+    if (draw > limit) {
+        if (!inCap_) {
+            inCap_ = true;
+            ++stats_.capEvents;
+        }
+        broadcastCapEvent(now);
+        enforceCap();
+        ++stats_.cappedTicks;
+        // Record the penalty the enforced caps impose on the rack's
+        // non-overclocked workloads (averaged over affected cores).
+        double penalty = 0.0;
+        int affected = 0;
+        for (const auto &server : rack_.servers()) {
+            const int cores = server->cappedNonOverclockCores();
+            penalty += server->cappingPenalty() * cores;
+            affected += cores;
+        }
+        if (affected > 0)
+            stats_.penalty.add(penalty / affected);
+        return;
+    }
+
+    if (draw >= warningWatts()) {
+        broadcastWarning(now);
+    } else {
+        inCap_ = false;
+    }
+    if (draw < rack_.limitWatts() * config_.releaseFraction)
+        releaseCaps();
+}
+
+void
+RackManager::enforceCap()
+{
+    // Throttle with overshoot: real capping controllers push the
+    // rack decisively out of the danger zone instead of hovering at
+    // the limit.
+    const double target =
+        rack_.limitWatts() * config_.capOvershootFraction;
+    int budget = config_.throttleStepsPerTick;
+    while (budget-- > 0 && rack_.powerWatts() > target) {
+        // Prioritized victim choice: servers still running
+        // overclocked groups lose their boost first (overclocking is
+        // opportunistic); among equals, the hottest server yields.
+        Server *victim = nullptr;
+        double victim_score = 0.0;
+        for (const auto &server : rack_.servers()) {
+            bool can = false;
+            bool overclocked = false;
+            for (const auto &g : server->groups()) {
+                if (g.effectiveMHz() > server->ladder().minMHz)
+                    can = true;
+                if (g.overclocked())
+                    overclocked = true;
+            }
+            if (!can)
+                continue;
+            const double score = server->powerWatts() +
+                (overclocked ? 1.0e6 : 0.0);
+            if (score > victim_score) {
+                victim = server.get();
+                victim_score = score;
+            }
+        }
+        if (victim == nullptr || !victim->throttleOneStep())
+            break;
+    }
+}
+
+void
+RackManager::releaseCaps()
+{
+    int budget = config_.releaseStepsPerTick;
+    const double headroom =
+        rack_.limitWatts() * config_.releaseFraction;
+    while (budget-- > 0 && rack_.powerWatts() < headroom) {
+        bool released = false;
+        for (const auto &server : rack_.servers()) {
+            if (server->unthrottleOneStep()) {
+                released = true;
+                break;
+            }
+        }
+        if (!released)
+            break;
+    }
+}
+
+} // namespace power
+} // namespace soc

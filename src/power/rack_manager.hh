@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Rack manager: the safety mechanism of §II and §IV-D.
+ *
+ * Each control tick it compares the rack's draw against two
+ * thresholds:
+ *
+ *  - warning threshold (default 95% of the limit): broadcast a
+ *    warning message to all subscribed listeners (the sOAs).  An sOA
+ *    ignores it unless it is exploring beyond its budget.
+ *  - the limit itself: a *power capping event*.  The manager
+ *    broadcasts the event and forcibly throttles servers
+ *    (prioritized, lowest priority first) until the draw is back
+ *    under the limit.
+ *
+ * When the draw is comfortably below the warning threshold the
+ * manager gradually releases existing caps.
+ */
+
+#ifndef SOC_POWER_RACK_MANAGER_HH
+#define SOC_POWER_RACK_MANAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "power/rack.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace power
+{
+
+/** Receiver of rack power-safety messages (implemented by sOAs). */
+class RackPowerListener
+{
+  public:
+    virtual ~RackPowerListener() = default;
+
+    /** Rack draw crossed the warning threshold this tick. */
+    virtual void onWarning(sim::Tick now) { (void)now; }
+
+    /** Rack draw exceeded the limit; capping is being enforced. */
+    virtual void onCapEvent(sim::Tick now) { (void)now; }
+};
+
+/** Knobs for the rack safety mechanism. */
+struct RackManagerConfig {
+    /** Warning threshold as a fraction of the limit (§IV-D: 95%). */
+    double warningFraction = 0.95;
+    /** Release caps while the draw is below this fraction of the
+     *  limit.  Nearly no hysteresis: the post-cap overshoot supplies
+     *  the recovery penalty, and fast release lets a misbehaving
+     *  policy (NaiveOClock) thrash its way to many capping events,
+     *  as in Table I. */
+    double releaseFraction = 0.99;
+    /** Capping overshoots down to this fraction of the limit, so a
+     *  capped rack leaves the danger zone decisively (the penalty
+     *  that makes capping events costly, Table I column 3). */
+    double capOvershootFraction = 0.93;
+    /** Max throttle steps applied per tick (capping actuates fast). */
+    int throttleStepsPerTick = 256;
+    /** Cap-release steps per tick. */
+    int releaseStepsPerTick = 32;
+};
+
+/** Counters exported for the evaluation tables. */
+struct RackManagerStats {
+    std::uint64_t warnings = 0;
+    std::uint64_t capEvents = 0;       // excursion entries (Table I)
+    std::uint64_t cappedTicks = 0;     // ticks spent enforcing
+    std::uint64_t ticks = 0;
+    /** Mean capping penalty over capped ticks (Table I column 3). */
+    sim::OnlineStats penalty;
+};
+
+/**
+ * Per-rack power safety controller.
+ */
+class RackManager
+{
+  public:
+    RackManager(Rack &rack, RackManagerConfig config = {});
+
+    Rack &rack() { return rack_; }
+    const RackManagerConfig &config() const { return config_; }
+
+    /** Subscribe to warnings/cap events; caller keeps ownership. */
+    void addListener(RackPowerListener *listener);
+
+    /**
+     * Run one control step at simulated time @p now.  Reads the
+     * rack's instantaneous power and enforces the protocol above.
+     */
+    void tick(sim::Tick now);
+
+    const RackManagerStats &stats() const { return stats_; }
+
+    /** @return true while the rack is inside a capping excursion. */
+    bool capping() const { return inCap_; }
+
+    double warningWatts() const
+    {
+        return rack_.limitWatts() * config_.warningFraction;
+    }
+
+  private:
+    void broadcastWarning(sim::Tick now);
+    void broadcastCapEvent(sim::Tick now);
+
+    /** Prioritized throttling across all servers in the rack. */
+    void enforceCap();
+
+    /** Gradual cap release when headroom is back. */
+    void releaseCaps();
+
+    Rack &rack_;
+    RackManagerConfig config_;
+    std::vector<RackPowerListener *> listeners_;
+    RackManagerStats stats_;
+    bool inCap_ = false;
+};
+
+} // namespace power
+} // namespace soc
+
+#endif // SOC_POWER_RACK_MANAGER_HH

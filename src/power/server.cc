@@ -1,0 +1,243 @@
+#include "power/server.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soc
+{
+namespace power
+{
+
+Server::Server(int id, const PowerModel *model, FrequencyLadder ladder)
+    : id_(id), model_(model), ladder_(ladder)
+{
+    assert(model_ != nullptr);
+}
+
+int
+Server::usedCores() const
+{
+    int used = 0;
+    for (const auto &g : groups_)
+        used += g.cores;
+    return used;
+}
+
+GroupId
+Server::addGroup(int cores, double util, FreqMHz target, int priority)
+{
+    assert(cores > 0);
+    if (cores > freeCores())
+        return -1;
+    CoreGroup g;
+    g.id = nextGroup_++;
+    g.cores = cores;
+    g.util = std::clamp(util, 0.0, 1.0);
+    g.targetMHz = ladder_.clamp(target);
+    g.capMHz = ladder_.maxMHz;
+    g.priority = priority;
+    groups_.push_back(g);
+    return g.id;
+}
+
+void
+Server::removeGroup(GroupId id)
+{
+    std::erase_if(groups_,
+                  [id](const CoreGroup &g) { return g.id == id; });
+}
+
+CoreGroup *
+Server::group(GroupId id)
+{
+    for (auto &g : groups_)
+        if (g.id == id)
+            return &g;
+    return nullptr;
+}
+
+const CoreGroup *
+Server::group(GroupId id) const
+{
+    for (const auto &g : groups_)
+        if (g.id == id)
+            return &g;
+    return nullptr;
+}
+
+void
+Server::setUtil(GroupId id, double util)
+{
+    if (auto *g = group(id))
+        g->util = std::clamp(util, 0.0, 1.0);
+}
+
+void
+Server::setTarget(GroupId id, FreqMHz f)
+{
+    if (auto *g = group(id))
+        g->targetMHz = ladder_.clamp(f);
+}
+
+void
+Server::setAllTargets(FreqMHz f)
+{
+    for (auto &g : groups_)
+        g.targetMHz = ladder_.clamp(f);
+}
+
+double
+Server::powerWatts() const
+{
+    double watts = model_->params().idleWatts;
+    for (const auto &g : groups_)
+        watts += g.cores * model_->corePower(g.util, g.effectiveMHz());
+    return watts;
+}
+
+double
+Server::regularPowerWatts() const
+{
+    double watts = model_->params().idleWatts;
+    for (const auto &g : groups_) {
+        const FreqMHz f = std::min(g.effectiveMHz(), kTurboMHz);
+        watts += g.cores * model_->corePower(g.util, f);
+    }
+    return watts;
+}
+
+double
+Server::powerWattsIf(GroupId id, FreqMHz f) const
+{
+    double watts = model_->params().idleWatts;
+    for (const auto &g : groups_) {
+        const FreqMHz freq =
+            g.id == id ? ladder_.clamp(f) : g.effectiveMHz();
+        watts += g.cores * model_->corePower(g.util, freq);
+    }
+    return watts;
+}
+
+double
+Server::utilization() const
+{
+    double weighted = 0.0;
+    for (const auto &g : groups_)
+        weighted += g.cores * g.util;
+    return weighted / totalCores();
+}
+
+int
+Server::overclockedCores() const
+{
+    int cores = 0;
+    for (const auto &g : groups_)
+        if (g.overclocked())
+            cores += g.cores;
+    return cores;
+}
+
+bool
+Server::throttleOneStep()
+{
+    // Pick the lowest-priority group whose *effective* frequency can
+    // still go down; ties broken towards the fastest group so the
+    // overclocked ones lose their boost first.
+    CoreGroup *victim = nullptr;
+    for (auto &g : groups_) {
+        const FreqMHz eff = g.effectiveMHz();
+        if (eff <= ladder_.minMHz)
+            continue;
+        if (victim == nullptr || g.priority < victim->priority ||
+            (g.priority == victim->priority &&
+             eff > victim->effectiveMHz())) {
+            victim = &g;
+        }
+    }
+    if (victim == nullptr)
+        return false;
+    victim->capMHz = ladder_.down(victim->effectiveMHz());
+    return true;
+}
+
+bool
+Server::unthrottleOneStep()
+{
+    CoreGroup *candidate = nullptr;
+    for (auto &g : groups_) {
+        if (g.capMHz >= ladder_.maxMHz)
+            continue;
+        // Only useful to raise caps that actually bind.
+        if (g.capMHz >= g.targetMHz)
+            continue;
+        if (candidate == nullptr || g.priority > candidate->priority) {
+            candidate = &g;
+        }
+    }
+    if (candidate == nullptr) {
+        // Raise any remaining (non-binding) caps so state converges
+        // back to uncapped.
+        for (auto &g : groups_) {
+            if (g.capMHz < ladder_.maxMHz) {
+                g.capMHz = ladder_.up(g.capMHz);
+                return true;
+            }
+        }
+        return false;
+    }
+    candidate->capMHz = ladder_.up(candidate->capMHz);
+    return true;
+}
+
+bool
+Server::capped() const
+{
+    for (const auto &g : groups_)
+        if (g.capMHz < ladder_.maxMHz)
+            return true;
+    return false;
+}
+
+void
+Server::clearCaps()
+{
+    for (auto &g : groups_)
+        g.capMHz = ladder_.maxMHz;
+}
+
+double
+Server::cappingPenalty() const
+{
+    double penalty = 0.0;
+    int affected = 0;
+    for (const auto &g : groups_) {
+        if (FrequencyLadder::isOverclocked(g.targetMHz))
+            continue; // overclock seekers are not "penalized"
+        const FreqMHz eff = g.effectiveMHz();
+        const FreqMHz base = std::min(g.targetMHz, kTurboMHz);
+        if (base > 0 && eff < base) {
+            penalty += g.cores *
+                (static_cast<double>(base - eff) /
+                 static_cast<double>(base));
+            affected += g.cores;
+        }
+    }
+    return affected > 0 ? penalty / affected : 0.0;
+}
+
+int
+Server::cappedNonOverclockCores() const
+{
+    int affected = 0;
+    for (const auto &g : groups_) {
+        if (FrequencyLadder::isOverclocked(g.targetMHz))
+            continue;
+        const FreqMHz base = std::min(g.targetMHz, kTurboMHz);
+        if (base > 0 && g.effectiveMHz() < base)
+            affected += g.cores;
+    }
+    return affected;
+}
+
+} // namespace power
+} // namespace soc

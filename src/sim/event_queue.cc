@@ -1,0 +1,109 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace soc
+{
+namespace sim
+{
+
+EventQueue::~EventQueue()
+{
+    while (!heap_.empty()) {
+        delete heap_.top();
+        heap_.pop();
+    }
+}
+
+EventId
+EventQueue::schedule(Tick when, Handler handler)
+{
+    assert(when >= now_ && "scheduling into the past");
+    auto *entry = new Entry{when, nextSeq_++, nextId_++,
+                            std::move(handler)};
+    heap_.push(entry);
+    live_.emplace(entry->id, entry);
+    ++pendingCount_;
+    return entry->id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Handler handler)
+{
+    return schedule(now_ + delay, std::move(handler));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        return false;
+    it->second->cancelled = true;
+    live_.erase(it);
+    --pendingCount_;
+    return true;
+}
+
+bool
+EventQueue::empty() const
+{
+    return pendingCount_ == 0;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && heap_.top()->cancelled) {
+        Entry *entry = heap_.top();
+        heap_.pop();
+        delete entry;
+    }
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+
+    Entry *entry = heap_.top();
+    heap_.pop();
+    live_.erase(entry->id);
+    --pendingCount_;
+
+    now_ = entry->when;
+    ++executed_;
+
+    // Move the handler out so the entry can be freed even if the
+    // handler reschedules (it cannot touch this entry anymore).
+    Handler handler = std::move(entry->handler);
+    delete entry;
+    handler(now_);
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (true) {
+        skipCancelled();
+        if (heap_.empty() || heap_.top()->when > until)
+            break;
+        step();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+} // namespace sim
+} // namespace soc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Discrete-event queue underlying every SmartOClock simulation.
+ *
+ * Two kinds of simulation run on this queue: the 5-minute-slot power
+ * simulation used for the large-scale trace studies (Table I) and the
+ * microsecond-scale queueing simulation used for the cluster
+ * experiments (Figs. 12-14).  Both need deterministic ordering, event
+ * cancellation (e.g. a scheduled scale-down cancelled by a new load
+ * spike), and periodic events (control-loop ticks).
+ */
+
+#ifndef SOC_SIM_EVENT_QUEUE_HH
+#define SOC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace sim
+{
+
+/** Opaque handle identifying a scheduled event, used to cancel it. */
+using EventId = std::uint64_t;
+
+/** Sentinel returned when scheduling fails / for "no event". */
+constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Time-ordered event queue with stable FIFO ordering among events
+ * scheduled for the same tick.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void(Tick)>;
+
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time (the tick of the last executed event). */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p handler to run at absolute time @p when.
+     * Scheduling in the past is a programming error and asserts.
+     *
+     * @return handle usable with cancel().
+     */
+    EventId schedule(Tick when, Handler handler);
+
+    /** Schedule @p handler to run @p delay after now(). */
+    EventId scheduleAfter(Tick delay, Handler handler);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** @return true when no runnable events remain. */
+    bool empty() const;
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return pendingCount_; }
+
+    /**
+     * Run the next event.
+     *
+     * @return false when the queue is empty.
+     */
+    bool step();
+
+    /** Run events until the queue drains or now() would pass @p until;
+     *  afterwards now() is exactly @p until. */
+    void runUntil(Tick until);
+
+    /** Run events until the queue drains. */
+    void run();
+
+    /** Total number of events executed so far. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq; // tie-break: FIFO within a tick
+        EventId id;
+        Handler handler;
+        bool cancelled = false;
+    };
+
+    struct EntryCompare {
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    /** Pop cancelled entries off the heap head. */
+    void skipCancelled();
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::size_t pendingCount_ = 0;
+
+    std::priority_queue<Entry *, std::vector<Entry *>, EntryCompare>
+        heap_;
+    // Pending entries by id; cancellation flags the entry in place and
+    // the heap lazily discards it when it reaches the head.
+    std::unordered_map<EventId, Entry *> live_;
+};
+
+} // namespace sim
+} // namespace soc
+
+#endif // SOC_SIM_EVENT_QUEUE_HH

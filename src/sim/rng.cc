@@ -1,0 +1,147 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace soc
+{
+namespace sim
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareNormal_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spareNormal_ = v * factor;
+    hasSpare_ = true;
+    return u * factor;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double mean)
+{
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -mean * std::log(1.0 - uniform());
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+std::int64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's method for small means.
+        const double limit = std::exp(-mean);
+        double product = uniform();
+        std::int64_t count = 0;
+        while (product > limit) {
+            ++count;
+            product *= uniform();
+        }
+        return count;
+    }
+    // Normal approximation for large means; adequate for load gen.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<std::int64_t>(draw + 0.5);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)());
+}
+
+} // namespace sim
+} // namespace soc

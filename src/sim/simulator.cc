@@ -1,0 +1,60 @@
+#include "sim/simulator.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace soc
+{
+namespace sim
+{
+
+TaskId
+Simulator::every(Tick period, std::function<void(Tick)> task, Tick phase)
+{
+    assert(period > 0 && "periodic task needs a positive period");
+    const TaskId id = nextTask_++;
+    Periodic periodic;
+    periodic.period = period;
+    periodic.task = std::move(task);
+    periodics_.emplace(id, std::move(periodic));
+
+    const Tick first = now() + (phase < 0 ? period : phase);
+    periodics_[id].pending = queue_.schedule(first, [this, id](Tick) {
+        reschedule(id);
+    });
+    return id;
+}
+
+void
+Simulator::reschedule(TaskId id)
+{
+    auto it = periodics_.find(id);
+    if (it == periodics_.end() || it->second.stopped)
+        return;
+
+    Periodic &periodic = it->second;
+    periodic.pending = queue_.scheduleAfter(periodic.period,
+                                            [this, id](Tick) {
+        reschedule(id);
+    });
+    // Invoke through a copy: the task may call stopPeriodic() on
+    // itself, which erases the map entry that owns the callable.
+    auto task = periodic.task;
+    task(now());
+}
+
+bool
+Simulator::stopPeriodic(TaskId id)
+{
+    auto it = periodics_.find(id);
+    if (it == periodics_.end())
+        return false;
+    it->second.stopped = true;
+    if (it->second.pending != kInvalidEvent)
+        queue_.cancel(it->second.pending);
+    periodics_.erase(it);
+    return true;
+}
+
+} // namespace sim
+} // namespace soc

@@ -1,0 +1,25 @@
+#include "sim/time.hh"
+
+#include <cstdio>
+
+namespace soc
+{
+namespace sim
+{
+
+std::string
+formatTick(Tick t)
+{
+    const long day = static_cast<long>(t / kDay);
+    const Tick rem = timeOfDay(t);
+    const int hh = static_cast<int>(rem / kHour);
+    const int mm = static_cast<int>((rem % kHour) / kMinute);
+    const int ss = static_cast<int>((rem % kMinute) / kSecond);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "d%ld %02d:%02d:%02d", day, hh, mm,
+                  ss);
+    return buf;
+}
+
+} // namespace sim
+} // namespace soc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulated-time primitives shared by every SmartOClock subsystem.
+ *
+ * The simulator measures time in integer microseconds (`Tick`).  Six
+ * weeks of simulated time is ~3.6e12 ticks, comfortably inside the
+ * int64 range, while one tick is fine enough for the microservice
+ * queueing models that need sub-millisecond latencies.
+ */
+
+#ifndef SOC_SIM_TIME_HH
+#define SOC_SIM_TIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace soc
+{
+namespace sim
+{
+
+/** Simulated time in microseconds since the start of the simulation. */
+using Tick = std::int64_t;
+
+constexpr Tick kMicrosecond = 1;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+constexpr Tick kMinute = 60 * kSecond;
+constexpr Tick kHour = 60 * kMinute;
+constexpr Tick kDay = 24 * kHour;
+constexpr Tick kWeek = 7 * kDay;
+
+/** Telemetry slot width used throughout the paper: 5 minutes. */
+constexpr Tick kSlot = 5 * kMinute;
+
+/** Number of 5-minute telemetry slots in one day. */
+constexpr int kSlotsPerDay = static_cast<int>(kDay / kSlot);
+
+/** Number of 5-minute telemetry slots in one week. */
+constexpr int kSlotsPerWeek = 7 * kSlotsPerDay;
+
+/**
+ * Day-of-week for a tick.  Tick 0 is defined to be Monday 00:00 so
+ * that weekday/weekend template logic is trivial to reason about.
+ *
+ * @param t Simulated time.
+ * @return 0 = Monday ... 6 = Sunday.
+ */
+constexpr int
+dayOfWeek(Tick t)
+{
+    return static_cast<int>((t / kDay) % 7);
+}
+
+/** @return true when @p t falls on Saturday or Sunday. */
+constexpr bool
+isWeekend(Tick t)
+{
+    return dayOfWeek(t) >= 5;
+}
+
+/** @return microseconds elapsed since midnight of the tick's day. */
+constexpr Tick
+timeOfDay(Tick t)
+{
+    return t % kDay;
+}
+
+/** @return index of the 5-minute slot within the tick's day. */
+constexpr int
+slotOfDay(Tick t)
+{
+    return static_cast<int>(timeOfDay(t) / kSlot);
+}
+
+/** @return fractional hour of day in [0, 24). */
+constexpr double
+hourOfDay(Tick t)
+{
+    return static_cast<double>(timeOfDay(t)) /
+        static_cast<double>(kHour);
+}
+
+/** Format a tick as "d<day> hh:mm:ss" for logs and bench output. */
+std::string formatTick(Tick t);
+
+} // namespace sim
+} // namespace soc
+
+#endif // SOC_SIM_TIME_HH

@@ -1,0 +1,95 @@
+#include "telemetry/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace soc
+{
+namespace telemetry
+{
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::size_t total = widths.size() >= 1 ? 3 * (widths.size() - 1) : 0;
+    for (auto w : widths)
+        total += w;
+
+    os << "== " << title_ << " ==\n";
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << " | ";
+            os << cells[c];
+            for (std::size_t pad = cells[c].size(); pad < widths[c];
+                 ++pad) {
+                os << ' ';
+            }
+        }
+        os << '\n';
+    };
+
+    emitRow(headers_);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    os << '\n';
+}
+
+void
+Table::writeCsv(std::ostream &os) const
+{
+    auto emitCsvRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emitCsvRow(headers_);
+    for (const auto &row : rows_)
+        emitCsvRow(row);
+}
+
+} // namespace telemetry
+} // namespace soc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Console table and CSV output used by every bench binary to print
+ * the rows/series the paper's tables and figures report.
+ */
+
+#ifndef SOC_TELEMETRY_TABLE_HH
+#define SOC_TELEMETRY_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace soc
+{
+namespace telemetry
+{
+
+/** Format a double with @p precision digits after the decimal point. */
+std::string fmt(double value, int precision = 2);
+
+/** Format a fraction (0.093) as a percentage string ("9.3%"). */
+std::string fmtPercent(double fraction, int precision = 1);
+
+/**
+ * A simple titled table with aligned console rendering and CSV
+ * export.  All cells are strings; use fmt()/fmtPercent() to build
+ * them.
+ */
+class Table
+{
+  public:
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+    const std::string &title() const { return title_; }
+
+    /** Render with aligned columns and a title banner. */
+    void print(std::ostream &os) const;
+
+    /** Write "header...\nrow..." CSV (no title) to @p os. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace telemetry
+} // namespace soc
+
+#endif // SOC_TELEMETRY_TABLE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fixed-interval time series: the storage format for all telemetry
+ * the agents collect (power draw, CPU utilization, overclocked-core
+ * counts).  Matches the paper's production data: 5-minute samples
+ * over multi-week horizons.
+ */
+
+#ifndef SOC_TELEMETRY_TIME_SERIES_HH
+#define SOC_TELEMETRY_TIME_SERIES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace telemetry
+{
+
+/**
+ * A uniformly sampled series of doubles.
+ *
+ * Sample i covers the half-open window
+ * [start + i*interval, start + (i+1)*interval).
+ */
+class TimeSeries
+{
+  public:
+    /** Empty series starting at @p start with @p interval spacing. */
+    explicit TimeSeries(sim::Tick start = 0,
+                        sim::Tick interval = sim::kSlot);
+
+    /** Series initialized from existing values. */
+    TimeSeries(sim::Tick start, sim::Tick interval,
+               std::vector<double> values);
+
+    sim::Tick start() const { return start_; }
+    sim::Tick interval() const { return interval_; }
+
+    /** End of the last sample's window (== start for empty series). */
+    sim::Tick end() const;
+
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    /** Append the next sample. */
+    void append(double value);
+
+    /** Value of sample @p idx (bounds-checked by assert). */
+    double at(std::size_t idx) const;
+
+    /** Overwrite sample @p idx. */
+    void set(std::size_t idx, double value);
+
+    /**
+     * Value of the sample whose window contains @p t.  Ticks before
+     * start() clamp to the first sample, ticks at/after end() clamp
+     * to the last; sampling an empty series returns 0.
+     */
+    double atTime(sim::Tick t) const;
+
+    /** Index of the sample containing @p t (clamped like atTime). */
+    std::size_t indexOf(sim::Tick t) const;
+
+    /** Start tick of sample @p idx. */
+    sim::Tick timeOf(std::size_t idx) const;
+
+    /** Copy of the samples with windows inside [from, to). */
+    TimeSeries slice(sim::Tick from, sim::Tick to) const;
+
+    const std::vector<double> &values() const { return values_; }
+
+    /** Mean/extrema/variance over all samples. */
+    sim::OnlineStats stats() const;
+
+    /** Exact quantile over all samples. */
+    double quantile(double q) const;
+
+    /** Element-wise addition; series must be aligned and equal size. */
+    TimeSeries &operator+=(const TimeSeries &other);
+
+    /** Multiply every sample by @p factor. */
+    void scale(double factor);
+
+    /** Clamp every sample into [lo, hi]. */
+    void clamp(double lo, double hi);
+
+    /**
+     * Element-wise sum of aligned series.  All inputs must share
+     * start/interval/size; the result does too.
+     */
+    static TimeSeries sum(const std::vector<const TimeSeries *> &parts);
+
+  private:
+    sim::Tick start_;
+    sim::Tick interval_;
+    std::vector<double> values_;
+};
+
+} // namespace telemetry
+} // namespace soc
+
+#endif // SOC_TELEMETRY_TIME_SERIES_HH

@@ -1,0 +1,138 @@
+#include "workload/archetype.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soc
+{
+namespace workload
+{
+
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Smooth bump centered at @p center hours, half-width @p width. */
+double
+bump(double hour, double center, double width)
+{
+    const double dist = std::abs(hour - center);
+    if (dist >= width)
+        return 0.0;
+    return 0.5 * (1.0 + std::cos(kPi * dist / width));
+}
+
+} // namespace
+
+std::string
+shapeName(ShapeKind kind)
+{
+    switch (kind) {
+      case ShapeKind::MorningPeak: return "morning-peak";
+      case ShapeKind::TopOfHour: return "top-of-hour";
+      case ShapeKind::BusinessHours: return "business-hours";
+      case ShapeKind::Diurnal: return "diurnal";
+      case ShapeKind::ConstantHigh: return "constant-high";
+      case ShapeKind::NightBatch: return "night-batch";
+      case ShapeKind::LowIdle: return "low-idle";
+    }
+    return "unknown";
+}
+
+double
+shapeValue(ShapeKind kind, sim::Tick t)
+{
+    const double hour = sim::hourOfDay(t);
+    switch (kind) {
+      case ShapeKind::MorningPeak:
+        // Ramp from 8am, flat top 10am-noon, decay into afternoon.
+        if (hour >= 10.0 && hour <= 12.0)
+            return 1.0;
+        return std::max(bump(hour, 11.0, 3.5), 0.15 * bump(hour, 15.0,
+                                                           4.0));
+      case ShapeKind::TopOfHour: {
+        const double minute = (hour - std::floor(hour)) * 60.0;
+        const bool spike = minute < 5.0 ||
+            (minute >= 30.0 && minute < 35.0);
+        // Spikes ride on a business-hours plateau.
+        const double plateau =
+            0.35 * bump(hour, 13.0, 7.0);
+        return spike ? std::min(1.0, plateau + 0.65) : plateau;
+      }
+      case ShapeKind::BusinessHours:
+        if (hour >= 9.0 && hour <= 17.0)
+            return 0.85 + 0.15 * bump(hour, 13.0, 4.0);
+        return bump(hour, 13.0, 6.5) * 0.5;
+      case ShapeKind::Diurnal:
+        return bump(hour, 13.5, 9.0);
+      case ShapeKind::ConstantHigh:
+        return 1.0;
+      case ShapeKind::NightBatch:
+        return std::max(bump(hour, 2.0, 4.0), bump(hour, 23.5, 2.0));
+      case ShapeKind::LowIdle:
+        return 0.2 * bump(hour, 12.0, 8.0);
+    }
+    return 0.0;
+}
+
+double
+Archetype::utilAt(sim::Tick t) const
+{
+    const sim::Tick shifted = t + phaseShift;
+    double amplitude = peakUtil - baseUtil;
+    if (sim::isWeekend(shifted) && kind != ShapeKind::ConstantHigh)
+        amplitude *= weekendFactor;
+    const double util =
+        baseUtil + amplitude * shapeValue(kind, shifted);
+    return std::clamp(util, 0.0, 1.0);
+}
+
+Archetype
+serviceA()
+{
+    Archetype a;
+    a.kind = ShapeKind::MorningPeak;
+    a.baseUtil = 0.18;
+    a.peakUtil = 0.88;
+    a.noiseSigma = 0.025;
+    return a;
+}
+
+Archetype
+serviceB()
+{
+    Archetype a;
+    a.kind = ShapeKind::TopOfHour;
+    a.baseUtil = 0.12;
+    a.peakUtil = 0.92;
+    a.noiseSigma = 0.035;
+    return a;
+}
+
+Archetype
+serviceC()
+{
+    Archetype a;
+    a.kind = ShapeKind::TopOfHour;
+    a.baseUtil = 0.10;
+    a.peakUtil = 0.80;
+    a.noiseSigma = 0.030;
+    a.phaseShift = 7 * sim::kMinute; // staggered spike alignment
+    return a;
+}
+
+Archetype
+mlTraining()
+{
+    Archetype a;
+    a.kind = ShapeKind::ConstantHigh;
+    a.baseUtil = 0.82;
+    a.peakUtil = 0.92;
+    a.weekendFactor = 1.0;
+    a.noiseSigma = 0.02;
+    return a;
+}
+
+} // namespace workload
+} // namespace soc

@@ -1,0 +1,42 @@
+#include "workload/mltrain.hh"
+
+namespace soc
+{
+namespace workload
+{
+
+MlTrainJob::MlTrainJob(double base_throughput, double mem_bound_frac)
+    : baseThroughput_(base_throughput), memBoundFrac_(mem_bound_frac)
+{
+}
+
+double
+MlTrainJob::throughput(power::FreqMHz f) const
+{
+    // Step time = compute part (scales with 1/f) + memory part.
+    const double freq_ratio = static_cast<double>(power::kTurboMHz) /
+        static_cast<double>(f);
+    const double rel_step = (1.0 - memBoundFrac_) * freq_ratio +
+        memBoundFrac_;
+    return baseThroughput_ / rel_step;
+}
+
+void
+MlTrainJob::advance(sim::Tick span, power::FreqMHz f)
+{
+    progress_ += throughput(f) *
+        (static_cast<double>(span) / sim::kSecond);
+    elapsed_ += span;
+}
+
+double
+MlTrainJob::meanThroughput() const
+{
+    if (elapsed_ <= 0)
+        return 0.0;
+    return progress_ /
+        (static_cast<double>(elapsed_) / sim::kSecond);
+}
+
+} // namespace workload
+} // namespace soc

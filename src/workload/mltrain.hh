@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Throughput-optimized ML-training workload (§V-A's MLTrain from
+ * FunctionBench).  MLTrain VMs are never overclocked; they matter to
+ * the evaluation because (1) they keep their servers hot, consuming
+ * rack power headroom, and (2) power capping throttles them, which
+ * the "MLTrain throughput" metric of the power-constrained
+ * experiment measures.
+ */
+
+#ifndef SOC_WORKLOAD_MLTRAIN_HH
+#define SOC_WORKLOAD_MLTRAIN_HH
+
+#include "power/frequency.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace workload
+{
+
+/**
+ * A long-running training job whose instantaneous throughput scales
+ * with effective core frequency through a memory-bound fraction.
+ */
+class MlTrainJob
+{
+  public:
+    /**
+     * @param base_throughput Samples/s at max turbo.
+     * @param mem_bound_frac  Fraction of step time that is memory
+     *                        bound (does not scale with frequency).
+     */
+    explicit MlTrainJob(double base_throughput = 1000.0,
+                        double mem_bound_frac = 0.3);
+
+    /** Instantaneous throughput at frequency @p f (samples/s). */
+    double throughput(power::FreqMHz f) const;
+
+    /** Integrate progress over @p span at frequency @p f. */
+    void advance(sim::Tick span, power::FreqMHz f);
+
+    /** Total samples processed so far. */
+    double progress() const { return progress_; }
+
+    /** Wall-clock-normalized throughput achieved so far. */
+    double meanThroughput() const;
+
+  private:
+    double baseThroughput_;
+    double memBoundFrac_;
+    double progress_ = 0.0;
+    sim::Tick elapsed_ = 0;
+};
+
+} // namespace workload
+} // namespace soc
+
+#endif // SOC_WORKLOAD_MLTRAIN_HH

@@ -1,0 +1,176 @@
+#include "workload/trace_generator.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soc
+{
+namespace workload
+{
+
+TraceGenerator::TraceGenerator(std::uint64_t seed, TraceConfig cfg)
+    : rng_(seed), cfg_(cfg)
+{
+    assert(cfg_.end > cfg_.start);
+    assert(cfg_.interval > 0);
+}
+
+telemetry::TimeSeries
+TraceGenerator::utilSeries(const Archetype &archetype)
+{
+    sim::Rng rng = rng_.split();
+    telemetry::TimeSeries series(cfg_.start, cfg_.interval);
+
+    long current_day = -1;
+    double day_amplitude = 1.0;
+    for (sim::Tick t = cfg_.start; t < cfg_.end; t += cfg_.interval) {
+        const long day = static_cast<long>(t / sim::kDay);
+        if (day != current_day) {
+            current_day = day;
+            day_amplitude =
+                std::max(0.0,
+                         rng.normal(1.0, cfg_.dailyAmplitudeSigma));
+            if (rng.chance(cfg_.outlierDayProb))
+                day_amplitude *= cfg_.outlierScale;
+            else if (rng.chance(cfg_.surgeDayProb))
+                day_amplitude *= cfg_.surgeScale;
+        }
+        const double base = archetype.baseUtil;
+        const double shaped = archetype.utilAt(t);
+        // Scale only the dynamic part so idle VMs stay idle.
+        double util = base + (shaped - base) * day_amplitude;
+        util += rng.normal(0.0, archetype.noiseSigma);
+        series.append(std::clamp(util, 0.0, 1.0));
+    }
+    return series;
+}
+
+ServerTrace
+TraceGenerator::serverTrace(const std::vector<VmMix> &mix,
+                            const power::PowerModel &model)
+{
+    ServerTrace trace;
+    trace.mix = mix;
+
+    int used_cores = 0;
+    for (const auto &vm : mix) {
+        trace.vmUtil.push_back(utilSeries(vm.archetype));
+        used_cores += vm.cores;
+    }
+    assert(used_cores <= model.params().cores);
+
+    const std::size_t slots = trace.vmUtil.empty()
+        ? 0
+        : trace.vmUtil.front().size();
+    trace.serverUtil =
+        telemetry::TimeSeries(cfg_.start, cfg_.interval);
+    trace.powerWatts =
+        telemetry::TimeSeries(cfg_.start, cfg_.interval);
+
+    const int total_cores = model.params().cores;
+    for (std::size_t i = 0; i < slots; ++i) {
+        double weighted = 0.0;
+        double watts = model.params().idleWatts;
+        for (std::size_t v = 0; v < mix.size(); ++v) {
+            const double util = trace.vmUtil[v].at(i);
+            weighted += mix[v].cores * util;
+            watts += mix[v].cores *
+                model.corePower(util, power::kTurboMHz);
+        }
+        trace.serverUtil.append(weighted / total_cores);
+        trace.powerWatts.append(watts);
+    }
+    return trace;
+}
+
+std::vector<VmMix>
+TraceGenerator::randomVmMix(int server_cores)
+{
+    // Weighted catalog reflecting §III: mostly long-lived service
+    // VMs with diverse peak times; a minority of hot batch VMs.
+    struct CatalogEntry {
+        ShapeKind kind;
+        double weight;
+        double base_lo, base_hi;
+        double peak_lo, peak_hi;
+    };
+    static const CatalogEntry catalog[] = {
+        {ShapeKind::Diurnal, 0.28, 0.08, 0.20, 0.45, 0.85},
+        {ShapeKind::BusinessHours, 0.16, 0.08, 0.18, 0.50, 0.85},
+        {ShapeKind::MorningPeak, 0.10, 0.10, 0.20, 0.55, 0.90},
+        {ShapeKind::TopOfHour, 0.10, 0.08, 0.15, 0.55, 0.95},
+        {ShapeKind::NightBatch, 0.11, 0.05, 0.15, 0.45, 0.80},
+        {ShapeKind::LowIdle, 0.20, 0.03, 0.10, 0.15, 0.30},
+        {ShapeKind::ConstantHigh, 0.05, 0.55, 0.70, 0.70, 0.90},
+    };
+
+    std::vector<VmMix> mix;
+    int free_cores = server_cores;
+    // Leave a little headroom: schedulers rarely pack to 100%.
+    const int reserve = std::max(2, server_cores / 16);
+    while (free_cores > reserve) {
+        const int vm_cores = static_cast<int>(
+            std::min<std::int64_t>(rng_.uniformInt(2, 8), free_cores));
+
+        double pick = rng_.uniform();
+        const CatalogEntry *chosen = &catalog[0];
+        for (const auto &entry : catalog) {
+            if (pick < entry.weight) {
+                chosen = &entry;
+                break;
+            }
+            pick -= entry.weight;
+        }
+
+        Archetype arch;
+        arch.kind = chosen->kind;
+        arch.baseUtil = rng_.uniform(chosen->base_lo, chosen->base_hi);
+        arch.peakUtil = std::max(
+            arch.baseUtil,
+            rng_.uniform(chosen->peak_lo, chosen->peak_hi));
+        arch.weekendFactor = rng_.uniform(0.2, 0.6);
+        arch.noiseSigma = rng_.uniform(0.015, 0.05);
+        arch.phaseShift = static_cast<sim::Tick>(
+            rng_.uniformInt(-3 * 60, 3 * 60)) * sim::kMinute;
+
+        mix.push_back({arch, vm_cores});
+        free_cores -= vm_cores;
+    }
+    return mix;
+}
+
+std::vector<VmMix>
+TraceGenerator::mlHeavyMix(int server_cores)
+{
+    std::vector<VmMix> mix;
+    int free_cores = server_cores;
+    while (free_cores >= 16) {
+        Archetype arch = mlTraining();
+        arch.baseUtil = rng_.uniform(0.78, 0.88);
+        arch.peakUtil = std::min(1.0, arch.baseUtil + 0.08);
+        mix.push_back({arch, 16});
+        free_cores -= 16;
+    }
+    if (free_cores >= 2) {
+        Archetype arch;
+        arch.kind = ShapeKind::LowIdle;
+        arch.baseUtil = 0.05;
+        arch.peakUtil = 0.15;
+        mix.push_back({arch, free_cores});
+    }
+    return mix;
+}
+
+telemetry::TimeSeries
+TraceGenerator::rackPower(const std::vector<ServerTrace> &servers)
+{
+    assert(!servers.empty());
+    std::vector<const telemetry::TimeSeries *> parts;
+    parts.reserve(servers.size());
+    for (const auto &server : servers)
+        parts.push_back(&server.powerWatts);
+    return telemetry::TimeSeries::sum(parts);
+}
+
+} // namespace workload
+} // namespace soc

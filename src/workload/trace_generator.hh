@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Synthetic production-trace generator.
+ *
+ * Substitutes for the paper's 6 weeks of 5-minute telemetry from
+ * 7.1k dedicated racks (§III).  The generator reproduces the
+ * structural properties those analyses rely on:
+ *
+ *  - long-lived VMs with archetype-driven, week-over-week repeatable
+ *    utilization (power predictability, Fig. 8);
+ *  - heterogeneous VM mixes per server, so servers in a rack have
+ *    diverse power profiles (Fig. 9) while the rack total is smooth
+ *    (statistical multiplexing, Fig. 6);
+ *  - day-to-day amplitude wobble plus rare outlier days (holidays)
+ *    that stress template robustness (§IV-B).
+ */
+
+#ifndef SOC_WORKLOAD_TRACE_GENERATOR_HH
+#define SOC_WORKLOAD_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "power/power_model.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+#include "telemetry/time_series.hh"
+#include "workload/archetype.hh"
+
+namespace soc
+{
+namespace workload
+{
+
+/** One VM of a server's mix. */
+struct VmMix {
+    Archetype archetype;
+    int cores = 4;
+};
+
+/** Generated telemetry for one server. */
+struct ServerTrace {
+    std::vector<VmMix> mix;
+    /** Per-VM utilization series. */
+    std::vector<telemetry::TimeSeries> vmUtil;
+    /** Core-weighted server utilization (all cores). */
+    telemetry::TimeSeries serverUtil;
+    /** Server power at max turbo given serverUtil. */
+    telemetry::TimeSeries powerWatts;
+};
+
+/** Knobs controlling trace realism. */
+struct TraceConfig {
+    sim::Tick start = 0;
+    sim::Tick end = 6 * sim::kWeek;
+    sim::Tick interval = sim::kSlot;
+    /** Std-dev of the per-day amplitude factor (day-to-day wobble). */
+    double dailyAmplitudeSigma = 0.04;
+    /** Probability that a day is an outlier (e.g. holiday). */
+    double outlierDayProb = 0.01;
+    /** Amplitude multiplier on outlier days. */
+    double outlierScale = 0.45;
+    /** Probability that a day surges above its usual amplitude
+     *  (e.g. a viral event) - the underprediction case that stresses
+     *  prediction-based admission. */
+    double surgeDayProb = 0.01;
+    /** Amplitude multiplier on surge days. */
+    double surgeScale = 1.30;
+};
+
+/**
+ * Deterministic trace generator; a given (seed, config) pair always
+ * produces the same traces.
+ */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(std::uint64_t seed, TraceConfig cfg = {});
+
+    const TraceConfig &config() const { return cfg_; }
+
+    /** Utilization series for one VM of the given archetype. */
+    telemetry::TimeSeries utilSeries(const Archetype &archetype);
+
+    /**
+     * Full telemetry for a server hosting @p mix, powered per
+     * @p model (power evaluated at max turbo).
+     */
+    ServerTrace serverTrace(const std::vector<VmMix> &mix,
+                            const power::PowerModel &model);
+
+    /**
+     * A realistic multi-tenant VM mix for a server with
+     * @p server_cores cores: several small (2-8 core) VMs drawn from
+     * a weighted archetype catalog with randomized phases.
+     */
+    std::vector<VmMix> randomVmMix(int server_cores);
+
+    /** Mix dominated by constant-high ML training (§V-A servers). */
+    std::vector<VmMix> mlHeavyMix(int server_cores);
+
+    /**
+     * Sum of per-server power traces: the rack-level power series
+     * used by the rack template experiments.
+     */
+    static telemetry::TimeSeries
+    rackPower(const std::vector<ServerTrace> &servers);
+
+  private:
+    sim::Rng rng_;
+    TraceConfig cfg_;
+};
+
+} // namespace workload
+} // namespace soc
+
+#endif // SOC_WORKLOAD_TRACE_GENERATOR_HH

@@ -1,0 +1,80 @@
+#include "workload/webconf.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soc
+{
+namespace workload
+{
+
+WebConfDeployment::WebConfDeployment(double target_util,
+                                     double mem_bound_frac)
+    : targetUtil_(target_util), memBoundFrac_(mem_bound_frac)
+{
+}
+
+int
+WebConfDeployment::addVm(int cores, double load_units)
+{
+    assert(cores > 0);
+    vms_.push_back({cores, load_units, power::kTurboMHz});
+    return static_cast<int>(vms_.size()) - 1;
+}
+
+void
+WebConfDeployment::setLoad(int vm, double load_units)
+{
+    vms_.at(vm).loadUnits = load_units;
+}
+
+void
+WebConfDeployment::setFrequency(int vm, power::FreqMHz f)
+{
+    vms_.at(vm).freq = f;
+}
+
+double
+WebConfDeployment::utilOf(const Vm &vm, power::FreqMHz f) const
+{
+    // Per-core speed relative to turbo; memory-bound work does not
+    // accelerate.
+    const double speedup = 1.0 /
+        ((1.0 - memBoundFrac_) *
+             (static_cast<double>(power::kTurboMHz) /
+              static_cast<double>(f)) +
+         memBoundFrac_);
+    const double util = vm.loadUnits / (vm.cores * speedup);
+    return std::clamp(util, 0.0, 1.0);
+}
+
+double
+WebConfDeployment::vmUtil(int vm) const
+{
+    const Vm &v = vms_.at(vm);
+    return utilOf(v, v.freq);
+}
+
+double
+WebConfDeployment::deploymentUtil() const
+{
+    double weighted = 0.0;
+    int cores = 0;
+    for (const auto &vm : vms_) {
+        weighted += vm.cores * utilOf(vm, vm.freq);
+        cores += vm.cores;
+    }
+    return cores > 0 ? weighted / cores : 0.0;
+}
+
+bool
+WebConfDeployment::overclockUseful(int vm, power::FreqMHz f) const
+{
+    if (meetsTarget())
+        return false; // goal already met: overclocking is wasted
+    const Vm &v = vms_.at(vm);
+    return utilOf(v, f) < utilOf(v, v.freq);
+}
+
+} // namespace workload
+} // namespace soc

@@ -1,0 +1,153 @@
+/** @file End-to-end tests for the 36-server cluster experiment. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/service_sim.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+
+namespace
+{
+
+ServiceSimConfig
+quickConfig(Environment environment)
+{
+    ServiceSimConfig cfg;
+    cfg.environment = environment;
+    cfg.duration = 6 * sim::kMinute;
+    cfg.warmup = sim::kMinute;
+    cfg.socialNetServers = 6;
+    cfg.mlServers = 4;
+    cfg.spareServers = 2;
+    cfg.seed = 77;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ServiceSim, BaselineKeepsOneInstanceEverywhere)
+{
+    const auto result = runServiceSim(
+        quickConfig(Environment::Baseline));
+    for (const auto &cls : result.byClass) {
+        EXPECT_NEAR(cls.meanInstances, 1.0, 0.05);
+        EXPECT_GT(cls.completed, 0u);
+    }
+    EXPECT_EQ(result.scaleOuts, 0u);
+    EXPECT_EQ(result.overclockStarts, 0u);
+}
+
+TEST(ServiceSim, ScaleOutAddsInstancesUnderLoad)
+{
+    const auto result = runServiceSim(
+        quickConfig(Environment::ScaleOut));
+    EXPECT_GT(result.scaleOuts, 0u);
+    EXPECT_GT(result.meanInstancesAll, 1.05);
+    EXPECT_EQ(result.overclockStarts, 0u);
+}
+
+TEST(ServiceSim, ScaleUpOverclocksWithoutInstances)
+{
+    const auto result = runServiceSim(
+        quickConfig(Environment::ScaleUp));
+    EXPECT_GT(result.overclockStarts, 0u);
+    EXPECT_EQ(result.scaleOuts, 0u);
+    for (const auto &cls : result.byClass)
+        EXPECT_NEAR(cls.meanInstances, 1.0, 0.05);
+}
+
+TEST(ServiceSim, SmartOClockBeatsBaselineTail)
+{
+    const auto baseline = runServiceSim(
+        quickConfig(Environment::Baseline));
+    const auto smart = runServiceSim(
+        quickConfig(Environment::SmartOClock));
+    // High-load class tail must improve substantially.
+    EXPECT_LT(smart.byClass[2].p99Ms,
+              baseline.byClass[2].p99Ms);
+    EXPECT_LT(smart.byClass[2].violations,
+              baseline.byClass[2].violations);
+}
+
+TEST(ServiceSim, SmartOClockUsesFewerInstancesThanScaleOutAtHighLoad)
+{
+    const auto scale_out = runServiceSim(
+        quickConfig(Environment::ScaleOut));
+    const auto smart = runServiceSim(
+        quickConfig(Environment::SmartOClock));
+    EXPECT_LT(smart.byClass[2].meanInstances,
+              scale_out.byClass[2].meanInstances + 0.05);
+}
+
+TEST(ServiceSim, GenerousRackNeverCaps)
+{
+    const auto result = runServiceSim(
+        quickConfig(Environment::SmartOClock));
+    EXPECT_EQ(result.capEvents, 0u);
+}
+
+TEST(ServiceSim, ReducedRackLimitCausesCapsAndMlSlowdown)
+{
+    auto cfg = quickConfig(Environment::SmartOClock);
+    cfg.soaPolicy = core::PolicyKind::NaiveOClock;
+    cfg.rackLimitFactor = 0.50;
+    const auto result = runServiceSim(cfg);
+    EXPECT_GT(result.capEvents, 0u);
+    EXPECT_LT(result.mlThroughputNorm, 1.0);
+}
+
+TEST(ServiceSim, SmartPolicyNotWorseUnderReducedLimit)
+{
+    // The decisive power-constrained comparison runs at full scale
+    // in bench_va_power_constrained; at this miniature scale we
+    // check SmartOClock is not materially worse than NaiveOClock.
+    auto naive_cfg = quickConfig(Environment::SmartOClock);
+    naive_cfg.soaPolicy = core::PolicyKind::NaiveOClock;
+    naive_cfg.rackLimitFactor = 0.50;
+    auto smart_cfg = naive_cfg;
+    smart_cfg.soaPolicy = core::PolicyKind::SmartOClock;
+    const auto naive = runServiceSim(naive_cfg);
+    const auto smart = runServiceSim(smart_cfg);
+    EXPECT_LE(smart.capEvents, naive.capEvents + 3);
+    EXPECT_GE(smart.mlThroughputNorm,
+              naive.mlThroughputNorm - 0.02);
+}
+
+TEST(ServiceSim, MlThroughputNearTurboWhenUncapped)
+{
+    const auto result = runServiceSim(
+        quickConfig(Environment::Baseline));
+    EXPECT_NEAR(result.mlThroughputNorm, 1.0, 0.02);
+}
+
+TEST(ServiceSim, EnergyAccountingIsPositiveAndDecomposes)
+{
+    const auto result = runServiceSim(
+        quickConfig(Environment::SmartOClock));
+    EXPECT_GT(result.totalEnergyJ, 0.0);
+    EXPECT_GT(result.socialEnergyJ, 0.0);
+    EXPECT_LT(result.socialEnergyJ, result.totalEnergyJ);
+}
+
+TEST(ServiceSim, EnvironmentNames)
+{
+    EXPECT_EQ(environmentName(Environment::Baseline), "Baseline");
+    EXPECT_EQ(environmentName(Environment::SmartOClock),
+              "SmartOClock");
+}
+
+TEST(ServiceSim, ProactiveScaleOutReducesMissedSloTime)
+{
+    // §V-A overclocking-constrained experiment: with the budget cut
+    // to 25%, proactive scale-out should not do worse than the
+    // reactive configuration.
+    auto reactive = quickConfig(Environment::SmartOClock);
+    reactive.overclockBudgetScale = 0.25;
+    reactive.proactiveScaleOut = false;
+    auto proactive = reactive;
+    proactive.proactiveScaleOut = true;
+    const auto r = runServiceSim(reactive);
+    const auto p = runServiceSim(proactive);
+    EXPECT_LE(p.missedSloTimeFrac, r.missedSloTimeFrac + 0.05);
+}

@@ -1,0 +1,112 @@
+/** @file End-to-end tests for the trace-driven policy simulator. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/trace_sim.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+
+namespace
+{
+
+TraceSimConfig
+quickConfig(core::PolicyKind policy, double limit_factor)
+{
+    TraceSimConfig cfg;
+    cfg.policy = policy;
+    cfg.racks = 1;
+    cfg.serversPerRack = 8;
+    cfg.warmup = sim::kWeek;
+    cfg.duration = sim::kDay;
+    cfg.controlStep = 60 * sim::kSecond;
+    cfg.limitFactor = limit_factor;
+    cfg.seed = 101;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TraceSim, ProducesActivityAndValidRates)
+{
+    const auto result = runTraceSim(
+        quickConfig(core::PolicyKind::SmartOClock, 1.2));
+    EXPECT_GT(result.requests, 0u);
+    EXPECT_GT(result.wantSteps, 0u);
+    EXPECT_GE(result.successRate, 0.0);
+    EXPECT_LE(result.successRate, 1.0);
+    EXPECT_GT(result.meanRackUtil, 0.2);
+    EXPECT_LT(result.meanRackUtil, 1.05);
+    EXPECT_GT(result.energyJoules, 0.0);
+}
+
+TEST(TraceSim, DeterministicForSameSeed)
+{
+    const auto cfg = quickConfig(core::PolicyKind::SmartOClock, 1.1);
+    const auto a = runTraceSim(cfg);
+    const auto b = runTraceSim(cfg);
+    EXPECT_EQ(a.capEvents, b.capEvents);
+    EXPECT_EQ(a.successSteps, b.successSteps);
+    EXPECT_EQ(a.wantSteps, b.wantSteps);
+    EXPECT_DOUBLE_EQ(a.normPerformance, b.normPerformance);
+}
+
+TEST(TraceSim, AmplePowerMeansNoCapsAndFullSuccess)
+{
+    const auto result = runTraceSim(
+        quickConfig(core::PolicyKind::SmartOClock, 2.0));
+    EXPECT_EQ(result.capEvents, 0u);
+    EXPECT_GT(result.successRate, 0.97);
+    EXPECT_GT(result.normPerformance, 1.15);
+}
+
+TEST(TraceSim, NaiveCausesManyMoreCapsThanSmart)
+{
+    const auto naive = runTraceSim(
+        quickConfig(core::PolicyKind::NaiveOClock, 1.05));
+    const auto smart = runTraceSim(
+        quickConfig(core::PolicyKind::SmartOClock, 1.05));
+    EXPECT_GT(naive.capEvents, 5 * std::max<std::uint64_t>(
+                                       1, smart.capEvents));
+}
+
+TEST(TraceSim, NoFeedbackAvoidsCapsButLosesSuccess)
+{
+    const auto nofb = runTraceSim(
+        quickConfig(core::PolicyKind::NoFeedback, 1.05));
+    const auto smart = runTraceSim(
+        quickConfig(core::PolicyKind::SmartOClock, 1.05));
+    EXPECT_LE(nofb.capEvents, smart.capEvents + 2);
+    EXPECT_GE(smart.successRate, nofb.successRate - 0.02);
+}
+
+TEST(TraceSim, CentralOracleHasBestSuccess)
+{
+    const auto central = runTraceSim(
+        quickConfig(core::PolicyKind::Central, 1.05));
+    for (auto policy :
+         {core::PolicyKind::NaiveOClock, core::PolicyKind::NoFeedback,
+          core::PolicyKind::SmartOClock}) {
+        const auto other = runTraceSim(quickConfig(policy, 1.05));
+        EXPECT_GE(central.successRate, other.successRate - 0.03)
+            << core::policyName(policy);
+    }
+}
+
+TEST(TraceSim, TierFactorsAreOrdered)
+{
+    EXPECT_LT(TraceSimConfig::tierLimitFactor(PowerTier::High),
+              TraceSimConfig::tierLimitFactor(PowerTier::Medium));
+    EXPECT_LT(TraceSimConfig::tierLimitFactor(PowerTier::Medium),
+              TraceSimConfig::tierLimitFactor(PowerTier::Low));
+}
+
+TEST(TraceSim, PerformanceAboveTurboWhenOverclockingSucceeds)
+{
+    const auto result = runTraceSim(
+        quickConfig(core::PolicyKind::SmartOClock, 1.5));
+    EXPECT_GT(result.normPerformance, 1.0);
+    EXPECT_LE(result.normPerformance,
+              static_cast<double>(power::kOverclockMHz) /
+                  power::kTurboMHz + 1e-9);
+}

@@ -1,0 +1,109 @@
+/** @file Behavioural tests for the Global Overclocking Agent. */
+
+#include <gtest/gtest.h>
+
+#include "core/goa.hh"
+
+using namespace soc;
+using namespace soc::core;
+using sim::kMinute;
+using sim::Tick;
+
+namespace
+{
+
+const power::PowerModel &
+model()
+{
+    static const power::PowerModel instance;
+    return instance;
+}
+
+struct Fixture {
+    power::Rack rack{0, 1500.0};
+    std::vector<std::unique_ptr<ServerOverclockingAgent>> soas;
+    std::vector<power::GroupId> vms;
+    GlobalOverclockingAgent goa{rack, model()};
+
+    explicit Fixture(int servers = 2)
+    {
+        for (int i = 0; i < servers; ++i) {
+            power::Server &server = rack.addServer(&model());
+            vms.push_back(
+                server.addGroup(8, 0.3 + 0.2 * i, power::kTurboMHz,
+                                1));
+            soas.push_back(
+                std::make_unique<ServerOverclockingAgent>(
+                    server, SoaConfig{}, &rack));
+            goa.addAgent(soas.back().get());
+        }
+    }
+};
+
+} // namespace
+
+TEST(Goa, EvenSplitAssignsEqualBudgets)
+{
+    Fixture fx;
+    fx.goa.assignEvenSplit();
+    EXPECT_NEAR(fx.soas[0]->budgetWatts(0), 750.0, 1e-9);
+    EXPECT_NEAR(fx.soas[1]->budgetWatts(0), 750.0, 1e-9);
+    EXPECT_EQ(fx.goa.lastBudgets().size(), 2u);
+}
+
+TEST(Goa, RecomputeProducesHeterogeneousBudgets)
+{
+    Fixture fx;
+    fx.goa.assignEvenSplit();
+
+    // Collect telemetry: server 1 requests overclocking, server 0
+    // does not; the recompute must favour server 1's demand.
+    OverclockRequest req;
+    req.cores = 8;
+    req.groupId = fx.vms[1];
+    req.duration = 4 * sim::kHour;
+    fx.soas[1]->requestOverclock(req, 0);
+    for (Tick t = 0; t < 2 * sim::kHour; t += kMinute) {
+        fx.soas[0]->tick(t);
+        fx.soas[1]->tick(t);
+    }
+
+    fx.goa.recompute(2 * sim::kHour);
+    EXPECT_EQ(fx.goa.recomputeCount(), 1u);
+    // Server 1 draws more (util 0.5 vs 0.3, plus overclock) and has
+    // all the demand: its budget must exceed server 0's.
+    const Tick probe = sim::kHour;
+    EXPECT_GT(fx.soas[1]->budgetWatts(probe),
+              fx.soas[0]->budgetWatts(probe));
+}
+
+TEST(Goa, BudgetsRespectRackLimit)
+{
+    Fixture fx(3);
+    fx.goa.assignEvenSplit();
+    for (Tick t = 0; t < sim::kHour; t += kMinute)
+        for (auto &soa : fx.soas)
+            soa->tick(t);
+    fx.goa.recompute(sim::kHour);
+    for (Tick t = 0; t < sim::kWeek; t += 37 * kMinute) {
+        double sum = 0.0;
+        for (const auto &b : fx.goa.lastBudgets())
+            sum += b.predict(t);
+        EXPECT_LE(sum, fx.rack.limitWatts() + 1e-6);
+    }
+}
+
+TEST(Goa, RecomputeRefreshesOwnTemplates)
+{
+    // After a recompute, sOAs can do look-ahead admission: verify
+    // the profile-based budget responds to the collected history
+    // rather than staying at the bootstrap even split.
+    Fixture fx;
+    fx.goa.assignEvenSplit();
+    const double even = fx.soas[0]->budgetWatts(0);
+    for (Tick t = 0; t < sim::kHour; t += kMinute)
+        for (auto &soa : fx.soas)
+            soa->tick(t);
+    fx.goa.recompute(sim::kHour);
+    EXPECT_NE(fx.soas[0]->budgetWatts(2 * sim::kHour), even);
+}

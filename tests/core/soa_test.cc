@@ -1,0 +1,355 @@
+/** @file Behavioural tests for the Server Overclocking Agent. */
+
+#include <gtest/gtest.h>
+
+#include "core/soa.hh"
+
+using namespace soc;
+using namespace soc::core;
+using sim::kMinute;
+using sim::kSecond;
+using sim::Tick;
+
+namespace
+{
+
+const power::PowerModel &
+model()
+{
+    static const power::PowerModel instance;
+    return instance;
+}
+
+struct Fixture {
+    power::Rack rack{0, 2000.0};
+    power::Server *server;
+    std::unique_ptr<ServerOverclockingAgent> soa;
+    power::GroupId vm;
+
+    explicit Fixture(SoaConfig cfg = {}, double util = 0.6)
+    {
+        server = &rack.addServer(&model());
+        vm = server->addGroup(8, util, power::kTurboMHz, 1);
+        soa = std::make_unique<ServerOverclockingAgent>(
+            *server, cfg, &rack);
+    }
+
+    OverclockRequest
+    makeRequest(Tick duration = 20 * kMinute) const
+    {
+        OverclockRequest r;
+        r.groupId = vm;
+        r.cores = 8;
+        r.desiredMHz = power::kOverclockMHz;
+        r.trigger = TriggerKind::Metrics;
+        r.duration = duration;
+        r.priority = 1;
+        return r;
+    }
+
+    /** Run control ticks from `from` to `to`. */
+    void
+    run(Tick from, Tick to, Tick step = 5 * kSecond)
+    {
+        for (Tick t = from; t <= to; t += step)
+            soa->tick(t);
+    }
+};
+
+} // namespace
+
+TEST(Soa, GrantsAndRampsToDesiredFrequency)
+{
+    Fixture fx;
+    fx.soa->assignBudget(ProfileTemplate::flat(600.0));
+    const auto decision =
+        fx.soa->requestOverclock(fx.makeRequest(), 0);
+    ASSERT_TRUE(decision.granted);
+    EXPECT_TRUE(fx.soa->isOverclockActive(fx.vm));
+
+    fx.run(0, 2 * kMinute);
+    EXPECT_EQ(fx.server->group(fx.vm)->effectiveMHz(),
+              power::kOverclockMHz);
+}
+
+TEST(Soa, FeedbackHoldsWithinBudget)
+{
+    SoaConfig no_explore;
+    no_explore.exploreEnabled = false; // isolate the feedback loop
+    Fixture fx(no_explore, /*util=*/0.9);
+    // Budget admits the worst-case surcharge (so the request is
+    // granted) but the actual ramp at util=0.9 draws more than the
+    // 0.75-util estimate, so the feedback loop must stop short of
+    // both the budget and the full 4.0 GHz target.
+    const double draw = fx.server->powerWatts();
+    const double surcharge = model().overclockExtraPower(
+        0.75, power::kOverclockMHz, 8);
+    const double budget = draw + surcharge + 1.0;
+    fx.soa->assignBudget(ProfileTemplate::flat(budget));
+    ASSERT_TRUE(fx.soa->requestOverclock(fx.makeRequest(), 0)
+                    .granted);
+    fx.run(0, 2 * kMinute);
+    EXPECT_LE(fx.server->powerWatts(), budget + 1e-9);
+    const auto eff = fx.server->group(fx.vm)->effectiveMHz();
+    EXPECT_LT(eff, power::kOverclockMHz);
+    EXPECT_GT(eff, power::kTurboMHz);
+}
+
+TEST(Soa, StopRestoresTurbo)
+{
+    Fixture fx;
+    fx.soa->assignBudget(ProfileTemplate::flat(800.0));
+    fx.soa->requestOverclock(fx.makeRequest(), 0);
+    fx.run(0, kMinute);
+    fx.soa->stopOverclock(fx.vm, kMinute);
+    EXPECT_FALSE(fx.soa->isOverclockActive(fx.vm));
+    EXPECT_EQ(fx.server->group(fx.vm)->targetMHz, power::kTurboMHz);
+}
+
+TEST(Soa, RejectsWhenBudgetTooSmall)
+{
+    Fixture fx(SoaConfig{}, 0.9);
+    fx.soa->assignBudget(
+        ProfileTemplate::flat(fx.server->powerWatts() + 1.0));
+    const auto decision =
+        fx.soa->requestOverclock(fx.makeRequest(), 0);
+    EXPECT_FALSE(decision.granted);
+    EXPECT_EQ(fx.soa->stats().rejects, 1u);
+}
+
+TEST(Soa, ReRequestExtendsGrant)
+{
+    Fixture fx;
+    fx.soa->assignBudget(ProfileTemplate::flat(800.0));
+    const auto first =
+        fx.soa->requestOverclock(fx.makeRequest(10 * kMinute), 0);
+    const auto second = fx.soa->requestOverclock(
+        fx.makeRequest(30 * kMinute), 5 * kMinute);
+    EXPECT_TRUE(second.granted);
+    EXPECT_EQ(second.reason, "extended");
+    EXPECT_GT(second.grantedUntil, first.grantedUntil);
+}
+
+TEST(Soa, GrantExpiresNaturally)
+{
+    Fixture fx;
+    fx.soa->assignBudget(ProfileTemplate::flat(800.0));
+    fx.soa->requestOverclock(fx.makeRequest(2 * kMinute), 0);
+    fx.run(0, 3 * kMinute);
+    EXPECT_FALSE(fx.soa->isOverclockActive(fx.vm));
+}
+
+TEST(Soa, ExplorationRaisesBonusWhenDeniedForPower)
+{
+    SoaConfig cfg;
+    cfg.warningWindow = 10 * kSecond;
+    Fixture fx(cfg, 0.9);
+    const double draw = fx.server->powerWatts();
+    fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
+    ASSERT_FALSE(
+        fx.soa->requestOverclock(fx.makeRequest(), 0).granted);
+    fx.run(0, kMinute);
+    EXPECT_GT(fx.soa->explorationBonus(), 0.0);
+    EXPECT_GT(fx.soa->stats().explorationsStarted, 0u);
+    // With the bonus grown, a retry is eventually admitted.
+    Tick t = kMinute;
+    bool granted = false;
+    while (t < 20 * kMinute && !granted) {
+        granted =
+            fx.soa->requestOverclock(fx.makeRequest(), t).granted;
+        fx.soa->tick(t);
+        t += 5 * kSecond;
+    }
+    EXPECT_TRUE(granted);
+}
+
+TEST(Soa, WarningWhileExploringBacksOff)
+{
+    SoaConfig cfg;
+    cfg.warningWindow = 10 * kSecond;
+    Fixture fx(cfg, 0.9);
+    const double draw = fx.server->powerWatts();
+    fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
+    // A 32-core ask needs ~120 W of bonus: the agent is still mid-
+    // exploration (bonus ~80 W) when the warning arrives at t=35s.
+    auto req = fx.makeRequest();
+    req.cores = 32;
+    for (Tick t = 0; t <= 35 * kSecond; t += 5 * kSecond) {
+        if (!fx.soa->isOverclockActive(fx.vm))
+            fx.soa->requestOverclock(req, t);
+        fx.soa->tick(t);
+    }
+    ASSERT_GT(fx.soa->explorationBonus(), 0.0);
+    const double bonus = fx.soa->explorationBonus();
+    fx.soa->onWarning(35 * kSecond);
+    EXPECT_LT(fx.soa->explorationBonus(), bonus);
+    EXPECT_EQ(fx.soa->stats().warningsHeeded, 1u);
+}
+
+TEST(Soa, NoWarningPolicyIgnoresWarnings)
+{
+    SoaConfig cfg = SoaConfig::forPolicy(PolicyKind::NoWarning);
+    cfg.warningWindow = 10 * kSecond;
+    Fixture fx(cfg, 0.9);
+    const double draw = fx.server->powerWatts();
+    fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
+    fx.soa->requestOverclock(fx.makeRequest(), 0);
+    fx.run(0, 30 * kSecond);
+    const double bonus = fx.soa->explorationBonus();
+    ASSERT_GT(bonus, 0.0);
+    fx.soa->onWarning(30 * kSecond);
+    EXPECT_EQ(fx.soa->explorationBonus(), bonus);
+    EXPECT_EQ(fx.soa->stats().warningsHeeded, 0u);
+}
+
+TEST(Soa, CapEventResetsBonus)
+{
+    SoaConfig cfg;
+    cfg.warningWindow = 10 * kSecond;
+    Fixture fx(cfg, 0.9);
+    const double draw = fx.server->powerWatts();
+    fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
+    fx.soa->requestOverclock(fx.makeRequest(), 0);
+    fx.run(0, kMinute);
+    ASSERT_GT(fx.soa->explorationBonus(), 0.0);
+    fx.soa->onCapEvent(kMinute);
+    EXPECT_EQ(fx.soa->explorationBonus(), 0.0);
+    EXPECT_EQ(fx.soa->stats().capResets, 1u);
+}
+
+TEST(Soa, NoFeedbackPolicyNeverExplores)
+{
+    SoaConfig cfg = SoaConfig::forPolicy(PolicyKind::NoFeedback);
+    Fixture fx(cfg, 0.9);
+    const double draw = fx.server->powerWatts();
+    fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
+    fx.soa->requestOverclock(fx.makeRequest(), 0);
+    fx.run(0, 5 * kMinute);
+    EXPECT_EQ(fx.soa->explorationBonus(), 0.0);
+    EXPECT_EQ(fx.soa->stats().explorationsStarted, 0u);
+}
+
+TEST(Soa, NaivePolicyGrantsEverythingInstantly)
+{
+    SoaConfig cfg = SoaConfig::forPolicy(PolicyKind::NaiveOClock);
+    Fixture fx(cfg, 0.95);
+    fx.soa->assignBudget(ProfileTemplate::flat(1.0)); // irrelevant
+    const auto decision =
+        fx.soa->requestOverclock(fx.makeRequest(), 0);
+    EXPECT_TRUE(decision.granted);
+    EXPECT_EQ(fx.server->group(fx.vm)->targetMHz,
+              power::kOverclockMHz);
+}
+
+TEST(Soa, CentralOracleChecksRackDraw)
+{
+    SoaConfig cfg = SoaConfig::forPolicy(PolicyKind::Central);
+    Fixture fx(cfg, 0.9);
+    // Rack limit just above current draw: the surcharge cannot fit.
+    fx.rack.setLimitWatts(fx.rack.powerWatts() + 1.0);
+    const auto denied =
+        fx.soa->requestOverclock(fx.makeRequest(), 0);
+    EXPECT_FALSE(denied.granted);
+    fx.rack.setLimitWatts(fx.rack.powerWatts() + 500.0);
+    EXPECT_TRUE(fx.soa->requestOverclock(fx.makeRequest(), 0)
+                    .granted);
+}
+
+TEST(Soa, LifetimeBudgetConsumedWhileOverclocked)
+{
+    SoaConfig cfg;
+    cfg.budgetEpoch = sim::kDay;
+    cfg.overclockFraction = 0.5;
+    Fixture fx(cfg);
+    fx.soa->assignBudget(ProfileTemplate::flat(900.0));
+    const Tick before = fx.soa->lifetimeRemaining(0);
+    fx.soa->requestOverclock(fx.makeRequest(), 0);
+    fx.run(0, 10 * kMinute);
+    const Tick after = fx.soa->lifetimeRemaining(10 * kMinute);
+    EXPECT_LT(after, before);
+    EXPECT_GT(fx.soa->stats().overclockedCoreTime, 0);
+}
+
+TEST(Soa, RevokesWhenLifetimeBudgetExhausted)
+{
+    SoaConfig cfg;
+    cfg.budgetEpoch = sim::kDay;
+    // ~2.4 minutes of whole-server budget: with one 8-core VM the
+    // per-core allowance runs out quickly and no fresh cores remain
+    // forever.
+    cfg.overclockFraction = 0.0017;
+    Fixture fx(cfg);
+    fx.soa->assignBudget(ProfileTemplate::flat(900.0));
+    fx.soa->requestOverclock(fx.makeRequest(8 * sim::kHour), 0);
+    fx.run(0, 2 * sim::kHour, 30 * kSecond);
+    EXPECT_FALSE(fx.soa->isOverclockActive(fx.vm));
+    EXPECT_GT(fx.soa->stats().revocations, 0u);
+}
+
+TEST(Soa, CoreReschedulingUsesFreshCores)
+{
+    SoaConfig cfg;
+    cfg.budgetEpoch = sim::kDay;
+    cfg.overclockFraction = 0.01; // ~14 min per core per day
+    Fixture fx(cfg);
+    fx.soa->assignBudget(ProfileTemplate::flat(900.0));
+    fx.soa->requestOverclock(fx.makeRequest(8 * sim::kHour), 0);
+    // After the first core set exhausts (~14 min), the sOA should
+    // reschedule to the server's other cores at least once.
+    fx.run(0, sim::kHour, 30 * kSecond);
+    EXPECT_GT(fx.soa->stats().coreReschedules, 0u);
+}
+
+TEST(Soa, ExhaustionSignalEmittedAheadOfBudgetEnd)
+{
+    SoaConfig cfg;
+    cfg.budgetEpoch = sim::kDay;
+    cfg.overclockFraction = 0.01;
+    cfg.exhaustionWindow = 15 * kMinute;
+    Fixture fx(cfg);
+    fx.soa->assignBudget(ProfileTemplate::flat(900.0));
+    std::vector<ExhaustionSignal> signals;
+    fx.soa->setExhaustionCallback(
+        [&](const ExhaustionSignal &s) { signals.push_back(s); });
+    fx.soa->requestOverclock(fx.makeRequest(8 * sim::kHour), 0);
+    fx.run(0, 2 * sim::kHour, 30 * kSecond);
+    ASSERT_FALSE(signals.empty());
+    EXPECT_EQ(signals.front().kind,
+              ExhaustionKind::OverclockBudget);
+    EXPECT_EQ(signals.front().groupId, fx.vm);
+}
+
+TEST(Soa, TelemetryHistoriesFillPerSlot)
+{
+    Fixture fx;
+    fx.soa->assignBudget(ProfileTemplate::flat(800.0));
+    fx.soa->requestOverclock(fx.makeRequest(sim::kHour), 0);
+    fx.run(0, 31 * kMinute, 15 * kSecond);
+    EXPECT_GE(fx.soa->powerHistory().size(), 6u);
+    EXPECT_EQ(fx.soa->powerHistory().size(),
+              fx.soa->utilHistory().size());
+    EXPECT_EQ(fx.soa->powerHistory().size(),
+              fx.soa->grantedCoreHistory().size());
+    // Granted-core telemetry reflects the 8 overclocked cores.
+    EXPECT_NEAR(fx.soa->grantedCoreHistory().values().back(), 8.0,
+                1.0);
+}
+
+TEST(Soa, BuildProfileUsesCollectedTelemetry)
+{
+    Fixture fx;
+    fx.soa->assignBudget(ProfileTemplate::flat(800.0));
+    fx.run(0, 2 * sim::kHour, kMinute);
+    const auto profile = fx.soa->buildProfile();
+    EXPECT_GT(profile.power.predict(kMinute), 0.0);
+    EXPECT_GE(profile.utilization.predict(kMinute), 0.0);
+}
+
+TEST(Soa, BudgetWattsFallsBackToTdpBeforeAssignment)
+{
+    Fixture fx;
+    EXPECT_NEAR(fx.soa->budgetWatts(0),
+                model().params().tdpWatts, 1e-9);
+    fx.soa->assignBudget(ProfileTemplate::flat(321.0));
+    EXPECT_NEAR(fx.soa->budgetWatts(0), 321.0, 1e-9);
+}

@@ -1,0 +1,285 @@
+/** @file Behavioural tests for the Workload Intelligence agents. */
+
+#include <gtest/gtest.h>
+
+#include "core/wi.hh"
+
+using namespace soc;
+using namespace soc::core;
+using sim::kHour;
+using sim::kMinute;
+using sim::kSecond;
+using sim::Tick;
+
+namespace
+{
+
+const power::PowerModel &
+model()
+{
+    static const power::PowerModel instance;
+    return instance;
+}
+
+/** A service deployment with one VM on one server. */
+struct Fixture {
+    power::Rack rack{0, 2000.0};
+    power::Server *server;
+    std::unique_ptr<ServerOverclockingAgent> soa;
+    power::GroupId vm;
+    std::unique_ptr<GlobalWiAgent> wi;
+    int scaleOuts = 0;
+    int scaleIns = 0;
+
+    explicit Fixture(WiPolicyConfig cfg)
+    {
+        server = &rack.addServer(&model());
+        vm = server->addGroup(8, 0.5, power::kTurboMHz, 1);
+        soa = std::make_unique<ServerOverclockingAgent>(
+            *server, SoaConfig{}, &rack);
+        soa->assignBudget(ProfileTemplate::flat(900.0));
+        wi = std::make_unique<GlobalWiAgent>("svc", cfg);
+        wi->addVm(std::make_unique<LocalWiAgent>(0, soa.get(), vm,
+                                                 8));
+        wi->setScaleOutHandler([this](int n) { scaleOuts += n; });
+        wi->setScaleInHandler([this](int n) { scaleIns += n; });
+    }
+};
+
+WiPolicyConfig
+latencyPolicy()
+{
+    WiPolicyConfig cfg;
+    cfg.sloMs = 100.0;
+    cfg.baselineP99Ms = 20.0;
+    cfg.scaleCooldown = 0;
+    cfg.overclockGrace = 30 * kSecond;
+    return cfg;
+}
+
+VmMetrics
+metrics(double p99, double util = 0.5)
+{
+    VmMetrics m;
+    m.p99LatencyMs = p99;
+    m.meanLatencyMs = p99 / 3.0;
+    m.utilization = util;
+    m.completed = 1000;
+    return m;
+}
+
+} // namespace
+
+TEST(ScheduleWindow, ContainsRespectsDayMaskAndMinutes)
+{
+    ScheduleWindow w;
+    w.dayMask = 0x1f; // weekdays
+    w.startMinute = 9 * 60;
+    w.endMinute = 10 * 60;
+    EXPECT_TRUE(w.contains(9 * kHour + 30 * kMinute));   // Mon 9:30
+    EXPECT_FALSE(w.contains(8 * kHour));                 // Mon 8:00
+    EXPECT_FALSE(w.contains(10 * kHour));                // boundary
+    EXPECT_FALSE(
+        w.contains(5 * sim::kDay + 9 * kHour + kMinute)); // Saturday
+}
+
+TEST(Wi, LatencyTriggerStartsOverclock)
+{
+    Fixture fx(latencyPolicy());
+    fx.wi->onMetrics(0, metrics(30.0));
+    EXPECT_FALSE(fx.wi->overclocking());
+    // Above baseline + 0.7 * (slo - baseline) = 20 + 56 = 76.
+    fx.wi->onMetrics(15 * kSecond, metrics(80.0));
+    EXPECT_TRUE(fx.wi->overclocking());
+    EXPECT_TRUE(fx.soa->isOverclockActive(fx.vm));
+    EXPECT_EQ(fx.wi->stats().overclockStarts, 1u);
+}
+
+TEST(Wi, LatencyRecoveryStopsOverclock)
+{
+    Fixture fx(latencyPolicy());
+    fx.wi->onMetrics(0, metrics(80.0));
+    ASSERT_TRUE(fx.wi->overclocking());
+    // Below baseline + 0.35 * 80 = 48.
+    fx.wi->onMetrics(kMinute, metrics(25.0));
+    EXPECT_FALSE(fx.wi->overclocking());
+    EXPECT_FALSE(fx.soa->isOverclockActive(fx.vm));
+}
+
+TEST(Wi, HysteresisHoldsBetweenThresholds)
+{
+    Fixture fx(latencyPolicy());
+    fx.wi->onMetrics(0, metrics(80.0));
+    ASSERT_TRUE(fx.wi->overclocking());
+    fx.wi->onMetrics(kMinute, metrics(60.0)); // between down and up
+    EXPECT_TRUE(fx.wi->overclocking());
+}
+
+TEST(Wi, UtilizationTriggerWorks)
+{
+    WiPolicyConfig cfg;
+    cfg.overclockUpUtil = 0.7;
+    cfg.overclockDownUtil = 0.3;
+    Fixture fx(cfg);
+    fx.wi->onMetrics(0, metrics(0.0, 0.8));
+    EXPECT_TRUE(fx.wi->overclocking());
+    fx.wi->onMetrics(kMinute, metrics(0.0, 0.2));
+    EXPECT_FALSE(fx.wi->overclocking());
+}
+
+TEST(Wi, ScaleOutAfterGraceWhenStillSlow)
+{
+    Fixture fx(latencyPolicy());
+    // p99 above scale-out threshold (20 + 0.9*80 = 92).
+    fx.wi->onMetrics(0, metrics(95.0));
+    EXPECT_TRUE(fx.wi->overclocking());
+    EXPECT_EQ(fx.scaleOuts, 0); // inside grace
+    fx.wi->onMetrics(45 * kSecond, metrics(95.0));
+    EXPECT_EQ(fx.scaleOuts, 1);
+}
+
+TEST(Wi, SevereSloViolationBypassesGrace)
+{
+    // A sustained outright SLO breach (two consecutive windows)
+    // bypasses the overclock grace period.
+    Fixture fx(latencyPolicy());
+    fx.wi->onMetrics(0, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 0); // first severe window: hold
+    fx.wi->onMetrics(15 * kSecond, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 1);
+}
+
+TEST(Wi, OverclockDenialTriggersScaleOut)
+{
+    auto cfg = latencyPolicy();
+    Fixture fx(cfg);
+    // Make the sOA deny: assign an impossible budget.
+    fx.soa->assignBudget(ProfileTemplate::flat(1.0));
+    fx.wi->onMetrics(0, metrics(80.0));
+    EXPECT_FALSE(fx.wi->overclocking());
+    EXPECT_GT(fx.wi->stats().denials, 0u);
+    EXPECT_EQ(fx.scaleOuts, 1);
+}
+
+TEST(Wi, ScaleInOnLowLatency)
+{
+    Fixture fx(latencyPolicy());
+    // Add a second VM so scale-in has something to remove.
+    fx.wi->addVm(std::make_unique<LocalWiAgent>(1, fx.soa.get(),
+                                                fx.vm, 8));
+    fx.wi->onMetrics(0, metrics(22.0)); // below scale-in threshold
+    EXPECT_EQ(fx.scaleIns, 1);
+}
+
+TEST(Wi, NoScaleInBelowMinInstances)
+{
+    Fixture fx(latencyPolicy());
+    fx.wi->onMetrics(0, metrics(22.0));
+    EXPECT_EQ(fx.scaleIns, 0);
+}
+
+TEST(Wi, CooldownLimitsActionRate)
+{
+    auto cfg = latencyPolicy();
+    cfg.scaleCooldown = 10 * kMinute;
+    Fixture fx(cfg);
+    fx.wi->onMetrics(0, metrics(150.0));
+    fx.wi->onMetrics(kMinute, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 1);
+    fx.wi->onMetrics(11 * kMinute, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 2);
+}
+
+TEST(Wi, MaxInstancesBoundsScaleOut)
+{
+    auto cfg = latencyPolicy();
+    cfg.maxInstances = 1;
+    Fixture fx(cfg);
+    fx.wi->onMetrics(0, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 0);
+}
+
+TEST(Wi, DisabledOverclockNeverRequests)
+{
+    auto cfg = latencyPolicy();
+    cfg.enableOverclock = false;
+    Fixture fx(cfg);
+    fx.wi->onMetrics(0, metrics(80.0));
+    EXPECT_FALSE(fx.wi->overclocking());
+    EXPECT_EQ(fx.soa->stats().requests, 0u);
+}
+
+TEST(Wi, DisabledScaleOutNeverScales)
+{
+    auto cfg = latencyPolicy();
+    cfg.enableScaleOut = false;
+    Fixture fx(cfg);
+    fx.wi->onMetrics(0, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 0);
+}
+
+TEST(Wi, ScheduleWindowDrivesOverclock)
+{
+    WiPolicyConfig cfg;
+    ScheduleWindow w;
+    w.dayMask = 0x7f;
+    w.startMinute = 60; // 01:00-02:00 daily
+    w.endMinute = 120;
+    cfg.windows.push_back(w);
+    Fixture fx(cfg);
+    fx.wi->tick(30 * kMinute);
+    EXPECT_FALSE(fx.wi->overclocking());
+    fx.wi->tick(kHour + kMinute);
+    EXPECT_TRUE(fx.wi->overclocking());
+    fx.wi->tick(2 * kHour + kMinute);
+    EXPECT_FALSE(fx.wi->overclocking());
+}
+
+TEST(Wi, DeploymentGoalSuppressesOverclock)
+{
+    auto cfg = latencyPolicy();
+    cfg.deploymentUtilTarget = 0.5;
+    Fixture fx(cfg);
+    // VM reports low utilization: deployment goal already met.
+    fx.wi->vm(0).lastMetrics = metrics(80.0, 0.2);
+    fx.wi->onMetrics(0, metrics(80.0, 0.2));
+    EXPECT_FALSE(fx.wi->overclocking());
+    EXPECT_GT(fx.wi->stats().suppressedByDeploymentGoal, 0u);
+    // Miss the goal: overclocking proceeds.
+    fx.wi->vm(0).lastMetrics = metrics(80.0, 0.9);
+    fx.wi->onMetrics(kMinute, metrics(80.0, 0.9));
+    EXPECT_TRUE(fx.wi->overclocking());
+}
+
+TEST(Wi, ExhaustionSignalProactivelyScalesOut)
+{
+    Fixture fx(latencyPolicy());
+    ExhaustionSignal signal;
+    signal.groupId = fx.vm;
+    signal.kind = ExhaustionKind::OverclockBudget;
+    signal.eta = 10 * kMinute;
+    fx.wi->onExhaustion(0, signal);
+    EXPECT_EQ(fx.scaleOuts, 1);
+    EXPECT_EQ(fx.wi->stats().proactiveScaleOuts, 1u);
+}
+
+TEST(Wi, ProactiveDisabledIgnoresExhaustion)
+{
+    auto cfg = latencyPolicy();
+    cfg.proactiveScaleOut = false;
+    Fixture fx(cfg);
+    ExhaustionSignal signal;
+    fx.wi->onExhaustion(0, signal);
+    EXPECT_EQ(fx.scaleOuts, 0);
+}
+
+TEST(Wi, RemoveLastVmStopsItsOverclock)
+{
+    Fixture fx(latencyPolicy());
+    fx.wi->onMetrics(0, metrics(80.0));
+    ASSERT_TRUE(fx.soa->isOverclockActive(fx.vm));
+    auto vm = fx.wi->removeLastVm(kMinute);
+    ASSERT_NE(vm, nullptr);
+    EXPECT_FALSE(fx.soa->isOverclockActive(fx.vm));
+    EXPECT_EQ(fx.wi->vmCount(), 0u);
+}

@@ -1,0 +1,142 @@
+/** @file Unit tests for the warning/capping rack manager. */
+
+#include <gtest/gtest.h>
+
+#include "power/rack_manager.hh"
+
+using namespace soc::power;
+using soc::sim::Tick;
+
+namespace
+{
+
+const PowerModel &
+model()
+{
+    static const PowerModel instance;
+    return instance;
+}
+
+struct Listener : RackPowerListener {
+    int warnings = 0;
+    int caps = 0;
+    void onWarning(Tick) override { ++warnings; }
+    void onCapEvent(Tick) override { ++caps; }
+};
+
+} // namespace
+
+TEST(RackManager, QuietBelowWarning)
+{
+    Rack rack(0, 1000.0);
+    rack.addServer(&model()).addGroup(16, 0.3);
+    RackManager manager(rack);
+    Listener listener;
+    manager.addListener(&listener);
+    for (Tick t = 0; t < 10; ++t)
+        manager.tick(t);
+    EXPECT_EQ(listener.warnings, 0);
+    EXPECT_EQ(listener.caps, 0);
+    EXPECT_EQ(manager.stats().ticks, 10u);
+}
+
+TEST(RackManager, WarnsInWarningBand)
+{
+    Rack rack(0, 1000.0);
+    Server &server = rack.addServer(&model());
+    server.addGroup(64, 1.0);
+    // Draw = TDP = 420 W; set the limit so draw sits in [95%, 100%).
+    rack.setLimitWatts(430.0);
+    RackManager manager(rack);
+    Listener listener;
+    manager.addListener(&listener);
+    manager.tick(0);
+    EXPECT_EQ(listener.warnings, 1);
+    EXPECT_EQ(listener.caps, 0);
+    EXPECT_FALSE(manager.capping());
+}
+
+TEST(RackManager, CapsAboveLimitAndThrottlesBelowOvershoot)
+{
+    Rack rack(0, 400.0); // below the 420 W TDP draw
+    Server &server = rack.addServer(&model());
+    server.addGroup(64, 1.0);
+    RackManager manager(rack);
+    Listener listener;
+    manager.addListener(&listener);
+    manager.tick(0);
+    EXPECT_EQ(listener.caps, 1);
+    EXPECT_TRUE(manager.capping());
+    EXPECT_EQ(manager.stats().capEvents, 1u);
+    EXPECT_LE(rack.powerWatts(),
+              400.0 * manager.config().capOvershootFraction + 1.0);
+    EXPECT_TRUE(server.capped());
+}
+
+TEST(RackManager, CapEventCountedOncePerExcursion)
+{
+    Rack rack(0, 400.0);
+    Server &server = rack.addServer(&model());
+    server.addGroup(64, 1.0);
+    RackManagerConfig cfg;
+    cfg.releaseStepsPerTick = 0; // hold caps: stay in one excursion
+    RackManager manager(rack, cfg);
+    manager.tick(0);
+    manager.tick(1);
+    manager.tick(2);
+    EXPECT_EQ(manager.stats().capEvents, 1u);
+    EXPECT_GE(manager.stats().cappedTicks, 1u);
+}
+
+TEST(RackManager, ReleasesCapsWhenHeadroomReturns)
+{
+    Rack rack(0, 400.0);
+    Server &server = rack.addServer(&model());
+    const GroupId g = server.addGroup(64, 1.0);
+    RackManager manager(rack);
+    manager.tick(0); // capped
+    ASSERT_TRUE(server.capped());
+
+    // Load drops: utilization collapses, caps should unwind.
+    server.setUtil(g, 0.05);
+    for (Tick t = 1; t < 200; ++t)
+        manager.tick(t);
+    EXPECT_FALSE(server.capped());
+    EXPECT_FALSE(manager.capping());
+}
+
+TEST(RackManager, PrioritizedVictims)
+{
+    // Two servers: one runs an overclocked group, one does not.
+    // Capping must hit the overclocked server first.
+    Rack rack(0, 100.0); // absurdly low: will cap immediately
+    Server &oc = rack.addServer(&model());
+    Server &plain = rack.addServer(&model());
+    oc.addGroup(16, 0.9, kOverclockMHz, 1);
+    plain.addGroup(16, 0.9, kTurboMHz, 1);
+    RackManagerConfig cfg;
+    cfg.throttleStepsPerTick = 3;
+    RackManager manager(rack, cfg);
+    manager.tick(0);
+    EXPECT_TRUE(oc.capped());
+    EXPECT_FALSE(plain.capped());
+}
+
+TEST(RackManager, WarningWattsMatchesConfig)
+{
+    Rack rack(0, 1000.0);
+    RackManager manager(rack);
+    EXPECT_NEAR(manager.warningWatts(), 950.0, 1e-9);
+}
+
+TEST(RackManager, PenaltyRecordedWhenNonOverclockersThrottled)
+{
+    Rack rack(0, 300.0);
+    Server &server = rack.addServer(&model());
+    server.addGroup(64, 1.0, kTurboMHz, 1);
+    RackManager manager(rack);
+    manager.tick(0);
+    ASSERT_TRUE(manager.capping());
+    EXPECT_GT(manager.stats().penalty.count(), 0u);
+    EXPECT_GT(manager.stats().penalty.mean(), 0.0);
+}

@@ -1,0 +1,205 @@
+/** @file Unit tests for the server hardware model. */
+
+#include <gtest/gtest.h>
+
+#include "power/server.hh"
+
+using namespace soc::power;
+
+namespace
+{
+
+const PowerModel &
+model()
+{
+    static const PowerModel instance;
+    return instance;
+}
+
+} // namespace
+
+TEST(Server, CoreAccounting)
+{
+    Server server(0, &model());
+    EXPECT_EQ(server.totalCores(), 64);
+    EXPECT_EQ(server.freeCores(), 64);
+    const GroupId a = server.addGroup(8, 0.5);
+    const GroupId b = server.addGroup(16, 0.2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(server.usedCores(), 24);
+    EXPECT_EQ(server.freeCores(), 40);
+}
+
+TEST(Server, RejectsOversizedGroup)
+{
+    Server server(0, &model());
+    server.addGroup(60, 0.5);
+    EXPECT_EQ(server.addGroup(8, 0.5), -1);
+    EXPECT_EQ(server.usedCores(), 60);
+}
+
+TEST(Server, RemoveGroupFreesCores)
+{
+    Server server(0, &model());
+    const GroupId a = server.addGroup(10, 0.5);
+    server.removeGroup(a);
+    EXPECT_EQ(server.freeCores(), 64);
+    EXPECT_EQ(server.group(a), nullptr);
+    server.removeGroup(999); // no-op
+}
+
+TEST(Server, UtilClampedToUnit)
+{
+    Server server(0, &model());
+    const GroupId g = server.addGroup(4, 0.5);
+    server.setUtil(g, 1.7);
+    EXPECT_EQ(server.group(g)->util, 1.0);
+    server.setUtil(g, -0.3);
+    EXPECT_EQ(server.group(g)->util, 0.0);
+}
+
+TEST(Server, TargetClampedToLadder)
+{
+    Server server(0, &model());
+    const GroupId g = server.addGroup(4, 0.5);
+    server.setTarget(g, 9999);
+    EXPECT_EQ(server.group(g)->targetMHz, kOverclockMHz);
+    server.setTarget(g, 100);
+    EXPECT_EQ(server.group(g)->targetMHz, kMinMHz);
+}
+
+TEST(Server, EffectiveFrequencyIsMinOfTargetAndCap)
+{
+    CoreGroup g;
+    g.targetMHz = 4000;
+    g.capMHz = 3500;
+    EXPECT_EQ(g.effectiveMHz(), 3500);
+    g.capMHz = 4000;
+    EXPECT_EQ(g.effectiveMHz(), 4000);
+    EXPECT_TRUE(g.overclocked());
+    g.targetMHz = 3300;
+    EXPECT_FALSE(g.overclocked());
+}
+
+TEST(Server, PowerIncreasesWithOverclock)
+{
+    Server server(0, &model());
+    const GroupId g = server.addGroup(16, 0.8);
+    const double base = server.powerWatts();
+    server.setTarget(g, kOverclockMHz);
+    EXPECT_GT(server.powerWatts(), base);
+}
+
+TEST(Server, RegularPowerStripsOverclockSurcharge)
+{
+    Server server(0, &model());
+    const GroupId g = server.addGroup(16, 0.8);
+    const double base = server.powerWatts();
+    server.setTarget(g, kOverclockMHz);
+    EXPECT_NEAR(server.regularPowerWatts(), base, 1e-9);
+    EXPECT_LT(server.regularPowerWatts(), server.powerWatts());
+}
+
+TEST(Server, PowerWattsIfMatchesActualChange)
+{
+    Server server(0, &model());
+    const GroupId g = server.addGroup(8, 0.6);
+    server.addGroup(8, 0.3);
+    const double predicted = server.powerWattsIf(g, kOverclockMHz);
+    server.setTarget(g, kOverclockMHz);
+    EXPECT_NEAR(server.powerWatts(), predicted, 1e-9);
+}
+
+TEST(Server, UtilizationIsCoreWeighted)
+{
+    Server server(0, &model());
+    server.addGroup(32, 1.0);
+    server.addGroup(32, 0.0);
+    EXPECT_NEAR(server.utilization(), 0.5, 1e-9);
+}
+
+TEST(Server, OverclockedCoreCount)
+{
+    Server server(0, &model());
+    const GroupId a = server.addGroup(8, 0.5);
+    server.addGroup(4, 0.5);
+    EXPECT_EQ(server.overclockedCores(), 0);
+    server.setTarget(a, kOverclockMHz);
+    EXPECT_EQ(server.overclockedCores(), 8);
+}
+
+TEST(Server, ThrottlePicksLowestPriorityFirst)
+{
+    Server server(0, &model());
+    const GroupId low = server.addGroup(8, 0.5, kTurboMHz, 1);
+    const GroupId high = server.addGroup(8, 0.5, kTurboMHz, 2);
+    ASSERT_TRUE(server.throttleOneStep());
+    EXPECT_LT(server.group(low)->effectiveMHz(), kTurboMHz);
+    EXPECT_EQ(server.group(high)->effectiveMHz(), kTurboMHz);
+}
+
+TEST(Server, ThrottlePrefersFastestAtSamePriority)
+{
+    Server server(0, &model());
+    const GroupId oc = server.addGroup(8, 0.5, kOverclockMHz, 1);
+    const GroupId normal = server.addGroup(8, 0.5, kTurboMHz, 1);
+    ASSERT_TRUE(server.throttleOneStep());
+    EXPECT_EQ(server.group(oc)->effectiveMHz(),
+              kOverclockMHz - kStepMHz);
+    EXPECT_EQ(server.group(normal)->effectiveMHz(), kTurboMHz);
+}
+
+TEST(Server, ThrottleStopsAtFloor)
+{
+    Server server(0, &model());
+    server.addGroup(4, 0.5);
+    int steps = 0;
+    while (server.throttleOneStep())
+        ++steps;
+    EXPECT_EQ(steps, (kTurboMHz - kMinMHz) / kStepMHz);
+    EXPECT_FALSE(server.throttleOneStep());
+}
+
+TEST(Server, UnthrottleRestoresCaps)
+{
+    Server server(0, &model());
+    const GroupId g = server.addGroup(4, 0.5);
+    server.throttleOneStep();
+    server.throttleOneStep();
+    EXPECT_TRUE(server.capped());
+    while (server.unthrottleOneStep()) {
+    }
+    EXPECT_FALSE(server.capped());
+    EXPECT_EQ(server.group(g)->effectiveMHz(), kTurboMHz);
+}
+
+TEST(Server, ClearCapsInstant)
+{
+    Server server(0, &model());
+    server.addGroup(4, 0.5);
+    server.throttleOneStep();
+    server.clearCaps();
+    EXPECT_FALSE(server.capped());
+}
+
+TEST(Server, CappingPenaltyCountsOnlyAffectedNonOverclockCores)
+{
+    Server server(0, &model());
+    const GroupId normal = server.addGroup(8, 0.5, kTurboMHz, 1);
+    server.addGroup(8, 0.5, kOverclockMHz, 1);
+    EXPECT_EQ(server.cappingPenalty(), 0.0);
+    EXPECT_EQ(server.cappedNonOverclockCores(), 0);
+
+    // Throttling first removes the overclocker's boost: still no
+    // penalty on the normal group.
+    for (int i = 0; i < 7; ++i)
+        server.throttleOneStep();
+    EXPECT_EQ(server.cappingPenalty(), 0.0);
+
+    // Next steps dig into the normal group.
+    server.throttleOneStep();
+    EXPECT_GT(server.cappingPenalty(), 0.0);
+    EXPECT_EQ(server.cappedNonOverclockCores(), 8);
+    EXPECT_EQ(server.group(normal)->effectiveMHz(),
+              kTurboMHz - kStepMHz);
+}

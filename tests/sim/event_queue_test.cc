@@ -1,0 +1,182 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using soc::sim::EventQueue;
+using soc::sim::Tick;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i](Tick) { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, HandlerReceivesItsTick)
+{
+    EventQueue q;
+    Tick seen = -1;
+    q.schedule(42, [&](Tick t) { seen = t; });
+    q.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(10, [&](Tick) { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotent)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [](Tick) {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelledEventsDoNotCountAsPending)
+{
+    EventQueue q;
+    auto a = q.schedule(10, [](Tick) {});
+    q.schedule(20, [](Tick) {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, HandlerCanReschedule)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void(Tick)> self = [&](Tick t) {
+        ++count;
+        if (count < 5)
+            q.schedule(t + 10, self);
+    };
+    q.schedule(0, self);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock)
+{
+    EventQueue q;
+    std::vector<Tick> executed;
+    for (Tick t = 10; t <= 100; t += 10)
+        q.schedule(t, [&](Tick now) { executed.push_back(now); });
+    q.runUntil(55);
+    EXPECT_EQ(executed.size(), 5u);
+    EXPECT_EQ(q.now(), 55);
+    q.runUntil(100);
+    EXPECT_EQ(executed.size(), 10u);
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, RunUntilIncludesEventsAtBoundary)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(50, [&](Tick) { ran = true; });
+    q.runUntil(50);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueAdvancesClock)
+{
+    EventQueue q;
+    q.runUntil(1000);
+    EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Tick when = -1;
+    q.schedule(100, [&](Tick t) {
+        q.scheduleAfter(25, [&](Tick inner) { when = inner; });
+        (void)t;
+    });
+    q.run();
+    EXPECT_EQ(when, 125);
+}
+
+TEST(EventQueue, ExecutedCountTracksOnlyRunEvents)
+{
+    EventQueue q;
+    auto id = q.schedule(1, [](Tick) {});
+    q.schedule(2, [](Tick) {});
+    q.cancel(id);
+    q.run();
+    EXPECT_EQ(q.executedCount(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    Tick last = -1;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick when = (i * 7919) % 4096;
+        q.schedule(when, [&](Tick t) {
+            if (t < last)
+                monotonic = false;
+            last = t;
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(q.executedCount(), 10000u);
+}
+
+TEST(EventQueue, CancelFromWithinHandler)
+{
+    EventQueue q;
+    bool second_ran = false;
+    soc::sim::EventId second =
+        q.schedule(20, [&](Tick) { second_ran = true; });
+    q.schedule(10, [&](Tick) { q.cancel(second); });
+    q.run();
+    EXPECT_FALSE(second_ran);
+}

@@ -1,0 +1,155 @@
+/** @file Statistical sanity tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+using soc::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformInt(2, 9);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 9);
+        saw_lo |= v == 2;
+        saw_hi |= v == 9;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(10);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(4.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanMatches)
+{
+    // mean of lognormal = exp(mu + sigma^2/2)
+    Rng rng(12);
+    const double mu = 0.5, sigma = 0.6;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormal(mu, sigma);
+    EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2.0), 0.05);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge)
+{
+    Rng rng(13);
+    for (double mean : {0.5, 3.0, 12.0, 80.0}) {
+        double sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(rng.poisson(mean));
+        EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05)
+            << "mean=" << mean;
+    }
+}
+
+TEST(Rng, PoissonOfNonPositiveMeanIsZero)
+{
+    Rng rng(14);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+    EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, ChanceFrequencyMatches)
+{
+    Rng rng(15);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(16);
+    Rng child = parent.split();
+    // Child and parent should not produce identical sequences.
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent() == child())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(17), b(17);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ca(), cb());
+}

@@ -1,0 +1,228 @@
+/** @file Unit and property tests for the statistics utilities. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace soc::sim;
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments)
+{
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential)
+{
+    Rng rng(3);
+    OnlineStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides)
+{
+    OnlineStats a, b;
+    a.add(1.0);
+    a.merge(b); // empty rhs
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a); // empty lhs
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentiles, EmptyQuantileIsZero)
+{
+    Percentiles p;
+    EXPECT_EQ(p.quantile(0.5), 0.0);
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(Percentiles, SingleSample)
+{
+    Percentiles p;
+    p.add(7.0);
+    EXPECT_EQ(p.p50(), 7.0);
+    EXPECT_EQ(p.p99(), 7.0);
+    EXPECT_EQ(p.min(), 7.0);
+    EXPECT_EQ(p.max(), 7.0);
+}
+
+TEST(Percentiles, ExactQuantilesOnKnownData)
+{
+    Percentiles p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(static_cast<double>(i));
+    EXPECT_NEAR(p.p50(), 50.5, 1e-9);
+    EXPECT_NEAR(p.quantile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(p.quantile(1.0), 100.0, 1e-9);
+    EXPECT_NEAR(p.p99(), 99.01, 1e-9);
+}
+
+TEST(Percentiles, QuantileMonotoneInQ)
+{
+    Rng rng(5);
+    Percentiles p;
+    for (int i = 0; i < 1000; ++i)
+        p.add(rng.lognormal(0.0, 1.0));
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double v = p.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Percentiles, InterleavedAddAndQuery)
+{
+    Percentiles p;
+    p.add(10.0);
+    EXPECT_EQ(p.p50(), 10.0);
+    p.add(20.0);
+    p.add(0.0);
+    EXPECT_NEAR(p.p50(), 10.0, 1e-9);
+}
+
+TEST(Percentiles, MergeCombinesSamples)
+{
+    Percentiles a, b;
+    for (int i = 0; i < 50; ++i)
+        a.add(1.0);
+    for (int i = 0; i < 50; ++i)
+        b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_NEAR(a.mean(), 2.0, 1e-9);
+}
+
+TEST(Percentiles, FractionAbove)
+{
+    Percentiles p;
+    for (int i = 1; i <= 10; ++i)
+        p.add(static_cast<double>(i));
+    EXPECT_NEAR(p.fractionAbove(7.0), 0.3, 1e-9);
+    EXPECT_NEAR(p.fractionAbove(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(p.fractionAbove(10.0), 0.0, 1e-9);
+}
+
+TEST(Cdf, EndsAtExtremes)
+{
+    std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+    const auto cdf = buildCdf(samples, 11);
+    ASSERT_EQ(cdf.size(), 11u);
+    EXPECT_EQ(cdf.front().value, 1.0);
+    EXPECT_EQ(cdf.front().fraction, 0.0);
+    EXPECT_EQ(cdf.back().value, 5.0);
+    EXPECT_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Cdf, MonotoneValues)
+{
+    Rng rng(6);
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(rng.normal(0.0, 1.0));
+    const auto cdf = buildCdf(samples, 50);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+        EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+    }
+}
+
+TEST(Cdf, EmptyInput)
+{
+    EXPECT_TRUE(buildCdf({}, 10).empty());
+    EXPECT_TRUE(buildCdf({1.0}, 0).empty());
+}
+
+TEST(Rmse, ZeroForPerfectPrediction)
+{
+    std::vector<double> a{1.0, 2.0, 3.0};
+    EXPECT_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Rmse, KnownValue)
+{
+    std::vector<double> actual{0.0, 0.0};
+    std::vector<double> pred{3.0, 4.0};
+    // sqrt((9 + 16) / 2) = sqrt(12.5)
+    EXPECT_NEAR(rmse(actual, pred), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Rmse, EmptyIsZero)
+{
+    EXPECT_EQ(rmse({}, {}), 0.0);
+}
+
+TEST(Errors, SignedAndAbsolute)
+{
+    std::vector<double> actual{1.0, 2.0, 3.0};
+    std::vector<double> pred{2.0, 2.0, 1.0};
+    EXPECT_NEAR(meanAbsoluteError(actual, pred), 1.0, 1e-12);
+    EXPECT_NEAR(meanSignedError(actual, pred), -1.0 / 3.0, 1e-12);
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_EQ(median({}), 0.0);
+    EXPECT_EQ(median({42.0}), 42.0);
+}
+
+/** Property sweep: quantile() agrees with a naive sorted lookup. */
+class QuantileProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantileProperty, MatchesNaiveImplementation)
+{
+    Rng rng(100 + GetParam());
+    Percentiles p;
+    std::vector<double> raw;
+    const int n = 10 + GetParam() * 37;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.uniform(0.0, 1000.0);
+        p.add(v);
+        raw.push_back(v);
+    }
+    std::sort(raw.begin(), raw.end());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+        const double rank = q * (n - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const auto hi = std::min<std::size_t>(lo + 1, n - 1);
+        const double frac = rank - static_cast<double>(lo);
+        const double expect = raw[lo] * (1 - frac) + raw[hi] * frac;
+        EXPECT_NEAR(p.quantile(q), expect, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileProperty,
+                         ::testing::Range(0, 8));

@@ -1,0 +1,66 @@
+/** @file Unit tests for the simulated-time helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hh"
+
+using namespace soc::sim;
+
+TEST(Time, ConstantsAreConsistent)
+{
+    EXPECT_EQ(kSecond, 1000 * kMillisecond);
+    EXPECT_EQ(kMinute, 60 * kSecond);
+    EXPECT_EQ(kHour, 60 * kMinute);
+    EXPECT_EQ(kDay, 24 * kHour);
+    EXPECT_EQ(kWeek, 7 * kDay);
+    EXPECT_EQ(kSlotsPerDay, 288);
+    EXPECT_EQ(kSlotsPerWeek, 2016);
+}
+
+TEST(Time, DayOfWeekStartsMonday)
+{
+    EXPECT_EQ(dayOfWeek(0), 0);
+    EXPECT_EQ(dayOfWeek(kDay - 1), 0);
+    EXPECT_EQ(dayOfWeek(kDay), 1);
+    EXPECT_EQ(dayOfWeek(6 * kDay), 6);
+    EXPECT_EQ(dayOfWeek(kWeek), 0);
+    EXPECT_EQ(dayOfWeek(kWeek + 3 * kDay), 3);
+}
+
+TEST(Time, WeekendDetection)
+{
+    EXPECT_FALSE(isWeekend(0));
+    EXPECT_FALSE(isWeekend(4 * kDay));
+    EXPECT_TRUE(isWeekend(5 * kDay));
+    EXPECT_TRUE(isWeekend(6 * kDay + kHour));
+    EXPECT_FALSE(isWeekend(kWeek));
+}
+
+TEST(Time, TimeOfDayWraps)
+{
+    EXPECT_EQ(timeOfDay(3 * kDay + 5 * kHour), 5 * kHour);
+    EXPECT_EQ(timeOfDay(0), 0);
+}
+
+TEST(Time, SlotOfDay)
+{
+    EXPECT_EQ(slotOfDay(0), 0);
+    EXPECT_EQ(slotOfDay(4 * kMinute), 0);
+    EXPECT_EQ(slotOfDay(5 * kMinute), 1);
+    EXPECT_EQ(slotOfDay(kDay - 1), 287);
+    EXPECT_EQ(slotOfDay(kDay + 10 * kMinute), 2);
+}
+
+TEST(Time, HourOfDayFractional)
+{
+    EXPECT_DOUBLE_EQ(hourOfDay(90 * kMinute), 1.5);
+    EXPECT_DOUBLE_EQ(hourOfDay(kDay + 6 * kHour), 6.0);
+}
+
+TEST(Time, FormatTick)
+{
+    EXPECT_EQ(formatTick(0), "d0 00:00:00");
+    EXPECT_EQ(formatTick(kDay + kHour + kMinute + kSecond),
+              "d1 01:01:01");
+    EXPECT_EQ(formatTick(9 * kDay + 23 * kHour), "d9 23:00:00");
+}

@@ -1,0 +1,75 @@
+/** @file Unit tests for the console-table / CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/table.hh"
+
+using namespace soc::telemetry;
+
+TEST(Fmt, DoubleFormatting)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, PercentFormatting)
+{
+    EXPECT_EQ(fmtPercent(0.093), "9.3%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+    EXPECT_EQ(fmtPercent(0.5, 2), "50.00%");
+}
+
+TEST(Table, TracksShape)
+{
+    Table t("demo", {"a", "b"});
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.title(), "demo");
+}
+
+TEST(Table, PrintContainsTitleHeadersAndCells)
+{
+    Table t("My Table", {"col1", "column2"});
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("My Table"), std::string::npos);
+    EXPECT_NE(out.find("col1"), std::string::npos);
+    EXPECT_NE(out.find("column2"), std::string::npos);
+    EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table t("t", {"h", "i"});
+    t.addRow({"longvalue", "1"});
+    t.addRow({"s", "2"});
+    std::ostringstream os;
+    t.print(os);
+    // Find the two data lines and check the separator column matches.
+    std::istringstream is(os.str());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    ASSERT_GE(lines.size(), 5u);
+    const auto bar1 = lines[3].find('|');
+    const auto bar2 = lines[4].find('|');
+    EXPECT_EQ(bar1, bar2);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("t", {"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.writeCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}

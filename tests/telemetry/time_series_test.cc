@@ -1,0 +1,115 @@
+/** @file Unit tests for the fixed-interval time series. */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/time_series.hh"
+
+using namespace soc;
+using telemetry::TimeSeries;
+using sim::kSlot;
+using sim::Tick;
+
+TEST(TimeSeries, EmptyBasics)
+{
+    TimeSeries s(0, kSlot);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.end(), 0);
+    EXPECT_EQ(s.atTime(12345), 0.0);
+}
+
+TEST(TimeSeries, AppendAndIndex)
+{
+    TimeSeries s(0, kSlot);
+    s.append(1.0);
+    s.append(2.0);
+    s.append(3.0);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.at(0), 1.0);
+    EXPECT_EQ(s.at(2), 3.0);
+    EXPECT_EQ(s.end(), 3 * kSlot);
+    EXPECT_EQ(s.timeOf(1), kSlot);
+}
+
+TEST(TimeSeries, AtTimeSelectsWindow)
+{
+    TimeSeries s(0, kSlot, {10.0, 20.0, 30.0});
+    EXPECT_EQ(s.atTime(0), 10.0);
+    EXPECT_EQ(s.atTime(kSlot - 1), 10.0);
+    EXPECT_EQ(s.atTime(kSlot), 20.0);
+    EXPECT_EQ(s.atTime(3 * kSlot + 5), 30.0); // clamps past end
+}
+
+TEST(TimeSeries, AtTimeClampsBeforeStart)
+{
+    TimeSeries s(10 * kSlot, kSlot, {5.0, 6.0});
+    EXPECT_EQ(s.atTime(0), 5.0);
+    EXPECT_EQ(s.atTime(10 * kSlot), 5.0);
+    EXPECT_EQ(s.atTime(11 * kSlot), 6.0);
+}
+
+TEST(TimeSeries, NonZeroStartIndexing)
+{
+    TimeSeries s(2 * kSlot, kSlot, {1.0, 2.0});
+    EXPECT_EQ(s.timeOf(0), 2 * kSlot);
+    EXPECT_EQ(s.indexOf(2 * kSlot), 0u);
+    EXPECT_EQ(s.indexOf(3 * kSlot), 1u);
+    EXPECT_EQ(s.end(), 4 * kSlot);
+}
+
+TEST(TimeSeries, SetOverwrites)
+{
+    TimeSeries s(0, kSlot, {1.0, 2.0});
+    s.set(1, 9.0);
+    EXPECT_EQ(s.at(1), 9.0);
+}
+
+TEST(TimeSeries, SliceSelectsFullyContainedWindows)
+{
+    TimeSeries s(0, kSlot, {0.0, 1.0, 2.0, 3.0, 4.0});
+    const TimeSeries cut = s.slice(kSlot, 4 * kSlot);
+    ASSERT_EQ(cut.size(), 3u);
+    EXPECT_EQ(cut.at(0), 1.0);
+    EXPECT_EQ(cut.at(2), 3.0);
+    EXPECT_EQ(cut.start(), kSlot);
+}
+
+TEST(TimeSeries, StatsAndQuantile)
+{
+    TimeSeries s(0, kSlot, {1.0, 2.0, 3.0, 4.0});
+    const auto stats = s.stats();
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+    EXPECT_NEAR(s.quantile(0.5), 2.5, 1e-9);
+}
+
+TEST(TimeSeries, PlusEqualsElementwise)
+{
+    TimeSeries a(0, kSlot, {1.0, 2.0});
+    TimeSeries b(0, kSlot, {10.0, 20.0});
+    a += b;
+    EXPECT_EQ(a.at(0), 11.0);
+    EXPECT_EQ(a.at(1), 22.0);
+}
+
+TEST(TimeSeries, ScaleAndClamp)
+{
+    TimeSeries s(0, kSlot, {1.0, -2.0, 3.0});
+    s.scale(2.0);
+    EXPECT_EQ(s.at(1), -4.0);
+    s.clamp(0.0, 5.0);
+    EXPECT_EQ(s.at(0), 2.0);
+    EXPECT_EQ(s.at(1), 0.0);
+    EXPECT_EQ(s.at(2), 5.0);
+}
+
+TEST(TimeSeries, SumOfAlignedSeries)
+{
+    TimeSeries a(0, kSlot, {1.0, 2.0});
+    TimeSeries b(0, kSlot, {3.0, 4.0});
+    TimeSeries c(0, kSlot, {5.0, 6.0});
+    const TimeSeries total = TimeSeries::sum({&a, &b, &c});
+    EXPECT_EQ(total.at(0), 9.0);
+    EXPECT_EQ(total.at(1), 12.0);
+}

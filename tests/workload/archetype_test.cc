@@ -1,0 +1,122 @@
+/** @file Unit tests for the service load-shape archetypes. */
+
+#include <gtest/gtest.h>
+
+#include "workload/archetype.hh"
+
+using namespace soc;
+using namespace soc::workload;
+using sim::kDay;
+using sim::kHour;
+using sim::kMinute;
+
+TEST(Shape, AllShapesStayInUnitRange)
+{
+    for (auto kind : {ShapeKind::MorningPeak, ShapeKind::TopOfHour,
+                      ShapeKind::BusinessHours, ShapeKind::Diurnal,
+                      ShapeKind::ConstantHigh, ShapeKind::NightBatch,
+                      ShapeKind::LowIdle}) {
+        for (sim::Tick t = 0; t < kDay; t += 7 * kMinute) {
+            const double v = shapeValue(kind, t);
+            ASSERT_GE(v, 0.0) << shapeName(kind);
+            ASSERT_LE(v, 1.0) << shapeName(kind);
+        }
+    }
+}
+
+TEST(Shape, MorningPeakPeaksMidMorning)
+{
+    const double peak = shapeValue(ShapeKind::MorningPeak,
+                                   11 * kHour);
+    const double night = shapeValue(ShapeKind::MorningPeak,
+                                    3 * kHour);
+    EXPECT_EQ(peak, 1.0);
+    EXPECT_LT(night, 0.2);
+}
+
+TEST(Shape, TopOfHourSpikes)
+{
+    // Spike at :02, calm at :15 (same hour, midday).
+    const sim::Tick base = 13 * kHour;
+    const double spike = shapeValue(ShapeKind::TopOfHour,
+                                    base + 2 * kMinute);
+    const double calm = shapeValue(ShapeKind::TopOfHour,
+                                   base + 15 * kMinute);
+    const double half = shapeValue(ShapeKind::TopOfHour,
+                                   base + 32 * kMinute);
+    EXPECT_GT(spike, calm + 0.4);
+    EXPECT_GT(half, calm + 0.4);
+}
+
+TEST(Shape, ConstantHighIsFlat)
+{
+    EXPECT_EQ(shapeValue(ShapeKind::ConstantHigh, 0), 1.0);
+    EXPECT_EQ(shapeValue(ShapeKind::ConstantHigh, 13 * kHour), 1.0);
+}
+
+TEST(Shape, NightBatchPeaksAtNight)
+{
+    EXPECT_GT(shapeValue(ShapeKind::NightBatch, 2 * kHour), 0.9);
+    EXPECT_LT(shapeValue(ShapeKind::NightBatch, 14 * kHour), 0.1);
+}
+
+TEST(Archetype, UtilBetweenBaseAndPeak)
+{
+    Archetype a;
+    a.baseUtil = 0.2;
+    a.peakUtil = 0.8;
+    for (sim::Tick t = 0; t < kDay; t += 11 * kMinute) {
+        const double u = a.utilAt(t);
+        ASSERT_GE(u, 0.2 - 1e-9);
+        ASSERT_LE(u, 0.8 + 1e-9);
+    }
+}
+
+TEST(Archetype, WeekendAmplitudeReduced)
+{
+    Archetype a;
+    a.kind = ShapeKind::Diurnal;
+    a.baseUtil = 0.1;
+    a.peakUtil = 0.9;
+    a.weekendFactor = 0.5;
+    const sim::Tick midday = 13 * kHour + 30 * kMinute;
+    const double weekday = a.utilAt(midday);            // Monday
+    const double weekend = a.utilAt(5 * kDay + midday); // Saturday
+    EXPECT_GT(weekday, weekend);
+    EXPECT_NEAR(weekend - a.baseUtil,
+                (weekday - a.baseUtil) * 0.5, 0.02);
+}
+
+TEST(Archetype, ConstantHighIgnoresWeekends)
+{
+    Archetype a = mlTraining();
+    EXPECT_NEAR(a.utilAt(0), a.utilAt(5 * kDay), 1e-9);
+}
+
+TEST(Archetype, PhaseShiftMovesPeak)
+{
+    Archetype a;
+    a.kind = ShapeKind::MorningPeak;
+    a.baseUtil = 0.0;
+    a.peakUtil = 1.0;
+    Archetype shifted = a;
+    shifted.phaseShift = -2 * kHour; // peak appears 2h later
+    EXPECT_NEAR(a.utilAt(11 * kHour), shifted.utilAt(13 * kHour),
+                1e-9);
+}
+
+TEST(Archetype, NamedServicesHaveExpectedShapes)
+{
+    EXPECT_EQ(serviceA().kind, ShapeKind::MorningPeak);
+    EXPECT_EQ(serviceB().kind, ShapeKind::TopOfHour);
+    EXPECT_EQ(serviceC().kind, ShapeKind::TopOfHour);
+    EXPECT_EQ(mlTraining().kind, ShapeKind::ConstantHigh);
+    EXPECT_GT(serviceB().peakUtil, serviceB().baseUtil);
+}
+
+TEST(Archetype, ShapeNamesAreUnique)
+{
+    EXPECT_NE(shapeName(ShapeKind::Diurnal),
+              shapeName(ShapeKind::LowIdle));
+    EXPECT_EQ(shapeName(ShapeKind::TopOfHour), "top-of-hour");
+}

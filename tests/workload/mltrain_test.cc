@@ -1,0 +1,63 @@
+/** @file Unit tests for the MLTrain throughput model. */
+
+#include <gtest/gtest.h>
+
+#include "workload/mltrain.hh"
+
+using namespace soc;
+using namespace soc::workload;
+
+TEST(MlTrain, BaseThroughputAtTurbo)
+{
+    MlTrainJob job(1000.0, 0.3);
+    EXPECT_NEAR(job.throughput(power::kTurboMHz), 1000.0, 1e-9);
+}
+
+TEST(MlTrain, ThroughputRisesWithFrequency)
+{
+    MlTrainJob job(1000.0, 0.3);
+    EXPECT_GT(job.throughput(power::kOverclockMHz), 1000.0);
+    EXPECT_LT(job.throughput(power::kBaseMHz), 1000.0);
+}
+
+TEST(MlTrain, MemoryBoundFractionCapsSpeedup)
+{
+    MlTrainJob compute(1000.0, 0.0);
+    MlTrainJob memory(1000.0, 0.9);
+    const double c = compute.throughput(power::kOverclockMHz);
+    const double m = memory.throughput(power::kOverclockMHz);
+    EXPECT_GT(c, m);
+    // Fully compute-bound scales linearly with frequency.
+    EXPECT_NEAR(c, 1000.0 * 4000.0 / 3300.0, 1e-6);
+}
+
+TEST(MlTrain, ProgressIntegrates)
+{
+    MlTrainJob job(100.0, 0.3);
+    job.advance(10 * sim::kSecond, power::kTurboMHz);
+    EXPECT_NEAR(job.progress(), 1000.0, 1e-6);
+    EXPECT_NEAR(job.meanThroughput(), 100.0, 1e-6);
+}
+
+TEST(MlTrain, ThrottlingSlowsProgress)
+{
+    MlTrainJob fast(100.0, 0.3);
+    MlTrainJob slow(100.0, 0.3);
+    fast.advance(10 * sim::kSecond, power::kTurboMHz);
+    slow.advance(10 * sim::kSecond, power::kMinMHz);
+    EXPECT_GT(fast.progress(), slow.progress());
+}
+
+TEST(MlTrain, MeanThroughputMixesPhases)
+{
+    MlTrainJob job(100.0, 0.0);
+    job.advance(10 * sim::kSecond, power::kTurboMHz);
+    job.advance(10 * sim::kSecond, 1650); // exactly half speed
+    EXPECT_NEAR(job.meanThroughput(), 75.0, 1e-6);
+}
+
+TEST(MlTrain, ZeroElapsedMeansZeroMeanThroughput)
+{
+    MlTrainJob job;
+    EXPECT_EQ(job.meanThroughput(), 0.0);
+}

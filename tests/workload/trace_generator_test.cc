@@ -1,0 +1,190 @@
+/** @file Unit and property tests for the synthetic trace generator. */
+
+#include <gtest/gtest.h>
+
+#include "core/profile_template.hh"
+#include "workload/trace_generator.hh"
+
+using namespace soc;
+using namespace soc::workload;
+
+namespace
+{
+
+TraceConfig
+shortConfig()
+{
+    TraceConfig cfg;
+    cfg.end = 2 * sim::kWeek;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TraceGenerator, DeterministicForSeed)
+{
+    TraceGenerator a(42, shortConfig());
+    TraceGenerator b(42, shortConfig());
+    const auto sa = a.utilSeries(serviceA());
+    const auto sb = b.utilSeries(serviceA());
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i)
+        ASSERT_EQ(sa.at(i), sb.at(i));
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer)
+{
+    TraceGenerator a(1, shortConfig());
+    TraceGenerator b(2, shortConfig());
+    const auto sa = a.utilSeries(serviceA());
+    const auto sb = b.utilSeries(serviceA());
+    int diff = 0;
+    for (std::size_t i = 0; i < sa.size(); ++i)
+        if (sa.at(i) != sb.at(i))
+            ++diff;
+    EXPECT_GT(diff, static_cast<int>(sa.size()) / 2);
+}
+
+TEST(TraceGenerator, SeriesCoversConfiguredSpan)
+{
+    TraceGenerator gen(3, shortConfig());
+    const auto series = gen.utilSeries(serviceB());
+    EXPECT_EQ(series.size(),
+              static_cast<std::size_t>(2 * sim::kSlotsPerWeek));
+    EXPECT_EQ(series.interval(), sim::kSlot);
+}
+
+TEST(TraceGenerator, UtilStaysInUnitRange)
+{
+    TraceGenerator gen(4, shortConfig());
+    for (const auto &arch : {serviceA(), serviceB(), mlTraining()}) {
+        const auto series = gen.utilSeries(arch);
+        for (double v : series.values()) {
+            ASSERT_GE(v, 0.0);
+            ASSERT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(TraceGenerator, WeekOverWeekRepeatability)
+{
+    // The core property behind Fig. 8: a DailyMed template built on
+    // week 1 predicts week 2 with small error relative to the mean.
+    TraceConfig cfg;
+    cfg.end = 2 * sim::kWeek;
+    TraceGenerator gen(5, cfg);
+    const power::PowerModel model;
+    const auto trace = gen.serverTrace(gen.randomVmMix(64), model);
+
+    const auto week1 = trace.powerWatts.slice(0, sim::kWeek);
+    const auto week2 =
+        trace.powerWatts.slice(sim::kWeek, 2 * sim::kWeek);
+    const auto tmpl = core::ProfileTemplate::build(
+        core::TemplateStrategy::DailyMed, week1);
+    const double err = tmpl.rmseAgainst(week2);
+    const double mean = week2.stats().mean();
+    EXPECT_LT(err / mean, 0.10)
+        << "rmse=" << err << " mean=" << mean;
+}
+
+TEST(TraceGenerator, RandomVmMixFitsServer)
+{
+    TraceGenerator gen(6, shortConfig());
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto mix = gen.randomVmMix(64);
+        ASSERT_FALSE(mix.empty());
+        int cores = 0;
+        for (const auto &vm : mix) {
+            ASSERT_GE(vm.cores, 1);
+            ASSERT_LE(vm.cores, 8);
+            cores += vm.cores;
+        }
+        ASSERT_LE(cores, 64);
+        ASSERT_GE(cores, 40); // decently packed
+    }
+}
+
+TEST(TraceGenerator, MlHeavyMixIsHot)
+{
+    TraceGenerator gen(7, shortConfig());
+    const auto mix = gen.mlHeavyMix(64);
+    ASSERT_FALSE(mix.empty());
+    int ml_cores = 0;
+    for (const auto &vm : mix)
+        if (vm.archetype.kind == ShapeKind::ConstantHigh)
+            ml_cores += vm.cores;
+    EXPECT_GE(ml_cores, 48);
+}
+
+TEST(TraceGenerator, ServerTraceConsistency)
+{
+    TraceGenerator gen(8, shortConfig());
+    const power::PowerModel model;
+    const auto mix = gen.randomVmMix(64);
+    const auto trace = gen.serverTrace(mix, model);
+    ASSERT_EQ(trace.vmUtil.size(), mix.size());
+    ASSERT_EQ(trace.serverUtil.size(), trace.powerWatts.size());
+
+    // Server util must be the core-weighted VM utils.
+    for (std::size_t i = 0; i < trace.serverUtil.size(); i += 97) {
+        double weighted = 0.0;
+        for (std::size_t v = 0; v < mix.size(); ++v)
+            weighted += mix[v].cores * trace.vmUtil[v].at(i);
+        EXPECT_NEAR(trace.serverUtil.at(i), weighted / 64.0, 1e-9);
+    }
+
+    // Power must be above idle and below TDP (at turbo).
+    for (double w : trace.powerWatts.values()) {
+        ASSERT_GE(w, model.params().idleWatts);
+        ASSERT_LE(w, model.params().tdpWatts + 1e-9);
+    }
+}
+
+TEST(TraceGenerator, RackPowerSumsServers)
+{
+    TraceGenerator gen(9, shortConfig());
+    const power::PowerModel model;
+    std::vector<ServerTrace> traces;
+    for (int s = 0; s < 3; ++s)
+        traces.push_back(gen.serverTrace(gen.randomVmMix(64), model));
+    const auto rack = TraceGenerator::rackPower(traces);
+    for (std::size_t i = 0; i < rack.size(); i += 131) {
+        double sum = 0.0;
+        for (const auto &t : traces)
+            sum += t.powerWatts.at(i);
+        EXPECT_NEAR(rack.at(i), sum, 1e-9);
+    }
+}
+
+TEST(TraceGenerator, ServersInRackAreDiverse)
+{
+    // Fig. 9's premise: per-server power profiles differ materially.
+    TraceGenerator gen(10, shortConfig());
+    const power::PowerModel model;
+    const auto a = gen.serverTrace(gen.randomVmMix(64), model);
+    const auto b = gen.serverTrace(gen.randomVmMix(64), model);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.powerWatts.size(); ++i) {
+        diff += std::abs(a.powerWatts.at(i) - b.powerWatts.at(i));
+    }
+    diff /= static_cast<double>(a.powerWatts.size());
+    EXPECT_GT(diff, 5.0); // materially apart on average
+}
+
+TEST(TraceGenerator, OutlierDaysReduceLoad)
+{
+    TraceConfig with;
+    with.end = 8 * sim::kWeek;
+    with.outlierDayProb = 0.5;
+    with.outlierScale = 0.2;
+    with.surgeDayProb = 0.0;
+    TraceConfig without = with;
+    without.outlierDayProb = 0.0;
+    TraceGenerator gw(11, with);
+    TraceGenerator go(11, without);
+    const double mean_with =
+        gw.utilSeries(serviceA()).stats().mean();
+    const double mean_without =
+        go.utilSeries(serviceA()).stats().mean();
+    EXPECT_LT(mean_with, mean_without);
+}

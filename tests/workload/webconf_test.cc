@@ -1,0 +1,87 @@
+/** @file Unit tests for the WebConf deployment-level model (Fig. 4). */
+
+#include <gtest/gtest.h>
+
+#include "workload/webconf.hh"
+
+using namespace soc;
+using namespace soc::workload;
+
+TEST(WebConf, VmUtilIsLoadOverCores)
+{
+    WebConfDeployment dep;
+    const int vm = dep.addVm(4, 2.0);
+    EXPECT_NEAR(dep.vmUtil(vm), 0.5, 1e-9);
+}
+
+TEST(WebConf, UtilClamped)
+{
+    WebConfDeployment dep;
+    const int vm = dep.addVm(2, 10.0);
+    EXPECT_EQ(dep.vmUtil(vm), 1.0);
+}
+
+TEST(WebConf, OverclockLowersVmUtil)
+{
+    WebConfDeployment dep;
+    const int vm = dep.addVm(4, 3.2); // 80% at turbo
+    const double before = dep.vmUtil(vm);
+    dep.setFrequency(vm, power::kOverclockMHz);
+    EXPECT_LT(dep.vmUtil(vm), before);
+}
+
+TEST(WebConf, DeploymentUtilIsCoreWeighted)
+{
+    WebConfDeployment dep;
+    dep.addVm(4, 0.4);  // 10%
+    dep.addVm(4, 3.2);  // 80%
+    EXPECT_NEAR(dep.deploymentUtil(), 0.45, 1e-9);
+}
+
+TEST(WebConf, Fig4Scenario)
+{
+    // Two VMs at 10% and 80%: deployment-level util 45% meets the
+    // 50% goal, so overclocking the hot VM is flagged as wasted.
+    WebConfDeployment dep(0.5);
+    dep.addVm(4, 0.4);
+    const int hot = dep.addVm(4, 3.2);
+    EXPECT_TRUE(dep.meetsTarget());
+    EXPECT_FALSE(dep.overclockUseful(hot, power::kOverclockMHz));
+}
+
+TEST(WebConf, OverclockUsefulWhenGoalMissed)
+{
+    WebConfDeployment dep(0.5);
+    const int a = dep.addVm(4, 3.0); // 75%
+    dep.addVm(4, 2.4);               // 60%
+    EXPECT_FALSE(dep.meetsTarget());
+    EXPECT_TRUE(dep.overclockUseful(a, power::kOverclockMHz));
+    // Overclocking to the same frequency is never useful.
+    EXPECT_FALSE(dep.overclockUseful(a, power::kTurboMHz));
+}
+
+TEST(WebConf, MemBoundFracLimitsUtilReduction)
+{
+    WebConfDeployment cpu_bound(0.5, 0.0);
+    WebConfDeployment mem_bound(0.5, 0.8);
+    const int a = cpu_bound.addVm(4, 3.2);
+    const int b = mem_bound.addVm(4, 3.2);
+    cpu_bound.setFrequency(a, power::kOverclockMHz);
+    mem_bound.setFrequency(b, power::kOverclockMHz);
+    EXPECT_LT(cpu_bound.vmUtil(a), mem_bound.vmUtil(b));
+}
+
+TEST(WebConf, EmptyDeploymentIsZeroUtil)
+{
+    WebConfDeployment dep;
+    EXPECT_EQ(dep.deploymentUtil(), 0.0);
+    EXPECT_TRUE(dep.meetsTarget());
+}
+
+TEST(WebConf, LoadUpdateReflected)
+{
+    WebConfDeployment dep;
+    const int vm = dep.addVm(4, 1.0);
+    dep.setLoad(vm, 2.0);
+    EXPECT_NEAR(dep.vmUtil(vm), 0.5, 1e-9);
+}
