@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_load_patterns"
+  "../bench/bench_fig01_load_patterns.pdb"
+  "CMakeFiles/bench_fig01_load_patterns.dir/fig01_load_patterns.cc.o"
+  "CMakeFiles/bench_fig01_load_patterns.dir/fig01_load_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_load_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

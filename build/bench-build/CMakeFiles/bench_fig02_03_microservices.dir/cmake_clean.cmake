@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_03_microservices"
+  "../bench/bench_fig02_03_microservices.pdb"
+  "CMakeFiles/bench_fig02_03_microservices.dir/fig02_03_microservices.cc.o"
+  "CMakeFiles/bench_fig02_03_microservices.dir/fig02_03_microservices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_03_microservices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_webconf"
+  "../bench/bench_fig04_webconf.pdb"
+  "CMakeFiles/bench_fig04_webconf.dir/fig04_webconf.cc.o"
+  "CMakeFiles/bench_fig04_webconf.dir/fig04_webconf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_webconf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_rack_week"
+  "../bench/bench_fig06_rack_week.pdb"
+  "CMakeFiles/bench_fig06_rack_week.dir/fig06_rack_week.cc.o"
+  "CMakeFiles/bench_fig06_rack_week.dir/fig06_rack_week.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_rack_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

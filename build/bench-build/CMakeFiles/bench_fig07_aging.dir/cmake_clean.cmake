@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_aging"
+  "../bench/bench_fig07_aging.pdb"
+  "CMakeFiles/bench_fig07_aging.dir/fig07_aging.cc.o"
+  "CMakeFiles/bench_fig07_aging.dir/fig07_aging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_service_b"
+  "../bench/bench_fig16_service_b.pdb"
+  "CMakeFiles/bench_fig16_service_b.dir/fig16_service_b.cc.o"
+  "CMakeFiles/bench_fig16_service_b.dir/fig16_service_b.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_service_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_service_c.cc" "bench-build/CMakeFiles/bench_fig17_service_c.dir/fig17_service_c.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig17_service_c.dir/fig17_service_c.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/soc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/soc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/soc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/soc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/soc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

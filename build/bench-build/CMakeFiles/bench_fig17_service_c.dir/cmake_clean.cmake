@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_service_c"
+  "../bench/bench_fig17_service_c.pdb"
+  "CMakeFiles/bench_fig17_service_c.dir/fig17_service_c.cc.o"
+  "CMakeFiles/bench_fig17_service_c.dir/fig17_service_c.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_service_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

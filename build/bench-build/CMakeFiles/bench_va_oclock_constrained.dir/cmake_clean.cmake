@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_va_oclock_constrained"
+  "../bench/bench_va_oclock_constrained.pdb"
+  "CMakeFiles/bench_va_oclock_constrained.dir/va_oclock_constrained.cc.o"
+  "CMakeFiles/bench_va_oclock_constrained.dir/va_oclock_constrained.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_va_oclock_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

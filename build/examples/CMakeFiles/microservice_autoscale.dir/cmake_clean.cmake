@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice_autoscale.dir/microservice_autoscale.cpp.o"
+  "CMakeFiles/microservice_autoscale.dir/microservice_autoscale.cpp.o.d"
+  "microservice_autoscale"
+  "microservice_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_cluster.dir/service_sim.cc.o"
+  "CMakeFiles/soc_cluster.dir/service_sim.cc.o.d"
+  "CMakeFiles/soc_cluster.dir/trace_sim.cc.o"
+  "CMakeFiles/soc_cluster.dir/trace_sim.cc.o.d"
+  "libsoc_cluster.a"
+  "libsoc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/soc_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/budget_allocator.cc" "src/core/CMakeFiles/soc_core.dir/budget_allocator.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/budget_allocator.cc.o.d"
+  "/root/repo/src/core/goa.cc" "src/core/CMakeFiles/soc_core.dir/goa.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/goa.cc.o.d"
+  "/root/repo/src/core/lifetime.cc" "src/core/CMakeFiles/soc_core.dir/lifetime.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/lifetime.cc.o.d"
+  "/root/repo/src/core/profile_template.cc" "src/core/CMakeFiles/soc_core.dir/profile_template.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/profile_template.cc.o.d"
+  "/root/repo/src/core/soa.cc" "src/core/CMakeFiles/soc_core.dir/soa.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/soa.cc.o.d"
+  "/root/repo/src/core/wi.cc" "src/core/CMakeFiles/soc_core.dir/wi.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/wi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/soc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/soc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_core.dir/admission.cc.o"
+  "CMakeFiles/soc_core.dir/admission.cc.o.d"
+  "CMakeFiles/soc_core.dir/budget_allocator.cc.o"
+  "CMakeFiles/soc_core.dir/budget_allocator.cc.o.d"
+  "CMakeFiles/soc_core.dir/goa.cc.o"
+  "CMakeFiles/soc_core.dir/goa.cc.o.d"
+  "CMakeFiles/soc_core.dir/lifetime.cc.o"
+  "CMakeFiles/soc_core.dir/lifetime.cc.o.d"
+  "CMakeFiles/soc_core.dir/profile_template.cc.o"
+  "CMakeFiles/soc_core.dir/profile_template.cc.o.d"
+  "CMakeFiles/soc_core.dir/soa.cc.o"
+  "CMakeFiles/soc_core.dir/soa.cc.o.d"
+  "CMakeFiles/soc_core.dir/wi.cc.o"
+  "CMakeFiles/soc_core.dir/wi.cc.o.d"
+  "libsoc_core.a"
+  "libsoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

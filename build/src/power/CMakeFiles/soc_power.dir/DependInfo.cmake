@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/soc_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/soc_power.dir/power_model.cc.o.d"
+  "/root/repo/src/power/rack.cc" "src/power/CMakeFiles/soc_power.dir/rack.cc.o" "gcc" "src/power/CMakeFiles/soc_power.dir/rack.cc.o.d"
+  "/root/repo/src/power/rack_manager.cc" "src/power/CMakeFiles/soc_power.dir/rack_manager.cc.o" "gcc" "src/power/CMakeFiles/soc_power.dir/rack_manager.cc.o.d"
+  "/root/repo/src/power/server.cc" "src/power/CMakeFiles/soc_power.dir/server.cc.o" "gcc" "src/power/CMakeFiles/soc_power.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/soc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

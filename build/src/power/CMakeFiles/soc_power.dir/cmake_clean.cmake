@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_power.dir/power_model.cc.o"
+  "CMakeFiles/soc_power.dir/power_model.cc.o.d"
+  "CMakeFiles/soc_power.dir/rack.cc.o"
+  "CMakeFiles/soc_power.dir/rack.cc.o.d"
+  "CMakeFiles/soc_power.dir/rack_manager.cc.o"
+  "CMakeFiles/soc_power.dir/rack_manager.cc.o.d"
+  "CMakeFiles/soc_power.dir/server.cc.o"
+  "CMakeFiles/soc_power.dir/server.cc.o.d"
+  "libsoc_power.a"
+  "libsoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/soc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/soc_sim.dir/rng.cc.o"
+  "CMakeFiles/soc_sim.dir/rng.cc.o.d"
+  "CMakeFiles/soc_sim.dir/simulator.cc.o"
+  "CMakeFiles/soc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/soc_sim.dir/stats.cc.o"
+  "CMakeFiles/soc_sim.dir/stats.cc.o.d"
+  "CMakeFiles/soc_sim.dir/time.cc.o"
+  "CMakeFiles/soc_sim.dir/time.cc.o.d"
+  "libsoc_sim.a"
+  "libsoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/table.cc" "src/telemetry/CMakeFiles/soc_telemetry.dir/table.cc.o" "gcc" "src/telemetry/CMakeFiles/soc_telemetry.dir/table.cc.o.d"
+  "/root/repo/src/telemetry/time_series.cc" "src/telemetry/CMakeFiles/soc_telemetry.dir/time_series.cc.o" "gcc" "src/telemetry/CMakeFiles/soc_telemetry.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

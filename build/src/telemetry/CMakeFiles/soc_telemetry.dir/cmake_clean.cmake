@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_telemetry.dir/table.cc.o"
+  "CMakeFiles/soc_telemetry.dir/table.cc.o.d"
+  "CMakeFiles/soc_telemetry.dir/time_series.cc.o"
+  "CMakeFiles/soc_telemetry.dir/time_series.cc.o.d"
+  "libsoc_telemetry.a"
+  "libsoc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

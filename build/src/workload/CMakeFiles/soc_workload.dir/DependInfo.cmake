@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/archetype.cc" "src/workload/CMakeFiles/soc_workload.dir/archetype.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/archetype.cc.o.d"
+  "/root/repo/src/workload/mltrain.cc" "src/workload/CMakeFiles/soc_workload.dir/mltrain.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/mltrain.cc.o.d"
+  "/root/repo/src/workload/queueing_service.cc" "src/workload/CMakeFiles/soc_workload.dir/queueing_service.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/queueing_service.cc.o.d"
+  "/root/repo/src/workload/trace_generator.cc" "src/workload/CMakeFiles/soc_workload.dir/trace_generator.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/trace_generator.cc.o.d"
+  "/root/repo/src/workload/webconf.cc" "src/workload/CMakeFiles/soc_workload.dir/webconf.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/webconf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/soc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/soc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_workload.dir/archetype.cc.o"
+  "CMakeFiles/soc_workload.dir/archetype.cc.o.d"
+  "CMakeFiles/soc_workload.dir/mltrain.cc.o"
+  "CMakeFiles/soc_workload.dir/mltrain.cc.o.d"
+  "CMakeFiles/soc_workload.dir/queueing_service.cc.o"
+  "CMakeFiles/soc_workload.dir/queueing_service.cc.o.d"
+  "CMakeFiles/soc_workload.dir/trace_generator.cc.o"
+  "CMakeFiles/soc_workload.dir/trace_generator.cc.o.d"
+  "CMakeFiles/soc_workload.dir/webconf.cc.o"
+  "CMakeFiles/soc_workload.dir/webconf.cc.o.d"
+  "libsoc_workload.a"
+  "libsoc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

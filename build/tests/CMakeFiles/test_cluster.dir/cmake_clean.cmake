@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/integration_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/integration_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/service_sim_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/service_sim_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/trace_sim_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/trace_sim_test.cc.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/admission_test.cc.o"
+  "CMakeFiles/test_core.dir/core/admission_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/budget_allocator_test.cc.o"
+  "CMakeFiles/test_core.dir/core/budget_allocator_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/goa_test.cc.o"
+  "CMakeFiles/test_core.dir/core/goa_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/lifetime_test.cc.o"
+  "CMakeFiles/test_core.dir/core/lifetime_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/profile_template_test.cc.o"
+  "CMakeFiles/test_core.dir/core/profile_template_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/soa_test.cc.o"
+  "CMakeFiles/test_core.dir/core/soa_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/wi_test.cc.o"
+  "CMakeFiles/test_core.dir/core/wi_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

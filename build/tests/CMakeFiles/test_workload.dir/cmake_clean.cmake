@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/archetype_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/archetype_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/mltrain_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/mltrain_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/queueing_service_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/queueing_service_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/trace_generator_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/trace_generator_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/webconf_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/webconf_test.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
