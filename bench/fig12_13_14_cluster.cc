@@ -10,7 +10,9 @@
  * than ScaleOut, and lowers total energy by ~10% vs ScaleOut.
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "cluster/service_sim.hh"
 #include "telemetry/table.hh"
@@ -21,20 +23,26 @@ using telemetry::fmt;
 using telemetry::fmtPercent;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Usage: bench_fig12_13_14_cluster [threads]
+    //   threads: worker-pool size for the four environment runs;
+    //            0 / omitted = hardware concurrency.
+    const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
+
     const Environment envs[4] = {
         Environment::Baseline, Environment::ScaleOut,
         Environment::ScaleUp, Environment::SmartOClock};
 
-    ServiceSimResult results[4];
+    std::vector<ServiceSimConfig> configs;
     for (int e = 0; e < 4; ++e) {
         ServiceSimConfig cfg;
         cfg.environment = envs[e];
         cfg.duration = 20 * sim::kMinute;
         cfg.warmup = 2 * sim::kMinute;
-        results[e] = runServiceSim(cfg);
+        configs.push_back(cfg);
     }
+    const auto results = runServiceSimBatch(configs, threads);
 
     const char *class_names[3] = {"low", "medium", "high"};
 

@@ -15,7 +15,9 @@
  *   NoFeedback 5.5 / 72% / ...
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "cluster/trace_sim.hh"
 #include "telemetry/table.hh"
@@ -26,8 +28,13 @@ using telemetry::fmt;
 using telemetry::fmtPercent;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Usage: bench_table1_policies [threads]
+    //   threads: worker-pool size for the independent (tier,
+    //            policy) runs; 0 / omitted = hardware concurrency.
+    const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
+
     const PowerTier tiers[3] = {PowerTier::High, PowerTier::Medium,
                                 PowerTier::Low};
     const char *tier_names[3] = {"High-Power", "Medium-Power",
@@ -43,8 +50,10 @@ main()
         {"cluster", "system", "norm. caps", "success", "penalty",
          "norm. perf"});
 
+    // All 15 (tier, policy) runs are independent: run them on one
+    // worker pool and read the results back in order.
+    std::vector<TraceSimConfig> configs;
     for (int t = 0; t < 3; ++t) {
-        TraceSimResult results[5];
         for (int p = 0; p < 5; ++p) {
             TraceSimConfig cfg;
             cfg.policy = policies[p];
@@ -55,17 +64,22 @@ main()
             cfg.limitFactor =
                 TraceSimConfig::tierLimitFactor(tiers[t]);
             cfg.seed = 11;
-            results[p] = runTraceSim(cfg);
+            configs.push_back(cfg);
         }
+    }
+    const auto results = runTraceSimBatch(configs, threads);
+
+    for (int t = 0; t < 3; ++t) {
+        const TraceSimResult *row = &results[t * 5];
         const double central_caps = std::max<double>(
-            1.0, static_cast<double>(results[0].capEvents));
+            1.0, static_cast<double>(row[0].capEvents));
         for (int p = 0; p < 5; ++p) {
             table.addRow(
                 {tier_names[t], core::policyName(policies[p]),
-                 fmt(results[p].capEvents / central_caps, 1),
-                 fmtPercent(results[p].successRate, 0),
-                 fmtPercent(results[p].cappingPenalty, 0),
-                 fmt(results[p].normPerformance, 3)});
+                 fmt(row[p].capEvents / central_caps, 1),
+                 fmtPercent(row[p].successRate, 0),
+                 fmtPercent(row[p].cappingPenalty, 0),
+                 fmt(row[p].normPerformance, 3)});
         }
     }
     table.print(std::cout);

@@ -10,7 +10,9 @@
  * of the time; proactive scaling eliminates all SLO violations.
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "cluster/service_sim.hh"
 #include "telemetry/table.hh"
@@ -20,31 +22,41 @@ using namespace soc::cluster;
 using telemetry::fmtPercent;
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto run = [](double budget_scale, bool proactive) {
-        ServiceSimConfig cfg;
-        cfg.environment = Environment::SmartOClock;
-        cfg.overclockBudgetScale = budget_scale;
-        cfg.proactiveScaleOut = proactive;
-        // A tight lifetime budget so the restriction binds within
-        // the run.
-        cfg.overclockFraction = 0.05;
-        cfg.duration = 16 * sim::kMinute;
-        cfg.warmup = 2 * sim::kMinute;
-        cfg.seed = 7;
-        return runServiceSim(cfg);
-    };
+    // Usage: bench_va_oclock_constrained [threads]
+    //   threads: worker-pool size for the 4 budgets x 2 modes
+    //            runs; 0 / omitted = hardware concurrency.
+    const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
+
+    const double scales[4] = {1.0, 0.75, 0.50, 0.25};
+    std::vector<ServiceSimConfig> configs;
+    for (double scale : scales) {
+        for (bool proactive : {false, true}) {
+            ServiceSimConfig cfg;
+            cfg.environment = Environment::SmartOClock;
+            cfg.overclockBudgetScale = scale;
+            cfg.proactiveScaleOut = proactive;
+            // A tight lifetime budget so the restriction binds
+            // within the run.
+            cfg.overclockFraction = 0.05;
+            cfg.duration = 16 * sim::kMinute;
+            cfg.warmup = 2 * sim::kMinute;
+            cfg.seed = 7;
+            configs.push_back(cfg);
+        }
+    }
+    const auto runs = runServiceSimBatch(configs, threads);
 
     telemetry::Table table(
         "SS V-A overclocking-constrained: missed-SLO time vs "
         "remaining overclock budget",
         {"budget", "reactive missed-SLO time",
          "proactive missed-SLO time", "proactive scale-outs"});
-    for (double scale : {1.0, 0.75, 0.50, 0.25}) {
-        const auto reactive = run(scale, false);
-        const auto proactive = run(scale, true);
-        table.addRow({fmtPercent(scale, 0),
+    for (int s = 0; s < 4; ++s) {
+        const auto &reactive = runs[s * 2];
+        const auto &proactive = runs[s * 2 + 1];
+        table.addRow({fmtPercent(scales[s], 0),
                       fmtPercent(reactive.missedSloTimeFrac),
                       fmtPercent(proactive.missedSloTimeFrac),
                       std::to_string(

@@ -9,7 +9,9 @@
  * at medium/high load and improves MLTrain throughput by 10.4%.
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "cluster/service_sim.hh"
 #include "telemetry/table.hh"
@@ -20,12 +22,21 @@ using telemetry::fmt;
 using telemetry::fmtPercent;
 
 int
-main()
+main(int argc, char **argv)
 {
-    // Average three seeds: the constrained regime is noisy at this
-    // cluster size.
-    auto run = [](core::PolicyKind policy) {
-        ServiceSimResult sum;
+    // Usage: bench_va_power_constrained [threads]
+    //   threads: worker-pool size for the 2 policies x 3 seeds
+    //            runs; 0 / omitted = hardware concurrency.
+    const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
+
+    // Average three seeds per policy: the constrained regime is
+    // noisy at this cluster size.  All six runs are independent, so
+    // they share one worker pool.
+    const core::PolicyKind policies[2] = {
+        core::PolicyKind::NaiveOClock,
+        core::PolicyKind::SmartOClock};
+    std::vector<ServiceSimConfig> configs;
+    for (auto policy : policies) {
         for (std::uint64_t seed : {7, 8, 9}) {
             ServiceSimConfig cfg;
             cfg.environment = Environment::SmartOClock;
@@ -40,7 +51,15 @@ main()
             cfg.duration = 10 * sim::kMinute;
             cfg.warmup = 2 * sim::kMinute;
             cfg.seed = seed;
-            const auto r = runServiceSim(cfg);
+            configs.push_back(cfg);
+        }
+    }
+    const auto runs = runServiceSimBatch(configs, threads);
+
+    auto average = [&](int first) {
+        ServiceSimResult sum;
+        for (int i = first; i < first + 3; ++i) {
+            const auto &r = runs[i];
             for (int c = 0; c < 3; ++c) {
                 sum.byClass[c].p99Ms += r.byClass[c].p99Ms / 3.0;
                 sum.byClass[c].meanMs += r.byClass[c].meanMs / 3.0;
@@ -51,8 +70,8 @@ main()
         return sum;
     };
 
-    const auto naive = run(core::PolicyKind::NaiveOClock);
-    const auto smart = run(core::PolicyKind::SmartOClock);
+    const auto naive = average(0);
+    const auto smart = average(3);
 
     telemetry::Table table(
         "SS V-A power-constrained: NaiveOClock vs SmartOClock "

@@ -32,10 +32,15 @@ main(int argc, char **argv)
         {"policy", "cap events", "success", "norm. perf",
          "mean rack util", "energy (MJ)"});
 
-    for (auto policy :
-         {core::PolicyKind::Central, core::PolicyKind::NaiveOClock,
-          core::PolicyKind::NoFeedback, core::PolicyKind::NoWarning,
-          core::PolicyKind::SmartOClock}) {
+    const core::PolicyKind policies[] = {
+        core::PolicyKind::Central, core::PolicyKind::NaiveOClock,
+        core::PolicyKind::NoFeedback, core::PolicyKind::NoWarning,
+        core::PolicyKind::SmartOClock};
+
+    // The five policy runs are independent; run them on one worker
+    // pool sized to the hardware.
+    std::vector<TraceSimConfig> configs;
+    for (auto policy : policies) {
         TraceSimConfig cfg;
         cfg.policy = policy;
         cfg.racks = 2;
@@ -44,8 +49,13 @@ main(int argc, char **argv)
         cfg.duration = 3 * sim::kDay;
         cfg.limitFactor = limit_factor;
         cfg.seed = 5;
-        const auto result = runTraceSim(cfg);
-        table.addRow({core::policyName(policy),
+        configs.push_back(cfg);
+    }
+    const auto results = runTraceSimBatch(configs);
+
+    for (std::size_t p = 0; p < configs.size(); ++p) {
+        const auto &result = results[p];
+        table.addRow({core::policyName(policies[p]),
                       std::to_string(result.capEvents),
                       fmtPercent(result.successRate, 1),
                       fmt(result.normPerformance, 3),

@@ -1,0 +1,9 @@
+#!/bin/sh
+# ThreadSanitizer ctest job: rebuild the whole tree under TSan and
+# run the test suite (the determinism + pool tests exercise the
+# parallel trace simulator).  Usage: scripts/tsan_check.sh [builddir]
+set -e
+BUILD="${1:-build-tsan}"
+cmake -B "$BUILD" -S "$(dirname "$0")/.." -DSOC_SANITIZE=thread
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

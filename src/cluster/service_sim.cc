@@ -13,6 +13,7 @@
 #include "sim/rng.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/thread_pool.hh"
 #include "workload/archetype.hh"
 #include "workload/mltrain.hh"
 #include "workload/queueing_service.hh"
@@ -510,6 +511,25 @@ runServiceSim(const ServiceSimConfig &config)
             static_cast<double>(eval_windows)
         : 0.0;
     return result;
+}
+
+std::vector<ServiceSimResult>
+runServiceSimBatch(const std::vector<ServiceSimConfig> &configs,
+                   int threads)
+{
+    int requested = threads;
+    if (requested <= 0) {
+        for (const auto &cfg : configs)
+            requested = std::max(requested, cfg.threads);
+    }
+    std::vector<ServiceSimResult> results(configs.size());
+    sim::ThreadPool pool(std::min<int>(
+        sim::ThreadPool::resolveThreads(requested),
+        static_cast<int>(std::max<std::size_t>(1, configs.size()))));
+    pool.parallelFor(configs.size(), [&](std::size_t i) {
+        results[i] = runServiceSim(configs[i]);
+    });
+    return results;
 }
 
 } // namespace cluster

@@ -27,6 +27,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/policy.hh"
 #include "power/power_model.hh"
@@ -86,6 +87,15 @@ struct ServiceSimConfig {
     double vmOverheadUtil = 0.20;
     std::uint64_t seed = 7;
     power::PowerModelParams hardware;
+    /**
+     * Worker threads used when this configuration is run through
+     * runServiceSimBatch.  Unlike the trace simulator's racks, one
+     * cluster run is a single coupled discrete-event simulation
+     * (scale-out moves VMs onto the spare rack mid-run), so the run
+     * itself stays serial; environment/seed sweeps parallelize
+     * across runs instead.  0 means hardware concurrency.
+     */
+    int threads = 0;
 };
 
 /** Aggregated metrics for one load class. */
@@ -120,6 +130,19 @@ struct ServiceSimResult {
 
 /** Run one environment over the 36-server cluster. */
 ServiceSimResult runServiceSim(const ServiceSimConfig &config);
+
+/**
+ * Run several independent cluster configurations concurrently on
+ * one worker pool (environment comparisons, seed averaging).
+ * Per-run results are identical to calling runServiceSim on each
+ * config directly: every run owns its simulator, racks and RNG.
+ *
+ * @param threads Pool size; 0 uses the largest `threads` knob among
+ *                @p configs (and hardware concurrency if all are 0).
+ */
+std::vector<ServiceSimResult>
+runServiceSimBatch(const std::vector<ServiceSimConfig> &configs,
+                   int threads = 0);
 
 } // namespace cluster
 } // namespace soc

@@ -1,12 +1,15 @@
 #include "cluster/trace_sim.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "core/goa.hh"
 #include "core/soa.hh"
 #include "power/rack.hh"
 #include "power/rack_manager.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/thread_pool.hh"
 #include "workload/trace_generator.hh"
 
 namespace soc
@@ -23,9 +26,9 @@ TraceSimConfig::tierLimitFactor(PowerTier tier)
     switch (tier) {
       case PowerTier::High: return 1.07;
       case PowerTier::Medium: return 1.17;
-      case PowerTier::Low: return 1.45;
+      case PowerTier::Low: break;
     }
-    return 1.1;
+    return 1.45;
 }
 
 namespace
@@ -44,6 +47,25 @@ struct SimRack {
     std::vector<std::vector<bool>> candidate;
 };
 
+/**
+ * Metrics one rack accumulates over its control loop.  Every rack
+ * owns one instance, so the loops can run on different threads; the
+ * instances are merged in rack order afterwards, which makes the
+ * result independent of how racks were scheduled over threads.
+ */
+struct RackOutcome {
+    std::uint64_t capEvents = 0;
+    std::uint64_t cappedTicks = 0;
+    std::uint64_t warnings = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t wantSteps = 0;
+    std::uint64_t successSteps = 0;
+    double energyJoules = 0.0;
+    sim::OnlineStats penalty;
+    sim::OnlineStats rackUtil;
+    sim::OnlineStats perf;
+};
+
 bool
 isCandidate(const workload::VmMix &vm, double threshold)
 {
@@ -54,70 +76,69 @@ isCandidate(const workload::VmMix &vm, double threshold)
     return vm.archetype.peakUtil >= threshold;
 }
 
-} // namespace
-
-TraceSimResult
-runTraceSim(const TraceSimConfig &config)
+/**
+ * Build one rack: generate its traces from its own seed-derived RNG
+ * stream, size the rack limit off the baseline power profile, then
+ * wire servers, sOAs, manager and gOA.
+ */
+void
+buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
+          const power::PowerModel &model,
+          const core::SoaConfig &soa_cfg)
 {
-    const power::PowerModel model(config.hardware);
     workload::TraceConfig trace_cfg;
     trace_cfg.end = config.warmup + config.duration;
-    workload::TraceGenerator gen(config.seed, trace_cfg);
+    // Per-rack stream: adding or reordering racks never perturbs
+    // the draws of the others, and racks can generate in parallel.
+    workload::TraceGenerator gen(
+        sim::deriveSeed(config.seed,
+                        static_cast<std::uint64_t>(rack_index)),
+        trace_cfg);
 
-    core::SoaConfig soa_cfg =
-        core::SoaConfig::forPolicy(config.policy);
-    soa_cfg.controlPeriod = config.controlStep;
-    // Trace studies stress the power path; keep the lifetime budget
-    // generous enough that peaks fit (the paper's operators size the
-    // budget to the workloads' requirements).
-    soa_cfg.overclockFraction = 0.25;
-
-    std::vector<SimRack> racks(config.racks);
-    for (int r = 0; r < config.racks; ++r) {
-        SimRack &sr = racks[r];
-        // Generate traces first so the rack limit can be derived
-        // from the baseline power profile.
-        for (int s = 0; s < config.serversPerRack; ++s) {
-            sr.traces.push_back(gen.serverTrace(
-                gen.randomVmMix(config.hardware.cores), model));
-        }
-        const telemetry::TimeSeries rack_power =
-            workload::TraceGenerator::rackPower(sr.traces);
-        const double limit =
-            rack_power.quantile(0.99) * config.limitFactor;
-
-        sr.rack = std::make_unique<power::Rack>(r, limit);
-        sr.manager = std::make_unique<power::RackManager>(*sr.rack);
-        sr.goa = std::make_unique<core::GlobalOverclockingAgent>(
-            *sr.rack, model);
-
-        for (int s = 0; s < config.serversPerRack; ++s) {
-            power::Server &server = sr.rack->addServer(&model);
-            std::vector<power::GroupId> server_groups;
-            std::vector<bool> server_candidates;
-            for (const auto &vm : sr.traces[s].mix) {
-                const power::GroupId g = server.addGroup(
-                    vm.cores, 0.0, power::kTurboMHz, /*priority=*/1);
-                server_groups.push_back(g);
-                server_candidates.push_back(
-                    isCandidate(vm, config.ocUtilThreshold));
-            }
-            sr.groups.push_back(std::move(server_groups));
-            sr.candidate.push_back(std::move(server_candidates));
-
-            sr.soas.push_back(
-                std::make_unique<core::ServerOverclockingAgent>(
-                    server, soa_cfg, sr.rack.get()));
-            sr.manager->addListener(sr.soas.back().get());
-            sr.goa->addAgent(sr.soas.back().get());
-        }
-        sr.goa->assignEvenSplit();
+    // Generate traces first so the rack limit can be derived from
+    // the baseline power profile.
+    for (int s = 0; s < config.serversPerRack; ++s) {
+        sr.traces.push_back(gen.serverTrace(
+            gen.randomVmMix(config.hardware.cores), model));
     }
+    const telemetry::TimeSeries rack_power =
+        workload::TraceGenerator::rackPower(sr.traces);
+    const double limit =
+        rack_power.quantile(0.99) * config.limitFactor;
 
-    TraceSimResult result;
-    sim::OnlineStats penalty_stats;
-    sim::OnlineStats rack_util_stats;
-    sim::OnlineStats perf_stats;
+    sr.rack = std::make_unique<power::Rack>(rack_index, limit);
+    sr.manager = std::make_unique<power::RackManager>(*sr.rack);
+    sr.goa = std::make_unique<core::GlobalOverclockingAgent>(
+        *sr.rack, model);
+
+    for (int s = 0; s < config.serversPerRack; ++s) {
+        power::Server &server = sr.rack->addServer(&model);
+        std::vector<power::GroupId> server_groups;
+        std::vector<bool> server_candidates;
+        for (const auto &vm : sr.traces[s].mix) {
+            const power::GroupId g = server.addGroup(
+                vm.cores, 0.0, power::kTurboMHz, /*priority=*/1);
+            server_groups.push_back(g);
+            server_candidates.push_back(
+                isCandidate(vm, config.ocUtilThreshold));
+        }
+        sr.groups.push_back(std::move(server_groups));
+        sr.candidate.push_back(std::move(server_candidates));
+
+        sr.soas.push_back(
+            std::make_unique<core::ServerOverclockingAgent>(
+                server, soa_cfg, sr.rack.get()));
+        sr.manager->addListener(sr.soas.back().get());
+        sr.goa->addAgent(sr.soas.back().get());
+    }
+    sr.goa->assignEvenSplit();
+}
+
+/** Run one rack's whole control loop, filling its outcome slot. */
+void
+simulateRack(SimRack &sr, RackOutcome &out,
+             const TraceSimConfig &config)
+{
     std::uint64_t cap_base = 0;
     std::uint64_t capped_tick_base = 0;
     std::uint64_t warn_base = 0;
@@ -132,105 +153,137 @@ runTraceSim(const TraceSimConfig &config)
         if (t == config.warmup) {
             // Snapshot warm-up counters so metrics cover only the
             // evaluation window.
-            for (auto &sr : racks) {
-                cap_base += sr.manager->stats().capEvents;
-                capped_tick_base += sr.manager->stats().cappedTicks;
-                warn_base += sr.manager->stats().warnings;
-                for (auto &soa : sr.soas)
-                    req_base += soa->stats().requests;
-            }
+            cap_base = sr.manager->stats().capEvents;
+            capped_tick_base = sr.manager->stats().cappedTicks;
+            warn_base = sr.manager->stats().warnings;
+            for (auto &soa : sr.soas)
+                req_base += soa->stats().requests;
         }
-        if (t >= next_recompute && t > 0) {
-            for (auto &sr : racks)
-                sr.goa->recompute(t);
+        if (t >= next_recompute) {
+            sr.goa->recompute(t);
             next_recompute += sim::kWeek;
         }
 
         const bool in_eval = t >= config.warmup;
-        for (auto &sr : racks) {
-            for (std::size_t s = 0; s < sr.soas.size(); ++s) {
-                power::Server &server = sr.rack->server(s);
-                auto &soa = *sr.soas[s];
-                const auto &trace = sr.traces[s];
-                for (std::size_t v = 0; v < sr.groups[s].size();
-                     ++v) {
-                    const power::GroupId g = sr.groups[s][v];
-                    const double util = trace.vmUtil[v].atTime(t);
-                    server.setUtil(g, util);
-                    if (!sr.candidate[s][v])
-                        continue;
+        for (std::size_t s = 0; s < sr.soas.size(); ++s) {
+            power::Server &server = sr.rack->server(s);
+            auto &soa = *sr.soas[s];
+            const auto &trace = sr.traces[s];
+            for (std::size_t v = 0; v < sr.groups[s].size(); ++v) {
+                const power::GroupId g = sr.groups[s][v];
+                const double util = trace.vmUtil[v].atTime(t);
+                server.setUtil(g, util);
+                if (!sr.candidate[s][v])
+                    continue;
 
-                    const bool want =
-                        util >= config.ocUtilThreshold;
-                    const bool active = soa.isOverclockActive(g);
-                    if (want && !active) {
-                        core::OverclockRequest request;
-                        request.groupId = g;
-                        request.cores = trace.mix[v].cores;
-                        request.trigger =
-                            core::TriggerKind::Metrics;
-                        request.duration = config.requestChunk;
-                        request.priority = 1;
-                        soa.requestOverclock(request, t);
-                    } else if (!want && active) {
-                        soa.stopOverclock(g, t);
-                    }
-
-                    if (in_eval && want) {
-                        ++result.wantSteps;
-                        const auto *group = server.group(g);
-                        const double eff = group != nullptr
-                            ? group->effectiveMHz()
-                            : power::kTurboMHz;
-                        perf_stats.add(
-                            eff /
-                            static_cast<double>(power::kTurboMHz));
-                        if (group != nullptr &&
-                            group->overclocked()) {
-                            ++result.successSteps;
-                        }
-                    }
+                const bool want = util >= config.ocUtilThreshold;
+                const bool active = soa.isOverclockActive(g);
+                if (want && !active) {
+                    core::OverclockRequest request;
+                    request.groupId = g;
+                    request.cores = trace.mix[v].cores;
+                    request.trigger = core::TriggerKind::Metrics;
+                    request.duration = config.requestChunk;
+                    request.priority = 1;
+                    soa.requestOverclock(request, t);
+                } else if (!want && active) {
+                    soa.stopOverclock(g, t);
                 }
-                soa.tick(t);
+
+                if (in_eval && want) {
+                    ++out.wantSteps;
+                    const auto *group = server.group(g);
+                    const double eff = group != nullptr
+                        ? group->effectiveMHz()
+                        : power::kTurboMHz;
+                    out.perf.add(
+                        eff /
+                        static_cast<double>(power::kTurboMHz));
+                    if (group != nullptr && group->overclocked())
+                        ++out.successSteps;
+                }
             }
-            sr.manager->tick(t);
+            soa.tick(t);
+        }
+        sr.manager->tick(t);
 
-            if (in_eval) {
-                rack_util_stats.add(sr.rack->utilization());
-                result.energyJoules +=
-                    sr.rack->powerWatts() * dt_s;
-                if (sr.manager->capping()) {
-                    double penalty = 0.0;
-                    int affected = 0;
-                    for (const auto &server : sr.rack->servers()) {
-                        const int cores =
-                            server->cappedNonOverclockCores();
-                        penalty +=
-                            server->cappingPenalty() * cores;
-                        affected += cores;
-                    }
-                    if (affected > 0)
-                        penalty_stats.add(penalty / affected);
+        if (in_eval) {
+            out.rackUtil.add(sr.rack->utilization());
+            out.energyJoules += sr.rack->powerWatts() * dt_s;
+            if (sr.manager->capping()) {
+                double penalty = 0.0;
+                int affected = 0;
+                for (const auto &server : sr.rack->servers()) {
+                    const int cores =
+                        server->cappedNonOverclockCores();
+                    penalty += server->cappingPenalty() * cores;
+                    affected += cores;
                 }
+                if (affected > 0)
+                    out.penalty.add(penalty / affected);
             }
         }
     }
 
-    std::uint64_t caps = 0;
-    std::uint64_t capped_ticks = 0;
-    std::uint64_t warnings = 0;
+    out.capEvents = sr.manager->stats().capEvents - cap_base;
+    out.cappedTicks =
+        sr.manager->stats().cappedTicks - capped_tick_base;
+    out.warnings = sr.manager->stats().warnings - warn_base;
     std::uint64_t requests = 0;
-    for (auto &sr : racks) {
-        caps += sr.manager->stats().capEvents;
-        capped_ticks += sr.manager->stats().cappedTicks;
-        warnings += sr.manager->stats().warnings;
-        for (auto &soa : sr.soas)
-            requests += soa->stats().requests;
+    for (auto &soa : sr.soas)
+        requests += soa->stats().requests;
+    out.requests = requests - req_base;
+}
+
+} // namespace
+
+TraceSimResult
+runTraceSim(const TraceSimConfig &config)
+{
+    const power::PowerModel model(config.hardware);
+    core::SoaConfig soa_cfg =
+        core::SoaConfig::forPolicy(config.policy);
+    soa_cfg.controlPeriod = config.controlStep;
+    // Trace studies stress the power path; keep the lifetime budget
+    // generous enough that peaks fit (the paper's operators size the
+    // budget to the workloads' requirements).
+    soa_cfg.overclockFraction = 0.25;
+
+    const std::size_t n_racks =
+        static_cast<std::size_t>(std::max(0, config.racks));
+    const int threads = std::min<int>(
+        sim::ThreadPool::resolveThreads(config.threads),
+        std::max<int>(1, config.racks));
+    sim::ThreadPool pool(threads);
+
+    std::vector<SimRack> racks(n_racks);
+    std::vector<RackOutcome> outcomes(n_racks);
+
+    pool.parallelFor(n_racks, [&](std::size_t r) {
+        buildRack(racks[r], static_cast<int>(r), config, model,
+                  soa_cfg);
+    });
+    pool.parallelFor(n_racks, [&](std::size_t r) {
+        simulateRack(racks[r], outcomes[r], config);
+    });
+
+    // Merge in rack order: deterministic regardless of scheduling.
+    TraceSimResult result;
+    sim::OnlineStats penalty_stats;
+    sim::OnlineStats rack_util_stats;
+    sim::OnlineStats perf_stats;
+    for (const auto &out : outcomes) {
+        result.capEvents += out.capEvents;
+        result.cappedTicks += out.cappedTicks;
+        result.warnings += out.warnings;
+        result.requests += out.requests;
+        result.wantSteps += out.wantSteps;
+        result.successSteps += out.successSteps;
+        result.energyJoules += out.energyJoules;
+        penalty_stats.merge(out.penalty);
+        rack_util_stats.merge(out.rackUtil);
+        perf_stats.merge(out.perf);
     }
-    result.capEvents = caps - cap_base;
-    result.cappedTicks = capped_ticks - capped_tick_base;
-    result.warnings = warnings - warn_base;
-    result.requests = requests - req_base;
     result.successRate = result.wantSteps > 0
         ? static_cast<double>(result.successSteps) /
             static_cast<double>(result.wantSteps)
@@ -240,6 +293,22 @@ runTraceSim(const TraceSimConfig &config)
         perf_stats.count() > 0 ? perf_stats.mean() : 1.0;
     result.meanRackUtil = rack_util_stats.mean();
     return result;
+}
+
+std::vector<TraceSimResult>
+runTraceSimBatch(const std::vector<TraceSimConfig> &configs,
+                 int threads)
+{
+    std::vector<TraceSimResult> results(configs.size());
+    sim::ThreadPool pool(std::min<int>(
+        sim::ThreadPool::resolveThreads(threads),
+        static_cast<int>(std::max<std::size_t>(1, configs.size()))));
+    pool.parallelFor(configs.size(), [&](std::size_t i) {
+        TraceSimConfig cfg = configs[i];
+        cfg.threads = 1; // the batch pool is the only parallelism
+        results[i] = runTraceSim(cfg);
+    });
+    return results;
 }
 
 } // namespace cluster

@@ -52,6 +52,15 @@ struct TraceSimConfig {
     sim::Tick requestChunk = 10 * sim::kMinute;
     std::uint64_t seed = 1;
     power::PowerModelParams hardware;
+    /**
+     * Worker threads for trace generation and the per-rack control
+     * loops (racks are fully independent, see DESIGN.md "Threading
+     * model").  0 means hardware concurrency.  Results are
+     * bit-identical for any thread count: every rack draws from its
+     * own seed-derived RNG stream and owns its accumulators, which
+     * are merged in rack order after the loop.
+     */
+    int threads = 0;
 
     /** Preset limit factors for the Table I cluster tiers. */
     static double tierLimitFactor(PowerTier tier);
@@ -82,6 +91,19 @@ struct TraceSimResult {
 
 /** Run one policy over one generated fleet. */
 TraceSimResult runTraceSim(const TraceSimConfig &config);
+
+/**
+ * Run several independent configurations concurrently on one worker
+ * pool (policy sweeps, tier sweeps, seed averaging).  Each run is
+ * executed with its per-rack parallelism disabled (threads = 1), so
+ * the pool is never oversubscribed; per-run results are identical
+ * to calling runTraceSim on each config directly.
+ *
+ * @param threads Pool size; 0 means hardware concurrency.
+ */
+std::vector<TraceSimResult>
+runTraceSimBatch(const std::vector<TraceSimConfig> &configs,
+                 int threads = 0);
 
 } // namespace cluster
 } // namespace soc

@@ -84,9 +84,11 @@ ServerOverclockingAgent::requestOverclock(
     const OverclockRequest &request, sim::Tick now)
 {
     ++stats_.requests;
-    requestedCoresNow_ += request.cores;
 
-    // Re-requests for an already-granted group just extend it.
+    // Re-requests for an already-granted group just extend it.  The
+    // group's cores are already counted through the granted side of
+    // the telemetry, so they must not also be counted as fresh
+    // demand (requested = granted + requestedCoresNow_).
     auto it = active_.find(request.groupId);
     if (it != active_.end()) {
         AdmissionDecision decision;
@@ -98,6 +100,8 @@ ServerOverclockingAgent::requestOverclock(
         decision.reason = "extended";
         return decision;
     }
+
+    requestedCoresNow_ += request.cores;
 
     AdmissionDecision decision;
     if (config_.oracleMode) {
@@ -156,6 +160,28 @@ ServerOverclockingAgent::requestOverclock(
     return decision;
 }
 
+sim::Tick
+ServerOverclockingAgent::chargeWear(ActiveOverclock &oc,
+                                    sim::Tick from, sim::Tick until,
+                                    sim::Tick now)
+{
+    // Wear accrues only while the grant is live.
+    const sim::Tick delta = std::min(until, oc.grantedUntil) -
+        std::max(from, oc.startedAt);
+    if (delta <= 0)
+        return 0;
+    const auto *group = server_.group(oc.request.groupId);
+    if (group == nullptr || !group->overclocked())
+        return 0; // held at/below turbo: no wear consumed
+    rollCoreEpoch(now);
+    const auto cores = static_cast<sim::Tick>(oc.coreSet.size());
+    stats_.overclockedCoreTime += delta * cores;
+    lifetime_.consume(delta * cores, now);
+    for (int core : oc.coreSet)
+        coreUsedEpoch_[core] += delta;
+    return delta;
+}
+
 void
 ServerOverclockingAgent::stopOverclock(int group_id, sim::Tick now)
 {
@@ -164,6 +190,10 @@ ServerOverclockingAgent::stopOverclock(int group_id, sim::Tick now)
         return;
 
     ActiveOverclock &oc = it->second;
+    // Charge the partial interval since the last accounting tick;
+    // without this, a group stopped between ticks never pays for
+    // its final stretch of overclocked time.
+    chargeWear(oc, lastAccounting_, now, now);
     // Release any still-reserved schedule budget.
     if (oc.request.trigger == TriggerKind::Schedule &&
         oc.grantedUntil > now) {
@@ -434,34 +464,28 @@ ServerOverclockingAgent::onCapEvent(sim::Tick now)
 void
 ServerOverclockingAgent::lifetimeAccounting(sim::Tick now)
 {
-    const sim::Tick delta = now - lastAccounting_;
+    const sim::Tick prev = lastAccounting_;
     lastAccounting_ = now;
-    if (delta <= 0)
+    if (now - prev <= 0)
         return;
     rollCoreEpoch(now);
 
     std::vector<int> expired;
     for (auto &[group_id, oc] : active_) {
-        // Natural expiry of the grant.
+        // Natural expiry of the grant: charge the final partial
+        // interval [prev, grantedUntil) before letting it go, or
+        // the last stretch of wear is never accounted.
         if (now >= oc.grantedUntil) {
+            chargeWear(oc, prev, now, now);
             expired.push_back(group_id);
             continue;
         }
 
-        const auto *group = server_.group(group_id);
-        const bool actually_overclocked =
-            group != nullptr && group->overclocked();
-        if (!actually_overclocked)
+        if (chargeWear(oc, prev, now, now) <= 0)
             continue; // held at/below turbo: no wear consumed
-
-        stats_.overclockedCoreTime +=
-            delta * static_cast<sim::Tick>(oc.coreSet.size());
-        lifetime_.consume(
-            delta * static_cast<sim::Tick>(oc.coreSet.size()), now);
 
         bool exhausted_core = false;
         for (int core : oc.coreSet) {
-            coreUsedEpoch_[core] += delta;
             if (coreUsedEpoch_[core] >= allowancePerCore_)
                 exhausted_core = true;
         }

@@ -229,6 +229,15 @@ class ServerOverclockingAgent : public power::RackPowerListener
     /** Accrue per-core time-in-state, enforce lifetime budget. */
     void lifetimeAccounting(sim::Tick now);
 
+    /**
+     * Charge the wear of @p oc over [from, until), truncated to the
+     * grant's live range [startedAt, grantedUntil).  Returns the
+     * charged interval length (0 if the group was not actually
+     * running above turbo).
+     */
+    sim::Tick chargeWear(ActiveOverclock &oc, sim::Tick from,
+                         sim::Tick until, sim::Tick now);
+
     /** Predict power/lifetime exhaustion and signal WI (§IV-D). */
     void exhaustionPrediction(sim::Tick now);
 

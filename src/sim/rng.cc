@@ -143,5 +143,15 @@ Rng::split()
     return Rng((*this)());
 }
 
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    // Two finalizer rounds so that nearby (seed, stream) pairs land
+    // far apart even when both differ in only a few low bits.
+    std::uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+    (void)splitMix64(x);
+    return splitMix64(x);
+}
+
 } // namespace sim
 } // namespace soc

@@ -83,6 +83,17 @@ class Rng
     bool hasSpare_ = false;
 };
 
+/**
+ * Derive the seed of an independent stream from a base seed
+ * (SplitMix64 finalizer over seed and stream index).
+ *
+ * Parallel entities (e.g. the racks of the trace simulator) each
+ * seed their own generator with `deriveSeed(seed, index)` so their
+ * draws neither overlap nor depend on the order in which the other
+ * entities consume randomness.
+ */
+std::uint64_t deriveSeed(std::uint64_t seed, std::uint64_t stream);
+
 } // namespace sim
 } // namespace soc
 

@@ -1,0 +1,138 @@
+#include "sim/thread_pool.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace soc
+{
+namespace sim
+{
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int total = threads < 1 ? 1 : threads;
+    workers_.reserve(static_cast<std::size_t>(total - 1));
+    for (int i = 0; i < total - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    /** Work-sharing state for one parallelFor call.  Indices are
+     *  claimed through an atomic counter; `completed` (guarded by
+     *  `mutex`) tracks finished iterations so the caller can block
+     *  until stragglers on worker threads drain. */
+    struct Batch {
+        explicit Batch(std::size_t total,
+                       const std::function<void(std::size_t)> &f)
+            : n(total), fn(f)
+        {
+        }
+
+        std::size_t n;
+        const std::function<void(std::size_t)> &fn;
+        std::atomic<std::size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t completed = 0;
+        std::exception_ptr error;
+
+        void run()
+        {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                std::exception_ptr thrown;
+                try {
+                    fn(i);
+                } catch (...) {
+                    thrown = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(mutex);
+                if (thrown && !error)
+                    error = thrown;
+                if (++completed == n)
+                    done.notify_all();
+            }
+        }
+    };
+
+    // The batch must outlive the caller's wait, and the enqueued
+    // tasks may still hold a reference while they observe an empty
+    // index range, hence shared ownership.
+    auto batch = std::make_shared<Batch>(n, fn);
+
+    const std::size_t helpers =
+        std::min(workers_.size(), n - 1);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < helpers; ++i)
+            tasks_.emplace_back([batch] { batch->run(); });
+    }
+    if (helpers == 1)
+        wake_.notify_one();
+    else
+        wake_.notify_all();
+
+    batch->run();
+
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done.wait(lock,
+                     [&batch] { return batch->completed == batch->n; });
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+} // namespace sim
+} // namespace soc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal worker pool for embarrassingly parallel simulation loops.
+ *
+ * The cluster simulators decompose into per-rack units with no
+ * shared mutable state (see DESIGN.md "Threading model"), so the
+ * only primitive needed is a deterministic `parallelFor`: every
+ * index is executed exactly once, each index writes only its own
+ * output slot, and callers merge the slots in index order
+ * afterwards.  Scheduling order is therefore free to vary across
+ * runs without affecting results.
+ *
+ * A pool of size 1 runs everything inline on the calling thread and
+ * spawns no workers at all, so `threads=1` is a true serial
+ * execution, not a degenerate concurrent one.
+ */
+
+#ifndef SOC_SIM_THREAD_POOL_HH
+#define SOC_SIM_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace soc
+{
+namespace sim
+{
+
+/**
+ * Fixed-size worker pool with a `parallelFor` helper.
+ *
+ * The calling thread always participates in the loop, so a pool of
+ * size N uses N-1 background workers.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total concurrency including the calling
+     *                thread; values < 1 are clamped to 1.
+     */
+    explicit ThreadPool(int threads = defaultThreads());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (background workers + calling thread). */
+    int size() const
+    {
+        return static_cast<int>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run `fn(i)` for every i in [0, n), distributing indices over
+     * the pool.  Blocks until all iterations finish.  If any
+     * iteration throws, the first exception is rethrown on the
+     * calling thread after the loop drains.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Hardware concurrency, with a floor of 1. */
+    static int defaultThreads();
+
+    /** @p threads if positive, otherwise defaultThreads(). */
+    static int resolveThreads(int threads)
+    {
+        return threads > 0 ? threads : defaultThreads();
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> tasks_;
+    bool stop_ = false;
+};
+
+} // namespace sim
+} // namespace soc
+
+#endif // SOC_SIM_THREAD_POOL_HH

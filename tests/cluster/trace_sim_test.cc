@@ -110,3 +110,55 @@ TEST(TraceSim, PerformanceAboveTurboWhenOverclockingSucceeds)
               static_cast<double>(power::kOverclockMHz) /
                   power::kTurboMHz + 1e-9);
 }
+
+TEST(TraceSim, ThreadCountDoesNotChangeResults)
+{
+    auto cfg = quickConfig(core::PolicyKind::SmartOClock, 1.1);
+    cfg.racks = 4;
+    cfg.serversPerRack = 3;
+    const auto run_with = [&cfg](int threads) {
+        auto c = cfg;
+        c.threads = threads;
+        return runTraceSim(c);
+    };
+    const auto serial = run_with(1);
+    const auto parallel = run_with(4);
+    // Bit-identical, not merely close: every rack owns its RNG
+    // stream and accumulators, merged in rack order.
+    EXPECT_EQ(serial.capEvents, parallel.capEvents);
+    EXPECT_EQ(serial.cappedTicks, parallel.cappedTicks);
+    EXPECT_EQ(serial.warnings, parallel.warnings);
+    EXPECT_EQ(serial.requests, parallel.requests);
+    EXPECT_EQ(serial.wantSteps, parallel.wantSteps);
+    EXPECT_EQ(serial.successSteps, parallel.successSteps);
+    EXPECT_EQ(serial.successRate, parallel.successRate);
+    EXPECT_EQ(serial.cappingPenalty, parallel.cappingPenalty);
+    EXPECT_EQ(serial.normPerformance, parallel.normPerformance);
+    EXPECT_EQ(serial.meanRackUtil, parallel.meanRackUtil);
+    EXPECT_EQ(serial.energyJoules, parallel.energyJoules);
+}
+
+TEST(TraceSim, BatchMatchesIndividualRuns)
+{
+    std::vector<TraceSimConfig> configs;
+    auto a = quickConfig(core::PolicyKind::SmartOClock, 1.1);
+    a.racks = 2;
+    a.serversPerRack = 3;
+    configs.push_back(a);
+    auto b = quickConfig(core::PolicyKind::NaiveOClock, 1.3);
+    b.racks = 2;
+    b.serversPerRack = 3;
+    b.seed = 202;
+    configs.push_back(b);
+
+    const auto batch = runTraceSimBatch(configs, 2);
+    ASSERT_EQ(batch.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto direct = runTraceSim(configs[i]);
+        EXPECT_EQ(batch[i].capEvents, direct.capEvents);
+        EXPECT_EQ(batch[i].requests, direct.requests);
+        EXPECT_EQ(batch[i].wantSteps, direct.wantSteps);
+        EXPECT_EQ(batch[i].successSteps, direct.successSteps);
+        EXPECT_EQ(batch[i].energyJoules, direct.energyJoules);
+    }
+}

@@ -353,3 +353,81 @@ TEST(Soa, BudgetWattsFallsBackToTdpBeforeAssignment)
     fx.soa->assignBudget(ProfileTemplate::flat(321.0));
     EXPECT_NEAR(fx.soa->budgetWatts(0), 321.0, 1e-9);
 }
+
+TEST(Soa, ExtensionDoesNotDoubleCountRequestedCores)
+{
+    Fixture fx;
+    fx.soa->assignBudget(ProfileTemplate::flat(800.0));
+    ASSERT_TRUE(
+        fx.soa->requestOverclock(fx.makeRequest(sim::kHour), 0)
+            .granted);
+    // Re-request every tick while the grant is live, as WI agents
+    // do to keep a grant alive.  Every request from 15 s on takes
+    // the "extended" path.
+    for (Tick t = 0; t <= 10 * kMinute; t += 15 * kSecond) {
+        if (t > 0) {
+            const auto d =
+                fx.soa->requestOverclock(fx.makeRequest(sim::kHour),
+                                         t);
+            ASSERT_EQ(d.reason, "extended");
+        }
+        fx.soa->tick(t);
+    }
+    // The second 5-minute telemetry slot saw only extensions, so
+    // requested demand must equal the granted cores — extensions
+    // must not be counted on top of the grant they extend.
+    ASSERT_GE(fx.soa->requestedCoreHistory().size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        fx.soa->requestedCoreHistory().values().back(), 8.0);
+    EXPECT_DOUBLE_EQ(
+        fx.soa->requestedCoreHistory().values().back(),
+        fx.soa->grantedCoreHistory().values().back());
+}
+
+TEST(Soa, WearChargedThroughGrantExpiry)
+{
+    SoaConfig cfg;
+    cfg.budgetEpoch = sim::kDay;
+    cfg.overclockFraction = 0.5;
+    cfg.exploreEnabled = false;
+    Fixture fx(cfg);
+    fx.soa->assignBudget(ProfileTemplate::flat(900.0));
+    // The grant expires at 7.5 min, between the accounting ticks at
+    // 5 and 10 min; the final partial interval [5 min, 7.5 min)
+    // must still be charged.
+    ASSERT_TRUE(fx.soa
+                    ->requestOverclock(
+                        fx.makeRequest(7 * kMinute + 30 * kSecond),
+                        0)
+                    .granted);
+    fx.run(0, 10 * kMinute, 5 * kMinute);
+    EXPECT_FALSE(fx.soa->isOverclockActive(fx.vm));
+    EXPECT_EQ(fx.soa->stats().overclockedCoreTime,
+              8 * (7 * kMinute + 30 * kSecond));
+}
+
+TEST(Soa, WearChargedOnStopBetweenTicks)
+{
+    SoaConfig cfg;
+    cfg.budgetEpoch = sim::kDay;
+    cfg.overclockFraction = 0.5;
+    cfg.exploreEnabled = false;
+    Fixture fx(cfg);
+    fx.soa->assignBudget(ProfileTemplate::flat(900.0));
+    ASSERT_TRUE(
+        fx.soa->requestOverclock(fx.makeRequest(sim::kHour), 0)
+            .granted);
+    fx.soa->tick(0);
+    fx.soa->tick(5 * kMinute); // charges [0, 5 min)
+    const Tick before = fx.soa->stats().overclockedCoreTime;
+    EXPECT_EQ(before, 8 * (5 * kMinute));
+    // Stopping between ticks must charge the partial interval
+    // [5 min, 7 min) before the grant record disappears.
+    fx.soa->stopOverclock(fx.vm, 7 * kMinute);
+    EXPECT_EQ(fx.soa->stats().overclockedCoreTime,
+              8 * (7 * kMinute));
+    // The next tick has nothing left to charge for this group.
+    fx.soa->tick(10 * kMinute);
+    EXPECT_EQ(fx.soa->stats().overclockedCoreTime,
+              8 * (7 * kMinute));
+}

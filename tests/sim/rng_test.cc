@@ -153,3 +153,23 @@ TEST(Rng, SplitIsDeterministic)
     for (int i = 0; i < 32; ++i)
         EXPECT_EQ(ca(), cb());
 }
+
+TEST(Rng, DeriveSeedIsDeterministic)
+{
+    EXPECT_EQ(soc::sim::deriveSeed(1, 0), soc::sim::deriveSeed(1, 0));
+    EXPECT_EQ(soc::sim::deriveSeed(99, 7), soc::sim::deriveSeed(99, 7));
+}
+
+TEST(Rng, DeriveSeedSeparatesStreamsAndSeeds)
+{
+    EXPECT_NE(soc::sim::deriveSeed(1, 0), soc::sim::deriveSeed(1, 1));
+    EXPECT_NE(soc::sim::deriveSeed(1, 0), soc::sim::deriveSeed(2, 0));
+    // Generators seeded from adjacent streams diverge immediately.
+    Rng a(soc::sim::deriveSeed(42, 0));
+    Rng b(soc::sim::deriveSeed(42, 1));
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}

@@ -1,0 +1,110 @@
+/** @file Tests for the parallelFor worker pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+using namespace soc;
+using sim::ThreadPool;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    ThreadPool pool(4);
+    pool.parallelFor(n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SizeOneRunsInlineOnCaller)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(8);
+    pool.parallelFor(seen.size(), [&](std::size_t i) {
+        seen[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : seen)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ClampsNonPositiveSizes)
+{
+    ThreadPool pool(-3);
+    EXPECT_EQ(pool.size(), 1);
+    int runs = 0;
+    pool.parallelFor(3, [&](std::size_t) { ++runs; });
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](std::size_t i) {
+            if (i == 10)
+                throw std::runtime_error("boom");
+            completed.fetch_add(1, std::memory_order_relaxed);
+        }),
+        std::runtime_error);
+    // The loop drains (no iteration is lost) even when one throws.
+    EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.parallelFor(20, [&](std::size_t i) {
+            sum.fetch_add(static_cast<long>(i),
+                          std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(sum.load(), 50L * (19 * 20 / 2));
+}
+
+TEST(ThreadPool, ResolveThreadsDefaultsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+    EXPECT_EQ(ThreadPool::resolveThreads(0),
+              ThreadPool::defaultThreads());
+    EXPECT_EQ(ThreadPool::resolveThreads(-1),
+              ThreadPool::defaultThreads());
+    EXPECT_EQ(ThreadPool::resolveThreads(5), 5);
+}
+
+TEST(ThreadPool, NestedPoolsInsideWorkers)
+{
+    // A worker task may build its own pool (runTraceSimBatch runs
+    // whole simulations, each with a private per-rack pool).
+    ThreadPool outer(3);
+    std::vector<std::atomic<int>> counts(6);
+    outer.parallelFor(counts.size(), [&](std::size_t i) {
+        ThreadPool inner(2);
+        inner.parallelFor(4, [&](std::size_t) {
+            counts[i].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    for (auto &c : counts)
+        EXPECT_EQ(c.load(), 4);
+}
