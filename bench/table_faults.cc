@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Chaos table — the Table I policies re-run under the standard
+ * fault load (§III-Q5 robustness study).
+ *
+ * Every policy sees the identical deterministic fault plan: gOA
+ * outages, sOA crash-restarts, lost/delayed/corrupted gOA<->sOA
+ * messages and a noisy power sensor.  The recompute period is
+ * shortened to a day so outages and leases matter inside a two-week
+ * run.  Columns: the usual capping/success/performance metrics plus
+ * the injected-fault count, the cap events attributable to faults,
+ * the time sOAs spent enforcing stale (decayed) budgets, and the
+ * mean fault recovery time.
+ *
+ * The shape to look for: SmartOClock's decentralized enforcement
+ * degrades gracefully — success rate dips while budgets are stale
+ * but capping stays orders of magnitude below NaiveOClock, which
+ * has no feedback to contain fault fallout.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "cluster/trace_sim.hh"
+#include "telemetry/table.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+using telemetry::fmt;
+using telemetry::fmtPercent;
+
+int
+main(int argc, char **argv)
+{
+    // Usage: bench_table_faults [threads]
+    //   threads: worker-pool size for the independent policy runs;
+    //            0 / omitted = hardware concurrency.
+    const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
+
+    const core::PolicyKind policies[5] = {
+        core::PolicyKind::Central, core::PolicyKind::NaiveOClock,
+        core::PolicyKind::NoFeedback, core::PolicyKind::NoWarning,
+        core::PolicyKind::SmartOClock};
+
+    telemetry::Table table(
+        "Policies under the standard fault load (2 racks x 16 "
+        "servers, 1 week warm-up + 1 week evaluation, daily "
+        "recompute)",
+        {"system", "caps", "fault caps", "success", "norm. perf",
+         "faults", "stale min", "recovery s"});
+
+    std::vector<TraceSimConfig> configs;
+    for (int p = 0; p < 5; ++p) {
+        TraceSimConfig cfg;
+        cfg.policy = policies[p];
+        cfg.racks = 2;
+        cfg.serversPerRack = 16;
+        cfg.warmup = sim::kWeek;
+        cfg.duration = sim::kWeek;
+        cfg.limitFactor =
+            TraceSimConfig::tierLimitFactor(PowerTier::Medium);
+        cfg.seed = 11;
+        // Daily budget refresh so multi-hour outages actually
+        // starve the sOAs of updates mid-evaluation.
+        cfg.recomputePeriod = sim::kDay;
+        cfg.faults = sim::FaultConfig::standardChaos();
+        configs.push_back(cfg);
+    }
+    const auto results = runTraceSimBatch(configs, threads);
+
+    for (int p = 0; p < 5; ++p) {
+        const TraceSimResult &row = results[p];
+        // Stale-lease tick counts are per control step (30 s).
+        const double stale_minutes =
+            static_cast<double>(row.staleLeaseTicks) * 30.0 / 60.0;
+        table.addRow(
+            {core::policyName(policies[p]),
+             fmt(static_cast<double>(row.capEvents), 0),
+             fmt(static_cast<double>(row.capEventsFaultAttributed),
+                 0),
+             fmtPercent(row.successRate, 0),
+             fmt(row.normPerformance, 3),
+             fmt(static_cast<double>(row.faults.total()), 0),
+             fmt(stale_minutes, 0),
+             fmt(row.meanRecoveryS, 0)});
+    }
+    table.print(std::cout);
+
+    const TraceSimResult &smart = results[4];
+    std::cout << "Injected into the SmartOClock run: "
+              << smart.faults.goaOutages << " gOA outages ("
+              << smart.faults.recomputesSkipped
+              << " recomputes skipped), " << smart.faults.soaCrashes
+              << " sOA crash-restarts, " << smart.faults.budgetDrops
+              << " budget pushes lost, " << smart.faults.budgetDelays
+              << " delayed, " << smart.faults.budgetRejects
+              << " rejected by validation, "
+              << smart.faults.telemetryDrops
+              << " telemetry pulls served from cache.\n"
+              << "Enforcement is decentralized: every policy "
+                 "completes under this load; the sOAs ride out\n"
+                 "outages on stale-then-decayed budgets instead of "
+                 "overclocking unboundedly or crashing.\n";
+    return 0;
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Chaos job: build the tree under ThreadSanitizer and then
+# AddressSanitizer, and run the fault-injection suite (ctest label
+# `chaos`) under each.  The suite drives the simulators through gOA
+# outages, sOA crash-restarts and message faults, so a data race or
+# heap error on the degraded paths surfaces here rather than in a
+# long bench run.  Usage: scripts/chaos_check.sh [builddir-prefix]
+set -e
+ROOT="$(dirname "$0")/.."
+PREFIX="${1:-build-chaos}"
+
+for SAN in thread address; do
+    BUILD="$PREFIX-$SAN"
+    echo "== chaos suite under ${SAN} sanitizer (${BUILD}) =="
+    cmake -B "$BUILD" -S "$ROOT" -DSOC_SANITIZE="$SAN"
+    cmake --build "$BUILD" -j "$(nproc)" --target test_chaos
+    ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        -L chaos
+done
+echo "chaos suite clean under thread + address sanitizers"

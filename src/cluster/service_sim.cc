@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/goa.hh"
@@ -33,6 +36,40 @@ environmentName(Environment environment)
       case Environment::SmartOClock: return "SmartOClock";
     }
     return "unknown";
+}
+
+void
+ServiceSimConfig::validate() const
+{
+    auto fail = [](const std::string &what) {
+        throw std::invalid_argument("ServiceSimConfig: " + what);
+    };
+    if (socialNetServers < 1) {
+        fail("socialNetServers must be >= 1 (got " +
+             std::to_string(socialNetServers) + ")");
+    }
+    if (mlServers < 0)
+        fail("mlServers must be non-negative");
+    if (spareServers < 0)
+        fail("spareServers must be non-negative");
+    if (warmup < 0)
+        fail("warmup must be non-negative");
+    if (duration <= warmup) {
+        fail("duration must exceed warmup (nothing to evaluate)");
+    }
+    if (controlPeriod <= 0)
+        fail("controlPeriod must be > 0");
+    if (pollPeriod <= 0)
+        fail("pollPeriod must be > 0");
+    if (goaPeriod <= 0)
+        fail("goaPeriod must be > 0");
+    if (!(rackLimitFactor > 0.0)) {
+        fail("rackLimitFactor must be > 0 (got " +
+             std::to_string(rackLimitFactor) + ")");
+    }
+    if (maxInstances < 1)
+        fail("maxInstances must be >= 1");
+    faults.validate();
 }
 
 namespace
@@ -137,6 +174,7 @@ loadPhase(sim::Tick t, sim::Tick duration)
 ServiceSimResult
 runServiceSim(const ServiceSimConfig &config)
 {
+    config.validate();
     sim::Simulator simulator;
     sim::Rng rng(config.seed);
     const power::PowerModel model(config.hardware);
@@ -153,8 +191,22 @@ runServiceSim(const ServiceSimConfig &config)
     power::Rack rack2(1, limit2);
     power::RackManager manager1(rack1);
     power::RackManager manager2(rack2);
-    core::GlobalOverclockingAgent goa1(rack1, model);
-    core::GlobalOverclockingAgent goa2(rack2, model);
+
+    core::GoaConfig goa_cfg;
+    std::array<sim::FaultPlan, 2> plans;
+    if (config.faults.enabled) {
+        // Leases sized to tolerate one missed recompute before the
+        // sOAs start decaying toward the safe floor.
+        goa_cfg.leaseTtl = 2 * config.goaPeriod;
+        plans[0] = sim::FaultPlan::generate(
+            config.faults, config.seed, 0, rack1_servers,
+            config.duration);
+        plans[1] = sim::FaultPlan::generate(
+            config.faults, config.seed, 1,
+            std::max(1, config.spareServers), config.duration);
+    }
+    core::GlobalOverclockingAgent goa1(rack1, model, goa_cfg);
+    core::GlobalOverclockingAgent goa2(rack2, model, goa_cfg);
 
     core::SoaConfig soa_cfg =
         core::SoaConfig::forPolicy(config.soaPolicy);
@@ -169,6 +221,10 @@ runServiceSim(const ServiceSimConfig &config)
     std::vector<Node> nodes;
     std::vector<std::unique_ptr<core::ServerOverclockingAgent>> soas;
 
+    const bool faulty_sensor = config.faults.enabled &&
+        (config.faults.sensorNoiseStd > 0.0 ||
+         config.faults.sensorBias != 0.0);
+
     auto add_node = [&](power::Rack &rack,
                         power::RackManager &manager,
                         core::GlobalOverclockingAgent &goa,
@@ -177,6 +233,15 @@ runServiceSim(const ServiceSimConfig &config)
         soas.push_back(
             std::make_unique<core::ServerOverclockingAgent>(
                 server, soa_cfg, &rack));
+        if (faulty_sensor) {
+            const sim::FaultPlan *plan = &plans[rack_idx];
+            const int sidx =
+                static_cast<int>(rack.serverCount()) - 1;
+            soas.back()->setPowerSensor(
+                [plan, sidx](double watts, sim::Tick now) {
+                    return watts * plan->sensorFactor(sidx, now);
+                });
+        }
         manager.addListener(soas.back().get());
         goa.addAgent(soas.back().get());
         Node node;
@@ -330,8 +395,47 @@ runServiceSim(const ServiceSimConfig &config)
     std::uint64_t eval_windows = 0;
     std::uint64_t eval_windows_missed = 0;
 
+    // Fault bookkeeping: merged crash schedule over both racks
+    // (node index order) and the in-flight budget pushes per gOA.
+    std::vector<std::pair<sim::Tick, int>> crash_schedule;
+    for (const auto &event : plans[0].crashes()) {
+        if (event.server < rack1_servers)
+            crash_schedule.emplace_back(event.at, event.server);
+    }
+    for (const auto &event : plans[1].crashes()) {
+        if (event.server < config.spareServers) {
+            crash_schedule.emplace_back(
+                event.at, rack1_servers + event.server);
+        }
+    }
+    std::sort(crash_schedule.begin(), crash_schedule.end());
+    std::size_t next_crash = 0;
+    std::array<std::vector<core::PendingAssignment>, 2> in_flight;
+    std::array<std::size_t, 2> next_delivery{};
+
     simulator.every(config.controlPeriod, [&](sim::Tick now) {
         const bool in_eval = now >= config.warmup;
+
+        // Scheduled sOA crash-restarts due by now.
+        while (next_crash < crash_schedule.size() &&
+               crash_schedule[next_crash].first <= now) {
+            const int node_idx = crash_schedule[next_crash].second;
+            nodes[node_idx].soa->crashRestart(now);
+            ++result.faults.soaCrashes;
+            ++next_crash;
+        }
+
+        // Deliver budget pushes whose flight time is up.
+        for (int r = 0; r < 2; ++r) {
+            auto &queue = in_flight[r];
+            auto &cursor = next_delivery[r];
+            auto &goa = r == 0 ? goa1 : goa2;
+            while (cursor < queue.size() &&
+                   queue[cursor].deliverAt <= now) {
+                goa.deliver(queue[cursor], now);
+                ++cursor;
+            }
+        }
 
         // Offered load follows the phase profile.
         const double phase =
@@ -431,10 +535,54 @@ runServiceSim(const ServiceSimConfig &config)
         }
     });
 
+    auto run_goa = [&](core::GlobalOverclockingAgent &goa,
+                       const sim::FaultPlan &plan, int rack_idx,
+                       sim::Tick now) {
+        if (!plan.enabled()) {
+            goa.recompute(now);
+            return;
+        }
+        if (plan.goaDown(now)) {
+            // Outage: no budget update this period; the sOAs keep
+            // enforcing their last assignments until the lease
+            // expires, then decay toward the safe floor (§III-Q5).
+            ++result.faults.recomputesSkipped;
+            return;
+        }
+        core::RecomputeFaults rf;
+        rf.telemetryAttempts = config.faults.telemetryAttempts;
+        rf.telemetryLost = [&plan, now](int server, int attempt) {
+            return plan.telemetryLost(server, now, attempt);
+        };
+        rf.budgetLost = [&plan, now](int server) {
+            return plan.budgetLost(server, now);
+        };
+        rf.budgetDelay = [&plan, now](int server) {
+            return plan.budgetDelay(server, now);
+        };
+        rf.budgetCorrupt = [&plan, now](int server) {
+            return plan.budgetCorrupted(server, now)
+                ? plan.corruptionKind(server, now)
+                : -1;
+        };
+        auto batch = goa.recompute(now, rf);
+        auto &queue = in_flight[rack_idx];
+        for (auto &pending : batch)
+            queue.push_back(std::move(pending));
+        std::stable_sort(
+            queue.begin() + static_cast<std::ptrdiff_t>(
+                                next_delivery[rack_idx]),
+            queue.end(),
+            [](const core::PendingAssignment &a,
+               const core::PendingAssignment &b) {
+                return a.deliverAt < b.deliverAt;
+            });
+    };
+
     simulator.every(config.goaPeriod, [&](sim::Tick now) {
-        goa1.recompute(now);
+        run_goa(goa1, plans[0], 0, now);
         if (config.spareServers > 0)
-            goa2.recompute(now);
+            run_goa(goa2, plans[1], 1, now);
     });
 
     simulator.runUntil(config.duration);
@@ -504,6 +652,21 @@ runServiceSim(const ServiceSimConfig &config)
 
     result.capEvents = manager1.stats().capEvents +
         manager2.stats().capEvents;
+    if (config.faults.enabled) {
+        for (const auto *goa : {&goa1, &goa2}) {
+            const core::GoaStats &gs = goa->stats();
+            result.faults.telemetryRetries += gs.telemetryRetries;
+            result.faults.telemetryDrops += gs.staleProfiles;
+            result.faults.budgetDrops += gs.assignmentsDropped;
+            result.faults.budgetDelays += gs.assignmentsDelayed;
+            result.faults.budgetRejects += gs.assignmentsRejected;
+        }
+        for (const auto &plan : plans) {
+            for (const auto &outage : plan.outages())
+                if (outage.start < config.duration)
+                    ++result.faults.goaOutages;
+        }
+    }
     result.meanInstancesAll = instances_all /
         std::max<std::size_t>(1, deployments.size());
     result.missedSloTimeFrac = eval_windows > 0

@@ -31,6 +31,7 @@
 
 #include "core/policy.hh"
 #include "power/power_model.hh"
+#include "sim/fault_injector.hh"
 #include "sim/time.hh"
 
 namespace soc
@@ -96,6 +97,21 @@ struct ServiceSimConfig {
      * across runs instead.  0 means hardware concurrency.
      */
     int threads = 0;
+    /**
+     * Fault injection (chaos harness).  Disabled by default; when
+     * enabled each rack draws a deterministic FaultPlan from the
+     * run seed and budget assignments carry a lease of 2 x
+     * goaPeriod.
+     */
+    sim::FaultConfig faults;
+
+    /**
+     * Reject nonsensical configurations up front with a clear
+     * message (std::invalid_argument): at least one latency-critical
+     * server, non-negative server counts, positive periods and rack
+     * limit factor, warmup < duration, and fault knobs in range.
+     */
+    void validate() const;
 };
 
 /** Aggregated metrics for one load class. */
@@ -126,6 +142,9 @@ struct ServiceSimResult {
     std::uint64_t denials = 0;
     /** Fraction of eval time with any service above its SLO. */
     double missedSloTimeFrac = 0.0;
+    /** Injected-fault and degraded-path counters (zero when fault
+     *  injection is disabled). */
+    sim::FaultStats faults;
 };
 
 /** Run one environment over the 36-server cluster. */

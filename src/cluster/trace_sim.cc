@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "core/goa.hh"
 #include "core/soa.hh"
@@ -31,8 +33,42 @@ TraceSimConfig::tierLimitFactor(PowerTier tier)
     return 1.45;
 }
 
+void
+TraceSimConfig::validate() const
+{
+    auto fail = [](const std::string &what) {
+        throw std::invalid_argument("TraceSimConfig: " + what);
+    };
+    if (racks < 1)
+        fail("racks must be >= 1 (got " + std::to_string(racks) +
+             ")");
+    if (serversPerRack < 1) {
+        fail("serversPerRack must be >= 1 (got " +
+             std::to_string(serversPerRack) + ")");
+    }
+    if (!(limitFactor > 0.0)) {
+        fail("limitFactor must be > 0 (got " +
+             std::to_string(limitFactor) + ")");
+    }
+    if (warmup < 0)
+        fail("warmup must be non-negative");
+    if (duration < 0)
+        fail("duration must be non-negative");
+    if (warmup + duration <= 0)
+        fail("warmup + duration must be > 0 (nothing to simulate)");
+    if (controlStep <= 0)
+        fail("controlStep must be > 0");
+    if (recomputePeriod <= 0)
+        fail("recomputePeriod must be > 0");
+    faults.validate();
+}
+
 namespace
 {
+
+/** How long after a discrete fault a cap event is still blamed on
+ *  it (crash fallout: revoked grants, cold telemetry). */
+constexpr sim::Tick kFaultAttribution = sim::kHour;
 
 /** One rack with its servers, traces, agents, and manager. */
 struct SimRack {
@@ -45,6 +81,8 @@ struct SimRack {
     std::vector<std::vector<power::GroupId>> groups;
     /** candidate[s][v]: does this VM ever request overclocking? */
     std::vector<std::vector<bool>> candidate;
+    /** Deterministic fault schedule (inert when faults disabled). */
+    sim::FaultPlan plan;
 };
 
 /**
@@ -64,6 +102,11 @@ struct RackOutcome {
     sim::OnlineStats penalty;
     sim::OnlineStats rackUtil;
     sim::OnlineStats perf;
+    sim::FaultStats faults;
+    std::uint64_t capEventsFaultAttributed = 0;
+    std::uint64_t staleLeaseTicks = 0;
+    std::uint64_t recoveries = 0;
+    sim::Tick recoverySum = 0;
 };
 
 bool
@@ -108,8 +151,24 @@ buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
 
     sr.rack = std::make_unique<power::Rack>(rack_index, limit);
     sr.manager = std::make_unique<power::RackManager>(*sr.rack);
+
+    core::GoaConfig goa_cfg;
+    goa_cfg.recomputePeriod = config.recomputePeriod;
+    if (config.faults.enabled) {
+        // Leases sized to tolerate one missed recompute before the
+        // sOAs start decaying toward the safe floor.
+        goa_cfg.leaseTtl = 2 * config.recomputePeriod;
+        sr.plan = sim::FaultPlan::generate(
+            config.faults, config.seed,
+            static_cast<std::uint64_t>(rack_index),
+            config.serversPerRack, config.warmup + config.duration);
+    }
     sr.goa = std::make_unique<core::GlobalOverclockingAgent>(
-        *sr.rack, model);
+        *sr.rack, model, goa_cfg);
+
+    const bool faulty_sensor = config.faults.enabled &&
+        (config.faults.sensorNoiseStd > 0.0 ||
+         config.faults.sensorBias != 0.0);
 
     for (int s = 0; s < config.serversPerRack; ++s) {
         power::Server &server = sr.rack->addServer(&model);
@@ -128,6 +187,15 @@ buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
         sr.soas.push_back(
             std::make_unique<core::ServerOverclockingAgent>(
                 server, soa_cfg, sr.rack.get()));
+        if (faulty_sensor) {
+            // SimRack slots are pre-sized and never reallocated, so
+            // the plan's address is stable for the run's lifetime.
+            const sim::FaultPlan *plan = &sr.plan;
+            sr.soas.back()->setPowerSensor(
+                [plan, s](double watts, sim::Tick now) {
+                    return watts * plan->sensorFactor(s, now);
+                });
+        }
         sr.manager->addListener(sr.soas.back().get());
         sr.goa->addAgent(sr.soas.back().get());
     }
@@ -149,6 +217,57 @@ simulateRack(SimRack &sr, RackOutcome &out,
     const double dt_s =
         static_cast<double>(config.controlStep) / sim::kSecond;
 
+    const sim::FaultPlan &plan = sr.plan;
+    std::size_t next_crash = 0;
+    /** Budget pushes in flight (delayed deliveries), sorted by
+     *  deliverAt from next_delivery on. */
+    std::vector<core::PendingAssignment> in_flight;
+    std::size_t next_delivery = 0;
+    /** First recompute time missed to the current outage (-1 when
+     *  the gOA is reachable). */
+    sim::Tick outage_first_missed = -1;
+    /** Per-server crash time awaiting a fresh accepted budget. */
+    std::vector<sim::Tick> crash_since(sr.soas.size(), -1);
+    /** Cap events up to here are blamed on a discrete fault. */
+    sim::Tick fault_attribution_until = -1;
+
+    // Fault-aware recompute: telemetry faults during the pull,
+    // budget pushes queued (possibly delayed/corrupted) instead of
+    // applied.
+    auto recompute = [&](sim::Tick now) {
+        if (!plan.enabled()) {
+            sr.goa->recompute(now);
+            return;
+        }
+        core::RecomputeFaults rf;
+        rf.telemetryAttempts = config.faults.telemetryAttempts;
+        rf.telemetryLost = [&plan, now](int server, int attempt) {
+            return plan.telemetryLost(server, now, attempt);
+        };
+        rf.budgetLost = [&plan, now](int server) {
+            return plan.budgetLost(server, now);
+        };
+        rf.budgetDelay = [&plan, now](int server) {
+            return plan.budgetDelay(server, now);
+        };
+        rf.budgetCorrupt = [&plan, now](int server) {
+            return plan.budgetCorrupted(server, now)
+                ? plan.corruptionKind(server, now)
+                : -1;
+        };
+        auto batch = sr.goa->recompute(now, rf);
+        for (auto &pending : batch)
+            in_flight.push_back(std::move(pending));
+        std::stable_sort(
+            in_flight.begin() +
+                static_cast<std::ptrdiff_t>(next_delivery),
+            in_flight.end(),
+            [](const core::PendingAssignment &a,
+               const core::PendingAssignment &b) {
+                return a.deliverAt < b.deliverAt;
+            });
+    };
+
     for (sim::Tick t = 0; t < end; t += config.controlStep) {
         if (t == config.warmup) {
             // Snapshot warm-up counters so metrics cover only the
@@ -159,9 +278,67 @@ simulateRack(SimRack &sr, RackOutcome &out,
             for (auto &soa : sr.soas)
                 req_base += soa->stats().requests;
         }
+
+        // Scheduled sOA crash-restarts due by now.
+        const auto &crashes = plan.crashes();
+        while (next_crash < crashes.size() &&
+               crashes[next_crash].at <= t) {
+            const auto &event = crashes[next_crash];
+            if (event.server >= 0 &&
+                event.server < static_cast<int>(sr.soas.size())) {
+                sr.soas[event.server]->crashRestart(t);
+                ++out.faults.soaCrashes;
+                if (crash_since[event.server] < 0)
+                    crash_since[event.server] = t;
+                fault_attribution_until = std::max(
+                    fault_attribution_until, t + kFaultAttribution);
+            }
+            ++next_crash;
+        }
+
         if (t >= next_recompute) {
-            sr.goa->recompute(t);
-            next_recompute += sim::kWeek;
+            if (plan.goaDown(t)) {
+                // gOA outage: the recompute is skipped and retried
+                // every step; sOAs keep enforcing their last
+                // budgets, decaying once the lease goes stale
+                // (§III-Q5).
+                ++out.faults.recomputesSkipped;
+                if (outage_first_missed < 0)
+                    outage_first_missed = t;
+                fault_attribution_until = std::max(
+                    fault_attribution_until, t + kFaultAttribution);
+                next_recompute = t + config.controlStep;
+            } else {
+                recompute(t);
+                if (outage_first_missed >= 0) {
+                    out.recoverySum += t - outage_first_missed;
+                    ++out.recoveries;
+                    outage_first_missed = -1;
+                }
+                next_recompute += config.recomputePeriod;
+            }
+        }
+
+        // Deliver queued budget pushes whose flight time is up.
+        while (next_delivery < in_flight.size() &&
+               in_flight[next_delivery].deliverAt <= t) {
+            sr.goa->deliver(in_flight[next_delivery], t);
+            ++next_delivery;
+        }
+
+        // A crashed sOA has recovered once it holds a budget
+        // accepted after the crash.
+        if (plan.enabled()) {
+            for (std::size_t s = 0; s < sr.soas.size(); ++s) {
+                if (crash_since[s] < 0)
+                    continue;
+                if (sr.soas[s]->lastAssignmentAt() >=
+                    crash_since[s]) {
+                    out.recoverySum += t - crash_since[s];
+                    ++out.recoveries;
+                    crash_since[s] = -1;
+                }
+            }
         }
 
         const bool in_eval = t >= config.warmup;
@@ -205,7 +382,23 @@ simulateRack(SimRack &sr, RackOutcome &out,
             }
             soa.tick(t);
         }
+        const std::uint64_t cap_before = sr.manager->stats().capEvents;
         sr.manager->tick(t);
+
+        if (in_eval && plan.enabled()) {
+            const std::uint64_t cap_delta =
+                sr.manager->stats().capEvents - cap_before;
+            if (cap_delta > 0) {
+                bool attributed = t <= fault_attribution_until ||
+                    plan.goaDown(t);
+                for (std::size_t s = 0;
+                     !attributed && s < sr.soas.size(); ++s) {
+                    attributed = sr.soas[s]->leaseStale(t);
+                }
+                if (attributed)
+                    out.capEventsFaultAttributed += cap_delta;
+            }
+        }
 
         if (in_eval) {
             out.rackUtil.add(sr.rack->utilization());
@@ -233,6 +426,20 @@ simulateRack(SimRack &sr, RackOutcome &out,
     for (auto &soa : sr.soas)
         requests += soa->stats().requests;
     out.requests = requests - req_base;
+
+    if (plan.enabled()) {
+        const core::GoaStats &goa_stats = sr.goa->stats();
+        out.faults.telemetryRetries = goa_stats.telemetryRetries;
+        out.faults.telemetryDrops = goa_stats.staleProfiles;
+        out.faults.budgetDrops = goa_stats.assignmentsDropped;
+        out.faults.budgetDelays = goa_stats.assignmentsDelayed;
+        out.faults.budgetRejects = goa_stats.assignmentsRejected;
+        for (const auto &outage : plan.outages())
+            if (outage.start < end)
+                ++out.faults.goaOutages;
+        for (auto &soa : sr.soas)
+            out.staleLeaseTicks += soa->stats().staleLeaseTicks;
+    }
 }
 
 } // namespace
@@ -240,6 +447,7 @@ simulateRack(SimRack &sr, RackOutcome &out,
 TraceSimResult
 runTraceSim(const TraceSimConfig &config)
 {
+    config.validate();
     const power::PowerModel model(config.hardware);
     core::SoaConfig soa_cfg =
         core::SoaConfig::forPolicy(config.policy);
@@ -272,6 +480,7 @@ runTraceSim(const TraceSimConfig &config)
     sim::OnlineStats penalty_stats;
     sim::OnlineStats rack_util_stats;
     sim::OnlineStats perf_stats;
+    sim::Tick recovery_sum = 0;
     for (const auto &out : outcomes) {
         result.capEvents += out.capEvents;
         result.cappedTicks += out.cappedTicks;
@@ -283,7 +492,17 @@ runTraceSim(const TraceSimConfig &config)
         penalty_stats.merge(out.penalty);
         rack_util_stats.merge(out.rackUtil);
         perf_stats.merge(out.perf);
+        result.faults.merge(out.faults);
+        result.capEventsFaultAttributed +=
+            out.capEventsFaultAttributed;
+        result.staleLeaseTicks += out.staleLeaseTicks;
+        result.recoveries += out.recoveries;
+        recovery_sum += out.recoverySum;
     }
+    result.meanRecoveryS = result.recoveries > 0
+        ? static_cast<double>(recovery_sum) /
+            static_cast<double>(result.recoveries) / sim::kSecond
+        : 0.0;
     result.successRate = result.wantSteps > 0
         ? static_cast<double>(result.successSteps) /
             static_cast<double>(result.wantSteps)

@@ -23,6 +23,7 @@
 
 #include "core/policy.hh"
 #include "power/power_model.hh"
+#include "sim/fault_injector.hh"
 #include "sim/time.hh"
 #include "telemetry/time_series.hh"
 
@@ -52,6 +53,17 @@ struct TraceSimConfig {
     sim::Tick requestChunk = 10 * sim::kMinute;
     std::uint64_t seed = 1;
     power::PowerModelParams hardware;
+    /** gOA budget recompute period (the paper recomputes weekly;
+     *  chaos studies shorten it so outages hit mid-evaluation). */
+    sim::Tick recomputePeriod = sim::kWeek;
+    /**
+     * Fault injection (chaos harness).  Disabled by default; when
+     * enabled, each rack draws a deterministic FaultPlan from the
+     * run seed, budget assignments carry a lease of
+     * 2 x recomputePeriod, and the Table I metrics are joined by the
+     * fault counters in TraceSimResult.
+     */
+    sim::FaultConfig faults;
     /**
      * Worker threads for trace generation and the per-rack control
      * loops (racks are fully independent, see DESIGN.md "Threading
@@ -64,6 +76,16 @@ struct TraceSimConfig {
 
     /** Preset limit factors for the Table I cluster tiers. */
     static double tierLimitFactor(PowerTier tier);
+
+    /**
+     * Reject nonsensical configurations up front with a clear
+     * message (std::invalid_argument) instead of dividing by zero
+     * or looping forever deep inside the run: racks and
+     * serversPerRack must be >= 1, limitFactor > 0, controlStep > 0,
+     * warmup/duration non-negative with a positive sum, and the
+     * fault knobs in range.
+     */
+    void validate() const;
 };
 
 /** Metrics of one run (Table I row, un-normalized). */
@@ -87,6 +109,22 @@ struct TraceSimResult {
     double meanRackUtil = 0.0;
     /** Integrated energy over the evaluation window (joules). */
     double energyJoules = 0.0;
+
+    // Chaos metrics (all zero when fault injection is disabled).
+    /** Injected-fault and degraded-path counters, all racks. */
+    sim::FaultStats faults;
+    /** Cap events that struck while a fault was plausibly in play
+     *  (during a gOA outage, within an hour of an sOA crash, or
+     *  with some sOA on a stale budget lease). */
+    std::uint64_t capEventsFaultAttributed = 0;
+    /** Control ticks some sOA spent on a stale (lease-expired)
+     *  budget, summed over servers. */
+    std::uint64_t staleLeaseTicks = 0;
+    /** Completed fault recoveries (outage -> next successful
+     *  recompute; crash -> next accepted budget assignment). */
+    std::uint64_t recoveries = 0;
+    /** Mean recovery time over those recoveries, in seconds. */
+    double meanRecoveryS = 0.0;
 };
 
 /** Run one policy over one generated fleet. */

@@ -1,6 +1,8 @@
 #include "core/goa.hh"
 
-#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace soc
 {
@@ -20,14 +22,31 @@ GlobalOverclockingAgent::GlobalOverclockingAgent(
 void
 GlobalOverclockingAgent::addAgent(ServerOverclockingAgent *agent)
 {
-    assert(agent != nullptr);
+    if (agent == nullptr)
+        throw std::invalid_argument("gOA: null sOA registered");
+    if (agents_.size() >= rack_.serverCount()) {
+        throw std::invalid_argument(
+            "gOA: more sOAs than rack servers");
+    }
+    // Budget recomputes pair profile i with server i; enforce the
+    // pairing at registration instead of mis-assigning later.
+    if (&agent->server() != &rack_.server(agents_.size())) {
+        throw std::invalid_argument(
+            "gOA: sOA registered out of rack server order");
+    }
+    // The even split of the rack limit is safe with no coordination:
+    // it is the degraded-mode floor stale leases decay toward.
+    agent->setSafeBudgetWatts(
+        rack_.limitWatts() /
+        static_cast<double>(rack_.serverCount()));
     agents_.push_back(agent);
 }
 
 void
 GlobalOverclockingAgent::assignEvenSplit()
 {
-    assert(!agents_.empty());
+    if (agents_.empty())
+        throw std::logic_error("gOA: assignEvenSplit with no sOAs");
     const double share =
         rack_.limitWatts() / static_cast<double>(agents_.size());
     for (auto *agent : agents_)
@@ -39,20 +58,114 @@ GlobalOverclockingAgent::assignEvenSplit()
 void
 GlobalOverclockingAgent::recompute(sim::Tick now)
 {
-    (void)now;
-    assert(!agents_.empty());
+    for (const auto &pending : recompute(now, RecomputeFaults{}))
+        deliver(pending, now);
+}
+
+std::vector<PendingAssignment>
+GlobalOverclockingAgent::recompute(sim::Tick now,
+                                   const RecomputeFaults &faults)
+{
+    if (agents_.empty())
+        throw std::logic_error("gOA: recompute with no sOAs");
+
+    lastProfiles_.resize(agents_.size());
+    lastProfileValid_.resize(agents_.size(), false);
 
     std::vector<ServerProfile> profiles;
     profiles.reserve(agents_.size());
-    for (auto *agent : agents_) {
-        agent->refreshOwnTemplate(config_.strategy);
-        profiles.push_back(agent->buildProfile(config_.strategy));
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        auto *agent = agents_[i];
+        const int server = static_cast<int>(i);
+        bool reached = true;
+        if (faults.telemetryLost) {
+            reached = false;
+            for (int attempt = 0;
+                 attempt < std::max(1, faults.telemetryAttempts);
+                 ++attempt) {
+                if (!faults.telemetryLost(server, attempt)) {
+                    reached = true;
+                    break;
+                }
+                ++stats_.telemetryRetries;
+            }
+        }
+        if (reached) {
+            agent->refreshOwnTemplate(config_.strategy);
+            lastProfiles_[i] = agent->buildProfile(config_.strategy);
+            lastProfileValid_[i] = true;
+        } else if (lastProfileValid_[i]) {
+            // Unreachable server: budget from its last known
+            // profile rather than nothing (§III-Q5 degraded mode).
+            ++stats_.staleProfiles;
+        } else {
+            // Never heard from this server at all; assume an idle
+            // profile so the split stays conservative for it.
+            ++stats_.staleProfiles;
+            lastProfiles_[i] = ServerProfile{};
+        }
+        profiles.push_back(lastProfiles_[i]);
     }
 
     lastBudgets_ = allocator_.split(rack_.limitWatts(), profiles);
-    for (std::size_t i = 0; i < agents_.size(); ++i)
-        agents_[i]->assignBudget(lastBudgets_[i]);
+
+    std::vector<PendingAssignment> pending;
+    pending.reserve(agents_.size());
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        const int server = static_cast<int>(i);
+        if (faults.budgetLost && faults.budgetLost(server)) {
+            ++stats_.assignmentsDropped;
+            continue;
+        }
+        PendingAssignment out;
+        out.agent = agents_[i];
+        out.serverIndex = server;
+        out.deliverAt = now;
+        if (faults.budgetDelay) {
+            const sim::Tick delay =
+                std::max<sim::Tick>(0, faults.budgetDelay(server));
+            if (delay > 0) {
+                out.deliverAt += delay;
+                ++stats_.assignmentsDelayed;
+            }
+        }
+        out.assignment.budget = lastBudgets_[i];
+        out.assignment.issuedAt = now;
+        out.assignment.leaseUntil =
+            config_.leaseTtl > 0 ? now + config_.leaseTtl : 0;
+        out.assignment.rackLimitWatts = rack_.limitWatts();
+        if (faults.budgetCorrupt) {
+            switch (faults.budgetCorrupt(server)) {
+              case 0:
+                out.assignment.budget = ProfileTemplate::flat(
+                    std::numeric_limits<double>::quiet_NaN());
+                break;
+              case 1:
+                out.assignment.budget = ProfileTemplate::flat(-50.0);
+                break;
+              case 2:
+                out.assignment.budget = ProfileTemplate::flat(
+                    2.0 * rack_.limitWatts());
+                break;
+              default:
+                break;
+            }
+        }
+        pending.push_back(std::move(out));
+    }
     ++recomputes_;
+    return pending;
+}
+
+bool
+GlobalOverclockingAgent::deliver(const PendingAssignment &pending,
+                                 sim::Tick now)
+{
+    const bool accepted =
+        pending.agent->assignBudget(pending.assignment, now);
+    if (!accepted)
+        ++stats_.assignmentsRejected;
+    return accepted;
 }
 
 } // namespace core

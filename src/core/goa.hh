@@ -8,12 +8,22 @@
  * are used locally until the next recompute, so a gOA outage only
  * freezes budget *updates* — decentralized enforcement continues
  * (§III-Q5).
+ *
+ * Messages between the gOA and its sOAs traverse a real network, so
+ * the recompute path is split in two: recompute() produces a batch
+ * of PendingAssignment deliveries (each with a delivery time), and
+ * deliver() applies one to its sOA.  The fault-injection harness
+ * drops, delays and corrupts deliveries between the two halves;
+ * telemetry pulls retry a bounded number of times and fall back to
+ * the profile cached from the previous recompute when a server
+ * stays unreachable.
  */
 
 #ifndef SOC_CORE_GOA_HH
 #define SOC_CORE_GOA_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/budget_allocator.hh"
@@ -31,7 +41,64 @@ struct GoaConfig {
     TemplateStrategy strategy = TemplateStrategy::DailyMed;
     /** How often budgets are recomputed. */
     sim::Tick recomputePeriod = sim::kWeek;
+    /**
+     * Lease attached to pushed budgets: an sOA that has not heard
+     * from the gOA for leaseTtl decays toward its guaranteed-safe
+     * floor instead of trusting an arbitrarily old prediction.
+     * 0 disables leases (assignments never expire, the seed
+     * behavior).  When enabled it should comfortably exceed
+     * recomputePeriod so healthy operation never goes stale.
+     */
+    sim::Tick leaseTtl = 0;
     BudgetConfig budget;
+};
+
+/** gOA-side fault/robustness counters. */
+struct GoaStats {
+    /** Telemetry pull attempts that failed (per retry). */
+    std::uint64_t telemetryRetries = 0;
+    /** Recomputes where a server's profile came from the cache
+     *  because every pull attempt failed. */
+    std::uint64_t staleProfiles = 0;
+    /** Budget assignments lost in flight (never delivered). */
+    std::uint64_t assignmentsDropped = 0;
+    /** Budget assignments delivered late. */
+    std::uint64_t assignmentsDelayed = 0;
+    /** Deliveries the receiving sOA rejected as invalid. */
+    std::uint64_t assignmentsRejected = 0;
+};
+
+/**
+ * Fault hooks threaded through one recompute.  All hooks are
+ * optional; a default-constructed instance is a perfect network.
+ * Hooks must be pure functions of their arguments (the chaos
+ * harness backs them with stateless hashes) so recomputes stay
+ * deterministic under any thread interleaving.
+ */
+struct RecomputeFaults {
+    /** Does the telemetry pull from @p server fail on @p attempt? */
+    std::function<bool(int server, int attempt)> telemetryLost;
+    /** Pull attempts before falling back to the cached profile. */
+    int telemetryAttempts = 3;
+    /** Is the budget push to @p server lost outright? */
+    std::function<bool(int server)> budgetLost;
+    /** Extra delivery latency for @p server's push (0 = on time). */
+    std::function<sim::Tick(int server)> budgetDelay;
+    /**
+     * Payload corruption of @p server's push: -1 = clean, otherwise
+     * a corruption kind (0 = NaN, 1 = negative, 2 = over the rack
+     * limit) the receiving sOA's validation must catch.
+     */
+    std::function<int(int server)> budgetCorrupt;
+};
+
+/** One budget push in flight from the gOA to an sOA. */
+struct PendingAssignment {
+    ServerOverclockingAgent *agent = nullptr;
+    int serverIndex = -1;
+    /** Simulated arrival time (>= issue time when delayed). */
+    sim::Tick deliverAt = 0;
+    BudgetAssignment assignment;
 };
 
 /**
@@ -45,8 +112,24 @@ class GlobalOverclockingAgent
                             GoaConfig config = {});
 
     const GoaConfig &config() const { return config_; }
+    const GoaStats &stats() const { return stats_; }
 
-    /** Register a managed sOA (same order as the rack's servers). */
+    /**
+     * Register a managed sOA.  Agents must be registered in the
+     * same order as the rack's servers — budget recomputes pair
+     * profile i with server i, so a scrambled registration silently
+     * assigns every server its neighbor's budget.  Violations throw
+     * std::invalid_argument immediately instead of corrupting
+     * budgets later:
+     *  - @p agent must be non-null,
+     *  - at most rack.serverCount() agents can be registered,
+     *  - agent->server() must be the rack's server at the next
+     *    registration index.
+     *
+     * Registration also seeds the agent's guaranteed-safe fallback
+     * budget (the even split of the rack limit) used in degraded
+     * mode.
+     */
     void addAgent(ServerOverclockingAgent *agent);
 
     std::size_t agentCount() const { return agents_.size(); }
@@ -61,8 +144,31 @@ class GlobalOverclockingAgent
     /**
      * Periodic recompute: profiles -> heterogeneous weekly budgets
      * -> push to sOAs (also refreshes each sOA's own template).
+     * Deliveries happen immediately (perfect network).
      */
     void recompute(sim::Tick now);
+
+    /**
+     * Fault-aware recompute: telemetry pulls go through
+     * @p faults.telemetryLost with bounded retry (falling back to
+     * the cached profile from the previous recompute when a server
+     * stays unreachable), and the resulting budget pushes are
+     * returned as PendingAssignment batches instead of being
+     * applied — lost pushes are omitted (counted in stats), delayed
+     * pushes carry a later deliverAt, corrupted pushes carry a
+     * poisoned payload for the sOA's validation to reject.  The
+     * caller (simulator) applies each entry with deliver() at its
+     * deliverAt time.
+     */
+    std::vector<PendingAssignment>
+    recompute(sim::Tick now, const RecomputeFaults &faults);
+
+    /**
+     * Apply one pending assignment to its sOA at @p now.
+     * @return true when the sOA accepted it (rejections are counted
+     * in stats().assignmentsRejected).
+     */
+    bool deliver(const PendingAssignment &pending, sim::Tick now);
 
     /** Budgets from the last recompute (empty before the first). */
     const std::vector<ProfileTemplate> &lastBudgets() const
@@ -79,7 +185,12 @@ class GlobalOverclockingAgent
     BudgetAllocator allocator_;
     std::vector<ServerOverclockingAgent *> agents_;
     std::vector<ProfileTemplate> lastBudgets_;
+    /** Profiles from the last successful pull per server; the
+     *  stale-telemetry fallback. */
+    std::vector<ServerProfile> lastProfiles_;
+    std::vector<bool> lastProfileValid_;
     std::uint64_t recomputes_ = 0;
+    GoaStats stats_;
 };
 
 } // namespace core

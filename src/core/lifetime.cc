@@ -143,6 +143,63 @@ OverclockBudget::timeToExhaustion(sim::Tick now, double burn_rate)
         static_cast<double>(left) / burn_rate);
 }
 
+WearJournal::WearJournal(int cores, sim::Tick epoch_len)
+    : epochLen_(epoch_len), coreUsedLatest_(cores, 0)
+{
+    assert(cores > 0);
+    assert(epoch_len > 0);
+}
+
+void
+WearJournal::append(int core, sim::Tick core_time, sim::Tick at)
+{
+    assert(core >= 0 &&
+           core < static_cast<int>(coreUsedLatest_.size()));
+    if (core_time <= 0)
+        return;
+    const std::int64_t epoch = at / epochLen_;
+    if (epochs_.empty() || epoch != latestEpoch_) {
+        std::fill(coreUsedLatest_.begin(), coreUsedLatest_.end(), 0);
+        latestEpoch_ = epoch;
+    }
+    if (epochs_.empty() || epochs_.back().epoch != epoch)
+        epochs_.push_back({epoch, 0});
+    epochs_.back().coreTime += core_time;
+    coreUsedLatest_[core] += core_time;
+    ++appends_;
+}
+
+sim::Tick
+WearJournal::totalCoreTime() const
+{
+    sim::Tick total = 0;
+    for (const auto &record : epochs_)
+        total += record.coreTime;
+    return total;
+}
+
+void
+WearJournal::replay(OverclockBudget &budget,
+                    std::vector<sim::Tick> &core_used,
+                    sim::Tick now) const
+{
+    // Applying each epoch's total at that epoch's start reproduces
+    // the live carry-over trajectory: the carry at each roll depends
+    // only on the epoch's total consumption, not on when within the
+    // epoch it happened.
+    for (const auto &record : epochs_)
+        budget.consume(record.coreTime, record.epoch * epochLen_);
+    std::fill(core_used.begin(), core_used.end(), 0);
+    if (!epochs_.empty() && latestEpoch_ == now / epochLen_) {
+        for (std::size_t core = 0;
+             core < core_used.size() &&
+             core < coreUsedLatest_.size();
+             ++core) {
+            core_used[core] = coreUsedLatest_[core];
+        }
+    }
+}
+
 TimeInState::TimeInState(int cores)
     : accumulated_(cores, 0), sinceTick_(cores, -1)
 {

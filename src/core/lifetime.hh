@@ -175,6 +175,63 @@ class OverclockBudget
 };
 
 /**
+ * Crash-safe wear journal: the durable record of consumed
+ * overclocking budget.  The sOA writes an entry behind every wear
+ * charge — the simulated analogue of an append log on NVRAM/flash
+ * that survives an agent crash.  After a crash-restart the agent
+ * replays the journal to reconstruct its OverclockBudget and its
+ * per-core epoch usage; everything not journaled (exploration
+ * state, in-flight grants, budget leases) is lost by design.
+ *
+ * The journal is stored compacted — per-epoch consumption totals
+ * plus the per-core breakdown of the latest epoch — which is exactly
+ * the information replay needs (carry-over depends only on per-epoch
+ * totals), so it stays O(epochs + cores) regardless of run length.
+ */
+class WearJournal
+{
+  public:
+    /**
+     * @param cores     Cores covered (width of the per-core record).
+     * @param epoch_len Epoch length of the budget being journaled.
+     */
+    WearJournal(int cores, sim::Tick epoch_len);
+
+    /** Record @p core consuming @p core_time of wear at @p at.
+     *  Appends must be in non-decreasing time order. */
+    void append(int core, sim::Tick core_time, sim::Tick at);
+
+    /** Number of append() calls recorded (tests/diagnostics). */
+    std::uint64_t appends() const { return appends_; }
+
+    /** Total journaled core-time over all epochs. */
+    sim::Tick totalCoreTime() const;
+
+    /**
+     * Crash recovery: replay the journal into a freshly constructed
+     * budget and a zeroed per-core usage array, reproducing the
+     * carry-over trajectory the live budget followed.  @p core_used
+     * receives the usage of the epoch containing @p now (zeros when
+     * the journal's last activity is from an older epoch).
+     */
+    void replay(OverclockBudget &budget,
+                std::vector<sim::Tick> &core_used,
+                sim::Tick now) const;
+
+  private:
+    struct EpochRecord {
+        std::int64_t epoch = 0;
+        sim::Tick coreTime = 0;
+    };
+
+    sim::Tick epochLen_;
+    std::vector<EpochRecord> epochs_;
+    std::vector<sim::Tick> coreUsedLatest_;
+    std::int64_t latestEpoch_ = 0;
+    std::uint64_t appends_ = 0;
+};
+
+/**
  * Per-core overclocked time-in-state tracker (Intel PMT analogue).
  */
 class TimeInState

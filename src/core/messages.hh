@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "core/profile_template.hh"
 #include "power/frequency.hh"
 #include "sim/time.hh"
 
@@ -55,6 +56,30 @@ struct AdmissionDecision {
     sim::Tick grantedUntil = 0;
     /** Human-readable denial/grant reason for logs and tests. */
     std::string reason;
+};
+
+/**
+ * gOA -> sOA budget assignment (the weekly recompute push of
+ * Fig. 10), carried as a message so the chaos harness can lose,
+ * delay or corrupt it in flight.  The sOA validates the payload on
+ * receipt (finite, non-negative, within the rack limit) and rejects
+ * anything else, keeping its previous budget.
+ */
+struct BudgetAssignment {
+    ProfileTemplate budget;
+    /** When the gOA computed this budget. */
+    sim::Tick issuedAt = 0;
+    /**
+     * Lease expiry.  0 means no lease: the budget stays valid until
+     * replaced (the paper's steady-state behavior).  When set and
+     * the lease goes stale — the gOA failed to refresh in time — the
+     * sOA decays its effective budget toward the guaranteed-safe
+     * even-split floor (degraded mode, §III-Q5).
+     */
+    sim::Tick leaseUntil = 0;
+    /** Issuing rack's total power limit, for receiver-side sanity
+     *  validation (one server's budget can never exceed it). */
+    double rackLimitWatts = 0.0;
 };
 
 /** Why an sOA predicts it cannot keep overclocking (§IV-D). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "sim/stats.hh"
 
@@ -182,6 +183,21 @@ ProfileTemplate::peak() const
     for (double v : weekly_)
         best = std::max(best, v);
     return best;
+}
+
+double
+ProfileTemplate::trough() const
+{
+    if (weekday_.empty() && weekend_.empty() && weekly_.empty())
+        return flatValue_;
+    double worst = std::numeric_limits<double>::infinity();
+    for (double v : weekday_)
+        worst = std::min(worst, v);
+    for (double v : weekend_)
+        worst = std::min(worst, v);
+    for (double v : weekly_)
+        worst = std::min(worst, v);
+    return worst;
 }
 
 } // namespace core

@@ -90,6 +90,9 @@ class ProfileTemplate
     /** Largest value the template ever predicts. */
     double peak() const;
 
+    /** Smallest value the template ever predicts. */
+    double trough() const;
+
   private:
     TemplateStrategy strategy_ = TemplateStrategy::FlatMed;
     double flatValue_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -48,6 +49,7 @@ ServerOverclockingAgent::ServerOverclockingAgent(
       lifetime_(config.budgetEpoch, config.overclockFraction,
                 server.totalCores(), config.carryoverCap),
       tis_(server.totalCores()),
+      journal_(server.totalCores(), config.budgetEpoch),
       coreUsedEpoch_(server.totalCores(), 0),
       regularHistory_(0, sim::kSlot),
       powerHistory_(0, sim::kSlot),
@@ -66,17 +68,73 @@ ServerOverclockingAgent::assignBudget(ProfileTemplate budget)
 {
     budget_ = std::move(budget);
     budgetAssigned_ = true;
+    leaseUntil_ = 0;
+}
+
+bool
+ServerOverclockingAgent::assignBudget(
+    const BudgetAssignment &assignment, sim::Tick now)
+{
+    ++stats_.budgetAssignments;
+    const double peak = assignment.budget.peak();
+    const double trough = assignment.budget.trough();
+    const char *reason = nullptr;
+    if (!std::isfinite(peak) || !std::isfinite(trough))
+        reason = "budget not finite";
+    else if (trough < 0.0)
+        reason = "budget negative";
+    else if (assignment.rackLimitWatts > 0.0 &&
+             peak > assignment.rackLimitWatts)
+        reason = "budget exceeds rack limit";
+    else if (assignment.leaseUntil != 0 &&
+             assignment.leaseUntil < assignment.issuedAt)
+        reason = "lease expires before issue time";
+    if (reason != nullptr) {
+        ++stats_.budgetRejects;
+        lastBudgetReject_ = reason;
+        return false;
+    }
+    lastBudgetReject_.clear();
+    budget_ = assignment.budget;
+    budgetAssigned_ = true;
+    leaseUntil_ = assignment.leaseUntil;
+    lastAssignmentAt_ = now;
+    return true;
+}
+
+double
+ServerOverclockingAgent::measuredWatts(sim::Tick now) const
+{
+    const double watts = server_.powerWatts();
+    return sensor_ ? sensor_(watts, now) : watts;
 }
 
 double
 ServerOverclockingAgent::budgetWatts(sim::Tick now) const
 {
     if (!budgetAssigned_) {
-        // Bootstrap: behave as if granted the server's TDP until the
-        // gOA hands out real budgets.
-        return server_.model().params().tdpWatts + bonusWatts_;
+        // No assignment at all: run on the safe floor if the gOA
+        // declared one, else behave as if granted the server's TDP
+        // until real budgets arrive (agent-only bootstrap).
+        const double base = safeBudgetWatts_ > 0.0
+            ? safeBudgetWatts_
+            : server_.model().params().tdpWatts;
+        return base + bonusWatts_;
     }
-    return budget_.predict(now) + bonusWatts_;
+    const double fresh = budget_.predict(now);
+    if (!leaseStale(now))
+        return fresh + bonusWatts_;
+    // Degraded mode: the gOA failed to refresh the lease.  Keep
+    // enforcing, but decay the stale prediction linearly toward the
+    // guaranteed-safe floor; after staleDecayTime the agent is fully
+    // conservative no matter how wrong the stale budget was.
+    const double frac = std::min(
+        1.0, static_cast<double>(now - leaseUntil_) /
+                 static_cast<double>(
+                     std::max<sim::Tick>(1, config_.staleDecayTime)));
+    const double base =
+        fresh + (std::min(safeBudgetWatts_, fresh) - fresh) * frac;
+    return base + bonusWatts_;
 }
 
 AdmissionDecision
@@ -120,7 +178,7 @@ ServerOverclockingAgent::requestOverclock(
     } else {
         AdmissionInputs in;
         in.now = now;
-        in.measuredWatts = server_.powerWatts();
+        in.measuredWatts = measuredWatts(now);
         in.budget = budgetAssigned_ ? &budget_ : nullptr;
         in.bonusWatts = bonusWatts_;
         in.serverPower = ownTemplateValid_ ? &ownPower_ : nullptr;
@@ -177,8 +235,11 @@ ServerOverclockingAgent::chargeWear(ActiveOverclock &oc,
     const auto cores = static_cast<sim::Tick>(oc.coreSet.size());
     stats_.overclockedCoreTime += delta * cores;
     lifetime_.consume(delta * cores, now);
-    for (int core : oc.coreSet)
+    for (int core : oc.coreSet) {
         coreUsedEpoch_[core] += delta;
+        // Durable record: wear must survive an agent crash.
+        journal_.append(core, delta, now);
+    }
     return delta;
 }
 
@@ -295,6 +356,17 @@ ServerOverclockingAgent::tick(sim::Tick now)
         return entry.second.second <= now;
     });
 
+    if (leaseStale(now)) {
+        // Degraded mode: the budget can no longer be trusted, so
+        // exploring beyond it is off the table and any banked bonus
+        // is surrendered.  budgetWatts() handles the decay itself.
+        ++stats_.staleLeaseTicks;
+        if (bonusWatts_ > 0.0 || state_ != ExploreState::Normal) {
+            bonusWatts_ = 0.0;
+            state_ = ExploreState::Normal;
+        }
+    }
+
     lifetimeAccounting(now);
     feedbackLoop(now);
     explorationStep(now);
@@ -322,7 +394,7 @@ ServerOverclockingAgent::feedbackLoop(sim::Tick now)
         draw = oracleRack_->powerWatts();
         limit = oracleRack_->limitWatts() * 0.995;
     } else {
-        draw = server_.powerWatts();
+        draw = measuredWatts(now);
         limit = budgetWatts(now);
     }
     const double threshold = limit - config_.bufferWatts;
@@ -352,7 +424,7 @@ ServerOverclockingAgent::feedbackLoop(sim::Tick now)
                                   victim_group->targetMHz));
             const double new_draw = config_.oracleMode
                 ? oracleRack_->powerWatts()
-                : server_.powerWatts();
+                : measuredWatts(now);
             if (new_draw <= limit)
                 break;
         }
@@ -394,7 +466,7 @@ ServerOverclockingAgent::feedbackLoop(sim::Tick now)
 void
 ServerOverclockingAgent::explorationStep(sim::Tick now)
 {
-    if (!config_.exploreEnabled)
+    if (!config_.exploreEnabled || leaseStale(now))
         return;
 
     switch (state_) {
@@ -613,11 +685,77 @@ ServerOverclockingAgent::telemetryCollection(sim::Tick now)
         requested += entry.first;
 
     slotRegularSum_ += server_.regularPowerWatts();
-    slotPowerSum_ += server_.powerWatts();
+    slotPowerSum_ += measuredWatts(now);
     slotUtilSum_ += server_.utilization();
     slotGrantedSum_ += granted;
     slotRequestedSum_ += requested;
     ++slotSamples_;
+}
+
+void
+ServerOverclockingAgent::crashRestart(sim::Tick now)
+{
+    // Wear up to the crash instant is physically real: charge the
+    // final partial interval so the journal is complete before the
+    // volatile state is discarded.  The platform watchdog drops all
+    // frequencies back to turbo when the agent dies.
+    for (auto &[group_id, oc] : active_) {
+        chargeWear(oc, lastAccounting_, now, now);
+        for (int core : oc.coreSet)
+            tis_.stopOverclock(core, now);
+        server_.setTarget(group_id, power::kTurboMHz);
+    }
+    stats_.revocations += active_.size();
+    active_.clear();
+    recentDenied_.clear();
+    powerDenialUntil_ = 0;
+
+    // Volatile exploration/back-off state is lost.
+    state_ = ExploreState::Normal;
+    bonusWatts_ = 0.0;
+    stateDeadline_ = 0;
+    nextExploreAllowed_ = 0;
+    backoffExp_ = 0;
+    warnedThisWindow_ = false;
+
+    // The budget assignment and its lease lived in process memory:
+    // until the gOA pushes again, the agent runs on the safe floor
+    // (budgetWatts falls back to safeBudgetWatts_, which is static
+    // per-rack configuration and survives).
+    budget_ = ProfileTemplate();
+    budgetAssigned_ = false;
+    leaseUntil_ = 0;
+    lastAssignmentAt_ = -1;
+    lastBudgetReject_.clear();
+    ownPower_ = ProfileTemplate();
+    ownTemplateValid_ = false;
+
+    // Telemetry accumulators restart empty (history is agent-local;
+    // the next recompute sees a short history, which is the real
+    // cost of a crash).
+    regularHistory_ = telemetry::TimeSeries(0, sim::kSlot);
+    powerHistory_ = telemetry::TimeSeries(0, sim::kSlot);
+    utilHistory_ = telemetry::TimeSeries(0, sim::kSlot);
+    grantedCoresHistory_ = telemetry::TimeSeries(0, sim::kSlot);
+    requestedCoresHistory_ = telemetry::TimeSeries(0, sim::kSlot);
+    currentSlot_ = -1;
+    slotRegularSum_ = slotPowerSum_ = slotUtilSum_ = 0.0;
+    slotGrantedSum_ = slotRequestedSum_ = 0.0;
+    slotSamples_ = 0;
+    requestedCoresNow_ = 0;
+
+    // Wear state is rebuilt from the durable journal — the
+    // in-memory budget is deliberately discarded so recovery is
+    // exercised for real, not faked by object survival.
+    lifetime_ = OverclockBudget(config_.budgetEpoch,
+                                config_.overclockFraction,
+                                server_.totalCores(),
+                                config_.carryoverCap);
+    std::fill(coreUsedEpoch_.begin(), coreUsedEpoch_.end(), 0);
+    coreEpochIndex_ = now / config_.budgetEpoch;
+    journal_.replay(lifetime_, coreUsedEpoch_, now);
+    lastAccounting_ = now;
+    ++stats_.crashRestarts;
 }
 
 void

@@ -89,6 +89,14 @@ struct SoaConfig {
     sim::Tick budgetEpoch = sim::kWeek;
     double carryoverCap = 1.0;
 
+    /**
+     * Degraded mode (§III-Q5): once a budget lease is stale, the
+     * effective budget decays linearly from the last assigned
+     * prediction down to the guaranteed-safe floor over this window.
+     * Enforcement never stops — it just gets conservative.
+     */
+    sim::Tick staleDecayTime = 10 * sim::kMinute;
+
     /** Build the config for one of the Table I policy variants. */
     static SoaConfig forPolicy(PolicyKind kind);
 };
@@ -106,6 +114,14 @@ struct SoaStats {
     std::uint64_t coreReschedules = 0;
     /** Integrated overclocked core-time (lifetime consumption). */
     sim::Tick overclockedCoreTime = 0;
+    /** Budget assignments received (valid or not). */
+    std::uint64_t budgetAssignments = 0;
+    /** Assignments rejected by validation (NaN/negative/over-limit). */
+    std::uint64_t budgetRejects = 0;
+    /** Crash-restarts survived (wear restored from the journal). */
+    std::uint64_t crashRestarts = 0;
+    /** Control ticks spent with a stale budget lease. */
+    std::uint64_t staleLeaseTicks = 0;
 };
 
 /**
@@ -127,11 +143,85 @@ class ServerOverclockingAgent : public power::RackPowerListener
     const SoaConfig &config() const { return config_; }
     const SoaStats &stats() const { return stats_; }
 
-    /** Receive a (weekly) budget assignment from the gOA. */
+    /** Receive a leaseless budget directly (bootstrap/tests); never
+     *  rejected — the caller vouches for the template. */
     void assignBudget(ProfileTemplate budget);
 
-    /** Assigned budget + current exploration bonus, in watts. */
+    /**
+     * Receive a budget assignment message from the gOA.  The payload
+     * is validated — peak/trough must be finite, non-negative and
+     * within the sender's rack limit — and invalid assignments are
+     * rejected (counted in stats, reason in lastBudgetReject()),
+     * keeping the previous budget and lease.
+     *
+     * @return true when accepted.
+     */
+    bool assignBudget(const BudgetAssignment &assignment,
+                      sim::Tick now);
+
+    /** Reason the most recent assignment was rejected ("" if none). */
+    const std::string &lastBudgetReject() const
+    {
+        return lastBudgetReject_;
+    }
+
+    /** When the current budget was received (-1 before the first). */
+    sim::Tick lastAssignmentAt() const { return lastAssignmentAt_; }
+
+    /** Is the current budget's lease expired (degraded mode)? */
+    bool leaseStale(sim::Tick now) const
+    {
+        return budgetAssigned_ && leaseUntil_ > 0 && now > leaseUntil_;
+    }
+
+    /**
+     * Guaranteed-safe fallback budget (the even-split share of the
+     * rack limit; every sOA staying within it keeps the rack under
+     * its limit with no coordination).  Set by the gOA at
+     * registration time; semantically static configuration that
+     * survives crash-restarts.  0 disables the floor: stale budgets
+     * then decay all the way to zero (no overclocking).
+     */
+    void setSafeBudgetWatts(double watts) { safeBudgetWatts_ = watts; }
+    double safeBudgetWatts() const { return safeBudgetWatts_; }
+
+    /**
+     * Effective budget + current exploration bonus, in watts.  While
+     * the lease is fresh (or leaseless) this is the assigned
+     * prediction; once stale it decays toward the safe floor over
+     * config().staleDecayTime.
+     */
     double budgetWatts(sim::Tick now) const;
+
+    /**
+     * Install a power-sensor distortion: every read the agent takes
+     * of its server's draw (feedback loop, admission, telemetry)
+     * goes through @p sensor(true_watts, now).  The chaos harness
+     * uses this for noise/bias injection; null restores the perfect
+     * sensor.
+     */
+    void setPowerSensor(
+        std::function<double(double, sim::Tick)> sensor)
+    {
+        sensor_ = std::move(sensor);
+    }
+
+    /**
+     * Simulate an sOA process crash followed by an immediate
+     * restart at @p now.  Volatile state is lost: in-flight grants
+     * are revoked (targets fall back to turbo, as the platform
+     * watchdog would enforce), exploration bonus/back-off reset, the
+     * budget assignment and its lease are forgotten (the agent runs
+     * on the safe floor until the gOA's next push), and telemetry
+     * accumulators restart empty.  Accrued wear survives: the final
+     * partial interval is charged, then the lifetime budget and
+     * per-core epoch usage are rebuilt from the crash-safe wear
+     * journal.
+     */
+    void crashRestart(sim::Tick now);
+
+    /** Durable wear journal backing crash recovery. */
+    const WearJournal &wearJournal() const { return journal_; }
 
     /** Current exploration bonus in watts. */
     double explorationBonus() const { return bonusWatts_; }
@@ -253,6 +343,9 @@ class ServerOverclockingAgent : public power::RackPowerListener
     /** Pick cores with the most remaining per-epoch budget. */
     std::vector<int> pickCores(int count, sim::Tick now);
 
+    /** Server draw as seen through the (possibly faulty) sensor. */
+    double measuredWatts(sim::Tick now) const;
+
     /** Per-epoch used overclock time of a core. */
     sim::Tick coreUsed(int core, sim::Tick now);
     void rollCoreEpoch(sim::Tick now);
@@ -269,8 +362,15 @@ class ServerOverclockingAgent : public power::RackPowerListener
 
     ProfileTemplate budget_;
     bool budgetAssigned_ = false;
+    /** Lease expiry of the current budget (0 = no lease). */
+    sim::Tick leaseUntil_ = 0;
+    sim::Tick lastAssignmentAt_ = -1;
+    double safeBudgetWatts_ = 0.0;
+    std::string lastBudgetReject_;
     ProfileTemplate ownPower_;
     bool ownTemplateValid_ = false;
+    std::function<double(double, sim::Tick)> sensor_;
+    WearJournal journal_;
 
     std::unordered_map<int, ActiveOverclock> active_;
     /** Recently denied requests: groupId -> (cores, expiry). */

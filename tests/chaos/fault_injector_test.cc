@@ -1,0 +1,264 @@
+/** @file Determinism and schedule tests for the fault injector. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/fault_injector.hh"
+
+using namespace soc;
+using sim::FaultConfig;
+using sim::FaultPlan;
+using sim::kDay;
+using sim::kHour;
+using sim::kMinute;
+using sim::kWeek;
+using sim::Tick;
+
+namespace
+{
+
+FaultConfig
+busyConfig()
+{
+    FaultConfig config;
+    config.enabled = true;
+    config.goaOutagesPerWeek = 6.0;
+    config.goaOutageMeanDuration = 4 * kHour;
+    config.soaCrashesPerServerWeek = 3.0;
+    config.telemetryLossProb = 0.3;
+    config.budgetLossProb = 0.2;
+    config.budgetDelayProb = 0.3;
+    config.budgetCorruptProb = 0.1;
+    config.sensorNoiseStd = 0.05;
+    config.sensorBias = 0.02;
+    return config;
+}
+
+} // namespace
+
+TEST(FaultPlan, DefaultConstructedIsInert)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_TRUE(plan.outages().empty());
+    EXPECT_TRUE(plan.crashes().empty());
+    for (Tick t = 0; t < kWeek; t += 7 * kHour) {
+        EXPECT_FALSE(plan.goaDown(t));
+        EXPECT_FALSE(plan.telemetryLost(0, t, 0));
+        EXPECT_FALSE(plan.budgetLost(3, t));
+        EXPECT_FALSE(plan.budgetCorrupted(1, t));
+        EXPECT_EQ(plan.budgetDelay(2, t), 0);
+        EXPECT_DOUBLE_EQ(plan.sensorFactor(0, t), 1.0);
+    }
+}
+
+TEST(FaultConfig, ValidateRejectsBadKnobs)
+{
+    FaultConfig bad = busyConfig();
+    bad.telemetryLossProb = 1.5;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = busyConfig();
+    bad.goaOutagesPerWeek = -1.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = busyConfig();
+    bad.telemetryAttempts = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = busyConfig();
+    bad.goaOutageMeanDuration = -kMinute;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = busyConfig();
+    bad.budgetDelayMax = -1;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = busyConfig();
+    bad.sensorNoiseStd = -0.1;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    EXPECT_NO_THROW(busyConfig().validate());
+    EXPECT_NO_THROW(FaultConfig{}.validate());
+    EXPECT_NO_THROW(FaultConfig::standardChaos().validate());
+}
+
+TEST(FaultPlan, GenerateIsDeterministic)
+{
+    const FaultConfig config = busyConfig();
+    const FaultPlan a =
+        FaultPlan::generate(config, 42, 3, 16, 2 * kWeek);
+    const FaultPlan b =
+        FaultPlan::generate(config, 42, 3, 16, 2 * kWeek);
+
+    ASSERT_EQ(a.outages().size(), b.outages().size());
+    for (std::size_t i = 0; i < a.outages().size(); ++i) {
+        EXPECT_EQ(a.outages()[i].start, b.outages()[i].start);
+        EXPECT_EQ(a.outages()[i].end, b.outages()[i].end);
+    }
+    ASSERT_EQ(a.crashes().size(), b.crashes().size());
+    for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+        EXPECT_EQ(a.crashes()[i].server, b.crashes()[i].server);
+        EXPECT_EQ(a.crashes()[i].at, b.crashes()[i].at);
+    }
+}
+
+TEST(FaultPlan, PerEventDecisionsAreCallOrderIndependent)
+{
+    const FaultConfig config = busyConfig();
+    const FaultPlan a =
+        FaultPlan::generate(config, 7, 0, 8, kWeek);
+    const FaultPlan b =
+        FaultPlan::generate(config, 7, 0, 8, kWeek);
+
+    // Query b in reverse order, and with interleaved unrelated
+    // queries: stateless hashes must not care.
+    for (int s = 7; s >= 0; --s) {
+        for (Tick t = kWeek - kHour; t >= 0; t -= 13 * kHour) {
+            (void)b.budgetLost((s + 3) % 8, t / 2);
+            (void)b.sensorFactor(s, t + kMinute);
+            EXPECT_EQ(a.telemetryLost(s, t, 1),
+                      b.telemetryLost(s, t, 1));
+            EXPECT_EQ(a.budgetLost(s, t), b.budgetLost(s, t));
+            EXPECT_EQ(a.budgetDelay(s, t), b.budgetDelay(s, t));
+            EXPECT_EQ(a.budgetCorrupted(s, t),
+                      b.budgetCorrupted(s, t));
+            EXPECT_DOUBLE_EQ(a.sensorFactor(s, t),
+                             b.sensorFactor(s, t));
+        }
+    }
+}
+
+TEST(FaultPlan, AdjacentRacksGetIndependentSchedules)
+{
+    const FaultConfig config = busyConfig();
+    const FaultPlan r0 =
+        FaultPlan::generate(config, 42, 0, 16, 2 * kWeek);
+    const FaultPlan r1 =
+        FaultPlan::generate(config, 42, 1, 16, 2 * kWeek);
+
+    // With these rates both racks draw several events; identical
+    // schedules would mean the streams are correlated.
+    bool differs = r0.outages().size() != r1.outages().size() ||
+        r0.crashes().size() != r1.crashes().size();
+    for (std::size_t i = 0;
+         !differs &&
+         i < std::min(r0.outages().size(), r1.outages().size());
+         ++i) {
+        differs = r0.outages()[i].start != r1.outages()[i].start;
+    }
+    int decision_diffs = 0;
+    for (int s = 0; s < 16; ++s) {
+        for (Tick t = 0; t < 2 * kWeek; t += 5 * kHour) {
+            if (r0.budgetLost(s, t) != r1.budgetLost(s, t))
+                ++decision_diffs;
+        }
+    }
+    EXPECT_TRUE(differs || decision_diffs > 0);
+    EXPECT_GT(decision_diffs, 0);
+}
+
+TEST(FaultPlan, OutagesSortedMergedAndInRange)
+{
+    const FaultConfig config = busyConfig();
+    const FaultPlan plan =
+        FaultPlan::generate(config, 5, 2, 8, 4 * kWeek);
+    ASSERT_FALSE(plan.outages().empty());
+    Tick prev_end = -1;
+    for (const auto &outage : plan.outages()) {
+        EXPECT_LT(outage.start, outage.end);
+        EXPECT_GE(outage.start, 0);
+        EXPECT_LT(outage.start, 4 * kWeek);
+        // Sorted and non-overlapping after merging.
+        EXPECT_GT(outage.start, prev_end);
+        prev_end = outage.end;
+    }
+}
+
+TEST(FaultPlan, GoaDownMatchesOutageWindows)
+{
+    const FaultConfig config = busyConfig();
+    const FaultPlan plan =
+        FaultPlan::generate(config, 5, 2, 8, 4 * kWeek);
+    ASSERT_FALSE(plan.outages().empty());
+    for (const auto &outage : plan.outages()) {
+        EXPECT_TRUE(plan.goaDown(outage.start));
+        EXPECT_TRUE(plan.goaDown(outage.end - 1));
+        EXPECT_FALSE(plan.goaDown(outage.end));
+    }
+    EXPECT_FALSE(plan.goaDown(plan.outages().front().start - 1));
+}
+
+TEST(FaultPlan, CrashesSortedByTime)
+{
+    const FaultConfig config = busyConfig();
+    const FaultPlan plan =
+        FaultPlan::generate(config, 9, 0, 24, 2 * kWeek);
+    ASSERT_FALSE(plan.crashes().empty());
+    for (std::size_t i = 1; i < plan.crashes().size(); ++i)
+        EXPECT_LE(plan.crashes()[i - 1].at, plan.crashes()[i].at);
+    for (const auto &crash : plan.crashes()) {
+        EXPECT_GE(crash.server, 0);
+        EXPECT_LT(crash.server, 24);
+        EXPECT_GE(crash.at, 0);
+        EXPECT_LT(crash.at, 2 * kWeek);
+    }
+}
+
+TEST(FaultPlan, SensorFactorCentersOnOnePlusBias)
+{
+    const FaultConfig config = busyConfig();
+    const FaultPlan plan =
+        FaultPlan::generate(config, 3, 0, 4, kWeek);
+    double sum = 0.0;
+    int n = 0;
+    for (int s = 0; s < 4; ++s) {
+        for (Tick t = 0; t < kWeek; t += 3 * kMinute) {
+            const double factor = plan.sensorFactor(s, t);
+            EXPECT_GE(factor, 0.05);
+            sum += factor;
+            ++n;
+        }
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 1.0 + config.sensorBias, 0.01);
+}
+
+TEST(FaultPlan, CorruptionKindsCoverAllThree)
+{
+    FaultConfig config = busyConfig();
+    config.budgetCorruptProb = 1.0;
+    const FaultPlan plan =
+        FaultPlan::generate(config, 11, 0, 8, kWeek);
+    bool seen[3] = {false, false, false};
+    for (int s = 0; s < 8; ++s) {
+        for (Tick t = 0; t < kWeek; t += kHour) {
+            ASSERT_TRUE(plan.budgetCorrupted(s, t));
+            const int kind = plan.corruptionKind(s, t);
+            ASSERT_GE(kind, 0);
+            ASSERT_LE(kind, 2);
+            seen[kind] = true;
+        }
+    }
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(FaultStats, MergeAddsFieldwise)
+{
+    sim::FaultStats a;
+    a.goaOutages = 1;
+    a.soaCrashes = 2;
+    a.budgetDrops = 3;
+    sim::FaultStats b;
+    b.goaOutages = 10;
+    b.telemetryRetries = 4;
+    b.budgetRejects = 5;
+    a.merge(b);
+    EXPECT_EQ(a.goaOutages, 11u);
+    EXPECT_EQ(a.soaCrashes, 2u);
+    EXPECT_EQ(a.budgetDrops, 3u);
+    EXPECT_EQ(a.telemetryRetries, 4u);
+    EXPECT_EQ(a.budgetRejects, 5u);
+    EXPECT_EQ(a.total(), 11u + 2u + 3u + 5u);
+}

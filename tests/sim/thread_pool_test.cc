@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,32 @@ TEST(ThreadPool, PropagatesFirstException)
         std::runtime_error);
     // The loop drains (no iteration is lost) even when one throws.
     EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, PropagatesOneExceptionWhenManyThrowConcurrently)
+{
+    // Worst case for the rethrow path: every iteration throws, from
+    // every worker at once.  Exactly one exception must surface (the
+    // first captured), the others are swallowed, and no iteration is
+    // lost or run twice.
+    ThreadPool pool(8);
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(
+        pool.parallelFor(256,
+                         [&](std::size_t i) {
+            attempts.fetch_add(1, std::memory_order_relaxed);
+            throw std::runtime_error(
+                "boom " + std::to_string(i));
+        }),
+        std::runtime_error);
+    EXPECT_EQ(attempts.load(), 256);
+
+    // The pool survives the storm: the next loop runs normally.
+    std::atomic<int> completed{0};
+    pool.parallelFor(64, [&](std::size_t) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(completed.load(), 64);
 }
 
 TEST(ThreadPool, ReusableAcrossManyLoops)
