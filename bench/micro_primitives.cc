@@ -9,7 +9,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/admission.hh"
+#include "core/budget_allocator.hh"
 #include "core/profile_template.hh"
+#include "core/slot_aggregator.hh"
 #include "power/server.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -76,6 +78,119 @@ BM_TemplateBuildDailyMed(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TemplateBuildDailyMed);
+
+/** Random-walk power telemetry of @p slots 5-minute samples. */
+telemetry::TimeSeries
+walkHistory(int slots)
+{
+    sim::Rng rng(17);
+    telemetry::TimeSeries s(0, sim::kSlot);
+    double level = 250.0;
+    for (int i = 0; i < slots; ++i) {
+        level += rng.uniform(-4.0, 4.0);
+        s.append(level);
+    }
+    return s;
+}
+
+/**
+ * Batch template construction: one ProfileTemplate::build over the
+ * whole history.  Arg = history length in days; cost grows linearly
+ * with it (this is the per-recompute cost the slot aggregator
+ * replaces).
+ */
+void
+BM_TemplateBuildBatch(benchmark::State &state)
+{
+    const auto history = walkHistory(
+        static_cast<int>(state.range(0)) * sim::kSlotsPerDay);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::ProfileTemplate::build(
+            core::TemplateStrategy::DailyMed, history));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemplateBuildBatch)->Arg(1)->Arg(7)->Arg(42);
+
+/**
+ * Incremental steady state: one closed slot arrives, then the
+ * template is rebuilt from the aggregator.  Arg = retained history
+ * in days (the aggregator's window, so the working set stays pinned
+ * while the benchmark streams new slots); cost is O(slots-per-day),
+ * independent of the window.
+ */
+void
+BM_TemplateBuildIncremental(benchmark::State &state)
+{
+    const sim::Tick window = state.range(0) * sim::kDay;
+    const auto history = walkHistory(
+        static_cast<int>(state.range(0)) * sim::kSlotsPerDay);
+    core::SlotAggregator agg(window);
+    for (std::size_t i = 0; i < history.size(); ++i)
+        agg.add(history.timeOf(i), history.at(i));
+    sim::Tick t = history.end();
+    sim::Rng rng(18);
+    double level = 250.0;
+    for (auto _ : state) {
+        level += rng.uniform(-4.0, 4.0);
+        agg.add(t, level);
+        t += sim::kSlot;
+        benchmark::DoNotOptimize(
+            agg.build(core::TemplateStrategy::DailyMed));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemplateBuildIncremental)->Arg(1)->Arg(7)->Arg(42);
+
+core::ServerProfile
+syntheticProfile(int seed)
+{
+    const auto history =
+        walkHistory(7 * sim::kSlotsPerDay + 31 * seed);
+    core::ServerProfile profile;
+    profile.power = core::ProfileTemplate::build(
+        core::TemplateStrategy::DailyMed, history);
+    profile.utilization = core::ProfileTemplate::flat(0.4);
+    profile.overclockedCores = core::ProfileTemplate::flat(2.0);
+    profile.requestedCores =
+        core::ProfileTemplate::flat(2.0 + seed % 3);
+    return profile;
+}
+
+/** Allocating split: fresh scratch + output vectors per call. */
+void
+BM_BudgetSplit(benchmark::State &state)
+{
+    const core::BudgetAllocator allocator(model());
+    std::vector<core::ServerProfile> profiles;
+    for (int i = 0; i < state.range(0); ++i)
+        profiles.push_back(syntheticProfile(i));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            allocator.split(1000.0 * state.range(0), profiles));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BudgetSplit)->Arg(8)->Arg(28);
+
+/** Steady-state split: scratch and output buffers reused. */
+void
+BM_BudgetSplitInto(benchmark::State &state)
+{
+    const core::BudgetAllocator allocator(model());
+    std::vector<core::ServerProfile> profiles;
+    for (int i = 0; i < state.range(0); ++i)
+        profiles.push_back(syntheticProfile(i));
+    core::BudgetAllocator::SplitScratch scratch;
+    std::vector<core::ProfileTemplate> out;
+    for (auto _ : state) {
+        allocator.splitInto(1000.0 * state.range(0), profiles,
+                            scratch, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BudgetSplitInto)->Arg(8)->Arg(28);
 
 void
 BM_TemplatePredict(benchmark::State &state)

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Simulator-throughput and recompute-cost benchmark driver.
+ *
+ * Two measurements, written as JSON (argv[1], default
+ * BENCH_trace_sim.json) so scripts/bench_check.sh and CI can track
+ * regressions:
+ *
+ *  1. End-to-end wall time of a multi-rack trace-simulator run
+ *     (racks/sec of simulated fleet).
+ *  2. gOA recompute latency after 1 day vs after 6 weeks of
+ *     telemetry.  With the incremental slot aggregators the cost is
+ *     O(slots-per-week) regardless of history length, so the 6-week
+ *     figure must stay within ~2x of the 1-day figure; the batch
+ *     builder it replaced scaled linearly (42x the history).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cluster/trace_sim.hh"
+#include "core/goa.hh"
+#include "sim/time.hh"
+
+using namespace soc;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+/** One rack of idle-ish servers streaming telemetry into their
+ *  sOAs, with the gOA recomputed on demand. */
+struct RecomputeHarness {
+    static constexpr int kServers = 8;
+
+    power::PowerModel model;
+    power::Rack rack{0, 4000.0};
+    std::vector<std::unique_ptr<core::ServerOverclockingAgent>> soas;
+    core::GlobalOverclockingAgent goa;
+    sim::Tick now = 0;
+
+    RecomputeHarness() : goa(rack, model)
+    {
+        core::SoaConfig cfg;
+        // One control tick per telemetry slot: every tick closes
+        // exactly one 5-minute sample, the cheapest way to stream
+        // weeks of history.
+        cfg.controlPeriod = sim::kSlot;
+        for (int i = 0; i < kServers; ++i) {
+            power::Server &server = rack.addServer(&model);
+            server.addGroup(8, 0.3 + 0.05 * i, power::kTurboMHz, 1);
+            soas.push_back(
+                std::make_unique<core::ServerOverclockingAgent>(
+                    server, cfg, &rack));
+            goa.addAgent(soas.back().get());
+        }
+        goa.assignEvenSplit();
+    }
+
+    /** Stream telemetry until @p until (exclusive of recomputes). */
+    void advanceTo(sim::Tick until)
+    {
+        for (; now < until; now += sim::kSlot)
+            for (auto &soa : soas)
+                soa->tick(now);
+    }
+
+    /**
+     * Mean recompute latency in microseconds over @p reps, each
+     * preceded by one fresh telemetry slot so every recompute does
+     * real incremental work (otherwise the aggregator caches make
+     * all but the first recompute trivial).
+     */
+    double measureRecomputeUs(int reps)
+    {
+        goa.recompute(now); // warm scratch buffers, not timed
+        double total_s = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            advanceTo(now + sim::kSlot);
+            const auto start = Clock::now();
+            goa.recompute(now);
+            total_s += secondsSince(start);
+        }
+        return total_s / reps * 1e6;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path =
+        argc > 1 ? argv[1] : "BENCH_trace_sim.json";
+
+    // 1. End-to-end simulator throughput.
+    cluster::TraceSimConfig cfg;
+    cfg.racks = 4;
+    cfg.serversPerRack = 8;
+    cfg.warmup = sim::kWeek;
+    cfg.duration = sim::kDay;
+    cfg.controlStep = 60 * sim::kSecond;
+    cfg.seed = 101;
+    const auto wall_start = Clock::now();
+    const auto result = cluster::runTraceSim(cfg);
+    const double wall_s = secondsSince(wall_start);
+    const double racks_per_s = cfg.racks / wall_s;
+
+    // 2. Recompute latency vs telemetry horizon.
+    RecomputeHarness harness;
+    harness.advanceTo(sim::kDay);
+    const double us_1d = harness.measureRecomputeUs(64);
+    harness.advanceTo(6 * sim::kWeek);
+    const double us_6w = harness.measureRecomputeUs(64);
+    const double ratio = us_1d > 0.0 ? us_6w / us_1d : 0.0;
+
+    std::FILE *out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"trace_sim\": {\n"
+                 "    \"racks\": %d,\n"
+                 "    \"servers_per_rack\": %d,\n"
+                 "    \"simulated\": \"1w warmup + 1d eval\",\n"
+                 "    \"wall_s\": %.3f,\n"
+                 "    \"racks_per_s\": %.3f,\n"
+                 "    \"requests\": %llu\n"
+                 "  },\n"
+                 "  \"goa_recompute\": {\n"
+                 "    \"servers\": %d,\n"
+                 "    \"recompute_us_1d\": %.2f,\n"
+                 "    \"recompute_us_6w\": %.2f,\n"
+                 "    \"ratio_6w_over_1d\": %.3f\n"
+                 "  }\n"
+                 "}\n",
+                 cfg.racks, cfg.serversPerRack, wall_s, racks_per_s,
+                 static_cast<unsigned long long>(result.requests),
+                 RecomputeHarness::kServers, us_1d, us_6w, ratio);
+    std::fclose(out);
+    std::printf("wall_s=%.3f racks_per_s=%.3f "
+                "recompute_us_1d=%.2f recompute_us_6w=%.2f "
+                "ratio=%.3f -> %s\n",
+                wall_s, racks_per_s, us_1d, us_6w, ratio, out_path);
+    return 0;
+}

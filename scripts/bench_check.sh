@@ -1,0 +1,25 @@
+#!/bin/sh
+# Performance check: build the bench targets and refresh
+# BENCH_trace_sim.json at the repo root (simulator wall time plus
+# gOA recompute latency at 1-day vs 6-week telemetry horizons).
+# Fails when the 6-week recompute is more than 2x the 1-day one —
+# the incremental-aggregation guarantee this repo relies on.
+# Usage: scripts/bench_check.sh [builddir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-build}"
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$(nproc)" \
+    --target bench_trace_sim bench_micro_primitives
+"$BUILD/bench/bench_trace_sim" "$ROOT/BENCH_trace_sim.json"
+RATIO=$(sed -n 's/.*"ratio_6w_over_1d": \([0-9.]*\).*/\1/p' \
+    "$ROOT/BENCH_trace_sim.json")
+echo "recompute 6w/1d ratio: $RATIO (bound: 2.0)"
+awk "BEGIN { exit !($RATIO <= 2.0) }" || {
+    echo "FAIL: recompute cost grows with telemetry horizon" >&2
+    exit 1
+}
+# Microbenchmarks of the underlying primitives (informational).
+"$BUILD/bench/bench_micro_primitives" \
+    --benchmark_filter='BM_Template|BM_Budget' \
+    --benchmark_min_time=0.05

@@ -63,6 +63,11 @@ ServiceSimConfig::validate() const
         fail("pollPeriod must be > 0");
     if (goaPeriod <= 0)
         fail("goaPeriod must be > 0");
+    if (templateWindow < 0 ||
+        (templateWindow > 0 && templateWindow % sim::kSlot != 0)) {
+        fail("templateWindow must be 0 or a positive multiple of "
+             "the telemetry slot");
+    }
     if (!(rackLimitFactor > 0.0)) {
         fail("rackLimitFactor must be > 0 (got " +
              std::to_string(rackLimitFactor) + ")");
@@ -217,6 +222,7 @@ runServiceSim(const ServiceSimConfig &config)
     // finite: one epoch spans the whole experiment.
     soa_cfg.budgetEpoch = std::max<sim::Tick>(config.duration,
                                               10 * sim::kMinute);
+    soa_cfg.templateWindow = config.templateWindow;
 
     std::vector<Node> nodes;
     std::vector<std::unique_ptr<core::ServerOverclockingAgent>> soas;

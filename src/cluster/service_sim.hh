@@ -64,6 +64,12 @@ struct ServiceSimConfig {
     sim::Tick controlPeriod = 5 * sim::kSecond;
     sim::Tick pollPeriod = 15 * sim::kSecond;
     sim::Tick goaPeriod = 5 * sim::kMinute;
+    /**
+     * Telemetry window the sOAs' template aggregators retain; 0
+     * (default) keeps all history — the seed behavior.  Must be a
+     * positive multiple of the 5-minute slot when set.
+     */
+    sim::Tick templateWindow = 0;
 
     /** Offered load as a fraction of one instance's turbo capacity,
      *  per load class. */

@@ -60,6 +60,11 @@ TraceSimConfig::validate() const
         fail("controlStep must be > 0");
     if (recomputePeriod <= 0)
         fail("recomputePeriod must be > 0");
+    if (templateWindow < 0 ||
+        (templateWindow > 0 && templateWindow % sim::kSlot != 0)) {
+        fail("templateWindow must be 0 or a positive multiple of "
+             "the telemetry slot");
+    }
     faults.validate();
 }
 
@@ -456,6 +461,7 @@ runTraceSim(const TraceSimConfig &config)
     // generous enough that peaks fit (the paper's operators size the
     // budget to the workloads' requirements).
     soa_cfg.overclockFraction = 0.25;
+    soa_cfg.templateWindow = config.templateWindow;
 
     const std::size_t n_racks =
         static_cast<std::size_t>(std::max(0, config.racks));

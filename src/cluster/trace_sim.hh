@@ -57,6 +57,13 @@ struct TraceSimConfig {
      *  chaos studies shorten it so outages hit mid-evaluation). */
     sim::Tick recomputePeriod = sim::kWeek;
     /**
+     * Telemetry window the sOAs' template aggregators retain, as a
+     * multiple of the 5-minute slot.  0 (default) keeps all history
+     * — the seed behavior; the paper's agents predict from the
+     * prior week (sim::kWeek).
+     */
+    sim::Tick templateWindow = 0;
+    /**
      * Fault injection (chaos harness).  Disabled by default; when
      * enabled, each rack draws a deterministic FaultPlan from the
      * run seed, budget assignments carry a lease of

@@ -41,13 +41,31 @@ BudgetAllocator::split(double limit_watts,
                        const std::vector<ServerProfile> &profiles)
     const
 {
+    SplitScratch scratch;
+    std::vector<ProfileTemplate> out;
+    splitInto(limit_watts, profiles, scratch, out);
+    return out;
+}
+
+void
+BudgetAllocator::splitInto(double limit_watts,
+                           const std::vector<ServerProfile> &profiles,
+                           SplitScratch &scratch,
+                           std::vector<ProfileTemplate> &out) const
+{
     assert(!profiles.empty());
     const std::size_t n = profiles.size();
     const double usable =
         limit_watts * (1.0 - config_.safetyFraction);
 
-    std::vector<std::vector<double>> budgets(
-        n, std::vector<double>(sim::kSlotsPerWeek, 0.0));
+    // Per-slot scratch hoisted out of the 2016-iteration loop, and
+    // per-server weekly buffers reused call to call (assign keeps
+    // capacity).
+    scratch.regular.assign(n, 0.0);
+    scratch.demand.assign(n, 0.0);
+    scratch.budgets.resize(n);
+    for (auto &weekly : scratch.budgets)
+        weekly.assign(sim::kSlotsPerWeek, 0.0);
 
     for (int slot = 0; slot < sim::kSlotsPerWeek; ++slot) {
         const sim::Tick t =
@@ -55,14 +73,12 @@ BudgetAllocator::split(double limit_watts,
 
         // Phase 1+2: regular power is the initial budget.
         double regular_sum = 0.0;
-        std::vector<double> regular(n);
-        std::vector<double> demand(n);
         double demand_sum = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            regular[i] = regularPower(profiles[i], t);
-            regular_sum += regular[i];
-            demand[i] = overclockDemand(profiles[i], t);
-            demand_sum += demand[i];
+            scratch.regular[i] = regularPower(profiles[i], t);
+            regular_sum += scratch.regular[i];
+            scratch.demand[i] = overclockDemand(profiles[i], t);
+            demand_sum += scratch.demand[i];
         }
 
         const double headroom = usable - regular_sum;
@@ -72,7 +88,8 @@ BudgetAllocator::split(double limit_watts,
             const double scale =
                 regular_sum > 0.0 ? usable / regular_sum : 0.0;
             for (std::size_t i = 0; i < n; ++i)
-                budgets[i][slot] = regular[i] * scale;
+                scratch.budgets[i][slot] =
+                    scratch.regular[i] * scale;
             continue;
         }
 
@@ -81,18 +98,15 @@ BudgetAllocator::split(double limit_watts,
         // fresh servers can still explore.
         for (std::size_t i = 0; i < n; ++i) {
             const double share = demand_sum > 0.0
-                ? headroom * (demand[i] / demand_sum)
+                ? headroom * (scratch.demand[i] / demand_sum)
                 : headroom / static_cast<double>(n);
-            budgets[i][slot] = regular[i] + share;
+            scratch.budgets[i][slot] = scratch.regular[i] + share;
         }
     }
 
-    std::vector<ProfileTemplate> out;
-    out.reserve(n);
+    out.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        out.push_back(ProfileTemplate::fromWeekly(
-            std::move(budgets[i])));
-    return out;
+        out[i].assignWeekly(scratch.budgets[i]);
 }
 
 } // namespace core

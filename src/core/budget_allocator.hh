@@ -62,6 +62,19 @@ struct BudgetConfig {
 class BudgetAllocator
 {
   public:
+    /**
+     * Reusable working memory for splitInto.  A caller that keeps
+     * one instance across recomputes (the gOA does) makes the split
+     * allocation-free in steady state: the per-slot regular/demand
+     * scratch and the per-server weekly buffers retain their
+     * capacity between calls.
+     */
+    struct SplitScratch {
+        std::vector<double> regular;
+        std::vector<double> demand;
+        std::vector<std::vector<double>> budgets;
+    };
+
     BudgetAllocator(const power::PowerModel &model,
                     BudgetConfig config = {});
 
@@ -75,6 +88,18 @@ class BudgetAllocator
     std::vector<ProfileTemplate>
     split(double limit_watts,
           const std::vector<ServerProfile> &profiles) const;
+
+    /**
+     * Same split, writing into caller-owned buffers.  @p out is
+     * resized to profiles.size(); its templates are overwritten in
+     * place (assignWeekly), so repeated calls with the same scratch
+     * and output vectors perform no steady-state allocation.
+     * Results are identical to split().
+     */
+    void splitInto(double limit_watts,
+                   const std::vector<ServerProfile> &profiles,
+                   SplitScratch &scratch,
+                   std::vector<ProfileTemplate> &out) const;
 
     /**
      * Regular (non-overclock) power of a server at @p t: predicted

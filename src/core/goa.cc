@@ -56,24 +56,12 @@ GlobalOverclockingAgent::assignEvenSplit()
 }
 
 void
-GlobalOverclockingAgent::recompute(sim::Tick now)
+GlobalOverclockingAgent::collectProfiles(
+    const RecomputeFaults &faults)
 {
-    for (const auto &pending : recompute(now, RecomputeFaults{}))
-        deliver(pending, now);
-}
-
-std::vector<PendingAssignment>
-GlobalOverclockingAgent::recompute(sim::Tick now,
-                                   const RecomputeFaults &faults)
-{
-    if (agents_.empty())
-        throw std::logic_error("gOA: recompute with no sOAs");
-
     lastProfiles_.resize(agents_.size());
     lastProfileValid_.resize(agents_.size(), false);
 
-    std::vector<ServerProfile> profiles;
-    profiles.reserve(agents_.size());
     for (std::size_t i = 0; i < agents_.size(); ++i) {
         auto *agent = agents_[i];
         const int server = static_cast<int>(i);
@@ -104,10 +92,51 @@ GlobalOverclockingAgent::recompute(sim::Tick now,
             ++stats_.staleProfiles;
             lastProfiles_[i] = ServerProfile{};
         }
-        profiles.push_back(lastProfiles_[i]);
     }
+}
 
-    lastBudgets_ = allocator_.split(rack_.limitWatts(), profiles);
+void
+GlobalOverclockingAgent::fillAssignment(BudgetAssignment &assignment,
+                                        std::size_t i,
+                                        sim::Tick now) const
+{
+    assignment.budget = lastBudgets_[i];
+    assignment.issuedAt = now;
+    assignment.leaseUntil =
+        config_.leaseTtl > 0 ? now + config_.leaseTtl : 0;
+    assignment.rackLimitWatts = rack_.limitWatts();
+}
+
+void
+GlobalOverclockingAgent::recompute(sim::Tick now)
+{
+    if (agents_.empty())
+        throw std::logic_error("gOA: recompute with no sOAs");
+
+    collectProfiles(RecomputeFaults{});
+    allocator_.splitInto(rack_.limitWatts(), lastProfiles_,
+                         splitScratch_, lastBudgets_);
+
+    // Perfect network: apply each assignment directly through one
+    // reused payload instead of materializing a pending batch.
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        fillAssignment(assignScratch_, i, now);
+        if (!agents_[i]->assignBudget(assignScratch_, now))
+            ++stats_.assignmentsRejected;
+    }
+    ++recomputes_;
+}
+
+std::vector<PendingAssignment>
+GlobalOverclockingAgent::recompute(sim::Tick now,
+                                   const RecomputeFaults &faults)
+{
+    if (agents_.empty())
+        throw std::logic_error("gOA: recompute with no sOAs");
+
+    collectProfiles(faults);
+    allocator_.splitInto(rack_.limitWatts(), lastProfiles_,
+                         splitScratch_, lastBudgets_);
 
     std::vector<PendingAssignment> pending;
     pending.reserve(agents_.size());
@@ -129,11 +158,7 @@ GlobalOverclockingAgent::recompute(sim::Tick now,
                 ++stats_.assignmentsDelayed;
             }
         }
-        out.assignment.budget = lastBudgets_[i];
-        out.assignment.issuedAt = now;
-        out.assignment.leaseUntil =
-            config_.leaseTtl > 0 ? now + config_.leaseTtl : 0;
-        out.assignment.rackLimitWatts = rack_.limitWatts();
+        fillAssignment(out.assignment, i, now);
         if (faults.budgetCorrupt) {
             switch (faults.budgetCorrupt(server)) {
               case 0:

@@ -144,7 +144,11 @@ class GlobalOverclockingAgent
     /**
      * Periodic recompute: profiles -> heterogeneous weekly budgets
      * -> push to sOAs (also refreshes each sOA's own template).
-     * Deliveries happen immediately (perfect network).
+     * Deliveries happen immediately (perfect network).  This is the
+     * steady-state hot path: templates come from the sOAs' slot
+     * aggregators (O(slots), cached when no slot closed), the split
+     * reuses scratch buffers, and no PendingAssignment batch is
+     * materialized — allocation-free once the buffers are warm.
      */
     void recompute(sim::Tick now);
 
@@ -179,6 +183,17 @@ class GlobalOverclockingAgent
     std::uint64_t recomputeCount() const { return recomputes_; }
 
   private:
+    /**
+     * Pull telemetry (through @p faults when hooked) and refresh
+     * lastProfiles_/lastProfileValid_; unreachable servers keep
+     * their cached profile.
+     */
+    void collectProfiles(const RecomputeFaults &faults);
+
+    /** Fill @p assignment for server @p i's budget at @p now. */
+    void fillAssignment(BudgetAssignment &assignment, std::size_t i,
+                        sim::Tick now) const;
+
     power::Rack &rack_;
     const power::PowerModel &model_;
     GoaConfig config_;
@@ -186,9 +201,13 @@ class GlobalOverclockingAgent
     std::vector<ServerOverclockingAgent *> agents_;
     std::vector<ProfileTemplate> lastBudgets_;
     /** Profiles from the last successful pull per server; the
-     *  stale-telemetry fallback. */
+     *  stale-telemetry fallback, and (in place) the split input. */
     std::vector<ServerProfile> lastProfiles_;
     std::vector<bool> lastProfileValid_;
+    /** Reused split working memory (see SplitScratch). */
+    BudgetAllocator::SplitScratch splitScratch_;
+    /** Reused assignment payload for the perfect-network path. */
+    BudgetAssignment assignScratch_;
     std::uint64_t recomputes_ = 0;
     GoaStats stats_;
 };

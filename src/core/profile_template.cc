@@ -46,6 +46,27 @@ ProfileTemplate::fromWeekly(std::vector<double> values)
     return out;
 }
 
+void
+ProfileTemplate::assignWeekly(const std::vector<double> &values)
+{
+    assert(values.size() ==
+           static_cast<std::size_t>(sim::kSlotsPerWeek));
+    strategy_ = TemplateStrategy::Weekly;
+    flatValue_ = 0.0;
+    weekday_.clear();
+    weekend_.clear();
+    weekly_ = values;
+}
+
+bool
+ProfileTemplate::operator==(const ProfileTemplate &other) const
+{
+    return strategy_ == other.strategy_ &&
+        flatValue_ == other.flatValue_ &&
+        weekday_ == other.weekday_ && weekend_ == other.weekend_ &&
+        weekly_ == other.weekly_;
+}
+
 ProfileTemplate
 ProfileTemplate::build(TemplateStrategy strategy,
                        const telemetry::TimeSeries &history)

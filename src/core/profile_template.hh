@@ -43,6 +43,8 @@ enum class TemplateStrategy {
 /** Printable strategy name. */
 std::string strategyName(TemplateStrategy strategy);
 
+class SlotAggregator;
+
 /**
  * An immutable prediction function over time-of-week.
  */
@@ -72,6 +74,15 @@ class ProfileTemplate
      */
     static ProfileTemplate fromWeekly(std::vector<double> values);
 
+    /**
+     * Overwrite this template in place with one week of per-slot
+     * values (same semantics as fromWeekly).  Copy-assigns into the
+     * existing weekly storage, so a template that is rebuilt every
+     * recompute (the budget allocator's steady state) reuses its
+     * allocation instead of producing a fresh 2016-entry vector.
+     */
+    void assignWeekly(const std::vector<double> &values);
+
     TemplateStrategy strategy() const { return strategy_; }
 
     /** Predicted value at simulated time @p t. */
@@ -93,7 +104,22 @@ class ProfileTemplate
     /** Smallest value the template ever predicts. */
     double trough() const;
 
+    /**
+     * Exact structural equality (strategy and every stored value).
+     * Two templates that compare equal predict identically at every
+     * tick; the incremental-maintenance tests use this to enforce
+     * bit-identical agreement with the batch builder.
+     */
+    bool operator==(const ProfileTemplate &other) const;
+    bool operator!=(const ProfileTemplate &other) const
+    {
+        return !(*this == other);
+    }
+
   private:
+    /** SlotAggregator mirrors build() incrementally and must fill
+     *  the same representation the batch builder produces. */
+    friend class SlotAggregator;
     TemplateStrategy strategy_ = TemplateStrategy::FlatMed;
     double flatValue_ = 0.0;
     /** Per slot-of-day values for weekdays (DailyMed/DailyMax). */

@@ -1,0 +1,168 @@
+#include "core/slot_aggregator.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soc
+{
+namespace core
+{
+
+void
+SlotAggregator::SortedBag::insert(double v)
+{
+    values.insert(std::upper_bound(values.begin(), values.end(), v),
+                  v);
+}
+
+void
+SlotAggregator::SortedBag::erase(double v)
+{
+    const auto it =
+        std::lower_bound(values.begin(), values.end(), v);
+    assert(it != values.end() && *it == v);
+    values.erase(it);
+}
+
+double
+SlotAggregator::SortedBag::median() const
+{
+    // Mirrors sim::median(): the mid element for odd sizes, the
+    // same 0.5 * (lower + upper) expression for even sizes.
+    assert(!values.empty());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+SlotAggregator::SlotAggregator(sim::Tick window)
+    : window_(window),
+      weekday_(sim::kSlotsPerDay),
+      weekend_(sim::kSlotsPerDay),
+      weeklyLatest_(sim::kSlotsPerWeek, 0.0),
+      weeklyTick_(sim::kSlotsPerWeek, -1)
+{
+    assert(window_ == 0 ||
+           (window_ >= sim::kSlot && window_ % sim::kSlot == 0));
+}
+
+void
+SlotAggregator::add(sim::Tick t, double value)
+{
+    assert(t >= 0);
+    assert(samples_.empty() || t > samples_.back().first);
+    samples_.emplace_back(t, value);
+    all_.insert(value);
+    auto &bucket = sim::isWeekend(t) ? weekend_[sim::slotOfDay(t)]
+                                     : weekday_[sim::slotOfDay(t)];
+    bucket.insert(value);
+    const int slot_of_week =
+        static_cast<int>((t % sim::kWeek) / sim::kSlot);
+    weeklyLatest_[slot_of_week] = value;
+    weeklyTick_[slot_of_week] = t;
+    ++version_;
+    if (window_ > 0)
+        evictOlderThan(t + sim::kSlot - window_);
+}
+
+void
+SlotAggregator::evictOlderThan(sim::Tick cutoff)
+{
+    while (!samples_.empty() && samples_.front().first < cutoff) {
+        const auto [t, value] = samples_.front();
+        samples_.pop_front();
+        all_.erase(value);
+        auto &bucket = sim::isWeekend(t)
+            ? weekend_[sim::slotOfDay(t)]
+            : weekday_[sim::slotOfDay(t)];
+        bucket.erase(value);
+        const int slot_of_week =
+            static_cast<int>((t % sim::kWeek) / sim::kSlot);
+        // Samples leave in tick order, so when the latest value of
+        // a slot-of-week is evicted no older one can remain.
+        if (weeklyTick_[slot_of_week] == t)
+            weeklyTick_[slot_of_week] = -1;
+        ++version_;
+    }
+}
+
+void
+SlotAggregator::clear()
+{
+    samples_.clear();
+    all_.values.clear();
+    for (auto &bucket : weekday_)
+        bucket.values.clear();
+    for (auto &bucket : weekend_)
+        bucket.values.clear();
+    std::fill(weeklyTick_.begin(), weeklyTick_.end(),
+              sim::Tick{-1});
+    ++version_;
+}
+
+const ProfileTemplate &
+SlotAggregator::build(TemplateStrategy strategy) const
+{
+    auto &entry = cache_[static_cast<std::size_t>(strategy)];
+    if (!entry.valid || entry.version != version_) {
+        entry.tmpl = assemble(strategy);
+        entry.version = version_;
+        entry.valid = true;
+        ++rebuilds_;
+    }
+    return entry.tmpl;
+}
+
+ProfileTemplate
+SlotAggregator::assemble(TemplateStrategy strategy) const
+{
+    // Field-for-field mirror of ProfileTemplate::build over the
+    // retained samples; the equivalence tests hold the two
+    // bit-identical for every strategy.
+    ProfileTemplate out;
+    out.strategy_ = strategy;
+    if (samples_.empty())
+        return out;
+
+    switch (strategy) {
+      case TemplateStrategy::FlatMed:
+        out.flatValue_ = all_.median();
+        return out;
+      case TemplateStrategy::FlatMax:
+        out.flatValue_ = all_.max();
+        return out;
+      case TemplateStrategy::Weekly: {
+        out.weekly_.assign(sim::kSlotsPerWeek, 0.0);
+        const double fallback = all_.median();
+        for (int s = 0; s < sim::kSlotsPerWeek; ++s) {
+            out.weekly_[s] =
+                weeklyTick_[s] >= 0 ? weeklyLatest_[s] : fallback;
+        }
+        return out;
+      }
+      case TemplateStrategy::DailyMed:
+      case TemplateStrategy::DailyMax: {
+        const bool use_max = strategy == TemplateStrategy::DailyMax;
+        auto aggregate = [use_max](const SortedBag &bucket,
+                                   double fallback) {
+            if (bucket.empty())
+                return fallback;
+            return use_max ? bucket.max() : bucket.median();
+        };
+        const double fallback = all_.median();
+        out.weekday_.resize(sim::kSlotsPerDay);
+        out.weekend_.resize(sim::kSlotsPerDay);
+        for (int s = 0; s < sim::kSlotsPerDay; ++s) {
+            out.weekday_[s] = aggregate(weekday_[s], fallback);
+            out.weekend_[s] =
+                aggregate(weekend_[s], out.weekday_[s]);
+        }
+        return out;
+      }
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace soc

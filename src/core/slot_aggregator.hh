@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Incremental, exact power-template maintenance (§IV-B DailyMed
+ * aggregation made an always-on path).
+ *
+ * ProfileTemplate::build scans a server's *entire* telemetry history
+ * on every call: with weekly recomputes over an unbounded history
+ * the per-recompute cost grows O(t) and the whole-run cost O(t²) per
+ * rack.  SlotAggregator maintains the same aggregates incrementally:
+ * the sOA feeds it one sample per closed 5-minute slot, and it keeps
+ *
+ *  - one sorted bag per (weekday|weekend) × slot-of-day bucket
+ *    (exact per-bucket median and max in O(1) after an O(bucket)
+ *    sorted insertion),
+ *  - a global sorted bag over all retained samples (the FlatMed /
+ *    FlatMax values and the empty-bucket median fallback),
+ *  - the most recent value per slot-of-week (the Weekly replay).
+ *
+ * build(strategy) then assembles a template in O(kSlotsPerDay) (or
+ * O(kSlotsPerWeek) for Weekly) regardless of history length, and is
+ * **bit-identical** to ProfileTemplate::build over the retained
+ * history for all five strategies — enforced by test, so the
+ * incremental path is a pure optimization, never a behavior change.
+ *
+ * A version counter increments on every accepted sample (and every
+ * eviction); build() caches the assembled template per strategy and
+ * returns it untouched while the version is unchanged, which makes
+ * back-to-back gOA recomputes with no newly closed slot O(1).
+ *
+ * An optional window (0 = unbounded, the default) evicts samples
+ * older than the window behind the newest sample, bounding memory
+ * and matching the paper's prior-week semantics when set to
+ * sim::kWeek.  With a window W, the retained set after adding the
+ * sample at tick t is exactly the samples whose slot start lies in
+ * [t + kSlot - W, t] — i.e. build() equals the batch builder over
+ * history.slice(end - W, end).
+ */
+
+#ifndef SOC_CORE_SLOT_AGGREGATOR_HH
+#define SOC_CORE_SLOT_AGGREGATOR_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/profile_template.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/**
+ * Exact incremental slot aggregation with per-strategy template
+ * caching.  Not thread-safe; each sOA owns its aggregators, like
+ * the telemetry series they shadow.
+ */
+class SlotAggregator
+{
+  public:
+    /**
+     * @param window Eviction horizon; 0 keeps every sample forever
+     *               (bit-identical to the unbounded batch builder).
+     *               Must otherwise be a positive multiple of
+     *               sim::kSlot.
+     */
+    explicit SlotAggregator(sim::Tick window = 0);
+
+    /**
+     * Fold in the sample of the slot starting at @p t.  Ticks must
+     * be strictly increasing across calls (the sOA feeds slots in
+     * the order they close).
+     */
+    void add(sim::Tick t, double value);
+
+    /** Forget everything (sOA crash-restart). */
+    void clear();
+
+    sim::Tick window() const { return window_; }
+    bool empty() const { return samples_.empty(); }
+    std::size_t sampleCount() const { return samples_.size(); }
+
+    /** Monotonic counter bumped by every add() and eviction. */
+    std::uint64_t version() const { return version_; }
+
+    /**
+     * Template over the retained samples, bit-identical to
+     * ProfileTemplate::build(strategy, retained history).  Cached:
+     * repeated calls at an unchanged version return the same object
+     * without rebuilding.
+     */
+    const ProfileTemplate &build(TemplateStrategy strategy) const;
+
+    /** Cache misses so far (tests assert cache-hit behavior). */
+    std::uint64_t rebuildCount() const { return rebuilds_; }
+
+  private:
+    /** Sorted multiset on a vector: O(bucket) insert/erase via
+     *  binary search + memmove, O(1) exact median/max. */
+    struct SortedBag {
+        std::vector<double> values;
+
+        void insert(double v);
+        void erase(double v);
+        bool empty() const { return values.empty(); }
+        /** Matches sim::median bit for bit. */
+        double median() const;
+        /** Matches *std::max_element over the same multiset. */
+        double max() const { return values.back(); }
+    };
+
+    void evictOlderThan(sim::Tick cutoff);
+    ProfileTemplate assemble(TemplateStrategy strategy) const;
+
+    sim::Tick window_;
+    std::uint64_t version_ = 0;
+
+    /** Retained samples in arrival (= tick) order, for eviction. */
+    std::deque<std::pair<sim::Tick, double>> samples_;
+    SortedBag all_;
+    std::vector<SortedBag> weekday_; // kSlotsPerDay buckets
+    std::vector<SortedBag> weekend_; // kSlotsPerDay buckets
+    /** Most recent retained value per slot-of-week (Weekly). */
+    std::vector<double> weeklyLatest_;
+    /** Tick that wrote weeklyLatest_[s]; -1 when unfilled. */
+    std::vector<sim::Tick> weeklyTick_;
+
+    struct CacheEntry {
+        ProfileTemplate tmpl;
+        std::uint64_t version = 0;
+        bool valid = false;
+    };
+    mutable std::array<CacheEntry, 5> cache_;
+    mutable std::uint64_t rebuilds_ = 0;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_SLOT_AGGREGATOR_HH

@@ -55,7 +55,12 @@ ServerOverclockingAgent::ServerOverclockingAgent(
       powerHistory_(0, sim::kSlot),
       utilHistory_(0, sim::kSlot),
       grantedCoresHistory_(0, sim::kSlot),
-      requestedCoresHistory_(0, sim::kSlot)
+      requestedCoresHistory_(0, sim::kSlot),
+      regularAgg_(config.templateWindow),
+      powerAgg_(config.templateWindow),
+      utilAgg_(config.templateWindow),
+      grantedCoresAgg_(config.templateWindow),
+      requestedCoresAgg_(config.templateWindow)
 {
     assert(!config_.oracleMode || oracleRack_ != nullptr);
     allowancePerCore_ = static_cast<sim::Tick>(
@@ -648,6 +653,19 @@ ServerOverclockingAgent::exhaustionPrediction(sim::Tick now)
 }
 
 void
+ServerOverclockingAgent::pushSample(telemetry::TimeSeries &series,
+                                    SlotAggregator &aggregator,
+                                    double value)
+{
+    // series.end() is the tick the new sample will cover; feeding
+    // the aggregator the series' own tick (rather than wall time)
+    // keeps it bit-identical to a batch build over the series even
+    // after a crash-restart resets the history origin.
+    aggregator.add(series.end(), value);
+    series.append(value);
+}
+
+void
 ServerOverclockingAgent::telemetryCollection(sim::Tick now)
 {
     const std::int64_t slot = now / sim::kSlot;
@@ -656,24 +674,29 @@ ServerOverclockingAgent::telemetryCollection(sim::Tick now)
 
     if (slot != currentSlot_) {
         const double n = std::max(1, slotSamples_);
-        regularHistory_.append(slotRegularSum_ / n);
-        powerHistory_.append(slotPowerSum_ / n);
-        utilHistory_.append(slotUtilSum_ / n);
-        grantedCoresHistory_.append(slotGrantedSum_ / n);
-        requestedCoresHistory_.append(slotRequestedSum_ / n);
+        pushSample(regularHistory_, regularAgg_, slotRegularSum_ / n);
+        pushSample(powerHistory_, powerAgg_, slotPowerSum_ / n);
+        pushSample(utilHistory_, utilAgg_, slotUtilSum_ / n);
+        pushSample(grantedCoresHistory_, grantedCoresAgg_,
+                   slotGrantedSum_ / n);
+        pushSample(requestedCoresHistory_, requestedCoresAgg_,
+                   slotRequestedSum_ / n);
         slotRegularSum_ = slotPowerSum_ = slotUtilSum_ = 0.0;
         slotGrantedSum_ = slotRequestedSum_ = 0.0;
         slotSamples_ = 0;
         // Gaps (no ticks during a slot) replay the last averages so
         // the series stays contiguous.
         while (++currentSlot_ < slot) {
-            regularHistory_.append(regularHistory_.values().back());
-            powerHistory_.append(powerHistory_.values().back());
-            utilHistory_.append(utilHistory_.values().back());
-            grantedCoresHistory_.append(
-                grantedCoresHistory_.values().back());
-            requestedCoresHistory_.append(
-                requestedCoresHistory_.values().back());
+            pushSample(regularHistory_, regularAgg_,
+                       regularHistory_.values().back());
+            pushSample(powerHistory_, powerAgg_,
+                       powerHistory_.values().back());
+            pushSample(utilHistory_, utilAgg_,
+                       utilHistory_.values().back());
+            pushSample(grantedCoresHistory_, grantedCoresAgg_,
+                       grantedCoresHistory_.values().back());
+            pushSample(requestedCoresHistory_, requestedCoresAgg_,
+                       requestedCoresHistory_.values().back());
         }
     }
 
@@ -729,6 +752,7 @@ ServerOverclockingAgent::crashRestart(sim::Tick now)
     lastBudgetReject_.clear();
     ownPower_ = ProfileTemplate();
     ownTemplateValid_ = false;
+    ownPowerVersion_ = 0;
 
     // Telemetry accumulators restart empty (history is agent-local;
     // the next recompute sees a short history, which is the real
@@ -738,6 +762,11 @@ ServerOverclockingAgent::crashRestart(sim::Tick now)
     utilHistory_ = telemetry::TimeSeries(0, sim::kSlot);
     grantedCoresHistory_ = telemetry::TimeSeries(0, sim::kSlot);
     requestedCoresHistory_ = telemetry::TimeSeries(0, sim::kSlot);
+    regularAgg_.clear();
+    powerAgg_.clear();
+    utilAgg_.clear();
+    grantedCoresAgg_.clear();
+    requestedCoresAgg_.clear();
     currentSlot_ = -1;
     slotRegularSum_ = slotPowerSum_ = slotUtilSum_ = 0.0;
     slotGrantedSum_ = slotRequestedSum_ = 0.0;
@@ -761,23 +790,38 @@ ServerOverclockingAgent::crashRestart(sim::Tick now)
 void
 ServerOverclockingAgent::refreshOwnTemplate(TemplateStrategy strategy)
 {
-    if (regularHistory_.empty())
+    if (regularAgg_.empty())
         return;
-    ownPower_ = ProfileTemplate::build(strategy, regularHistory_);
+    if (ownTemplateValid_ && strategy == ownPowerStrategy_ &&
+        regularAgg_.version() == ownPowerVersion_) {
+        // No slot closed since the last refresh: the template is
+        // already current, leave it untouched.
+        ++stats_.templateCacheHits;
+        return;
+    }
+    ownPower_ = regularAgg_.build(strategy);
+    ownPowerStrategy_ = strategy;
+    ownPowerVersion_ = regularAgg_.version();
     ownTemplateValid_ = true;
+    ++stats_.templateRebuilds;
 }
 
 ServerProfile
-ServerOverclockingAgent::buildProfile(TemplateStrategy strategy) const
+ServerOverclockingAgent::buildProfile(TemplateStrategy strategy)
 {
+    const std::uint64_t misses_before = powerAgg_.rebuildCount() +
+        utilAgg_.rebuildCount() + grantedCoresAgg_.rebuildCount() +
+        requestedCoresAgg_.rebuildCount();
     ServerProfile profile;
-    profile.power = ProfileTemplate::build(strategy, powerHistory_);
-    profile.utilization =
-        ProfileTemplate::build(strategy, utilHistory_);
-    profile.overclockedCores =
-        ProfileTemplate::build(strategy, grantedCoresHistory_);
-    profile.requestedCores =
-        ProfileTemplate::build(strategy, requestedCoresHistory_);
+    profile.power = powerAgg_.build(strategy);
+    profile.utilization = utilAgg_.build(strategy);
+    profile.overclockedCores = grantedCoresAgg_.build(strategy);
+    profile.requestedCores = requestedCoresAgg_.build(strategy);
+    const std::uint64_t misses = powerAgg_.rebuildCount() +
+        utilAgg_.rebuildCount() + grantedCoresAgg_.rebuildCount() +
+        requestedCoresAgg_.rebuildCount() - misses_before;
+    stats_.templateRebuilds += misses;
+    stats_.templateCacheHits += 4 - misses;
     return profile;
 }
 

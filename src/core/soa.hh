@@ -38,6 +38,7 @@
 #include "core/messages.hh"
 #include "core/policy.hh"
 #include "core/profile_template.hh"
+#include "core/slot_aggregator.hh"
 #include "power/rack.hh"
 #include "power/rack_manager.hh"
 #include "power/server.hh"
@@ -97,6 +98,16 @@ struct SoaConfig {
      */
     sim::Tick staleDecayTime = 10 * sim::kMinute;
 
+    /**
+     * Telemetry horizon the power/utilization templates aggregate
+     * over.  0 (default) keeps the full history — bit-identical to
+     * the original batch builder.  The paper-faithful setting is
+     * sim::kWeek: templates from the prior week only, with older
+     * samples evicted from the slot aggregators.  Must be a
+     * multiple of sim::kSlot when non-zero.
+     */
+    sim::Tick templateWindow = 0;
+
     /** Build the config for one of the Table I policy variants. */
     static SoaConfig forPolicy(PolicyKind kind);
 };
@@ -122,6 +133,10 @@ struct SoaStats {
     std::uint64_t crashRestarts = 0;
     /** Control ticks spent with a stale budget lease. */
     std::uint64_t staleLeaseTicks = 0;
+    /** Template rebuilds actually performed (aggregator cache
+     *  misses) vs requests answered from the cache. */
+    std::uint64_t templateRebuilds = 0;
+    std::uint64_t templateCacheHits = 0;
 };
 
 /**
@@ -275,14 +290,22 @@ class ServerOverclockingAgent : public power::RackPowerListener
         return requestedCoresHistory_;
     }
 
-    /** Build this server's profile from the collected telemetry. */
+    /**
+     * Build this server's profile from the collected telemetry.
+     * Served from the slot aggregators: O(kSlotsPerDay) per
+     * template on a cache miss, O(kSlotsPerDay) copies on a hit
+     * (no history scan either way).
+     */
     ServerProfile buildProfile(TemplateStrategy strategy =
-                                   TemplateStrategy::DailyMed) const;
+                                   TemplateStrategy::DailyMed);
 
     /**
      * Rebuild the agent's own power template from its history; used
      * for admission look-ahead and exhaustion prediction.  The gOA
-     * triggers this on its periodic recompute.
+     * triggers this on its periodic recompute.  When no slot has
+     * closed since the last refresh with the same strategy, the
+     * cached template is kept untouched (counted in
+     * stats().templateCacheHits).
      */
     void refreshOwnTemplate(TemplateStrategy strategy =
                                 TemplateStrategy::DailyMed);
@@ -334,6 +357,11 @@ class ServerOverclockingAgent : public power::RackPowerListener
     /** Flush per-slot telemetry when a 5-minute boundary passes. */
     void telemetryCollection(sim::Tick now);
 
+    /** Append one closed-slot sample to a history and mirror it
+     *  into the series' slot aggregator. */
+    static void pushSample(telemetry::TimeSeries &series,
+                           SlotAggregator &aggregator, double value);
+
     /** Is any granted group held below its desired frequency, or
      *  was a request recently denied for lack of power budget?
      *  Either way the assigned budget is binding and exploration
@@ -369,6 +397,9 @@ class ServerOverclockingAgent : public power::RackPowerListener
     std::string lastBudgetReject_;
     ProfileTemplate ownPower_;
     bool ownTemplateValid_ = false;
+    /** Aggregator version/strategy ownPower_ was assembled from. */
+    std::uint64_t ownPowerVersion_ = 0;
+    TemplateStrategy ownPowerStrategy_ = TemplateStrategy::DailyMed;
     std::function<double(double, sim::Tick)> sensor_;
     WearJournal journal_;
 
@@ -399,6 +430,14 @@ class ServerOverclockingAgent : public power::RackPowerListener
     telemetry::TimeSeries utilHistory_;
     telemetry::TimeSeries grantedCoresHistory_;
     telemetry::TimeSeries requestedCoresHistory_;
+    // Incremental template state shadowing each history (fed one
+    // sample per closed slot; templates come from here, O(slots)
+    // instead of an O(history) rescan per recompute).
+    SlotAggregator regularAgg_;
+    SlotAggregator powerAgg_;
+    SlotAggregator utilAgg_;
+    SlotAggregator grantedCoresAgg_;
+    SlotAggregator requestedCoresAgg_;
     std::int64_t currentSlot_ = -1;
     double slotRegularSum_ = 0.0;
     double slotPowerSum_ = 0.0;

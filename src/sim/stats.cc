@@ -69,9 +69,24 @@ Percentiles::add(double x)
 void
 Percentiles::merge(const Percentiles &other)
 {
+    if (other.samples_.empty())
+        return;
+    const std::size_t mid = samples_.size();
+    const bool both_sorted = sorted_ && other.sorted_;
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
-    sorted_ = samples_.size() <= 1;
+    if (both_sorted) {
+        // Two sorted runs: an in-place merge is O(n) and keeps the
+        // lazily-cached sorted order valid, so a quantile query
+        // right after a merge skips the O(n log n) re-sort.
+        std::inplace_merge(samples_.begin(),
+                           samples_.begin() +
+                               static_cast<std::ptrdiff_t>(mid),
+                           samples_.end());
+        sorted_ = true;
+    } else {
+        sorted_ = samples_.size() <= 1;
+    }
 }
 
 void

@@ -78,11 +78,26 @@ TimeSeries
 TimeSeries::slice(sim::Tick from, sim::Tick to) const
 {
     TimeSeries out(std::max(from, start_), interval_);
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-        const sim::Tick t = timeOf(i);
-        if (t >= from && t + interval_ <= to)
-            out.append(values_[i]);
+    if (values_.empty() || to - start_ < interval_)
+        return out;
+    // The kept samples are a contiguous index range on a uniform
+    // grid, so compute its bounds arithmetically and copy once
+    // instead of testing every sample:
+    //   timeOf(i) >= from           <=> i >= ceil((from-start)/iv)
+    //   timeOf(i) + iv <= to        <=> i <  floor((to-start)/iv)
+    std::size_t first = 0;
+    if (from > start_) {
+        first = static_cast<std::size_t>(
+            (from - start_ + interval_ - 1) / interval_);
     }
+    const std::size_t last = std::min<std::size_t>(
+        values_.size(),
+        static_cast<std::size_t>((to - start_) / interval_));
+    if (first >= last)
+        return out;
+    out.values_.assign(
+        values_.begin() + static_cast<std::ptrdiff_t>(first),
+        values_.begin() + static_cast<std::ptrdiff_t>(last));
     return out;
 }
 
@@ -98,10 +113,26 @@ TimeSeries::stats() const
 double
 TimeSeries::quantile(double q) const
 {
-    sim::Percentiles pct;
-    for (double v : values_)
-        pct.add(v);
-    return pct.quantile(q);
+    if (values_.empty())
+        return 0.0;
+    // One quantile needs only the two order statistics straddling
+    // the rank; selecting them (O(n) expected) beats building and
+    // sorting a Percentiles reservoir.  Same closest-rank
+    // interpolation as Percentiles::quantile, bit for bit.
+    std::vector<double> scratch = values_;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(scratch.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, scratch.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    const auto lo_it =
+        scratch.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(scratch.begin(), lo_it, scratch.end());
+    const double lo_val = *lo_it;
+    const double hi_val = hi == lo
+        ? lo_val
+        : *std::min_element(lo_it + 1, scratch.end());
+    return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 TimeSeries &

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "cluster/trace_sim.hh"
 
 using namespace soc;
@@ -136,6 +138,46 @@ TEST(TraceSim, ThreadCountDoesNotChangeResults)
     EXPECT_EQ(serial.normPerformance, parallel.normPerformance);
     EXPECT_EQ(serial.meanRackUtil, parallel.meanRackUtil);
     EXPECT_EQ(serial.energyJoules, parallel.energyJoules);
+}
+
+TEST(TraceSim, TemplateWindowBitIdenticalAcrossThreadCounts)
+{
+    // The paper-faithful prior-week window must preserve the
+    // thread-count invariance: window eviction happens inside each
+    // sOA's own aggregator, so rack independence is untouched.
+    auto cfg = quickConfig(core::PolicyKind::SmartOClock, 1.1);
+    cfg.racks = 4;
+    cfg.serversPerRack = 3;
+    cfg.templateWindow = sim::kWeek;
+    const auto run_with = [&cfg](int threads) {
+        auto c = cfg;
+        c.threads = threads;
+        return runTraceSim(c);
+    };
+    const auto serial = run_with(1);
+    const auto parallel = run_with(4);
+    EXPECT_EQ(serial.capEvents, parallel.capEvents);
+    EXPECT_EQ(serial.cappedTicks, parallel.cappedTicks);
+    EXPECT_EQ(serial.warnings, parallel.warnings);
+    EXPECT_EQ(serial.requests, parallel.requests);
+    EXPECT_EQ(serial.wantSteps, parallel.wantSteps);
+    EXPECT_EQ(serial.successSteps, parallel.successSteps);
+    EXPECT_EQ(serial.successRate, parallel.successRate);
+    EXPECT_EQ(serial.cappingPenalty, parallel.cappingPenalty);
+    EXPECT_EQ(serial.normPerformance, parallel.normPerformance);
+    EXPECT_EQ(serial.meanRackUtil, parallel.meanRackUtil);
+    EXPECT_EQ(serial.energyJoules, parallel.energyJoules);
+}
+
+TEST(TraceSim, RejectsMisalignedTemplateWindow)
+{
+    auto cfg = quickConfig(core::PolicyKind::SmartOClock, 1.1);
+    cfg.templateWindow = sim::kSlot + 1;
+    EXPECT_THROW(runTraceSim(cfg), std::invalid_argument);
+    cfg.templateWindow = -sim::kWeek;
+    EXPECT_THROW(runTraceSim(cfg), std::invalid_argument);
+    cfg.templateWindow = sim::kWeek;
+    EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(TraceSim, BatchMatchesIndividualRuns)

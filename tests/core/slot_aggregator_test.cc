@@ -1,0 +1,215 @@
+/**
+ * @file
+ * SlotAggregator correctness: the incremental aggregator must be a
+ * bit-identical replacement for the batch ProfileTemplate::build on
+ * the same sample stream, for every strategy, under any history
+ * shape (random, mid-week start, sub-day, empty) and under window
+ * eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/profile_template.hh"
+#include "core/slot_aggregator.hh"
+#include "telemetry/time_series.hh"
+
+using namespace soc;
+using namespace soc::core;
+using telemetry::TimeSeries;
+using sim::kSlot;
+using sim::kDay;
+using sim::kWeek;
+
+namespace
+{
+
+constexpr TemplateStrategy kAllStrategies[] = {
+    TemplateStrategy::FlatMed,  TemplateStrategy::FlatMax,
+    TemplateStrategy::Weekly,   TemplateStrategy::DailyMed,
+    TemplateStrategy::DailyMax,
+};
+
+/** Random-walk history of @p slots samples starting at @p start. */
+TimeSeries
+randomHistory(std::uint64_t seed, sim::Tick start, int slots)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> step(-8.0, 8.0);
+    TimeSeries s(start, kSlot);
+    double level = 200.0;
+    for (int i = 0; i < slots; ++i) {
+        level += step(rng);
+        s.append(level);
+    }
+    return s;
+}
+
+/** Feed @p history into a fresh aggregator sample by sample. */
+SlotAggregator
+aggregate(const TimeSeries &history, sim::Tick window = 0)
+{
+    SlotAggregator agg(window);
+    for (std::size_t i = 0; i < history.size(); ++i)
+        agg.add(history.timeOf(i), history.at(i));
+    return agg;
+}
+
+void
+expectMatchesBatch(const SlotAggregator &agg,
+                   const TimeSeries &history)
+{
+    for (auto strategy : kAllStrategies) {
+        EXPECT_TRUE(agg.build(strategy) ==
+                    ProfileTemplate::build(strategy, history))
+            << "strategy " << strategyName(strategy) << " at "
+            << history.size() << " samples from tick "
+            << history.start();
+    }
+}
+
+} // namespace
+
+TEST(SlotAggregator, EmptyMatchesBatch)
+{
+    const SlotAggregator agg;
+    EXPECT_TRUE(agg.empty());
+    expectMatchesBatch(agg, TimeSeries(0, kSlot));
+}
+
+TEST(SlotAggregator, SingleSampleMatchesBatch)
+{
+    const TimeSeries history(0, kSlot, {123.5});
+    expectMatchesBatch(aggregate(history), history);
+}
+
+TEST(SlotAggregator, SubDayHistoryLeavesBucketsEmpty)
+{
+    // Half a day of weekday samples: most weekday buckets and every
+    // weekend bucket are empty, exercising both fallbacks.
+    const auto history = randomHistory(11, 0, sim::kSlotsPerDay / 2);
+    expectMatchesBatch(aggregate(history), history);
+}
+
+TEST(SlotAggregator, WeekendOnlyHistory)
+{
+    // Tick 0 is Monday, so 5*kDay starts Saturday: weekday buckets
+    // all empty, the weekend fallback chain must still match.
+    const auto history =
+        randomHistory(12, 5 * kDay, sim::kSlotsPerDay);
+    expectMatchesBatch(aggregate(history), history);
+}
+
+TEST(SlotAggregator, MidWeekStartCrossingWeekend)
+{
+    // Saturday start, 1.5 days: weekend samples then Monday
+    // morning.
+    const auto history =
+        randomHistory(13, 5 * kDay + 7 * kSlot,
+                      sim::kSlotsPerDay + sim::kSlotsPerDay / 2);
+    expectMatchesBatch(aggregate(history), history);
+}
+
+TEST(SlotAggregator, RandomHistoriesBitIdenticalAtEveryPrefix)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto history =
+            randomHistory(seed, 0, 2 * sim::kSlotsPerWeek + 3);
+        SlotAggregator agg;
+        TimeSeries prefix(0, kSlot);
+        for (std::size_t i = 0; i < history.size(); ++i) {
+            agg.add(history.timeOf(i), history.at(i));
+            prefix.append(history.at(i));
+            // Checking all 5 strategies at every slot is O(weeks^2);
+            // a stride plus the exact end keeps the test fast while
+            // still crossing day and week boundaries mid-stream.
+            if (i % 97 == 0 || i + 1 == history.size())
+                expectMatchesBatch(agg, prefix);
+        }
+    }
+}
+
+TEST(SlotAggregator, VersionAndCacheBehavior)
+{
+    const auto history = randomHistory(21, 0, 3 * sim::kSlotsPerDay);
+    auto agg = aggregate(history);
+    const auto v = agg.version();
+
+    EXPECT_EQ(agg.rebuildCount(), 0u);
+    (void)agg.build(TemplateStrategy::DailyMed);
+    EXPECT_EQ(agg.rebuildCount(), 1u);
+
+    // Same strategy, no new samples: cached, no rebuild.
+    (void)agg.build(TemplateStrategy::DailyMed);
+    (void)agg.build(TemplateStrategy::DailyMed);
+    EXPECT_EQ(agg.rebuildCount(), 1u);
+    EXPECT_EQ(agg.version(), v);
+
+    // A different strategy has its own cache slot.
+    (void)agg.build(TemplateStrategy::FlatMax);
+    EXPECT_EQ(agg.rebuildCount(), 2u);
+    (void)agg.build(TemplateStrategy::FlatMax);
+    (void)agg.build(TemplateStrategy::DailyMed);
+    EXPECT_EQ(agg.rebuildCount(), 2u);
+
+    // New sample bumps the version and invalidates both.
+    agg.add(history.end(), 250.0);
+    EXPECT_GT(agg.version(), v);
+    (void)agg.build(TemplateStrategy::DailyMed);
+    (void)agg.build(TemplateStrategy::FlatMax);
+    EXPECT_EQ(agg.rebuildCount(), 4u);
+}
+
+TEST(SlotAggregator, WindowEvictionMatchesSlicedBatch)
+{
+    for (sim::Tick window : {kDay, kWeek}) {
+        const auto history =
+            randomHistory(31, 0, 3 * sim::kSlotsPerWeek);
+        SlotAggregator agg(window);
+        TimeSeries prefix(0, kSlot);
+        for (std::size_t i = 0; i < history.size(); ++i) {
+            agg.add(history.timeOf(i), history.at(i));
+            prefix.append(history.at(i));
+            if (i % 131 != 0 && i + 1 != history.size())
+                continue;
+            const auto windowed =
+                prefix.slice(prefix.end() - window, prefix.end());
+            expectMatchesBatch(agg, windowed);
+            EXPECT_EQ(agg.sampleCount(), windowed.size());
+        }
+    }
+}
+
+TEST(SlotAggregator, ClearResetsToEmpty)
+{
+    auto agg = aggregate(randomHistory(41, 0, 100));
+    (void)agg.build(TemplateStrategy::Weekly);
+    agg.clear();
+    EXPECT_TRUE(agg.empty());
+    EXPECT_EQ(agg.sampleCount(), 0u);
+    expectMatchesBatch(agg, TimeSeries(0, kSlot));
+    // Refilling after clear behaves like a fresh aggregator.
+    const auto history = randomHistory(42, 0, sim::kSlotsPerDay);
+    for (std::size_t i = 0; i < history.size(); ++i)
+        agg.add(history.timeOf(i), history.at(i));
+    expectMatchesBatch(agg, history);
+}
+
+TEST(ProfileTemplateEquality, DetectsEveryFieldDifference)
+{
+    const auto history = randomHistory(51, 0, sim::kSlotsPerDay * 9);
+    for (auto strategy : kAllStrategies) {
+        const auto a = ProfileTemplate::build(strategy, history);
+        const auto b = ProfileTemplate::build(strategy, history);
+        EXPECT_TRUE(a == b);
+    }
+    const auto med =
+        ProfileTemplate::build(TemplateStrategy::FlatMed, history);
+    const auto max =
+        ProfileTemplate::build(TemplateStrategy::FlatMax, history);
+    EXPECT_TRUE(med != max);
+    EXPECT_TRUE(ProfileTemplate::flat(1.0) !=
+                ProfileTemplate::flat(2.0));
+}

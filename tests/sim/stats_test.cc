@@ -122,6 +122,53 @@ TEST(Percentiles, MergeCombinesSamples)
     EXPECT_NEAR(a.mean(), 2.0, 1e-9);
 }
 
+TEST(Percentiles, MergeOfSortedSidesKeepsQuantilesCheap)
+{
+    // After both sides have answered a quantile query their sample
+    // stores are sorted; merging must keep the combined store
+    // queryable with correct results (the in-place merge path).
+    Rng rng(7);
+    Percentiles a, b, all;
+    for (int i = 0; i < 400; ++i) {
+        const double v = rng.lognormal(0.0, 1.0);
+        (i % 2 == 0 ? a : b).add(v);
+        all.add(v);
+    }
+    (void)a.p50(); // force both sides sorted
+    (void)b.p50();
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+}
+
+TEST(Percentiles, MergeOfUnsortedSidesStillCorrect)
+{
+    Rng rng(8);
+    Percentiles a, b, all;
+    for (int i = 0; i < 300; ++i) {
+        const double v = rng.uniform(-5.0, 5.0);
+        (i % 3 == 0 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b); // neither side ever sorted
+    EXPECT_EQ(a.count(), all.count());
+    for (double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+}
+
+TEST(Percentiles, MergeWithEmptySides)
+{
+    Percentiles a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b); // empty rhs is a no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // empty lhs adopts rhs
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.p50(), 1.5);
+}
+
 TEST(Percentiles, FractionAbove)
 {
     Percentiles p;

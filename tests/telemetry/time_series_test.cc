@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "telemetry/time_series.hh"
 
 using namespace soc;
@@ -72,6 +76,68 @@ TEST(TimeSeries, SliceSelectsFullyContainedWindows)
     EXPECT_EQ(cut.at(0), 1.0);
     EXPECT_EQ(cut.at(2), 3.0);
     EXPECT_EQ(cut.start(), kSlot);
+}
+
+TEST(TimeSeries, SliceHandlesUnalignedAndOutOfRangeBounds)
+{
+    TimeSeries s(2 * kSlot, kSlot, {0.0, 1.0, 2.0, 3.0, 4.0});
+    // Naive per-sample reference the arithmetic slice must match.
+    const auto naive = [&s](Tick from, Tick to) {
+        std::vector<double> kept;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            const Tick t = s.timeOf(i);
+            if (t >= from && t + s.interval() <= to)
+                kept.push_back(s.at(i));
+        }
+        return kept;
+    };
+    const Tick lo = s.start() - 3 * kSlot;
+    const Tick hi = s.end() + 3 * kSlot;
+    for (Tick from = lo; from <= hi; from += kSlot / 2) {
+        for (Tick to = lo; to <= hi; to += kSlot / 2) {
+            const auto cut = s.slice(from, to);
+            EXPECT_EQ(cut.values(), naive(from, to))
+                << "from=" << from << " to=" << to;
+            EXPECT_EQ(cut.start(), std::max(from, s.start()));
+            EXPECT_EQ(cut.interval(), s.interval());
+        }
+    }
+}
+
+TEST(TimeSeries, SliceOfEmptySeriesIsEmpty)
+{
+    TimeSeries s(kSlot, kSlot);
+    EXPECT_TRUE(s.slice(0, 10 * kSlot).empty());
+}
+
+TEST(TimeSeries, QuantileMatchesPercentilesReference)
+{
+    TimeSeries s(0, kSlot);
+    std::uint64_t x = 88172645463325252ull; // xorshift64
+    for (int i = 0; i < 501; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.append(static_cast<double>(x % 100000) / 100.0);
+    }
+    sim::Percentiles ref;
+    for (double v : s.values())
+        ref.add(v);
+    for (double q : {-0.5, 0.0, 0.01, 0.25, 0.5, 0.9, 0.999, 1.0,
+                     2.0}) {
+        EXPECT_DOUBLE_EQ(s.quantile(q), ref.quantile(q))
+            << "q=" << q;
+    }
+}
+
+TEST(TimeSeries, QuantileEdgeCases)
+{
+    EXPECT_EQ(TimeSeries(0, kSlot).quantile(0.5), 0.0);
+    TimeSeries one(0, kSlot, {7.0});
+    EXPECT_EQ(one.quantile(0.0), 7.0);
+    EXPECT_EQ(one.quantile(1.0), 7.0);
+    TimeSeries two(0, kSlot, {10.0, 20.0});
+    EXPECT_DOUBLE_EQ(two.quantile(0.5), 15.0);
 }
 
 TEST(TimeSeries, StatsAndQuantile)
