@@ -44,7 +44,7 @@ main()
         // Provisioned limit: oversubscribed relative to nameplate
         // (sum of TDPs), varied across the fleet like real racks.
         const double limit = kServersPerRack *
-            model.params().tdpWatts *
+            model.params().tdpWatts.count() *
             (0.78 + 0.47 * (r % 10) / 10.0);
         avg_util.add(rack_power.stats().mean() / limit);
         p50_util.add(rack_power.quantile(0.50) / limit);

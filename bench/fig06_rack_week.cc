@@ -39,7 +39,7 @@ main()
     // would run at 4.0 GHz.  Compute the overclocked rack series.
     telemetry::TimeSeries boosted(0, sim::kSlot);
     for (std::size_t i = 0; i < baseline.size(); ++i) {
-        double watts = 0.0;
+        power::Watts watts{0.0};
         for (const auto &trace : traces) {
             watts += model.params().idleWatts;
             for (std::size_t v = 0; v < trace.mix.size(); ++v) {
@@ -59,7 +59,7 @@ main()
                                        : power::kTurboMHz);
             }
         }
-        boosted.append(watts);
+        boosted.append(watts.count());
     }
 
     const double limit = baseline.quantile(0.995) * 1.10;

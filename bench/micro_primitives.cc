@@ -167,7 +167,8 @@ BM_BudgetSplit(benchmark::State &state)
         profiles.push_back(syntheticProfile(i));
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            allocator.split(1000.0 * state.range(0), profiles));
+            allocator.split(
+                power::Watts{1000.0 * state.range(0)}, profiles));
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -184,7 +185,8 @@ BM_BudgetSplitInto(benchmark::State &state)
     core::BudgetAllocator::SplitScratch scratch;
     std::vector<core::ProfileTemplate> out;
     for (auto _ : state) {
-        allocator.splitInto(1000.0 * state.range(0), profiles,
+        allocator.splitInto(
+            power::Watts{1000.0 * state.range(0)}, profiles,
                             scratch, out);
         benchmark::DoNotOptimize(out);
     }
@@ -220,7 +222,7 @@ BM_AdmissionDecision(benchmark::State &state)
     request.groupId = 1;
     request.cores = 8;
     core::AdmissionInputs in;
-    in.measuredWatts = 300.0;
+    in.measuredWatts = power::Watts{300.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
     for (auto _ : state) {

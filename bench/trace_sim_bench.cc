@@ -43,7 +43,7 @@ struct RecomputeHarness {
     static constexpr int kServers = 8;
 
     power::PowerModel model;
-    power::Rack rack{0, 4000.0};
+    power::Rack rack{0, power::Watts{4000.0}};
     std::vector<std::unique_ptr<core::ServerOverclockingAgent>> soas;
     core::GlobalOverclockingAgent goa;
     sim::Tick now = 0;

@@ -47,7 +47,7 @@ main()
 
     // Per-core overclock surcharge at worst-case utilization.
     const double per_core = model.overclockExtraPower(
-        0.9, power::kOverclockMHz, 1);
+        0.9, power::kOverclockMHz, 1).count();
 
     telemetry::Table plan(
         "overclocking capacity plan (rack limit " + fmt(limit, 0) +
@@ -102,7 +102,8 @@ main()
             core::ProfileTemplate::flat(hottest);
         profiles.push_back(std::move(profile));
     }
-    const auto budgets = allocator.split(limit, profiles);
+    const auto budgets =
+        allocator.split(power::Watts{limit}, profiles);
     telemetry::Table split("heterogeneous budget preview (noon)",
                            {"server", "predicted W", "budget W"});
     const sim::Tick noon = 2 * sim::kDay + 12 * sim::kHour;

@@ -25,7 +25,7 @@ main()
 {
     // --- Hardware: one rack, two 64-core servers ---------------------
     const power::PowerModel model; // default 64-core, 420 W TDP SKU
-    power::Rack rack(/*id=*/0, /*limitWatts=*/1100.0);
+    power::Rack rack(/*id=*/0, power::Watts{1100.0});
     power::RackManager manager(rack);
 
     power::Server &server_a = rack.addServer(&model);
@@ -85,9 +85,10 @@ main()
             {sim::formatTick(t).substr(3),
              telemetry::fmt(p99, 0),
              wi.overclocking() ? "yes" : "no",
-             std::to_string(server_a.group(vm_a)->effectiveMHz()),
-             telemetry::fmt(rack.powerWatts(), 0),
-             telemetry::fmt(soa_a.budgetWatts(t), 0)});
+             std::to_string(
+                 server_a.group(vm_a)->effectiveMHz().count()),
+             telemetry::fmt(rack.powerWatts().count(), 0),
+             telemetry::fmt(soa_a.budgetWatts(t).count(), 0)});
     };
 
     sim::Tick t = 0;

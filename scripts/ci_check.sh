@@ -1,0 +1,25 @@
+#!/bin/sh
+# Full CI gate: tier-1 build + tests, the static-analysis chain,
+# ThreadSanitizer, and the suite under UndefinedBehaviorSanitizer.
+# Each stage uses its own build directory so sanitizer flags never
+# leak between configurations.  Usage: scripts/ci_check.sh
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "==== ci_check: tier-1 build + ctest ===="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$(nproc)"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)"
+
+echo "==== ci_check: static analysis ===="
+"$ROOT/scripts/static_check.sh" "$ROOT/build-static"
+
+echo "==== ci_check: ThreadSanitizer ===="
+"$ROOT/scripts/tsan_check.sh" "$ROOT/build-tsan"
+
+echo "==== ci_check: UndefinedBehaviorSanitizer ===="
+cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DSOC_SANITIZE=undefined
+cmake --build "$ROOT/build-ubsan" -j "$(nproc)"
+ctest --test-dir "$ROOT/build-ubsan" --output-on-failure -j "$(nproc)"
+
+echo "==== ci_check: all stages passed ===="

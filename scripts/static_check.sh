@@ -1,0 +1,47 @@
+#!/bin/sh
+# Static-analysis gate (DESIGN.md §10): chains, in order,
+#
+#   1. soclint        - determinism + unit rules (always available:
+#                       built from tools/soclint in this tree);
+#   2. clang-format   - check-only style pass (skipped when absent);
+#   3. clang-tidy     - .clang-tidy checks over the compilation
+#                       database (skipped when absent);
+#   4. -Werror build  - the whole tree with SOC_WERROR=ON.
+#
+# The clang tools are optional because the reference container ships
+# only gcc; each skip is reported loudly so CI logs show what ran.
+# Usage: scripts/static_check.sh [builddir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-static}"
+
+echo "== static_check: 1/4 soclint =="
+cmake -B "$BUILD" -S "$ROOT" -DSOC_WERROR=ON >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target soclint >/dev/null
+"$BUILD/tools/soclint/soclint" "$ROOT/src"
+echo "soclint: clean"
+
+echo "== static_check: 2/4 clang-format (check only) =="
+if command -v clang-format >/dev/null 2>&1; then
+    find "$ROOT/src" "$ROOT/tools" \
+        -name '*.cc' -o -name '*.hh' -o -name '*.hpp' |
+        xargs clang-format --dry-run -Werror
+    echo "clang-format: clean"
+else
+    echo "clang-format: not installed, SKIPPED"
+fi
+
+echo "== static_check: 3/4 clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+    ln -sf "$BUILD/compile_commands.json" \
+        "$ROOT/compile_commands.json"
+    find "$ROOT/src" -name '*.cc' |
+        xargs clang-tidy -p "$ROOT" --quiet
+    echo "clang-tidy: clean"
+else
+    echo "clang-tidy: not installed, SKIPPED"
+fi
+
+echo "== static_check: 4/4 warnings-as-errors build =="
+cmake --build "$BUILD" -j "$(nproc)"
+echo "static_check: all gates passed"

@@ -187,9 +187,9 @@ runServiceSim(const ServiceSimConfig &config)
     // --- Racks -------------------------------------------------------
     const int rack1_servers =
         config.socialNetServers + config.mlServers;
-    const double limit1 = rack1_servers *
+    const power::Watts limit1 = rack1_servers *
         config.hardware.tdpWatts * config.rackLimitFactor;
-    const double limit2 = std::max(1, config.spareServers) *
+    const power::Watts limit2 = std::max(1, config.spareServers) *
         config.hardware.tdpWatts * config.rackLimitFactor;
 
     power::Rack rack1(0, limit1);
@@ -244,7 +244,7 @@ runServiceSim(const ServiceSimConfig &config)
             const int sidx =
                 static_cast<int>(rack.serverCount()) - 1;
             soas.back()->setPowerSensor(
-                [plan, sidx](double watts, sim::Tick now) {
+                [plan, sidx](power::Watts watts, sim::Tick now) {
                     return watts * plan->sensorFactor(sidx, now);
                 });
         }
@@ -294,6 +294,8 @@ runServiceSim(const ServiceSimConfig &config)
     const auto catalog = workload::socialNetCatalog();
     std::vector<std::unique_ptr<Deployment>> deployments;
     // groupId -> deployment, per node (for exhaustion routing).
+    // Lookup only — indexed by the groupId carried in each signal,
+    // never iterated.  soclint:allow(DET-003)
     std::vector<std::unordered_map<int, Deployment *>> routing(
         nodes.size());
 
@@ -505,7 +507,7 @@ runServiceSim(const ServiceSimConfig &config)
         // Energy accounting.
         if (in_eval) {
             for (auto &node : nodes)
-                node.energyJ += node.server->powerWatts() * dt_s;
+                node.energyJ += node.server->powerWatts().count() * dt_s;
         }
     });
 

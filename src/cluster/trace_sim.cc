@@ -151,8 +151,8 @@ buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
     }
     const telemetry::TimeSeries rack_power =
         workload::TraceGenerator::rackPower(sr.traces);
-    const double limit =
-        rack_power.quantile(0.99) * config.limitFactor;
+    const power::Watts limit{
+        rack_power.quantile(0.99) * config.limitFactor};
 
     sr.rack = std::make_unique<power::Rack>(rack_index, limit);
     sr.manager = std::make_unique<power::RackManager>(*sr.rack);
@@ -197,7 +197,7 @@ buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
             // the plan's address is stable for the run's lifetime.
             const sim::FaultPlan *plan = &sr.plan;
             sr.soas.back()->setPowerSensor(
-                [plan, s](double watts, sim::Tick now) {
+                [plan, s](power::Watts watts, sim::Tick now) {
                     return watts * plan->sensorFactor(s, now);
                 });
         }
@@ -375,12 +375,10 @@ simulateRack(SimRack &sr, RackOutcome &out,
                 if (in_eval && want) {
                     ++out.wantSteps;
                     const auto *group = server.group(g);
-                    const double eff = group != nullptr
+                    const power::FreqMHz eff = group != nullptr
                         ? group->effectiveMHz()
                         : power::kTurboMHz;
-                    out.perf.add(
-                        eff /
-                        static_cast<double>(power::kTurboMHz));
+                    out.perf.add(eff / power::kTurboMHz);
                     if (group != nullptr && group->overclocked())
                         ++out.successSteps;
                 }
@@ -407,7 +405,7 @@ simulateRack(SimRack &sr, RackOutcome &out,
 
         if (in_eval) {
             out.rackUtil.add(sr.rack->utilization());
-            out.energyJoules += sr.rack->powerWatts() * dt_s;
+            out.energyJoules += sr.rack->powerWatts().count() * dt_s;
             if (sr.manager->capping()) {
                 double penalty = 0.0;
                 int affected = 0;

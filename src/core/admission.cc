@@ -13,7 +13,7 @@ AdmissionController::AdmissionController(const power::PowerModel &model,
 {
 }
 
-double
+power::Watts
 AdmissionController::surchargeWatts(const OverclockRequest &request)
     const
 {
@@ -24,15 +24,17 @@ AdmissionController::surchargeWatts(const OverclockRequest &request)
 
 sim::Tick
 AdmissionController::firstPowerViolation(const AdmissionInputs &in,
-                                         double extra,
+                                         power::Watts extra,
                                          sim::Tick horizon) const
 {
     const sim::Tick end = in.now + horizon;
 
-    // Instantaneous check against the current budget.
-    const double budget_now = in.budget != nullptr
-        ? in.budget->predict(in.now) + in.bonusWatts
-        : 0.0;
+    // Instantaneous check against the current budget.  Templates
+    // store raw doubles (unit-agnostic telemetry); re-enter the unit
+    // at the boundary.
+    const power::Watts budget_now = in.budget != nullptr
+        ? power::Watts{in.budget->predict(in.now)} + in.bonusWatts
+        : power::Watts{0.0};
     if (in.budget != nullptr &&
         in.measuredWatts + extra > budget_now) {
         return in.now;
@@ -41,9 +43,9 @@ AdmissionController::firstPowerViolation(const AdmissionInputs &in,
     // Look-ahead over template slots when a server template exists.
     if (in.serverPower != nullptr && in.budget != nullptr) {
         for (sim::Tick t = in.now; t < end; t += sim::kSlot) {
-            const double predicted = in.serverPower->predict(t);
-            const double budget =
-                in.budget->predict(t) + in.bonusWatts;
+            const power::Watts predicted{in.serverPower->predict(t)};
+            const power::Watts budget =
+                power::Watts{in.budget->predict(t)} + in.bonusWatts;
             if (predicted + extra > budget)
                 return t;
         }
@@ -61,7 +63,7 @@ AdmissionController::decide(const OverclockRequest &request,
     sim::Tick granted_until = in.now + request.duration;
 
     if (config_.checkPower && in.budget != nullptr) {
-        const double extra = surchargeWatts(request);
+        const power::Watts extra = surchargeWatts(request);
         const sim::Tick violation =
             firstPowerViolation(in, extra, request.duration);
         if (violation <= in.now + config_.minGrant) {

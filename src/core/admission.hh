@@ -48,11 +48,12 @@ struct AdmissionConfig {
 struct AdmissionInputs {
     sim::Tick now = 0;
     /** Measured server power draw right now. */
-    double measuredWatts = 0.0;
-    /** The server's power budget over time (assigned by the gOA). */
+    power::Watts measuredWatts{0.0};
+    /** The server's power budget over time (assigned by the gOA).
+     *  Templates are unit-agnostic storage; this one holds watts. */
     const ProfileTemplate *budget = nullptr;
     /** Exploration bonus currently added to the budget. */
-    double bonusWatts = 0.0;
+    power::Watts bonusWatts{0.0};
     /** The server's own power template for look-ahead (nullable). */
     const ProfileTemplate *serverPower = nullptr;
     /** Lifetime ledger (consumed/reserved core-time). */
@@ -80,7 +81,7 @@ class AdmissionController
                              const AdmissionInputs &in) const;
 
     /** Watts the request would add at worst-case utilization. */
-    double surchargeWatts(const OverclockRequest &request) const;
+    power::Watts surchargeWatts(const OverclockRequest &request) const;
 
   private:
     /**
@@ -89,7 +90,7 @@ class AdmissionController
      * the whole horizon fits.
      */
     sim::Tick firstPowerViolation(const AdmissionInputs &in,
-                                  double extra,
+                                  power::Watts extra,
                                   sim::Tick horizon) const;
 
     const power::PowerModel &model_;

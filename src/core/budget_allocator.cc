@@ -14,19 +14,19 @@ BudgetAllocator::BudgetAllocator(const power::PowerModel &model,
 {
 }
 
-double
+power::Watts
 BudgetAllocator::regularPower(const ServerProfile &profile,
                               sim::Tick t) const
 {
-    const double total = profile.power.predict(t);
+    const power::Watts total{profile.power.predict(t)};
     const double oc_cores = profile.overclockedCores.predict(t);
     const double util = profile.utilization.predict(t);
-    const double surcharge = model_.overclockExtraPower(
+    const power::Watts surcharge = model_.overclockExtraPower(
         util, config_.demandFreq, 1) * std::max(0.0, oc_cores);
-    return std::max(0.0, total - surcharge);
+    return std::max(power::Watts{0.0}, total - surcharge);
 }
 
-double
+power::Watts
 BudgetAllocator::overclockDemand(const ServerProfile &profile,
                                  sim::Tick t) const
 {
@@ -37,26 +37,28 @@ BudgetAllocator::overclockDemand(const ServerProfile &profile,
 }
 
 std::vector<ProfileTemplate>
-BudgetAllocator::split(double limit_watts,
+BudgetAllocator::split(power::Watts limit,
                        const std::vector<ServerProfile> &profiles)
     const
 {
     SplitScratch scratch;
     std::vector<ProfileTemplate> out;
-    splitInto(limit_watts, profiles, scratch, out);
+    splitInto(limit, profiles, scratch, out);
     return out;
 }
 
 void
-BudgetAllocator::splitInto(double limit_watts,
+BudgetAllocator::splitInto(power::Watts limit,
                            const std::vector<ServerProfile> &profiles,
                            SplitScratch &scratch,
                            std::vector<ProfileTemplate> &out) const
 {
     assert(!profiles.empty());
     const std::size_t n = profiles.size();
+    // Scratch buffers feed ProfileTemplate::assignWeekly, which
+    // stores raw doubles; leave the unit at this boundary.
     const double usable =
-        limit_watts * (1.0 - config_.safetyFraction);
+        limit.count() * (1.0 - config_.safetyFraction);
 
     // Per-slot scratch hoisted out of the 2016-iteration loop, and
     // per-server weekly buffers reused call to call (assign keeps
@@ -75,9 +77,10 @@ BudgetAllocator::splitInto(double limit_watts,
         double regular_sum = 0.0;
         double demand_sum = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            scratch.regular[i] = regularPower(profiles[i], t);
+            scratch.regular[i] = regularPower(profiles[i], t).count();
             regular_sum += scratch.regular[i];
-            scratch.demand[i] = overclockDemand(profiles[i], t);
+            scratch.demand[i] =
+                overclockDemand(profiles[i], t).count();
             demand_sum += scratch.demand[i];
         }
 

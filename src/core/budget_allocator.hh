@@ -79,14 +79,14 @@ class BudgetAllocator
                     BudgetConfig config = {});
 
     /**
-     * Split @p limit_watts across servers for every slot of a week.
+     * Split @p limit across servers for every slot of a week.
      *
-     * @param limit_watts Rack power limit.
-     * @param profiles    One profile per server.
+     * @param limit    Rack power limit.
+     * @param profiles One profile per server.
      * @return one weekly budget template per server, same order.
      */
     std::vector<ProfileTemplate>
-    split(double limit_watts,
+    split(power::Watts limit,
           const std::vector<ServerProfile> &profiles) const;
 
     /**
@@ -96,7 +96,7 @@ class BudgetAllocator
      * and output vectors perform no steady-state allocation.
      * Results are identical to split().
      */
-    void splitInto(double limit_watts,
+    void splitInto(power::Watts limit,
                    const std::vector<ServerProfile> &profiles,
                    SplitScratch &scratch,
                    std::vector<ProfileTemplate> &out) const;
@@ -106,15 +106,15 @@ class BudgetAllocator
      * total draw minus the modelled overclock surcharge of the cores
      * that were overclocked.
      */
-    double regularPower(const ServerProfile &profile,
-                        sim::Tick t) const;
+    power::Watts regularPower(const ServerProfile &profile,
+                              sim::Tick t) const;
 
     /**
      * Overclock power demand of a server at @p t, from the
      * requested-core template (phase 3 weights).
      */
-    double overclockDemand(const ServerProfile &profile,
-                           sim::Tick t) const;
+    power::Watts overclockDemand(const ServerProfile &profile,
+                                 sim::Tick t) const;
 
   private:
     const power::PowerModel &model_;

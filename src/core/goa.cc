@@ -47,12 +47,12 @@ GlobalOverclockingAgent::assignEvenSplit()
 {
     if (agents_.empty())
         throw std::logic_error("gOA: assignEvenSplit with no sOAs");
-    const double share =
+    const power::Watts share =
         rack_.limitWatts() / static_cast<double>(agents_.size());
     for (auto *agent : agents_)
-        agent->assignBudget(ProfileTemplate::flat(share));
+        agent->assignBudget(ProfileTemplate::flat(share.count()));
     lastBudgets_.assign(agents_.size(),
-                        ProfileTemplate::flat(share));
+                        ProfileTemplate::flat(share.count()));
 }
 
 void
@@ -170,7 +170,7 @@ GlobalOverclockingAgent::recompute(sim::Tick now,
                 break;
               case 2:
                 out.assignment.budget = ProfileTemplate::flat(
-                    2.0 * rack_.limitWatts());
+                    (2.0 * rack_.limitWatts()).count());
                 break;
               default:
                 break;

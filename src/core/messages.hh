@@ -12,6 +12,7 @@
 
 #include "core/profile_template.hh"
 #include "power/frequency.hh"
+#include "power/units.hh"
 #include "sim/time.hh"
 
 namespace soc
@@ -79,7 +80,7 @@ struct BudgetAssignment {
     sim::Tick leaseUntil = 0;
     /** Issuing rack's total power limit, for receiver-side sanity
      *  validation (one server's budget can never exceed it). */
-    double rackLimitWatts = 0.0;
+    power::Watts rackLimitWatts{0.0};
 };
 
 /** Why an sOA predicts it cannot keep overclocking (§IV-D). */

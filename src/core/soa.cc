@@ -88,8 +88,8 @@ ServerOverclockingAgent::assignBudget(
         reason = "budget not finite";
     else if (trough < 0.0)
         reason = "budget negative";
-    else if (assignment.rackLimitWatts > 0.0 &&
-             peak > assignment.rackLimitWatts)
+    else if (assignment.rackLimitWatts > power::Watts{0.0} &&
+             power::Watts{peak} > assignment.rackLimitWatts)
         reason = "budget exceeds rack limit";
     else if (assignment.leaseUntil != 0 &&
              assignment.leaseUntil < assignment.issuedAt)
@@ -107,26 +107,26 @@ ServerOverclockingAgent::assignBudget(
     return true;
 }
 
-double
+power::Watts
 ServerOverclockingAgent::measuredWatts(sim::Tick now) const
 {
-    const double watts = server_.powerWatts();
+    const power::Watts watts = server_.powerWatts();
     return sensor_ ? sensor_(watts, now) : watts;
 }
 
-double
+power::Watts
 ServerOverclockingAgent::budgetWatts(sim::Tick now) const
 {
     if (!budgetAssigned_) {
         // No assignment at all: run on the safe floor if the gOA
         // declared one, else behave as if granted the server's TDP
         // until real budgets arrive (agent-only bootstrap).
-        const double base = safeBudgetWatts_ > 0.0
+        const power::Watts base = safeBudgetWatts_ > power::Watts{0.0}
             ? safeBudgetWatts_
             : server_.model().params().tdpWatts;
         return base + bonusWatts_;
     }
-    const double fresh = budget_.predict(now);
+    const power::Watts fresh{budget_.predict(now)};
     if (!leaseStale(now))
         return fresh + bonusWatts_;
     // Degraded mode: the gOA failed to refresh the lease.  Keep
@@ -137,7 +137,7 @@ ServerOverclockingAgent::budgetWatts(sim::Tick now) const
         1.0, static_cast<double>(now - leaseUntil_) /
                  static_cast<double>(
                      std::max<sim::Tick>(1, config_.staleDecayTime)));
-    const double base =
+    const power::Watts base =
         fresh + (std::min(safeBudgetWatts_, fresh) - fresh) * frac;
     return base + bonusWatts_;
 }
@@ -169,7 +169,7 @@ ServerOverclockingAgent::requestOverclock(
     AdmissionDecision decision;
     if (config_.oracleMode) {
         // Central: perfect knowledge of the rack's current draw.
-        const double extra = admission_.surchargeWatts(request);
+        const power::Watts extra = admission_.surchargeWatts(request);
         if (oracleRack_->powerWatts() + extra >
             oracleRack_->limitWatts()) {
             decision.granted = false;
@@ -366,8 +366,9 @@ ServerOverclockingAgent::tick(sim::Tick now)
         // exploring beyond it is off the table and any banked bonus
         // is surrendered.  budgetWatts() handles the decay itself.
         ++stats_.staleLeaseTicks;
-        if (bonusWatts_ > 0.0 || state_ != ExploreState::Normal) {
-            bonusWatts_ = 0.0;
+        if (bonusWatts_ > power::Watts{0.0} ||
+            state_ != ExploreState::Normal) {
+            bonusWatts_ = power::Watts{0.0};
             state_ = ExploreState::Normal;
         }
     }
@@ -393,8 +394,8 @@ ServerOverclockingAgent::feedbackLoop(sim::Tick now)
         return;
     }
 
-    double draw;
-    double limit;
+    power::Watts draw;
+    power::Watts limit;
     if (config_.oracleMode) {
         draw = oracleRack_->powerWatts();
         limit = oracleRack_->limitWatts() * 0.995;
@@ -402,7 +403,7 @@ ServerOverclockingAgent::feedbackLoop(sim::Tick now)
         draw = measuredWatts(now);
         limit = budgetWatts(now);
     }
-    const double threshold = limit - config_.bufferWatts;
+    const power::Watts threshold = limit - config_.bufferWatts;
 
     if (draw > limit) {
         // Step down, lowest priority first, multiple steps per tick
@@ -427,7 +428,7 @@ ServerOverclockingAgent::feedbackLoop(sim::Tick now)
             server_.setTarget(victim->request.groupId,
                               server_.ladder().down(
                                   victim_group->targetMHz));
-            const double new_draw = config_.oracleMode
+            const power::Watts new_draw = config_.oracleMode
                 ? oracleRack_->powerWatts()
                 : measuredWatts(now);
             if (new_draw <= limit)
@@ -455,7 +456,7 @@ ServerOverclockingAgent::feedbackLoop(sim::Tick now)
                 break;
             const power::FreqMHz next =
                 server_.ladder().up(best_group->targetMHz);
-            const double predicted = server_.powerWattsIf(
+            const power::Watts predicted = server_.powerWattsIf(
                 best->request.groupId, next);
             const bool fits = config_.oracleMode
                 ? (oracleRack_->powerWatts() +
@@ -516,7 +517,7 @@ ServerOverclockingAgent::onWarning(sim::Tick now)
     if (state_ != ExploreState::Exploring)
         return; // §IV-D: ignore unless exploring
     ++stats_.warningsHeeded;
-    bonusWatts_ = std::max(0.0,
+    bonusWatts_ = std::max(power::Watts{0.0},
                            bonusWatts_ - config_.exploreStepWatts);
     backoffExp_ = std::min(backoffExp_ + 1, config_.maxBackoffExp);
     nextExploreAllowed_ = now +
@@ -528,9 +529,10 @@ void
 ServerOverclockingAgent::onCapEvent(sim::Tick now)
 {
     // §IV-D: a capping event resets the sOA to its initial budget.
-    if (bonusWatts_ > 0.0 || state_ != ExploreState::Normal)
+    if (bonusWatts_ > power::Watts{0.0} ||
+        state_ != ExploreState::Normal)
         ++stats_.capResets;
-    bonusWatts_ = 0.0;
+    bonusWatts_ = power::Watts{0.0};
     state_ = ExploreState::Normal;
     backoffExp_ = std::min(backoffExp_ + 1, config_.maxBackoffExp);
     nextExploreAllowed_ = std::max(
@@ -631,13 +633,13 @@ ServerOverclockingAgent::exhaustionPrediction(sim::Tick now)
 
         if (config_.admission.checkPower && budgetAssigned_ &&
             ownTemplateValid_) {
-            const double extra = admission_.surchargeWatts(
+            const power::Watts extra = admission_.surchargeWatts(
                 oc.request);
             for (sim::Tick t = now;
                  t < now + config_.exhaustionWindow;
                  t += sim::kSlot) {
-                if (ownPower_.predict(t) + extra >
-                    budget_.predict(t)) {
+                if (power::Watts{ownPower_.predict(t)} + extra >
+                    power::Watts{budget_.predict(t)}) {
                     ExhaustionSignal signal;
                     signal.groupId = group_id;
                     signal.kind = ExhaustionKind::PowerBudget;
@@ -707,8 +709,8 @@ ServerOverclockingAgent::telemetryCollection(sim::Tick now)
     for (const auto &[group_id, entry] : recentDenied_)
         requested += entry.first;
 
-    slotRegularSum_ += server_.regularPowerWatts();
-    slotPowerSum_ += measuredWatts(now);
+    slotRegularSum_ += server_.regularPowerWatts().count();
+    slotPowerSum_ += measuredWatts(now).count();
     slotUtilSum_ += server_.utilization();
     slotGrantedSum_ += granted;
     slotRequestedSum_ += requested;
@@ -735,7 +737,7 @@ ServerOverclockingAgent::crashRestart(sim::Tick now)
 
     // Volatile exploration/back-off state is lost.
     state_ = ExploreState::Normal;
-    bonusWatts_ = 0.0;
+    bonusWatts_ = power::Watts{0.0};
     stateDeadline_ = 0;
     nextExploreAllowed_ = 0;
     backoffExp_ = 0;

@@ -29,7 +29,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/admission.hh"
@@ -54,9 +54,9 @@ struct SoaConfig {
     /** Feedback-loop period. */
     sim::Tick controlPeriod = 5 * sim::kSecond;
     /** threshold = budget - buffer (§IV-D feedback loop). */
-    double bufferWatts = 15.0;
+    power::Watts bufferWatts{15.0};
     /** Exploration budget increment (§IV-D: e.g. 20 W). */
-    double exploreStepWatts = 20.0;
+    power::Watts exploreStepWatts{20.0};
     /** Quiet time that must pass before raising the bonus again. */
     sim::Tick warningWindow = 30 * sim::kSecond;
     /** Exploitation phase length before re-exploring. */
@@ -65,7 +65,7 @@ struct SoaConfig {
     sim::Tick backoffBase = 1 * sim::kMinute;
     int maxBackoffExp = 4;
     /** Ceiling on the exploration bonus. */
-    double maxBonusWatts = 200.0;
+    power::Watts maxBonusWatts{200.0};
     /** Exhaustion look-ahead (§IV-D: e.g. 15 minutes). */
     sim::Tick exhaustionWindow = 15 * sim::kMinute;
     /** Max feedback-loop frequency steps applied per control tick
@@ -197,16 +197,19 @@ class ServerOverclockingAgent : public power::RackPowerListener
      * survives crash-restarts.  0 disables the floor: stale budgets
      * then decay all the way to zero (no overclocking).
      */
-    void setSafeBudgetWatts(double watts) { safeBudgetWatts_ = watts; }
-    double safeBudgetWatts() const { return safeBudgetWatts_; }
+    void setSafeBudgetWatts(power::Watts watts)
+    {
+        safeBudgetWatts_ = watts;
+    }
+    power::Watts safeBudgetWatts() const { return safeBudgetWatts_; }
 
     /**
-     * Effective budget + current exploration bonus, in watts.  While
-     * the lease is fresh (or leaseless) this is the assigned
+     * Effective budget + current exploration bonus.  While the
+     * lease is fresh (or leaseless) this is the assigned
      * prediction; once stale it decays toward the safe floor over
      * config().staleDecayTime.
      */
-    double budgetWatts(sim::Tick now) const;
+    power::Watts budgetWatts(sim::Tick now) const;
 
     /**
      * Install a power-sensor distortion: every read the agent takes
@@ -216,7 +219,7 @@ class ServerOverclockingAgent : public power::RackPowerListener
      * sensor.
      */
     void setPowerSensor(
-        std::function<double(double, sim::Tick)> sensor)
+        std::function<power::Watts(power::Watts, sim::Tick)> sensor)
     {
         sensor_ = std::move(sensor);
     }
@@ -238,8 +241,8 @@ class ServerOverclockingAgent : public power::RackPowerListener
     /** Durable wear journal backing crash recovery. */
     const WearJournal &wearJournal() const { return journal_; }
 
-    /** Current exploration bonus in watts. */
-    double explorationBonus() const { return bonusWatts_; }
+    /** Current exploration bonus. */
+    power::Watts explorationBonus() const { return bonusWatts_; }
 
     /**
      * WI-facing: request overclocking for a core group.  On grant
@@ -372,7 +375,7 @@ class ServerOverclockingAgent : public power::RackPowerListener
     std::vector<int> pickCores(int count, sim::Tick now);
 
     /** Server draw as seen through the (possibly faulty) sensor. */
-    double measuredWatts(sim::Tick now) const;
+    power::Watts measuredWatts(sim::Tick now) const;
 
     /** Per-epoch used overclock time of a core. */
     sim::Tick coreUsed(int core, sim::Tick now);
@@ -393,26 +396,32 @@ class ServerOverclockingAgent : public power::RackPowerListener
     /** Lease expiry of the current budget (0 = no lease). */
     sim::Tick leaseUntil_ = 0;
     sim::Tick lastAssignmentAt_ = -1;
-    double safeBudgetWatts_ = 0.0;
+    power::Watts safeBudgetWatts_{0.0};
     std::string lastBudgetReject_;
     ProfileTemplate ownPower_;
     bool ownTemplateValid_ = false;
     /** Aggregator version/strategy ownPower_ was assembled from. */
     std::uint64_t ownPowerVersion_ = 0;
     TemplateStrategy ownPowerStrategy_ = TemplateStrategy::DailyMed;
-    std::function<double(double, sim::Tick)> sensor_;
+    std::function<power::Watts(power::Watts, sim::Tick)> sensor_;
     WearJournal journal_;
 
-    std::unordered_map<int, ActiveOverclock> active_;
+    /**
+     * Ordered maps on purpose (DET-003): the feedback loop, wear
+     * accounting, exhaustion signaling and telemetry sums all
+     * iterate these, and priority ties, FP addition order and
+     * callback order must not depend on a hash function.
+     */
+    std::map<int, ActiveOverclock> active_;
     /** Recently denied requests: groupId -> (cores, expiry). */
-    std::unordered_map<int, std::pair<int, sim::Tick>> recentDenied_;
+    std::map<int, std::pair<int, sim::Tick>> recentDenied_;
     /** Until when a power-based denial keeps the agent "constrained"
      *  for exploration purposes. */
     sim::Tick powerDenialUntil_ = 0;
 
     // Exploration state.
     ExploreState state_ = ExploreState::Normal;
-    double bonusWatts_ = 0.0;
+    power::Watts bonusWatts_{0.0};
     sim::Tick stateDeadline_ = 0;
     sim::Tick nextExploreAllowed_ = 0;
     int backoffExp_ = 0;

@@ -8,6 +8,10 @@
  * (Section IV-D).  Power capping may throttle below turbo: the paper
  * reports 30-50% frequency degradation for capped workloads, which
  * bounds the ladder floor.
+ *
+ * FreqMHz is a unit-safe strong type (power/units.hh): construction
+ * from a raw int is explicit, and mixing it with Watts is a compile
+ * error.
  */
 
 #ifndef SOC_POWER_FREQUENCY_HH
@@ -15,28 +19,27 @@
 
 #include <algorithm>
 
+#include "power/units.hh"
+
 namespace soc
 {
 namespace power
 {
 
-/** Core frequency in MHz (integral: the ladder is discrete). */
-using FreqMHz = int;
-
 /** Deep-throttle floor used by power capping (~50% of turbo). */
-constexpr FreqMHz kMinMHz = 1600;
+constexpr FreqMHz kMinMHz{1600};
 
 /** Guaranteed base (P1) frequency. */
-constexpr FreqMHz kBaseMHz = 2400;
+constexpr FreqMHz kBaseMHz{2400};
 
 /** Max all-core turbo: the normal operating point (§V-A). */
-constexpr FreqMHz kTurboMHz = 3300;
+constexpr FreqMHz kTurboMHz{3300};
 
 /** Overclocking ceiling validated with the CPU vendor (§V-A). */
-constexpr FreqMHz kOverclockMHz = 4000;
+constexpr FreqMHz kOverclockMHz{4000};
 
 /** Feedback-loop step size (§IV-D). */
-constexpr FreqMHz kStepMHz = 100;
+constexpr FreqMHz kStepMHz{100};
 
 /**
  * The discrete frequency ladder an sOA walks.

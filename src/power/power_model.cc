@@ -16,13 +16,14 @@ PowerModel::PowerModel(const PowerModelParams &params)
 
     // Per-core budget at TDP (util = 1, turbo frequency).
     const double core_budget =
-        (params_.tdpWatts - params_.idleWatts) / params_.cores;
+        (params_.tdpWatts - params_.idleWatts).count() /
+        static_cast<double>(params_.cores);
     const double leak_budget = core_budget * params_.leakageFraction;
     const double dyn_budget = core_budget - leak_budget;
 
     const double v_turbo = params_.turboVolts;
     dynCoeff_ = dyn_budget /
-        (static_cast<double>(kTurboMHz) * v_turbo * v_turbo);
+        (static_cast<double>(kTurboMHz.count()) * v_turbo * v_turbo);
     leakCoeff_ = leak_budget / v_turbo;
 }
 
@@ -31,50 +32,50 @@ PowerModel::voltage(FreqMHz f) const
 {
     if (f >= kTurboMHz) {
         const double ghz_over =
-            static_cast<double>(f - kTurboMHz) / 1000.0;
+            static_cast<double>((f - kTurboMHz).count()) / 1000.0;
         return params_.turboVolts +
             params_.overclockVoltsPerGHz * ghz_over;
     }
     // Linear between base and turbo; clamp at the base voltage for
     // deep-throttle frequencies.
     const double slope = (params_.turboVolts - params_.baseVolts) /
-        static_cast<double>(kTurboMHz - kBaseMHz);
+        static_cast<double>((kTurboMHz - kBaseMHz).count());
     const double v = params_.turboVolts +
-        slope * static_cast<double>(f - kTurboMHz);
+        slope * static_cast<double>((f - kTurboMHz).count());
     return std::max(v, params_.baseVolts);
 }
 
-double
+Watts
 PowerModel::corePower(double util, FreqMHz f) const
 {
     const double v = voltage(f);
     const double activity = params_.activityFloor +
         (1.0 - params_.activityFloor) * util;
     const double dynamic =
-        dynCoeff_ * activity * static_cast<double>(f) * v * v;
+        dynCoeff_ * activity * static_cast<double>(f.count()) * v * v;
     const double leakage = leakCoeff_ * v;
-    return dynamic + leakage;
+    return Watts{dynamic + leakage};
 }
 
-double
+Watts
 PowerModel::serverPower(double util, FreqMHz f, int cores) const
 {
     assert(cores >= 0 && cores <= params_.cores);
     return params_.idleWatts + cores * corePower(util, f);
 }
 
-double
+Watts
 PowerModel::serverPower(double util, FreqMHz f) const
 {
     return serverPower(util, f, params_.cores);
 }
 
-double
+Watts
 PowerModel::overclockExtraPower(double util, FreqMHz f,
                                 int cores) const
 {
     if (f <= kTurboMHz)
-        return 0.0;
+        return Watts{0.0};
     return cores * (corePower(util, f) - corePower(util, kTurboMHz));
 }
 
@@ -82,20 +83,21 @@ double
 PowerModel::temperature(double util, FreqMHz f) const
 {
     // Relative activity compared to a fully utilized turbo core.
-    const double ref = corePower(1.0, kTurboMHz);
-    const double rel = ref > 0.0 ? corePower(util, f) / ref : 0.0;
+    const Watts ref = corePower(1.0, kTurboMHz);
+    const double rel =
+        ref > Watts{0.0} ? corePower(util, f) / ref : 0.0;
     return params_.ambientCelsius + params_.thermalRangeCelsius * rel;
 }
 
 FreqMHz
 PowerModel::maxFrequencyWithin(double util, int activeCores,
-                               double budgetWatts,
+                               Watts budget,
                                const FrequencyLadder &ladder) const
 {
     FreqMHz best = ladder.minMHz;
     for (FreqMHz f = ladder.minMHz; f <= ladder.maxMHz;
          f += ladder.stepMHz) {
-        if (serverPower(util, f, activeCores) <= budgetWatts)
+        if (serverPower(util, f, activeCores) <= budget)
             best = f;
         else
             break;

@@ -18,12 +18,16 @@
  *
  * Default calibration: a 64-core server idles at 120 W and reaches
  * its 420 W TDP at 100% utilization at max turbo.
+ *
+ * All power values are the unit-safe power::Watts strong type; raw
+ * doubles never cross this interface.
  */
 
 #ifndef SOC_POWER_POWER_MODEL_HH
 #define SOC_POWER_POWER_MODEL_HH
 
 #include "power/frequency.hh"
+#include "power/units.hh"
 
 namespace soc
 {
@@ -33,8 +37,8 @@ namespace power
 /** Tunable parameters; defaults model the paper's AMD 64-core SKU. */
 struct PowerModelParams {
     int cores = 64;
-    double idleWatts = 120.0;
-    double tdpWatts = 420.0;
+    Watts idleWatts{120.0};
+    Watts tdpWatts{420.0};
 
     /** Voltage at the base frequency. */
     double baseVolts = 0.95;
@@ -81,23 +85,23 @@ class PowerModel
      * @param util Core utilization in [0, 1].
      * @param f    Core frequency.
      */
-    double corePower(double util, FreqMHz f) const;
+    Watts corePower(double util, FreqMHz f) const;
 
     /**
      * Whole-server power: idle + per-core power where all @p cores
      * share the same utilization and frequency.
      */
-    double serverPower(double util, FreqMHz f, int cores) const;
+    Watts serverPower(double util, FreqMHz f, int cores) const;
 
     /** serverPower() with the model's full core count. */
-    double serverPower(double util, FreqMHz f) const;
+    Watts serverPower(double util, FreqMHz f) const;
 
     /**
      * Additional watts drawn by overclocking @p cores cores from
      * turbo to @p f at utilization @p util.  This is the quantity
      * the sOA reserves during admission control.
      */
-    double overclockExtraPower(double util, FreqMHz f, int cores) const;
+    Watts overclockExtraPower(double util, FreqMHz f, int cores) const;
 
     /**
      * Estimated die temperature of a core (feeds the aging model).
@@ -106,11 +110,11 @@ class PowerModel
 
     /**
      * Largest ladder frequency such that a server at utilization
-     * @p util with @p activeCores stays within @p budgetWatts.
+     * @p util with @p activeCores stays within @p budget.
      * Returns the ladder floor when even that exceeds the budget.
      */
     FreqMHz maxFrequencyWithin(double util, int activeCores,
-                               double budgetWatts,
+                               Watts budget,
                                const FrequencyLadder &ladder) const;
 
   private:

@@ -7,10 +7,10 @@ namespace soc
 namespace power
 {
 
-Rack::Rack(int id, double limitWatts)
-    : id_(id), limitWatts_(limitWatts)
+Rack::Rack(int id, Watts limit)
+    : id_(id), limitWatts_(limit)
 {
-    assert(limitWatts_ > 0.0);
+    assert(limitWatts_ > Watts{0.0});
 }
 
 Server &
@@ -21,10 +21,10 @@ Rack::addServer(const PowerModel *model, FrequencyLadder ladder)
     return *servers_.back();
 }
 
-double
+Watts
 Rack::powerWatts() const
 {
-    double watts = 0.0;
+    Watts watts{0.0};
     for (const auto &server : servers_)
         watts += server->powerWatts();
     return watts;
@@ -36,11 +36,12 @@ Rack::utilization() const
     return powerWatts() / limitWatts_;
 }
 
-double
+Watts
 Rack::evenShareWatts() const
 {
-    return servers_.empty() ? limitWatts_
-                            : limitWatts_ / servers_.size();
+    return servers_.empty()
+        ? limitWatts_
+        : limitWatts_ / static_cast<double>(servers_.size());
 }
 
 } // namespace power

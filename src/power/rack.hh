@@ -25,15 +25,15 @@ class Rack
 {
   public:
     /**
-     * @param id         Rack identifier.
-     * @param limitWatts Provisioned (possibly oversubscribed) limit.
+     * @param id    Rack identifier.
+     * @param limit Provisioned (possibly oversubscribed) limit.
      */
-    Rack(int id, double limitWatts);
+    Rack(int id, Watts limit);
 
     int id() const { return id_; }
 
-    double limitWatts() const { return limitWatts_; }
-    void setLimitWatts(double watts) { limitWatts_ = watts; }
+    Watts limitWatts() const { return limitWatts_; }
+    void setLimitWatts(Watts watts) { limitWatts_ = watts; }
 
     /** Create and own a server using @p model. */
     Server &addServer(const PowerModel *model,
@@ -57,17 +57,17 @@ class Rack
     }
 
     /** Instantaneous rack power draw: sum over servers. */
-    double powerWatts() const;
+    Watts powerWatts() const;
 
     /** Power draw as a fraction of the limit. */
     double utilization() const;
 
     /** Even per-server share of the limit (the naive split, §III-Q4). */
-    double evenShareWatts() const;
+    Watts evenShareWatts() const;
 
   private:
     int id_;
-    double limitWatts_;
+    Watts limitWatts_;
     int nextServerId_ = 0;
     std::vector<std::unique_ptr<Server>> servers_;
 };

@@ -35,8 +35,8 @@ void
 RackManager::tick(sim::Tick now)
 {
     ++stats_.ticks;
-    const double draw = rack_.powerWatts();
-    const double limit = rack_.limitWatts();
+    const Watts draw = rack_.powerWatts();
+    const Watts limit = rack_.limitWatts();
 
     if (draw > limit) {
         if (!inCap_) {
@@ -75,7 +75,7 @@ RackManager::enforceCap()
     // Throttle with overshoot: real capping controllers push the
     // rack decisively out of the danger zone instead of hovering at
     // the limit.
-    const double target =
+    const Watts target =
         rack_.limitWatts() * config_.capOvershootFraction;
     int budget = config_.throttleStepsPerTick;
     while (budget-- > 0 && rack_.powerWatts() > target) {
@@ -95,7 +95,7 @@ RackManager::enforceCap()
             }
             if (!can)
                 continue;
-            const double score = server->powerWatts() +
+            const double score = server->powerWatts().count() +
                 (overclocked ? 1.0e6 : 0.0);
             if (score > victim_score) {
                 victim = server.get();
@@ -111,7 +111,7 @@ void
 RackManager::releaseCaps()
 {
     int budget = config_.releaseStepsPerTick;
-    const double headroom =
+    const Watts headroom =
         rack_.limitWatts() * config_.releaseFraction;
     while (budget-- > 0 && rack_.powerWatts() < headroom) {
         bool released = false;

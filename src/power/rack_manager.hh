@@ -100,7 +100,7 @@ class RackManager
     /** @return true while the rack is inside a capping excursion. */
     bool capping() const { return inCap_; }
 
-    double warningWatts() const
+    Watts warningWatts() const
     {
         return rack_.limitWatts() * config_.warningFraction;
     }

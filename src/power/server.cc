@@ -86,19 +86,19 @@ Server::setAllTargets(FreqMHz f)
         g.targetMHz = ladder_.clamp(f);
 }
 
-double
+Watts
 Server::powerWatts() const
 {
-    double watts = model_->params().idleWatts;
+    Watts watts = model_->params().idleWatts;
     for (const auto &g : groups_)
         watts += g.cores * model_->corePower(g.util, g.effectiveMHz());
     return watts;
 }
 
-double
+Watts
 Server::regularPowerWatts() const
 {
-    double watts = model_->params().idleWatts;
+    Watts watts = model_->params().idleWatts;
     for (const auto &g : groups_) {
         const FreqMHz f = std::min(g.effectiveMHz(), kTurboMHz);
         watts += g.cores * model_->corePower(g.util, f);
@@ -106,10 +106,10 @@ Server::regularPowerWatts() const
     return watts;
 }
 
-double
+Watts
 Server::powerWattsIf(GroupId id, FreqMHz f) const
 {
-    double watts = model_->params().idleWatts;
+    Watts watts = model_->params().idleWatts;
     for (const auto &g : groups_) {
         const FreqMHz freq =
             g.id == id ? ladder_.clamp(f) : g.effectiveMHz();
@@ -215,10 +215,9 @@ Server::cappingPenalty() const
             continue; // overclock seekers are not "penalized"
         const FreqMHz eff = g.effectiveMHz();
         const FreqMHz base = std::min(g.targetMHz, kTurboMHz);
-        if (base > 0 && eff < base) {
-            penalty += g.cores *
-                (static_cast<double>(base - eff) /
-                 static_cast<double>(base));
+        if (base > FreqMHz{0} && eff < base) {
+            // Quantity / Quantity yields the dimensionless ratio.
+            penalty += g.cores * ((base - eff) / base);
             affected += g.cores;
         }
     }
@@ -233,7 +232,7 @@ Server::cappedNonOverclockCores() const
         if (FrequencyLadder::isOverclocked(g.targetMHz))
             continue;
         const FreqMHz base = std::min(g.targetMHz, kTurboMHz);
-        if (base > 0 && g.effectiveMHz() < base)
+        if (base > FreqMHz{0} && g.effectiveMHz() < base)
             affected += g.cores;
     }
     return affected;

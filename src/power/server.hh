@@ -105,8 +105,8 @@ class Server
     /** Set every group's target frequency. */
     void setAllTargets(FreqMHz f);
 
-    /** Current server power draw in watts. */
-    double powerWatts() const;
+    /** Current server power draw. */
+    Watts powerWatts() const;
 
     /**
      * Power the server would draw if every group ran at min(turbo,
@@ -114,13 +114,13 @@ class Server
      * surcharge removed.  The sOA records this "regular power" for
      * its own look-ahead templates.
      */
-    double regularPowerWatts() const;
+    Watts regularPowerWatts() const;
 
     /**
      * Hypothetical power if the given group ran at @p f instead of
      * its effective frequency.  Used by admission control.
      */
-    double powerWattsIf(GroupId id, FreqMHz f) const;
+    Watts powerWattsIf(GroupId id, FreqMHz f) const;
 
     /** Core-weighted average utilization (unallocated cores = 0). */
     double utilization() const;

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit-safe strong types for the physical quantities the budget
+ * arithmetic of §IV-C mixes freely: watts and megahertz.
+ *
+ * The paper's control loops transpose exactly these scalars when
+ * everything is a bare double — a power budget added to a frequency
+ * compiles and silently produces garbage.  Quantity<Tag, Rep> makes
+ * that a compile error:
+ *
+ *  - construction from the raw representation is explicit;
+ *  - there is no implicit conversion back to the representation
+ *    (use count());
+ *  - arithmetic is closed within one unit: adding two Watts is a
+ *    Watts, adding Watts to FreqMHz does not compile;
+ *  - scaling by a dimensionless factor stays in the unit;
+ *  - dividing two quantities of the same unit yields a plain double
+ *    (a dimensionless ratio).
+ *
+ * The tag types carry no state; they only separate the instantiated
+ * types.  tests/negative_compile proves the forbidden mixes really
+ * do not build.
+ */
+
+#ifndef SOC_POWER_UNITS_HH
+#define SOC_POWER_UNITS_HH
+
+#include <compare>
+#include <ostream>
+
+namespace soc
+{
+namespace power
+{
+
+/**
+ * A value of unit @p Tag stored as @p Rep.  Arithmetic never leaves
+ * the unit; cross-unit expressions fail to compile.
+ */
+template <class Tag, class Rep>
+class Quantity
+{
+  public:
+    using rep = Rep;
+
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(Rep value) : value_(value) {}
+
+    /** The raw representation; the only way out of the unit. */
+    constexpr Rep count() const { return value_; }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+    constexpr Quantity operator+() const { return *this; }
+    constexpr Quantity operator-() const
+    {
+        return Quantity{static_cast<Rep>(-value_)};
+    }
+
+    friend constexpr Quantity
+    operator+(Quantity a, Quantity b)
+    {
+        return Quantity{static_cast<Rep>(a.value_ + b.value_)};
+    }
+
+    friend constexpr Quantity
+    operator-(Quantity a, Quantity b)
+    {
+        return Quantity{static_cast<Rep>(a.value_ - b.value_)};
+    }
+
+    constexpr Quantity &
+    operator+=(Quantity other)
+    {
+        value_ = static_cast<Rep>(value_ + other.value_);
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator-=(Quantity other)
+    {
+        value_ = static_cast<Rep>(value_ - other.value_);
+        return *this;
+    }
+
+    /** Dimensionless scaling stays within the unit. */
+    friend constexpr Quantity
+    operator*(Quantity a, double factor)
+    {
+        return Quantity{
+            static_cast<Rep>(static_cast<double>(a.value_) * factor)};
+    }
+
+    friend constexpr Quantity
+    operator*(double factor, Quantity a)
+    {
+        return a * factor;
+    }
+
+    friend constexpr Quantity
+    operator/(Quantity a, double divisor)
+    {
+        return Quantity{static_cast<Rep>(
+            static_cast<double>(a.value_) / divisor)};
+    }
+
+    constexpr Quantity &
+    operator*=(double factor)
+    {
+        value_ =
+            static_cast<Rep>(static_cast<double>(value_) * factor);
+        return *this;
+    }
+
+    /** Ratio of two same-unit quantities is dimensionless. */
+    friend constexpr double
+    operator/(Quantity a, Quantity b)
+    {
+        return static_cast<double>(a.value_) /
+            static_cast<double>(b.value_);
+    }
+
+    /** Diagnostics only (gtest failure messages, logging). */
+    friend std::ostream &
+    operator<<(std::ostream &os, Quantity q)
+    {
+        return os << q.value_;
+    }
+
+  private:
+    Rep value_ = Rep{};
+};
+
+struct WattTag;
+struct MHzTag;
+
+/** Electrical power in watts. */
+using Watts = Quantity<WattTag, double>;
+
+/** Core frequency in MHz (integral: the ladder is discrete). */
+using FreqMHz = Quantity<MHzTag, int>;
+
+inline namespace unit_literals
+{
+
+constexpr Watts
+operator""_W(long double w)
+{
+    return Watts{static_cast<double>(w)};
+}
+
+constexpr Watts
+operator""_W(unsigned long long w)
+{
+    return Watts{static_cast<double>(w)};
+}
+
+constexpr FreqMHz
+operator""_MHz(unsigned long long f)
+{
+    return FreqMHz{static_cast<int>(f)};
+}
+
+} // namespace unit_literals
+
+} // namespace power
+} // namespace soc
+
+#endif // SOC_POWER_UNITS_HH

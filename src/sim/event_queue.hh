@@ -122,7 +122,9 @@ class EventQueue
     std::priority_queue<Entry *, std::vector<Entry *>, EntryCompare>
         heap_;
     // Pending entries by id; cancellation flags the entry in place and
-    // the heap lazily discards it when it reaches the head.
+    // the heap lazily discards it when it reaches the head.  Lookup
+    // only — execution order comes from the heap, never from hash
+    // iteration.  soclint:allow(DET-003)
     std::unordered_map<EventId, Entry *> live_;
 };
 

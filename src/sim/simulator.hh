@@ -79,6 +79,8 @@ class Simulator
 
     EventQueue queue_;
     TaskId nextTask_ = 1;
+    // Lookup only — firing order comes from the event queue, never
+    // from hash iteration.  soclint:allow(DET-003)
     std::unordered_map<TaskId, Periodic> periodics_;
 };
 

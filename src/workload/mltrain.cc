@@ -14,8 +14,7 @@ double
 MlTrainJob::throughput(power::FreqMHz f) const
 {
     // Step time = compute part (scales with 1/f) + memory part.
-    const double freq_ratio = static_cast<double>(power::kTurboMHz) /
-        static_cast<double>(f);
+    const double freq_ratio = power::kTurboMHz / f;
     const double rel_step = (1.0 - memBoundFrac_) * freq_ratio +
         memBoundFrac_;
     return baseThroughput_ / rel_step;

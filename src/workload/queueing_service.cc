@@ -40,8 +40,7 @@ socialNetCatalog()
 double
 scaledServiceMs(const MicroserviceParams &params, power::FreqMHz f)
 {
-    const double freq_ratio = static_cast<double>(power::kTurboMHz) /
-        static_cast<double>(f);
+    const double freq_ratio = power::kTurboMHz / f;
     return params.meanServiceMs *
         ((1.0 - params.memBoundFrac) * freq_ratio +
          params.memBoundFrac);

@@ -70,7 +70,7 @@ TraceGenerator::serverTrace(const std::vector<VmMix> &mix,
     const int total_cores = model.params().cores;
     for (std::size_t i = 0; i < slots; ++i) {
         double weighted = 0.0;
-        double watts = model.params().idleWatts;
+        power::Watts watts = model.params().idleWatts;
         for (std::size_t v = 0; v < mix.size(); ++v) {
             const double util = trace.vmUtil[v].at(i);
             weighted += mix[v].cores * util;
@@ -78,7 +78,7 @@ TraceGenerator::serverTrace(const std::vector<VmMix> &mix,
                 model.corePower(util, power::kTurboMHz);
         }
         trace.serverUtil.append(weighted / total_cores);
-        trace.powerWatts.append(watts);
+        trace.powerWatts.append(watts.count());
     }
     return trace;
 }

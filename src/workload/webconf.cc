@@ -40,9 +40,7 @@ WebConfDeployment::utilOf(const Vm &vm, power::FreqMHz f) const
     // Per-core speed relative to turbo; memory-bound work does not
     // accelerate.
     const double speedup = 1.0 /
-        ((1.0 - memBoundFrac_) *
-             (static_cast<double>(power::kTurboMHz) /
-              static_cast<double>(f)) +
+        ((1.0 - memBoundFrac_) * (power::kTurboMHz / f) +
          memBoundFrac_);
     const double util = vm.loadUnits / (vm.cores * speedup);
     return std::clamp(util, 0.0, 1.0);

@@ -34,7 +34,7 @@ model()
 }
 
 struct Fixture {
-    power::Rack rack{0, 2000.0};
+    power::Rack rack{0, power::Watts{2000.0}};
     power::Server *server;
     std::unique_ptr<ServerOverclockingAgent> soa;
     power::GroupId vm;
@@ -76,7 +76,7 @@ assignment(double watts, Tick issued = 0, Tick lease = 0,
     out.budget = ProfileTemplate::flat(watts);
     out.issuedAt = issued;
     out.leaseUntil = lease;
-    out.rackLimitWatts = rack_limit;
+    out.rackLimitWatts = power::Watts{rack_limit};
     return out;
 }
 
@@ -90,7 +90,7 @@ TEST(BudgetValidation, AcceptsFiniteInRangeBudget)
     EXPECT_EQ(fx.soa->stats().budgetRejects, 0u);
     EXPECT_TRUE(fx.soa->lastBudgetReject().empty());
     EXPECT_EQ(fx.soa->lastAssignmentAt(), 10);
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(10), 300.0);
+    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(10).count(), 300.0);
 }
 
 TEST(BudgetValidation, RejectsNaNKeepingPreviousBudget)
@@ -102,7 +102,7 @@ TEST(BudgetValidation, RejectsNaNKeepingPreviousBudget)
     EXPECT_EQ(fx.soa->stats().budgetRejects, 1u);
     EXPECT_EQ(fx.soa->lastBudgetReject(), "budget not finite");
     // The poisoned payload did not displace the previous budget.
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(5), 300.0);
+    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(5).count(), 300.0);
     EXPECT_EQ(fx.soa->lastAssignmentAt(), 0);
 }
 
@@ -149,21 +149,22 @@ TEST(Lease, StaleBudgetDecaysLinearlyToSafeFloor)
     SoaConfig cfg;
     cfg.staleDecayTime = 10 * kMinute;
     Fixture fx(cfg);
-    fx.soa->setSafeBudgetWatts(100.0);
+    fx.soa->setSafeBudgetWatts(power::Watts{100.0});
     const Tick lease = kHour;
     ASSERT_TRUE(fx.soa->assignBudget(
         assignment(400.0, 0, lease), 0));
 
     EXPECT_FALSE(fx.soa->leaseStale(lease));
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(lease), 400.0);
+    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(lease).count(), 400.0);
 
     EXPECT_TRUE(fx.soa->leaseStale(lease + 1));
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(lease + 5 * kMinute),
-                     250.0);
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(lease + 10 * kMinute),
-                     100.0);
+    EXPECT_DOUBLE_EQ(
+        fx.soa->budgetWatts(lease + 5 * kMinute).count(), 250.0);
+    EXPECT_DOUBLE_EQ(
+        fx.soa->budgetWatts(lease + 10 * kMinute).count(), 100.0);
     // Fully decayed: it never dips below the safe floor.
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(lease + kHour), 100.0);
+    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(lease + kHour).count(),
+                     100.0);
 }
 
 TEST(Lease, DecayNeverRaisesABudgetBelowTheFloor)
@@ -171,14 +172,15 @@ TEST(Lease, DecayNeverRaisesABudgetBelowTheFloor)
     SoaConfig cfg;
     cfg.staleDecayTime = 10 * kMinute;
     Fixture fx(cfg);
-    fx.soa->setSafeBudgetWatts(300.0);
+    fx.soa->setSafeBudgetWatts(power::Watts{300.0});
     // Assigned budget already below the safe floor: decaying
     // "toward the floor" must not grant power the gOA never gave.
     ASSERT_TRUE(fx.soa->assignBudget(
         assignment(200.0, 0, kHour), 0));
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(kHour + 5 * kMinute),
+    EXPECT_DOUBLE_EQ(
+        fx.soa->budgetWatts(kHour + 5 * kMinute).count(), 200.0);
+    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(kHour + kHour).count(),
                      200.0);
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(kHour + kHour), 200.0);
 }
 
 TEST(Lease, StaleLeaseFreezesExplorationAndCountsTicks)
@@ -186,8 +188,8 @@ TEST(Lease, StaleLeaseFreezesExplorationAndCountsTicks)
     SoaConfig cfg;
     cfg.warningWindow = 10 * kSecond;
     Fixture fx(cfg, 0.9);
-    fx.soa->setSafeBudgetWatts(100.0);
-    const double draw = fx.server->powerWatts();
+    fx.soa->setSafeBudgetWatts(power::Watts{100.0});
+    const double draw = fx.server->powerWatts().count();
     const Tick lease = 5 * kMinute;
     ASSERT_TRUE(fx.soa->assignBudget(
         assignment(draw + 1.0, 0, lease), 0));
@@ -196,19 +198,19 @@ TEST(Lease, StaleLeaseFreezesExplorationAndCountsTicks)
     ASSERT_FALSE(
         fx.soa->requestOverclock(fx.makeRequest(), 0).granted);
     fx.run(0, kMinute);
-    ASSERT_GT(fx.soa->explorationBonus(), 0.0);
+    ASSERT_GT(fx.soa->explorationBonus(), power::Watts{0.0});
 
     // Once the lease goes stale the bonus is surrendered and no new
     // exploration starts while degraded.
     fx.run(lease + 5 * kSecond, lease + 2 * kMinute);
-    EXPECT_DOUBLE_EQ(fx.soa->explorationBonus(), 0.0);
+    EXPECT_DOUBLE_EQ(fx.soa->explorationBonus().count(), 0.0);
     EXPECT_GT(fx.soa->stats().staleLeaseTicks, 0u);
 }
 
 TEST(CrashRestart, RevokesGrantsAndResetsVolatileState)
 {
     Fixture fx;
-    fx.soa->setSafeBudgetWatts(150.0);
+    fx.soa->setSafeBudgetWatts(power::Watts{150.0});
     fx.soa->assignBudget(ProfileTemplate::flat(500.0));
     ASSERT_TRUE(
         fx.soa->requestOverclock(fx.makeRequest(), 0).granted);
@@ -218,13 +220,13 @@ TEST(CrashRestart, RevokesGrantsAndResetsVolatileState)
     fx.soa->crashRestart(10 * kMinute + kSecond);
 
     EXPECT_EQ(fx.soa->activeOverclocks(), 0u);
-    EXPECT_DOUBLE_EQ(fx.soa->explorationBonus(), 0.0);
+    EXPECT_DOUBLE_EQ(fx.soa->explorationBonus().count(), 0.0);
     EXPECT_EQ(fx.soa->stats().crashRestarts, 1u);
     EXPECT_EQ(fx.soa->lastAssignmentAt(), -1);
     // The in-memory assignment is gone: the agent runs on the safe
     // floor until the gOA pushes again.
-    EXPECT_DOUBLE_EQ(fx.soa->budgetWatts(10 * kMinute + kSecond),
-                     150.0);
+    EXPECT_DOUBLE_EQ(
+        fx.soa->budgetWatts(10 * kMinute + kSecond).count(), 150.0);
     // The watchdog dropped the group back to turbo.
     const auto *group = fx.server->group(fx.vm);
     ASSERT_NE(group, nullptr);
@@ -315,7 +317,7 @@ TEST(WearJournal, ReplayReproducesCarryOverTrajectory)
 
 TEST(GoaRegistration, RejectsNullAndOutOfOrderAgents)
 {
-    power::Rack rack(0, 1000.0);
+    power::Rack rack(0, power::Watts{1000.0});
     power::Server &s0 = rack.addServer(&model());
     power::Server &s1 = rack.addServer(&model());
     SoaConfig cfg;
@@ -337,7 +339,7 @@ TEST(GoaRegistration, RejectsNullAndOutOfOrderAgents)
 
 TEST(GoaRegistration, SeedsSafeBudgetAtEvenSplit)
 {
-    power::Rack rack(0, 1000.0);
+    power::Rack rack(0, power::Watts{1000.0});
     power::Server &s0 = rack.addServer(&model());
     power::Server &s1 = rack.addServer(&model());
     SoaConfig cfg;
@@ -346,8 +348,8 @@ TEST(GoaRegistration, SeedsSafeBudgetAtEvenSplit)
     GlobalOverclockingAgent goa(rack, model());
     goa.addAgent(&a0);
     goa.addAgent(&a1);
-    EXPECT_DOUBLE_EQ(a0.safeBudgetWatts(), 500.0);
-    EXPECT_DOUBLE_EQ(a1.safeBudgetWatts(), 500.0);
+    EXPECT_DOUBLE_EQ(a0.safeBudgetWatts().count(), 500.0);
+    EXPECT_DOUBLE_EQ(a1.safeBudgetWatts().count(), 500.0);
 }
 
 namespace
@@ -355,7 +357,7 @@ namespace
 
 /** Rack of two managed sOAs wired to a gOA. */
 struct GoaFixture {
-    power::Rack rack{0, 1000.0};
+    power::Rack rack{0, power::Watts{1000.0}};
     SoaConfig cfg;
     std::unique_ptr<ServerOverclockingAgent> a0;
     std::unique_ptr<ServerOverclockingAgent> a1;
@@ -435,7 +437,7 @@ TEST(GoaFaults, CorruptedPushIsRejectedByTheSoa)
     EXPECT_EQ(fx.goa->stats().assignmentsRejected, 6u);
     EXPECT_EQ(fx.a0->stats().budgetRejects, 3u);
     // Rejections never displaced the even-split bootstrap budget.
-    EXPECT_DOUBLE_EQ(fx.a0->budgetWatts(0), 500.0);
+    EXPECT_DOUBLE_EQ(fx.a0->budgetWatts(0).count(), 500.0);
 }
 
 TEST(GoaFaults, LeaseTtlStampsDeliveredAssignments)
@@ -456,16 +458,16 @@ TEST(Sensor, DistortedReadingsFeedAdmission)
 {
     Fixture honest;
     honest.soa->assignBudget(ProfileTemplate::flat(
-        honest.server->powerWatts() + 200.0));
+        honest.server->powerWatts().count() + 200.0));
     ASSERT_TRUE(
         honest.soa->requestOverclock(honest.makeRequest(), 0)
             .granted);
 
     Fixture fooled;
     fooled.soa->setPowerSensor(
-        [](double watts, Tick) { return watts * 10.0; });
+        [](power::Watts watts, Tick) { return watts * 10.0; });
     fooled.soa->assignBudget(ProfileTemplate::flat(
-        fooled.server->powerWatts() + 200.0));
+        fooled.server->powerWatts().count() + 200.0));
     // The same request under the same budget is denied because the
     // sensor reports ten times the draw.
     EXPECT_FALSE(

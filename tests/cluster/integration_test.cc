@@ -29,7 +29,7 @@ model()
 
 /** Two servers, one service with a VM on each, full agent stack. */
 struct Stack {
-    power::Rack rack{0, 1100.0};
+    power::Rack rack{0, power::Watts{1100.0}};
     power::RackManager manager{rack};
     GlobalOverclockingAgent goa{rack, model()};
     std::vector<std::unique_ptr<ServerOverclockingAgent>> soas;
@@ -142,7 +142,8 @@ TEST(Integration, WarningsThrottleExplorationAcrossAgents)
     Stack stack;
     // Tight budgets force both agents to explore; the rack manager's
     // warnings must keep the rack below its limit.
-    stack.rack.setLimitWatts(stack.rack.powerWatts() + 60.0);
+    stack.rack.setLimitWatts(stack.rack.powerWatts() +
+                             power::Watts{60.0});
     stack.goa.assignEvenSplit();
     for (Tick t = 0; t <= 10 * kMinute; t += 5 * kSecond) {
         for (int i = 0; i < 2; ++i) {

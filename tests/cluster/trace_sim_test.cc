@@ -109,8 +109,7 @@ TEST(TraceSim, PerformanceAboveTurboWhenOverclockingSucceeds)
         quickConfig(core::PolicyKind::SmartOClock, 1.5));
     EXPECT_GT(result.normPerformance, 1.0);
     EXPECT_LE(result.normPerformance,
-              static_cast<double>(power::kOverclockMHz) /
-                  power::kTurboMHz + 1e-9);
+              power::kOverclockMHz / power::kTurboMHz + 1e-9);
 }
 
 TEST(TraceSim, ThreadCountDoesNotChangeResults)

@@ -40,7 +40,7 @@ TEST(Admission, GrantsWithAmpleBudget)
     ProfileTemplate budget = ProfileTemplate::flat(500.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 250.0;
+    in.measuredWatts = power::Watts{250.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
     const auto decision = admission.decide(request(), in);
@@ -55,7 +55,7 @@ TEST(Admission, RejectsWhenPowerBudgetTight)
     ProfileTemplate budget = ProfileTemplate::flat(300.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 298.0; // surcharge cannot fit
+    in.measuredWatts = power::Watts{298.0}; // surcharge cannot fit
     in.budget = &budget;
     in.lifetime = &lifetime;
     const auto decision = admission.decide(request(), in);
@@ -70,10 +70,10 @@ TEST(Admission, ExplorationBonusUnblocksPower)
     ProfileTemplate budget = ProfileTemplate::flat(300.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 298.0;
+    in.measuredWatts = power::Watts{298.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
-    in.bonusWatts = 60.0;
+    in.bonusWatts = power::Watts{60.0};
     EXPECT_TRUE(admission.decide(request(), in).granted);
 }
 
@@ -86,7 +86,7 @@ TEST(Admission, PowerCheckDisabledGrantsAnyway)
     ProfileTemplate budget = ProfileTemplate::flat(10.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 1000.0;
+    in.measuredWatts = power::Watts{1000.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
     EXPECT_TRUE(admission.decide(request(), in).granted);
@@ -99,7 +99,7 @@ TEST(Admission, ScheduleRequestReservesLifetime)
     ProfileTemplate budget = ProfileTemplate::flat(1000.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 200.0;
+    in.measuredWatts = power::Watts{200.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
     const auto req = request(8, TriggerKind::Schedule);
@@ -116,7 +116,7 @@ TEST(Admission, ScheduleRejectedWhenLifetimeShort)
     ProfileTemplate budget = ProfileTemplate::flat(1000.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 200.0;
+    in.measuredWatts = power::Watts{200.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
     const auto decision =
@@ -133,7 +133,7 @@ TEST(Admission, MetricsGrantTruncatedByLifetime)
     ProfileTemplate budget = ProfileTemplate::flat(1000.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 200.0;
+    in.measuredWatts = power::Watts{200.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
     auto req = request(8);
@@ -153,7 +153,7 @@ TEST(Admission, MetricsRejectedWhenLifetimeExhausted)
     ProfileTemplate budget = ProfileTemplate::flat(1000.0);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 200.0;
+    in.measuredWatts = power::Watts{200.0};
     in.budget = &budget;
     in.lifetime = &lifetime;
     const auto decision = admission.decide(request(), in);
@@ -176,7 +176,7 @@ TEST(Admission, LookAheadCutsGrantAtPredictedViolation)
 
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 250.0;
+    in.measuredWatts = power::Watts{250.0};
     in.budget = &budget;
     in.serverPower = &own_power;
     in.lifetime = &lifetime;
@@ -194,9 +194,10 @@ TEST(Admission, SurchargeUsesWorstCaseUtil)
     cfg.worstCaseUtil = 0.75;
     AdmissionController admission(model(), cfg);
     const auto req = request(8);
-    EXPECT_NEAR(admission.surchargeWatts(req),
+    EXPECT_NEAR(admission.surchargeWatts(req).count(),
                 model().overclockExtraPower(0.75,
-                                            power::kOverclockMHz, 8),
+                                            power::kOverclockMHz, 8)
+                    .count(),
                 1e-9);
 }
 
@@ -206,7 +207,7 @@ TEST(Admission, NullBudgetSkipsPowerCheck)
     OverclockBudget lifetime(sim::kWeek, 0.5, 64);
     AdmissionInputs in;
     in.now = 0;
-    in.measuredWatts = 1e9;
+    in.measuredWatts = power::Watts{1e9};
     in.budget = nullptr; // bootstrap: no assignment yet
     in.lifetime = &lifetime;
     EXPECT_TRUE(admission.decide(request(), in).granted);

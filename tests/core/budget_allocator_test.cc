@@ -41,7 +41,7 @@ TEST(BudgetAllocator, PaperWorkedExampleProportions)
     cfg.safetyFraction = 0.0;
     BudgetAllocator allocator(model(), cfg);
     const auto budgets = allocator.split(
-        1300.0, {flatProfile(400.0, 0.6, 0.0, 5.0),
+        power::Watts{1300.0}, {flatProfile(400.0, 0.6, 0.0, 5.0),
                  flatProfile(300.0, 0.6, 0.0, 10.0)});
     ASSERT_EQ(budgets.size(), 2u);
     const double bx = budgets[0].predict(0);
@@ -56,7 +56,7 @@ TEST(BudgetAllocator, BudgetsSumToUsableLimit)
     BudgetAllocator allocator(model());
     const double limit = 2000.0;
     const auto budgets = allocator.split(
-        limit, {flatProfile(400.0, 0.5, 0.0, 4.0),
+        power::Watts{limit}, {flatProfile(400.0, 0.5, 0.0, 4.0),
                 flatProfile(350.0, 0.7, 0.0, 8.0),
                 flatProfile(500.0, 0.9, 0.0, 2.0)});
     double sum = 0.0;
@@ -71,7 +71,7 @@ TEST(BudgetAllocator, NoDemandFallsBackToEvenHeadroomSplit)
     cfg.safetyFraction = 0.0;
     BudgetAllocator allocator(model(), cfg);
     const auto budgets = allocator.split(
-        1000.0, {flatProfile(300.0, 0.5, 0.0, 0.0),
+        power::Watts{1000.0}, {flatProfile(300.0, 0.5, 0.0, 0.0),
                  flatProfile(500.0, 0.5, 0.0, 0.0)});
     EXPECT_NEAR(budgets[0].predict(0), 300.0 + 100.0, 1e-6);
     EXPECT_NEAR(budgets[1].predict(0), 500.0 + 100.0, 1e-6);
@@ -84,7 +84,7 @@ TEST(BudgetAllocator, OverloadScalesRegularBudgets)
     BudgetAllocator allocator(model(), cfg);
     // Regular draws sum to 1200 W against a 600 W limit.
     const auto budgets = allocator.split(
-        600.0, {flatProfile(800.0, 0.9, 0.0, 4.0),
+        power::Watts{600.0}, {flatProfile(800.0, 0.9, 0.0, 4.0),
                 flatProfile(400.0, 0.9, 0.0, 4.0)});
     EXPECT_NEAR(budgets[0].predict(0), 400.0, 1e-6);
     EXPECT_NEAR(budgets[1].predict(0), 200.0, 1e-6);
@@ -96,10 +96,10 @@ TEST(BudgetAllocator, RegularPowerSubtractsOverclockSurcharge)
     // A server that historically ran 6 cores overclocked: its
     // "regular" power strips the modelled surcharge.
     const auto profile = flatProfile(450.0, 0.8, 6.0, 6.0);
-    const double surcharge = model().overclockExtraPower(
+    const power::Watts surcharge = model().overclockExtraPower(
         0.8, power::kOverclockMHz, 6);
-    EXPECT_NEAR(allocator.regularPower(profile, 0),
-                450.0 - surcharge, 1e-9);
+    EXPECT_NEAR(allocator.regularPower(profile, 0).count(),
+                450.0 - surcharge.count(), 1e-9);
 }
 
 TEST(BudgetAllocator, DemandUsesRequestedCores)
@@ -107,15 +107,17 @@ TEST(BudgetAllocator, DemandUsesRequestedCores)
     BudgetAllocator allocator(model());
     const auto quiet = flatProfile(400.0, 0.8, 0.0, 0.0);
     const auto hungry = flatProfile(400.0, 0.8, 0.0, 12.0);
-    EXPECT_EQ(allocator.overclockDemand(quiet, 0), 0.0);
-    EXPECT_GT(allocator.overclockDemand(hungry, 0), 0.0);
+    EXPECT_EQ(allocator.overclockDemand(quiet, 0),
+              power::Watts{0.0});
+    EXPECT_GT(allocator.overclockDemand(hungry, 0),
+              power::Watts{0.0});
 }
 
 TEST(BudgetAllocator, BudgetNeverNegative)
 {
     BudgetAllocator allocator(model());
     const auto budgets = allocator.split(
-        100.0, {flatProfile(800.0, 1.0, 0.0, 8.0),
+        power::Watts{100.0}, {flatProfile(800.0, 1.0, 0.0, 8.0),
                 flatProfile(0.0, 0.0, 0.0, 0.0)});
     for (const auto &b : budgets)
         for (sim::Tick t = 0; t < sim::kWeek; t += sim::kHour)
@@ -144,7 +146,8 @@ TEST(BudgetAllocator, TimeVaryingProfilesGetTimeVaryingBudgets)
     BudgetConfig cfg;
     cfg.safetyFraction = 0.0;
     BudgetAllocator allocator(model(), cfg);
-    const auto budgets = allocator.split(1000.0, {a, b});
+    const auto budgets =
+        allocator.split(power::Watts{1000.0}, {a, b});
 
     const sim::Tick noon = 12 * sim::kHour;
     const sim::Tick midnight = 1 * sim::kHour;
@@ -158,7 +161,7 @@ TEST(BudgetAllocator, SingleServerGetsWholeUsableLimit)
     BudgetConfig cfg;
     cfg.safetyFraction = 0.0;
     BudgetAllocator allocator(model(), cfg);
-    const auto budgets =
-        allocator.split(900.0, {flatProfile(300.0, 0.5, 0.0, 4.0)});
+    const auto budgets = allocator.split(
+        power::Watts{900.0}, {flatProfile(300.0, 0.5, 0.0, 4.0)});
     EXPECT_NEAR(budgets[0].predict(0), 900.0, 1e-6);
 }

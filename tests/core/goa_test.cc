@@ -20,7 +20,7 @@ model()
 }
 
 struct Fixture {
-    power::Rack rack{0, 1500.0};
+    power::Rack rack{0, power::Watts{1500.0}};
     std::vector<std::unique_ptr<ServerOverclockingAgent>> soas;
     std::vector<power::GroupId> vms;
     GlobalOverclockingAgent goa{rack, model()};
@@ -46,8 +46,8 @@ TEST(Goa, EvenSplitAssignsEqualBudgets)
 {
     Fixture fx;
     fx.goa.assignEvenSplit();
-    EXPECT_NEAR(fx.soas[0]->budgetWatts(0), 750.0, 1e-9);
-    EXPECT_NEAR(fx.soas[1]->budgetWatts(0), 750.0, 1e-9);
+    EXPECT_NEAR(fx.soas[0]->budgetWatts(0).count(), 750.0, 1e-9);
+    EXPECT_NEAR(fx.soas[1]->budgetWatts(0).count(), 750.0, 1e-9);
     EXPECT_EQ(fx.goa.lastBudgets().size(), 2u);
 }
 
@@ -89,7 +89,7 @@ TEST(Goa, BudgetsRespectRackLimit)
         double sum = 0.0;
         for (const auto &b : fx.goa.lastBudgets())
             sum += b.predict(t);
-        EXPECT_LE(sum, fx.rack.limitWatts() + 1e-6);
+        EXPECT_LE(sum, fx.rack.limitWatts().count() + 1e-6);
     }
 }
 
@@ -100,7 +100,7 @@ TEST(Goa, RecomputeRefreshesOwnTemplates)
     // rather than staying at the bootstrap even split.
     Fixture fx;
     fx.goa.assignEvenSplit();
-    const double even = fx.soas[0]->budgetWatts(0);
+    const power::Watts even = fx.soas[0]->budgetWatts(0);
     for (Tick t = 0; t < sim::kHour; t += kMinute)
         for (auto &soa : fx.soas)
             soa->tick(t);

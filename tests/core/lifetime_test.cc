@@ -65,8 +65,8 @@ TEST(LifetimeModel, AgingRateMonotoneInUtilAndFreq)
     EXPECT_LT(lm.agingRate(0.2, power::kTurboMHz),
               lm.agingRate(0.9, power::kTurboMHz));
     EXPECT_LT(lm.agingRate(0.5, power::kTurboMHz),
-              lm.agingRate(0.5, 3600));
-    EXPECT_LT(lm.agingRate(0.5, 3600),
+              lm.agingRate(0.5, power::FreqMHz{3600}));
+    EXPECT_LT(lm.agingRate(0.5, power::FreqMHz{3600}),
               lm.agingRate(0.5, power::kOverclockMHz));
 }
 

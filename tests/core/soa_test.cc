@@ -21,7 +21,7 @@ model()
 }
 
 struct Fixture {
-    power::Rack rack{0, 2000.0};
+    power::Rack rack{0, power::Watts{2000.0}};
     power::Server *server;
     std::unique_ptr<ServerOverclockingAgent> soa;
     power::GroupId vm;
@@ -81,15 +81,16 @@ TEST(Soa, FeedbackHoldsWithinBudget)
     // granted) but the actual ramp at util=0.9 draws more than the
     // 0.75-util estimate, so the feedback loop must stop short of
     // both the budget and the full 4.0 GHz target.
-    const double draw = fx.server->powerWatts();
-    const double surcharge = model().overclockExtraPower(
+    const power::Watts draw = fx.server->powerWatts();
+    const power::Watts surcharge = model().overclockExtraPower(
         0.75, power::kOverclockMHz, 8);
-    const double budget = draw + surcharge + 1.0;
-    fx.soa->assignBudget(ProfileTemplate::flat(budget));
+    const power::Watts budget = draw + surcharge + power::Watts{1.0};
+    fx.soa->assignBudget(ProfileTemplate::flat(budget.count()));
     ASSERT_TRUE(fx.soa->requestOverclock(fx.makeRequest(), 0)
                     .granted);
     fx.run(0, 2 * kMinute);
-    EXPECT_LE(fx.server->powerWatts(), budget + 1e-9);
+    EXPECT_LE(fx.server->powerWatts(),
+              budget + power::Watts{1e-9});
     const auto eff = fx.server->group(fx.vm)->effectiveMHz();
     EXPECT_LT(eff, power::kOverclockMHz);
     EXPECT_GT(eff, power::kTurboMHz);
@@ -109,8 +110,8 @@ TEST(Soa, StopRestoresTurbo)
 TEST(Soa, RejectsWhenBudgetTooSmall)
 {
     Fixture fx(SoaConfig{}, 0.9);
-    fx.soa->assignBudget(
-        ProfileTemplate::flat(fx.server->powerWatts() + 1.0));
+    fx.soa->assignBudget(ProfileTemplate::flat(
+        fx.server->powerWatts().count() + 1.0));
     const auto decision =
         fx.soa->requestOverclock(fx.makeRequest(), 0);
     EXPECT_FALSE(decision.granted);
@@ -144,12 +145,12 @@ TEST(Soa, ExplorationRaisesBonusWhenDeniedForPower)
     SoaConfig cfg;
     cfg.warningWindow = 10 * kSecond;
     Fixture fx(cfg, 0.9);
-    const double draw = fx.server->powerWatts();
+    const double draw = fx.server->powerWatts().count();
     fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
     ASSERT_FALSE(
         fx.soa->requestOverclock(fx.makeRequest(), 0).granted);
     fx.run(0, kMinute);
-    EXPECT_GT(fx.soa->explorationBonus(), 0.0);
+    EXPECT_GT(fx.soa->explorationBonus(), power::Watts{0.0});
     EXPECT_GT(fx.soa->stats().explorationsStarted, 0u);
     // With the bonus grown, a retry is eventually admitted.
     Tick t = kMinute;
@@ -168,7 +169,7 @@ TEST(Soa, WarningWhileExploringBacksOff)
     SoaConfig cfg;
     cfg.warningWindow = 10 * kSecond;
     Fixture fx(cfg, 0.9);
-    const double draw = fx.server->powerWatts();
+    const double draw = fx.server->powerWatts().count();
     fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
     // A 32-core ask needs ~120 W of bonus: the agent is still mid-
     // exploration (bonus ~80 W) when the warning arrives at t=35s.
@@ -179,8 +180,8 @@ TEST(Soa, WarningWhileExploringBacksOff)
             fx.soa->requestOverclock(req, t);
         fx.soa->tick(t);
     }
-    ASSERT_GT(fx.soa->explorationBonus(), 0.0);
-    const double bonus = fx.soa->explorationBonus();
+    ASSERT_GT(fx.soa->explorationBonus(), power::Watts{0.0});
+    const power::Watts bonus = fx.soa->explorationBonus();
     fx.soa->onWarning(35 * kSecond);
     EXPECT_LT(fx.soa->explorationBonus(), bonus);
     EXPECT_EQ(fx.soa->stats().warningsHeeded, 1u);
@@ -191,12 +192,12 @@ TEST(Soa, NoWarningPolicyIgnoresWarnings)
     SoaConfig cfg = SoaConfig::forPolicy(PolicyKind::NoWarning);
     cfg.warningWindow = 10 * kSecond;
     Fixture fx(cfg, 0.9);
-    const double draw = fx.server->powerWatts();
+    const double draw = fx.server->powerWatts().count();
     fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
     fx.soa->requestOverclock(fx.makeRequest(), 0);
     fx.run(0, 30 * kSecond);
-    const double bonus = fx.soa->explorationBonus();
-    ASSERT_GT(bonus, 0.0);
+    const power::Watts bonus = fx.soa->explorationBonus();
+    ASSERT_GT(bonus, power::Watts{0.0});
     fx.soa->onWarning(30 * kSecond);
     EXPECT_EQ(fx.soa->explorationBonus(), bonus);
     EXPECT_EQ(fx.soa->stats().warningsHeeded, 0u);
@@ -207,13 +208,13 @@ TEST(Soa, CapEventResetsBonus)
     SoaConfig cfg;
     cfg.warningWindow = 10 * kSecond;
     Fixture fx(cfg, 0.9);
-    const double draw = fx.server->powerWatts();
+    const double draw = fx.server->powerWatts().count();
     fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
     fx.soa->requestOverclock(fx.makeRequest(), 0);
     fx.run(0, kMinute);
-    ASSERT_GT(fx.soa->explorationBonus(), 0.0);
+    ASSERT_GT(fx.soa->explorationBonus(), power::Watts{0.0});
     fx.soa->onCapEvent(kMinute);
-    EXPECT_EQ(fx.soa->explorationBonus(), 0.0);
+    EXPECT_EQ(fx.soa->explorationBonus(), power::Watts{0.0});
     EXPECT_EQ(fx.soa->stats().capResets, 1u);
 }
 
@@ -221,11 +222,11 @@ TEST(Soa, NoFeedbackPolicyNeverExplores)
 {
     SoaConfig cfg = SoaConfig::forPolicy(PolicyKind::NoFeedback);
     Fixture fx(cfg, 0.9);
-    const double draw = fx.server->powerWatts();
+    const double draw = fx.server->powerWatts().count();
     fx.soa->assignBudget(ProfileTemplate::flat(draw + 1.0));
     fx.soa->requestOverclock(fx.makeRequest(), 0);
     fx.run(0, 5 * kMinute);
-    EXPECT_EQ(fx.soa->explorationBonus(), 0.0);
+    EXPECT_EQ(fx.soa->explorationBonus(), power::Watts{0.0});
     EXPECT_EQ(fx.soa->stats().explorationsStarted, 0u);
 }
 
@@ -246,11 +247,12 @@ TEST(Soa, CentralOracleChecksRackDraw)
     SoaConfig cfg = SoaConfig::forPolicy(PolicyKind::Central);
     Fixture fx(cfg, 0.9);
     // Rack limit just above current draw: the surcharge cannot fit.
-    fx.rack.setLimitWatts(fx.rack.powerWatts() + 1.0);
+    fx.rack.setLimitWatts(fx.rack.powerWatts() + power::Watts{1.0});
     const auto denied =
         fx.soa->requestOverclock(fx.makeRequest(), 0);
     EXPECT_FALSE(denied.granted);
-    fx.rack.setLimitWatts(fx.rack.powerWatts() + 500.0);
+    fx.rack.setLimitWatts(fx.rack.powerWatts() +
+                          power::Watts{500.0});
     EXPECT_TRUE(fx.soa->requestOverclock(fx.makeRequest(), 0)
                     .granted);
 }
@@ -348,10 +350,10 @@ TEST(Soa, BuildProfileUsesCollectedTelemetry)
 TEST(Soa, BudgetWattsFallsBackToTdpBeforeAssignment)
 {
     Fixture fx;
-    EXPECT_NEAR(fx.soa->budgetWatts(0),
-                model().params().tdpWatts, 1e-9);
+    EXPECT_NEAR(fx.soa->budgetWatts(0).count(),
+                model().params().tdpWatts.count(), 1e-9);
     fx.soa->assignBudget(ProfileTemplate::flat(321.0));
-    EXPECT_NEAR(fx.soa->budgetWatts(0), 321.0, 1e-9);
+    EXPECT_NEAR(fx.soa->budgetWatts(0).count(), 321.0, 1e-9);
 }
 
 TEST(Soa, ExtensionDoesNotDoubleCountRequestedCores)

@@ -23,7 +23,7 @@ model()
 
 /** A service deployment with one VM on one server. */
 struct Fixture {
-    power::Rack rack{0, 2000.0};
+    power::Rack rack{0, power::Watts{2000.0}};
     power::Server *server;
     std::unique_ptr<ServerOverclockingAgent> soa;
     power::GroupId vm;

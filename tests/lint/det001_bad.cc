@@ -1,0 +1,14 @@
+/** Known-bad fixture: DET-001 must flag wall-clock and libc rand. */
+
+#include <cstdlib>
+#include <ctime>
+
+double
+jitteredDelay()
+{
+    // Wall-clock time in simulation code: nondeterministic reruns.
+    const long now = time(nullptr);
+    // libc PRNG: unseeded global stream.
+    const int noise = std::rand() % 100;
+    return static_cast<double>(now % 7) + noise;
+}

@@ -1,0 +1,13 @@
+/** Known-bad fixture: DET-002 must flag unseeded RNG construction. */
+
+#include <random>
+
+int
+roll()
+{
+    std::random_device rd; // entropy source: never reproducible
+    std::mt19937 gen;      // default seed, shared across runs
+    std::uniform_int_distribution<int> d(1, 6);
+    (void)rd;
+    return d(gen);
+}

@@ -1,0 +1,12 @@
+/** Known-good fixture: engines constructed from an explicit seed. */
+
+#include <cstdint>
+#include <random>
+
+int
+roll(std::uint64_t seed)
+{
+    std::mt19937 gen(seed);
+    std::uniform_int_distribution<int> d(1, 6);
+    return d(gen);
+}

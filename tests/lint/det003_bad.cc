@@ -1,0 +1,17 @@
+/** Known-bad fixture: DET-003 must flag unordered containers on the
+ *  merge path — both the unannotated declaration and the range-for. */
+
+#include <unordered_map>
+
+double
+mergeBudgets()
+{
+    std::unordered_map<int, double> budgets;
+    budgets[3] = 100.0;
+    budgets[1] = 50.0;
+    double total = 0.0;
+    // Hash-order iteration: FP addition order differs across runs.
+    for (const auto &[id, watts] : budgets)
+        total += watts + id;
+    return total;
+}

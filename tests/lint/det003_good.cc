@@ -1,0 +1,23 @@
+/** Known-good fixture: ordered container for iteration; a proven
+ *  lookup-only unordered index carries the allow annotation. */
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+    // Iterated by the merge loop: must be ordered.
+    std::map<int, double> budgets;
+    // Lookup only — indexed by id, never iterated.
+    // soclint:allow(DET-003)
+    std::unordered_map<int, std::string> names;
+};
+
+double
+mergeBudgets(const Registry &reg)
+{
+    double total = 0.0;
+    for (const auto &[id, watts] : reg.budgets)
+        total += watts + id;
+    return total;
+}

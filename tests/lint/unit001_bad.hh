@@ -1,0 +1,13 @@
+/** Known-bad fixture: UNIT-001 must flag raw double watts in a
+ *  public header. */
+
+#ifndef SOC_TESTS_LINT_UNIT001_BAD_HH
+#define SOC_TESTS_LINT_UNIT001_BAD_HH
+
+struct CapRequest {
+    double targetWatts = 0.0; // raw double crossing an API boundary
+};
+
+double scaleBudget(double budgetWatts, double factor);
+
+#endif

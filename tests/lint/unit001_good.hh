@@ -1,0 +1,19 @@
+/** Known-good fixture: power crosses the boundary as a strong type;
+ *  a documented raw-double telemetry slot carries the annotation. */
+
+#ifndef SOC_TESTS_LINT_UNIT001_GOOD_HH
+#define SOC_TESTS_LINT_UNIT001_GOOD_HH
+
+#include "power/units.hh"
+
+struct CapRequest {
+    soc::power::Watts target{0.0};
+    // Unit-agnostic telemetry storage, consumed via .count() sums.
+    // soclint:allow(UNIT-001)
+    double slotSumWatts = 0.0;
+};
+
+soc::power::Watts scaleBudget(soc::power::Watts budget,
+                              double factor);
+
+#endif

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Negative-compile proofs for the strong unit types.
+ *
+ * Each SOC_NEG_CASE value enables exactly one forbidden expression;
+ * the driver (tests/negative_compile/CMakeLists.txt) compiles this
+ * file once per case with -fsyntax-only and asserts the compiler
+ * rejects it (ctest WILL_FAIL).  With no case defined the file must
+ * compile cleanly — that control run proves a failure comes from the
+ * forbidden expression, not from a stale include path.
+ */
+
+#include "power/units.hh"
+
+using soc::power::FreqMHz;
+using soc::power::Watts;
+
+int
+main()
+{
+    Watts w{100.0};
+    FreqMHz f{2400};
+
+#if SOC_NEG_CASE == 1
+    // Cross-unit addition: a power budget plus a frequency.
+    auto bad = w + f;
+    (void)bad;
+#elif SOC_NEG_CASE == 2
+    // Implicit construction from the raw representation.
+    Watts bad = 100.0;
+    (void)bad;
+#elif SOC_NEG_CASE == 3
+    // Unit-squared product: Watts * Watts has no meaning here.
+    auto bad = w * w;
+    (void)bad;
+#elif SOC_NEG_CASE == 4
+    // Implicit decay back to the representation (must use count()).
+    double bad = w;
+    (void)bad;
+#elif SOC_NEG_CASE == 5
+    // Cross-unit comparison.
+    bool bad = w < f;
+    (void)bad;
+#elif SOC_NEG_CASE == 6
+    // Cross-unit compound assignment into a frequency.
+    f += w;
+#endif
+
+    (void)w;
+    (void)f;
+    return 0;
+}

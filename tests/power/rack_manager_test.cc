@@ -28,7 +28,7 @@ struct Listener : RackPowerListener {
 
 TEST(RackManager, QuietBelowWarning)
 {
-    Rack rack(0, 1000.0);
+    Rack rack(0, Watts{1000.0});
     rack.addServer(&model()).addGroup(16, 0.3);
     RackManager manager(rack);
     Listener listener;
@@ -42,11 +42,11 @@ TEST(RackManager, QuietBelowWarning)
 
 TEST(RackManager, WarnsInWarningBand)
 {
-    Rack rack(0, 1000.0);
+    Rack rack(0, Watts{1000.0});
     Server &server = rack.addServer(&model());
     server.addGroup(64, 1.0);
     // Draw = TDP = 420 W; set the limit so draw sits in [95%, 100%).
-    rack.setLimitWatts(430.0);
+    rack.setLimitWatts(Watts{430.0});
     RackManager manager(rack);
     Listener listener;
     manager.addListener(&listener);
@@ -58,7 +58,7 @@ TEST(RackManager, WarnsInWarningBand)
 
 TEST(RackManager, CapsAboveLimitAndThrottlesBelowOvershoot)
 {
-    Rack rack(0, 400.0); // below the 420 W TDP draw
+    Rack rack(0, Watts{400.0}); // below the 420 W TDP draw
     Server &server = rack.addServer(&model());
     server.addGroup(64, 1.0);
     RackManager manager(rack);
@@ -68,14 +68,14 @@ TEST(RackManager, CapsAboveLimitAndThrottlesBelowOvershoot)
     EXPECT_EQ(listener.caps, 1);
     EXPECT_TRUE(manager.capping());
     EXPECT_EQ(manager.stats().capEvents, 1u);
-    EXPECT_LE(rack.powerWatts(),
+    EXPECT_LE(rack.powerWatts().count(),
               400.0 * manager.config().capOvershootFraction + 1.0);
     EXPECT_TRUE(server.capped());
 }
 
 TEST(RackManager, CapEventCountedOncePerExcursion)
 {
-    Rack rack(0, 400.0);
+    Rack rack(0, Watts{400.0});
     Server &server = rack.addServer(&model());
     server.addGroup(64, 1.0);
     RackManagerConfig cfg;
@@ -90,7 +90,7 @@ TEST(RackManager, CapEventCountedOncePerExcursion)
 
 TEST(RackManager, ReleasesCapsWhenHeadroomReturns)
 {
-    Rack rack(0, 400.0);
+    Rack rack(0, Watts{400.0});
     Server &server = rack.addServer(&model());
     const GroupId g = server.addGroup(64, 1.0);
     RackManager manager(rack);
@@ -109,7 +109,7 @@ TEST(RackManager, PrioritizedVictims)
 {
     // Two servers: one runs an overclocked group, one does not.
     // Capping must hit the overclocked server first.
-    Rack rack(0, 100.0); // absurdly low: will cap immediately
+    Rack rack(0, Watts{100.0}); // absurdly low: will cap immediately
     Server &oc = rack.addServer(&model());
     Server &plain = rack.addServer(&model());
     oc.addGroup(16, 0.9, kOverclockMHz, 1);
@@ -124,14 +124,14 @@ TEST(RackManager, PrioritizedVictims)
 
 TEST(RackManager, WarningWattsMatchesConfig)
 {
-    Rack rack(0, 1000.0);
+    Rack rack(0, Watts{1000.0});
     RackManager manager(rack);
-    EXPECT_NEAR(manager.warningWatts(), 950.0, 1e-9);
+    EXPECT_NEAR(manager.warningWatts().count(), 950.0, 1e-9);
 }
 
 TEST(RackManager, PenaltyRecordedWhenNonOverclockersThrottled)
 {
-    Rack rack(0, 300.0);
+    Rack rack(0, Watts{300.0});
     Server &server = rack.addServer(&model());
     server.addGroup(64, 1.0, kTurboMHz, 1);
     RackManager manager(rack);

@@ -20,7 +20,7 @@ model()
 
 TEST(Rack, ServersGetSequentialIds)
 {
-    Rack rack(0, 10000.0);
+    Rack rack(0, Watts{10000.0});
     Server &a = rack.addServer(&model());
     Server &b = rack.addServer(&model());
     EXPECT_EQ(a.id(), 0);
@@ -30,34 +30,34 @@ TEST(Rack, ServersGetSequentialIds)
 
 TEST(Rack, PowerSumsServers)
 {
-    Rack rack(0, 10000.0);
+    Rack rack(0, Watts{10000.0});
     Server &a = rack.addServer(&model());
     Server &b = rack.addServer(&model());
     a.addGroup(32, 0.5);
     b.addGroup(16, 0.8);
-    EXPECT_NEAR(rack.powerWatts(), a.powerWatts() + b.powerWatts(),
-                1e-9);
+    EXPECT_NEAR(rack.powerWatts().count(),
+                (a.powerWatts() + b.powerWatts()).count(), 1e-9);
 }
 
 TEST(Rack, UtilizationIsFractionOfLimit)
 {
-    Rack rack(0, 1000.0);
+    Rack rack(0, Watts{1000.0});
     rack.addServer(&model()); // idles at 120 W
     EXPECT_NEAR(rack.utilization(), 0.12, 1e-9);
 }
 
 TEST(Rack, EvenShare)
 {
-    Rack rack(0, 1200.0);
+    Rack rack(0, Watts{1200.0});
     rack.addServer(&model());
     rack.addServer(&model());
     rack.addServer(&model());
-    EXPECT_NEAR(rack.evenShareWatts(), 400.0, 1e-9);
+    EXPECT_NEAR(rack.evenShareWatts().count(), 400.0, 1e-9);
 }
 
 TEST(Rack, LimitIsMutable)
 {
-    Rack rack(0, 1000.0);
-    rack.setLimitWatts(500.0);
-    EXPECT_EQ(rack.limitWatts(), 500.0);
+    Rack rack(0, Watts{1000.0});
+    rack.setLimitWatts(Watts{500.0});
+    EXPECT_EQ(rack.limitWatts(), Watts{500.0});
 }

@@ -62,22 +62,22 @@ TEST(Server, TargetClampedToLadder)
 {
     Server server(0, &model());
     const GroupId g = server.addGroup(4, 0.5);
-    server.setTarget(g, 9999);
+    server.setTarget(g, FreqMHz{9999});
     EXPECT_EQ(server.group(g)->targetMHz, kOverclockMHz);
-    server.setTarget(g, 100);
+    server.setTarget(g, FreqMHz{100});
     EXPECT_EQ(server.group(g)->targetMHz, kMinMHz);
 }
 
 TEST(Server, EffectiveFrequencyIsMinOfTargetAndCap)
 {
     CoreGroup g;
-    g.targetMHz = 4000;
-    g.capMHz = 3500;
-    EXPECT_EQ(g.effectiveMHz(), 3500);
-    g.capMHz = 4000;
-    EXPECT_EQ(g.effectiveMHz(), 4000);
+    g.targetMHz = FreqMHz{4000};
+    g.capMHz = FreqMHz{3500};
+    EXPECT_EQ(g.effectiveMHz(), FreqMHz{3500});
+    g.capMHz = FreqMHz{4000};
+    EXPECT_EQ(g.effectiveMHz(), FreqMHz{4000});
     EXPECT_TRUE(g.overclocked());
-    g.targetMHz = 3300;
+    g.targetMHz = FreqMHz{3300};
     EXPECT_FALSE(g.overclocked());
 }
 
@@ -85,7 +85,7 @@ TEST(Server, PowerIncreasesWithOverclock)
 {
     Server server(0, &model());
     const GroupId g = server.addGroup(16, 0.8);
-    const double base = server.powerWatts();
+    const Watts base = server.powerWatts();
     server.setTarget(g, kOverclockMHz);
     EXPECT_GT(server.powerWatts(), base);
 }
@@ -94,9 +94,10 @@ TEST(Server, RegularPowerStripsOverclockSurcharge)
 {
     Server server(0, &model());
     const GroupId g = server.addGroup(16, 0.8);
-    const double base = server.powerWatts();
+    const Watts base = server.powerWatts();
     server.setTarget(g, kOverclockMHz);
-    EXPECT_NEAR(server.regularPowerWatts(), base, 1e-9);
+    EXPECT_NEAR(server.regularPowerWatts().count(), base.count(),
+                1e-9);
     EXPECT_LT(server.regularPowerWatts(), server.powerWatts());
 }
 
@@ -105,9 +106,10 @@ TEST(Server, PowerWattsIfMatchesActualChange)
     Server server(0, &model());
     const GroupId g = server.addGroup(8, 0.6);
     server.addGroup(8, 0.3);
-    const double predicted = server.powerWattsIf(g, kOverclockMHz);
+    const Watts predicted = server.powerWattsIf(g, kOverclockMHz);
     server.setTarget(g, kOverclockMHz);
-    EXPECT_NEAR(server.powerWatts(), predicted, 1e-9);
+    EXPECT_NEAR(server.powerWatts().count(), predicted.count(),
+                1e-9);
 }
 
 TEST(Server, UtilizationIsCoreWeighted)

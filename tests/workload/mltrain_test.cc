@@ -52,7 +52,8 @@ TEST(MlTrain, MeanThroughputMixesPhases)
 {
     MlTrainJob job(100.0, 0.0);
     job.advance(10 * sim::kSecond, power::kTurboMHz);
-    job.advance(10 * sim::kSecond, 1650); // exactly half speed
+    job.advance(10 * sim::kSecond,
+                power::FreqMHz{1650}); // exactly half speed
     EXPECT_NEAR(job.meanThroughput(), 75.0, 1e-6);
 }
 

@@ -135,8 +135,8 @@ TEST(TraceGenerator, ServerTraceConsistency)
 
     // Power must be above idle and below TDP (at turbo).
     for (double w : trace.powerWatts.values()) {
-        ASSERT_GE(w, model.params().idleWatts);
-        ASSERT_LE(w, model.params().tdpWatts + 1e-9);
+        ASSERT_GE(w, model.params().idleWatts.count());
+        ASSERT_LE(w, model.params().tdpWatts.count() + 1e-9);
     }
 }
 

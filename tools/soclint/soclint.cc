@@ -1,0 +1,338 @@
+/**
+ * @file
+ * soclint — determinism and unit-safety linter for the SmartOClock
+ * tree.
+ *
+ * The simulators must be bit-reproducible (§VII experiments rely on
+ * seed-for-seed identical reruns) and the budget arithmetic must not
+ * smuggle raw doubles past the power::Watts / power::FreqMHz strong
+ * types.  The compiler enforces the types; this checker enforces the
+ * conventions the compiler cannot see:
+ *
+ *   DET-001  no wall-clock or libc randomness in simulation code
+ *            (time(), gettimeofday(), clock(), std::chrono clocks,
+ *            std::rand/srand) — all time comes from sim::Tick, all
+ *            randomness from sim::Rng.
+ *   DET-002  no unseeded RNG construction (std::random_device,
+ *            default-constructed std engines) — every stream must be
+ *            derived from the experiment seed.
+ *   DET-003  no std::unordered_map / std::unordered_set in the
+ *            deterministic merge/recompute paths (src/core,
+ *            src/cluster, src/sim) unless the declaration is proven
+ *            lookup-only and annotated; iterating one with a
+ *            range-for is never excusable — hash order is not part
+ *            of the contract.
+ *   UNIT-001 no raw `double ...Watts` declarations in the public
+ *            headers of src/power and src/core — power quantities
+ *            cross module boundaries as power::Watts.
+ *
+ * A finding is suppressed when the offending line, or one of the two
+ * lines above it, carries `soclint:allow(RULE-ID)` in a comment.
+ * Range-for iteration over an unordered container (DET-003) ignores
+ * the annotation: annotate the declaration only after proving the
+ * container is never iterated.
+ *
+ * Usage:  soclint [--all-paths] <file-or-dir>...
+ *   --all-paths  apply the path-scoped rules (DET-003, UNIT-001) to
+ *                every scanned file; used by the lint self-tests so
+ *                fixtures outside src/ still trip the rules.
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage/IO error.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct Finding {
+    std::string file;
+    std::size_t line; // 1-based
+    std::string rule;
+    std::string message;
+};
+
+struct Options {
+    bool allPaths = false;
+    std::vector<std::string> roots;
+};
+
+/** Strip line and block comments plus string/char literals so rule
+ *  regexes never fire on prose.  Block comments are tracked across
+ *  lines via @p in_block. */
+std::string
+stripCommentsAndStrings(const std::string &line, bool &in_block)
+{
+    std::string out;
+    out.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (in_block) {
+            if (line[i] == '*' && i + 1 < line.size() &&
+                line[i + 1] == '/') {
+                in_block = false;
+                ++i;
+            }
+            continue;
+        }
+        const char c = line[i];
+        if (c == '/' && i + 1 < line.size()) {
+            if (line[i + 1] == '/')
+                break; // rest of line is a comment
+            if (line[i + 1] == '*') {
+                in_block = true;
+                ++i;
+                continue;
+            }
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\')
+                    ++i;
+                else if (line[i] == quote)
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** True when line i (0-based) or one of the two lines above carries
+ *  the allow annotation for @p rule. */
+bool
+allowed(const std::vector<std::string> &lines, std::size_t i,
+        const std::string &rule)
+{
+    const std::string tag = "soclint:allow(" + rule + ")";
+    const std::size_t first = i >= 2 ? i - 2 : 0;
+    for (std::size_t k = first; k <= i; ++k) {
+        if (lines[k].find(tag) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+bool
+pathContains(const fs::path &p, const std::string &segment)
+{
+    for (const auto &part : p)
+        if (part.string() == segment)
+            return true;
+    return false;
+}
+
+/** Files where libc/chrono time and raw engines are the point. */
+bool
+isRngImplementation(const fs::path &p)
+{
+    const std::string stem = p.stem().string();
+    return stem == "rng" || stem.rfind("rng_", 0) == 0;
+}
+
+/** DET-003 / UNIT-001 scope: the deterministic merge paths and the
+ *  unit-safe public headers, respectively. */
+bool
+inMergePath(const fs::path &p, const Options &opt)
+{
+    if (opt.allPaths)
+        return true;
+    return pathContains(p, "core") || pathContains(p, "cluster") ||
+        pathContains(p, "sim");
+}
+
+bool
+isUnitScopedHeader(const fs::path &p, const Options &opt)
+{
+    const std::string ext = p.extension().string();
+    if (ext != ".hh" && ext != ".hpp" && ext != ".h")
+        return false;
+    if (opt.allPaths)
+        return true;
+    return pathContains(p, "power") || pathContains(p, "core");
+}
+
+const std::regex kWallClock(
+    R"((\btime\s*\(|\bgettimeofday\b|\bclock\s*\(|\bclock_gettime\b|)"
+    R"(system_clock|steady_clock|high_resolution_clock|)"
+    R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|[^_\w]rand\s*\(\s*\)))");
+
+const std::regex kRandomDevice(R"(\bstd\s*::\s*random_device\b)");
+
+// Default-constructed standard engines: `mt19937 g;`, `mt19937 g{};`,
+// `std::default_random_engine e();` — anything without a seed token
+// between the parens/braces.
+const std::regex kUnseededEngine(
+    R"(\b(mt19937(_64)?|default_random_engine|minstd_rand0?|)"
+    R"(ranlux(24|48)(_base)?|knuth_b)\b\s*(\w+)?\s*(\(\s*\)|\{\s*\})?\s*;)");
+
+const std::regex kUnorderedDecl(
+    R"(\bunordered_(map|set)\s*<)");
+
+// Declaration that binds an unordered container to a variable name:
+// the last identifier before ;, {, = or ( on a line that closed the
+// template argument list.
+const std::regex kUnorderedVar(
+    R"(\bunordered_(?:map|set)\s*<.*>\s*&?\s*(\w+)\s*[;{=(])");
+
+const std::regex kRawWattsDouble(
+    R"(\bdouble\s+&?\s*\w*[Ww]atts\w*)");
+
+void
+scanFile(const fs::path &path, const Options &opt,
+         std::vector<Finding> &findings)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+
+    const bool rng_impl = isRngImplementation(path);
+    const bool merge_path = inMergePath(path, opt);
+    const bool unit_header = isUnitScopedHeader(path, opt);
+    const std::string file = path.string();
+
+    // Pass 1: strip comments/strings; collect names of variables
+    // declared as unordered containers for the range-for check.
+    std::vector<std::string> code(lines.size());
+    std::vector<std::string> unordered_vars;
+    bool in_block = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        code[i] = stripCommentsAndStrings(lines[i], in_block);
+        std::smatch m;
+        if (std::regex_search(code[i], m, kUnorderedVar))
+            unordered_vars.push_back(m[1].str());
+    }
+
+    // Pass 2: rule checks on the stripped code.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &text = code[i];
+        if (text.empty())
+            continue;
+        const std::size_t ln = i + 1;
+
+        if (!rng_impl && std::regex_search(text, kWallClock) &&
+            !allowed(lines, i, "DET-001")) {
+            findings.push_back(
+                {file, ln, "DET-001",
+                 "wall-clock or libc randomness in simulation code; "
+                 "use sim::Tick / sim::Rng"});
+        }
+
+        if (!rng_impl &&
+            (std::regex_search(text, kRandomDevice) ||
+             std::regex_search(text, kUnseededEngine)) &&
+            !allowed(lines, i, "DET-002")) {
+            findings.push_back(
+                {file, ln, "DET-002",
+                 "unseeded RNG construction; derive every stream "
+                 "from the experiment seed"});
+        }
+
+        if (merge_path && std::regex_search(text, kUnorderedDecl) &&
+            text.find("include") == std::string::npos &&
+            !allowed(lines, i, "DET-003")) {
+            findings.push_back(
+                {file, ln, "DET-003",
+                 "unordered container in a deterministic merge path; "
+                 "use std::map/std::set or prove lookup-only and "
+                 "annotate"});
+        }
+
+        if (merge_path) {
+            for (const auto &var : unordered_vars) {
+                const std::regex range_for(
+                    R"(\bfor\s*\(.*:\s*\*?)" + var + R"(\s*\))");
+                if (std::regex_search(text, range_for)) {
+                    // Deliberately not suppressible: hash order is
+                    // never a deterministic iteration order.
+                    findings.push_back(
+                        {file, ln, "DET-003",
+                         "range-for over unordered container '" +
+                             var + "'; iteration order depends on "
+                                   "the hash"});
+                }
+            }
+        }
+
+        if (unit_header &&
+            std::regex_search(text, kRawWattsDouble) &&
+            !allowed(lines, i, "UNIT-001")) {
+            findings.push_back(
+                {file, ln, "UNIT-001",
+                 "raw double watts in a public header; use "
+                 "power::Watts"});
+        }
+    }
+}
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
+        ext == ".hpp" || ext == ".h";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--all-paths")
+            opt.allPaths = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::puts("usage: soclint [--all-paths] <file-or-dir>...");
+            return 0;
+        } else
+            opt.roots.push_back(arg);
+    }
+    if (opt.roots.empty()) {
+        std::fputs("soclint: no inputs (try --help)\n", stderr);
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    for (const auto &root : opt.roots) {
+        const fs::path p(root);
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(p)) {
+                if (entry.is_regular_file() &&
+                    isSourceFile(entry.path()))
+                    scanFile(entry.path(), opt, findings);
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            scanFile(p, opt, findings);
+        } else {
+            std::fprintf(stderr, "soclint: cannot read %s\n",
+                         root.c_str());
+            return 2;
+        }
+    }
+
+    for (const auto &f : findings) {
+        std::fprintf(stdout, "%s:%zu: %s: %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+    }
+    if (!findings.empty()) {
+        std::fprintf(stdout, "soclint: %zu finding(s)\n",
+                     findings.size());
+        return 1;
+    }
+    return 0;
+}
