@@ -1,19 +1,44 @@
 #!/bin/sh
 # Performance check: build the bench targets and refresh
-# BENCH_trace_sim.json at the repo root (simulator wall time plus
-# gOA recompute latency at 1-day vs 6-week telemetry horizons).
-# Fails when the 6-week recompute is more than 2x the 1-day one —
-# the incremental-aggregation guarantee this repo relies on.
+# BENCH_trace_sim.json at the repo root (simulator replay throughput,
+# gOA recompute latency at 1-day vs 6-week telemetry horizons, and
+# the hierarchical budget tier).  Two gates:
+#  - replay throughput must stay at or above RACKS_PER_S_MIN
+#    (struct-of-arrays replay baseline, with margin for CI noise);
+#  - the 6-week recompute must stay within 2x of the 1-day one —
+#    the incremental-aggregation guarantee this repo relies on.
 # Usage: scripts/bench_check.sh [builddir]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-build}"
+RACKS_PER_S_MIN=500
 cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j "$(nproc)" \
     --target bench_trace_sim bench_micro_primitives
 "$BUILD/bench/bench_trace_sim" "$ROOT/BENCH_trace_sim.json"
-RATIO=$(sed -n 's/.*"ratio_6w_over_1d": \([0-9.]*\).*/\1/p' \
-    "$ROOT/BENCH_trace_sim.json")
+
+# Parse fail-closed: an empty extraction (field renamed, malformed
+# JSON) must fail the gate rather than vacuously pass it.
+extract() {
+    VALUE=$(sed -n "s/.*\"$1\": \([0-9.]*\).*/\1/p" \
+        "$ROOT/BENCH_trace_sim.json")
+    if [ -z "$VALUE" ]; then
+        echo "FAIL: field '$1' missing from BENCH_trace_sim.json" >&2
+        exit 1
+    fi
+    echo "$VALUE"
+}
+
+RACKS_PER_S=$(extract racks_per_s)
+echo "replay throughput: $RACKS_PER_S racks/s" \
+     "(floor: $RACKS_PER_S_MIN)"
+awk "BEGIN { exit !($RACKS_PER_S >= $RACKS_PER_S_MIN) }" || {
+    echo "FAIL: replay throughput regressed below" \
+         "$RACKS_PER_S_MIN racks/s" >&2
+    exit 1
+}
+
+RATIO=$(extract ratio_6w_over_1d)
 echo "recompute 6w/1d ratio: $RATIO (bound: 2.0)"
 awk "BEGIN { exit !($RATIO <= 2.0) }" || {
     echo "FAIL: recompute cost grows with telemetry horizon" >&2

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Full CI gate: tier-1 build + tests, the static-analysis chain,
-# ThreadSanitizer, and the suite under UndefinedBehaviorSanitizer.
+# Full CI gate: tier-1 build + tests, the bench regression gates,
+# the static-analysis chain, ThreadSanitizer, and the suite under
+# UndefinedBehaviorSanitizer.
 # Each stage uses its own build directory so sanitizer flags never
 # leak between configurations.  Usage: scripts/ci_check.sh
 set -e
@@ -10,6 +11,9 @@ echo "==== ci_check: tier-1 build + ctest ===="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$(nproc)"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)"
+
+echo "==== ci_check: bench gates ===="
+"$ROOT/scripts/bench_check.sh" "$ROOT/build"
 
 echo "==== ci_check: static analysis ===="
 "$ROOT/scripts/static_check.sh" "$ROOT/build-static"

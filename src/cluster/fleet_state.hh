@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Struct-of-arrays replay state for one rack of the trace simulator.
+ *
+ * The per-object hot loop walked every VM of every server on every
+ * control step: a TimeSeries::atTime division, a linear group lookup
+ * and a full power-model evaluation per VM, with the per-server
+ * state scattered across Server/CoreGroup objects.  FleetState
+ * flattens the replay inputs into parallel arrays indexed by a
+ * per-server [offset, offset+count) range:
+ *
+ *  - raw pointers to each VM's utilization and turbo-power sample
+ *    arrays (the TimeSeries storage, stable for the rack lifetime);
+ *  - per-server candidate bitmasks (VMs that ever request
+ *    overclocking);
+ *  - contiguous scratch rows handed to
+ *    Server::setUtilsAndTurboWatts, the batch update that reuses
+ *    the generator's precomputed turbo watts instead of
+ *    re-evaluating the power model.
+ *
+ * Utilization is slot-constant (5-minute telemetry), so applySlot()
+ * runs once per closed slot, not once per control step, and also
+ * publishes each server's *want* bitmask (candidate VMs whose
+ * utilization crosses the overclock threshold).  The step loop then
+ * touches only the set bits of want|active instead of every VM.
+ *
+ * On first use the per-VM series are additionally transposed into
+ * slot-major rows (all VMs' samples for one slot contiguous) and the
+ * want masks precomputed per slot — both are pure functions of the
+ * immutable trace, so applySlot degenerates to handing each server a
+ * pointer into the transposed row plus a mask load, instead of
+ * striding across one heap-allocated series per VM every slot.
+ */
+
+#ifndef SOC_CLUSTER_FLEET_STATE_HH
+#define SOC_CLUSTER_FLEET_STATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "power/rack.hh"
+#include "workload/trace_generator.hh"
+
+namespace soc
+{
+namespace cluster
+{
+
+/** SoA replay state for one rack; see the file comment. */
+class FleetState
+{
+  public:
+    /** VM bitmasks are 64-bit; servers host far fewer VMs. */
+    static constexpr std::size_t kMaxVmsPerServer = 64;
+
+    /**
+     * @param ocUtilThreshold Utilization at/above which a candidate
+     *        VM wants to overclock (TraceSimConfig::ocUtilThreshold).
+     */
+    explicit FleetState(double ocUtilThreshold)
+        : threshold_(ocUtilThreshold)
+    {
+    }
+
+    /**
+     * Register one server's replay inputs.  @p trace must outlive
+     * this object (its sample vectors are captured by pointer);
+     * @p candidate flags which VMs ever request overclocking.
+     * Servers must be added in rack order.
+     */
+    void addServer(const workload::ServerTrace &trace,
+                   const std::vector<bool> &candidate);
+
+    std::size_t servers() const { return counts_.size(); }
+
+    /** Number of telemetry slots every registered series covers. */
+    std::size_t slots() const { return slots_; }
+
+    /**
+     * Push slot @p slot's utilizations (with turbo-power hints) into
+     * every server of @p rack and rebuild the want masks.  Servers
+     * are updated in rack order.  @p slot must be < slots(): the
+     * traces are generated to cover the full sim horizon, so an
+     * out-of-range slot is a caller bug (asserted), mirroring the
+     * TimeSeries out-of-range policy.
+     */
+    void applySlot(power::Rack &rack, std::size_t slot);
+
+    /** Candidate VMs of @p server above threshold at the last
+     *  applied slot (bit v == VM v == core-group id v). */
+    std::uint64_t wantMask(std::size_t server) const
+    {
+        return want_[server];
+    }
+
+    /** Utilization of VM @p v on @p server at the last applied
+     *  slot (valid after the first applySlot). */
+    double util(std::size_t server, std::size_t v) const
+    {
+        return utilBySlot_[lastSlot_ * utilSamples_.size() +
+                           offsets_[server] + v];
+    }
+
+  private:
+    /** Build the slot-major transpose and per-slot want masks. */
+    void finalize();
+
+    double threshold_;
+    std::size_t slots_ = 0;
+    std::size_t lastSlot_ = 0;
+
+    /** Per-server [offset, offset+count) range into the VM arrays. */
+    std::vector<std::size_t> offsets_;
+    std::vector<std::size_t> counts_;
+    /** Per-VM sample arrays (TimeSeries storage), by flat VM index. */
+    std::vector<const double *> utilSamples_;
+    std::vector<const double *> wattsSamples_;
+    /** Candidate VMs per server, as a bitmask. */
+    std::vector<std::uint64_t> candidate_;
+    /** Want mask per server at the last applied slot. */
+    std::vector<std::uint64_t> want_;
+    /** Slot-major transposes: row `slot` holds every VM's sample
+     *  for that slot, in flat VM-index order (finalize()). */
+    std::vector<double> utilBySlot_;
+    std::vector<double> wattsBySlot_;
+    /** Per-slot want masks, servers-major per row (finalize()). */
+    std::vector<std::uint64_t> wantBySlot_;
+};
+
+} // namespace cluster
+} // namespace soc
+
+#endif // SOC_CLUSTER_FLEET_STATE_HH

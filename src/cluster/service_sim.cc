@@ -697,9 +697,14 @@ runServiceSimBatch(const std::vector<ServiceSimConfig> &configs,
     sim::ThreadPool pool(std::min<int>(
         sim::ThreadPool::resolveThreads(requested),
         static_cast<int>(std::max<std::size_t>(1, configs.size()))));
-    pool.parallelFor(configs.size(), [&](std::size_t i) {
-        results[i] = runServiceSim(configs[i]);
-    });
+    // Grain 1 chunked dispatch: runs are heavyweight, so the atomic
+    // cursor balances them individually; per-config result slots
+    // keep the output independent of scheduling.
+    pool.parallelForChunked(
+        configs.size(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                results[i] = runServiceSim(configs[i]);
+        });
     return results;
 }
 

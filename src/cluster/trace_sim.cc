@@ -1,10 +1,14 @@
 #include "cluster/trace_sim.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "cluster/fleet_state.hh"
 #include "core/goa.hh"
 #include "core/soa.hh"
 #include "power/rack.hh"
@@ -82,7 +86,12 @@ struct SimRack {
     std::unique_ptr<core::GlobalOverclockingAgent> goa;
     std::vector<std::unique_ptr<core::ServerOverclockingAgent>> soas;
     std::vector<workload::ServerTrace> traces;
-    /** groups[s][v]: core-group id of VM v on server s. */
+    /** SoA replay state over `traces` (built after generation, so
+     *  the captured sample pointers are final). */
+    std::unique_ptr<FleetState> fleet;
+    /** groups[s][v]: core-group id of VM v on server s.  Group ids
+     *  are allocated sequentially, so groups[s][v] == v (asserted
+     *  at build); the fleet masks rely on that identity. */
     std::vector<std::vector<power::GroupId>> groups;
     /** candidate[s][v]: does this VM ever request overclocking? */
     std::vector<std::vector<bool>> candidate;
@@ -112,6 +121,9 @@ struct RackOutcome {
     std::uint64_t staleLeaseTicks = 0;
     std::uint64_t recoveries = 0;
     sim::Tick recoverySum = 0;
+    /** Wall-clock accounting (not simulation state). */
+    double genSeconds = 0.0;
+    double simSeconds = 0.0;
 };
 
 bool
@@ -182,6 +194,9 @@ buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
         for (const auto &vm : sr.traces[s].mix) {
             const power::GroupId g = server.addGroup(
                 vm.cores, 0.0, power::kTurboMHz, /*priority=*/1);
+            // The fleet bitmasks identify VM v with group id v.
+            assert(g == static_cast<power::GroupId>(
+                            server_groups.size()));
             server_groups.push_back(g);
             server_candidates.push_back(
                 isCandidate(vm, config.ocUtilThreshold));
@@ -205,6 +220,11 @@ buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
         sr.goa->addAgent(sr.soas.back().get());
     }
     sr.goa->assignEvenSplit();
+
+    // Flatten the replay inputs now that every trace is final.
+    sr.fleet = std::make_unique<FleetState>(config.ocUtilThreshold);
+    for (int s = 0; s < config.serversPerRack; ++s)
+        sr.fleet->addServer(sr.traces[s], sr.candidate[s]);
 }
 
 /** Run one rack's whole control loop, filling its outcome slot. */
@@ -235,6 +255,10 @@ simulateRack(SimRack &sr, RackOutcome &out,
     std::vector<sim::Tick> crash_since(sr.soas.size(), -1);
     /** Cap events up to here are blamed on a discrete fault. */
     sim::Tick fault_attribution_until = -1;
+    /** Last telemetry slot pushed into the servers. */
+    std::size_t last_slot = static_cast<std::size_t>(-1);
+    /** Per-server superset of VMs holding an active grant. */
+    std::vector<std::uint64_t> active_mask(sr.soas.size(), 0);
 
     // Fault-aware recompute: telemetry faults during the pull,
     // budget pushes queued (possibly delayed/corrupted) instead of
@@ -346,30 +370,57 @@ simulateRack(SimRack &sr, RackOutcome &out,
             }
         }
 
+        // Utilization is slot-constant (5-minute telemetry), so the
+        // SoA gather — batch util/turbo-watts push plus want-mask
+        // rebuild — runs only when the slot rolls over, not every
+        // control step.  The traces are generated to cover
+        // [0, warmup + duration), so the slot index is always in
+        // range; a shorter trace trips the FleetState/TimeSeries
+        // out-of-range assert instead of silently replaying the
+        // final sample (see TimeSeries::atTime policy).
+        const auto slot = static_cast<std::size_t>(t / sim::kSlot);
+        if (slot != last_slot) {
+            sr.fleet->applySlot(*sr.rack, slot);
+            last_slot = slot;
+        }
+
         const bool in_eval = t >= config.warmup;
         for (std::size_t s = 0; s < sr.soas.size(); ++s) {
             power::Server &server = sr.rack->server(s);
             auto &soa = *sr.soas[s];
             const auto &trace = sr.traces[s];
-            for (std::size_t v = 0; v < sr.groups[s].size(); ++v) {
-                const power::GroupId g = sr.groups[s][v];
-                const double util = trace.vmUtil[v].atTime(t);
-                server.setUtil(g, util);
-                if (!sr.candidate[s][v])
-                    continue;
-
-                const bool want = util >= config.ocUtilThreshold;
+            // Only VMs that want to overclock this slot, or that may
+            // still hold an active grant, need per-step processing;
+            // for everyone else the old per-VM walk was a no-op.
+            // active_mask is a conservative superset of the truly
+            // active grants (bits are set on request, cleared when a
+            // processed VM turns out inactive), so no grant can be
+            // missed by the union.
+            const std::uint64_t want_mask = sr.fleet->wantMask(s);
+            std::uint64_t pending = want_mask | active_mask[s];
+            while (pending != 0) {
+                const int v = std::countr_zero(pending);
+                pending &= pending - 1;
+                const auto bit = std::uint64_t{1} << v;
+                const power::GroupId g =
+                    sr.groups[s][static_cast<std::size_t>(v)];
+                const bool want = (want_mask & bit) != 0;
                 const bool active = soa.isOverclockActive(g);
                 if (want && !active) {
                     core::OverclockRequest request;
                     request.groupId = g;
-                    request.cores = trace.mix[v].cores;
+                    request.cores =
+                        trace.mix[static_cast<std::size_t>(v)].cores;
                     request.trigger = core::TriggerKind::Metrics;
                     request.duration = config.requestChunk;
                     request.priority = 1;
                     soa.requestOverclock(request, t);
+                    active_mask[s] |= bit;
                 } else if (!want && active) {
                     soa.stopOverclock(g, t);
+                    active_mask[s] &= ~bit;
+                } else if (!active) {
+                    active_mask[s] &= ~bit;
                 }
 
                 if (in_eval && want) {
@@ -468,16 +519,38 @@ runTraceSim(const TraceSimConfig &config)
         std::max<int>(1, config.racks));
     sim::ThreadPool pool(threads);
 
-    std::vector<SimRack> racks(n_racks);
     std::vector<RackOutcome> outcomes(n_racks);
 
-    pool.parallelFor(n_racks, [&](std::size_t r) {
-        buildRack(racks[r], static_cast<int>(r), config, model,
-                  soa_cfg);
-    });
-    pool.parallelFor(n_racks, [&](std::size_t r) {
-        simulateRack(racks[r], outcomes[r], config);
-    });
+    // Chunked work-stealing over contiguous rack ranges; each rack
+    // is built, simulated and *freed* inside its chunk, so memory
+    // stays O(racks in flight), not O(fleet) — what makes the 7.1k
+    // rack runs of EXPERIMENTS.md feasible.  Outcomes live in
+    // per-rack slots merged in rack order below, so neither the
+    // chunk grain nor the thread count can affect results.
+    const std::size_t grain = std::clamp<std::size_t>(
+        n_racks / (4 * static_cast<std::size_t>(threads)), 1, 16);
+    // Wall-clock here measures *our own* speed (gen/sim seconds in
+    // the result), never simulation time: soclint:allow(DET-001)
+    using Clock = std::chrono::steady_clock;
+    pool.parallelForChunked(
+        n_racks, grain, [&](std::size_t begin, std::size_t chunk_end) {
+            for (std::size_t r = begin; r < chunk_end; ++r) {
+                SimRack rack;
+                const auto gen_start = Clock::now();
+                buildRack(rack, static_cast<int>(r), config, model,
+                          soa_cfg);
+                const auto sim_start = Clock::now();
+                outcomes[r].genSeconds =
+                    std::chrono::duration<double>(sim_start -
+                                                  gen_start)
+                        .count();
+                simulateRack(rack, outcomes[r], config);
+                outcomes[r].simSeconds =
+                    std::chrono::duration<double>(Clock::now() -
+                                                  sim_start)
+                        .count();
+            }
+        });
 
     // Merge in rack order: deterministic regardless of scheduling.
     TraceSimResult result;
@@ -502,6 +575,8 @@ runTraceSim(const TraceSimConfig &config)
         result.staleLeaseTicks += out.staleLeaseTicks;
         result.recoveries += out.recoveries;
         recovery_sum += out.recoverySum;
+        result.genSeconds += out.genSeconds;
+        result.simSeconds += out.simSeconds;
     }
     result.meanRecoveryS = result.recoveries > 0
         ? static_cast<double>(recovery_sum) /
@@ -526,11 +601,17 @@ runTraceSimBatch(const std::vector<TraceSimConfig> &configs,
     sim::ThreadPool pool(std::min<int>(
         sim::ThreadPool::resolveThreads(threads),
         static_cast<int>(std::max<std::size_t>(1, configs.size()))));
-    pool.parallelFor(configs.size(), [&](std::size_t i) {
-        TraceSimConfig cfg = configs[i];
-        cfg.threads = 1; // the batch pool is the only parallelism
-        results[i] = runTraceSim(cfg);
-    });
+    // Grain 1: configs are few and heavyweight (whole runs), so the
+    // atomic cursor load-balances them individually; each result
+    // lands in its own slot, keeping output order-independent.
+    pool.parallelForChunked(
+        configs.size(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                TraceSimConfig cfg = configs[i];
+                cfg.threads = 1; // the batch pool is the parallelism
+                results[i] = runTraceSim(cfg);
+            }
+        });
     return results;
 }
 

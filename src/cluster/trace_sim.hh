@@ -117,6 +117,16 @@ struct TraceSimResult {
     /** Integrated energy over the evaluation window (joules). */
     double energyJoules = 0.0;
 
+    /**
+     * Wall-clock accounting, summed over racks: seconds spent
+     * generating traces vs. running the control loops.  Benchmarks
+     * report replay throughput (racks / simSeconds) separately from
+     * one-time trace synthesis.  Not simulation state: excluded
+     * from the determinism comparisons.
+     */
+    double genSeconds = 0.0;
+    double simSeconds = 0.0;
+
     // Chaos metrics (all zero when fault injection is disabled).
     /** Injected-fault and degraded-path counters, all racks. */
     sim::FaultStats faults;

@@ -53,12 +53,34 @@ BudgetAllocator::splitInto(power::Watts limit,
                            SplitScratch &scratch,
                            std::vector<ProfileTemplate> &out) const
 {
-    assert(!profiles.empty());
-    const std::size_t n = profiles.size();
     // Scratch buffers feed ProfileTemplate::assignWeekly, which
     // stores raw doubles; leave the unit at this boundary.
     const double usable =
         limit.count() * (1.0 - config_.safetyFraction);
+    splitImpl(nullptr, usable, profiles, scratch, out);
+}
+
+void
+BudgetAllocator::splitWeeklyInto(
+    const std::vector<double> &usablePerSlot,
+    const std::vector<ServerProfile> &profiles,
+    SplitScratch &scratch,
+    std::vector<ProfileTemplate> &out) const
+{
+    assert(usablePerSlot.size() ==
+           static_cast<std::size_t>(sim::kSlotsPerWeek));
+    splitImpl(usablePerSlot.data(), 0.0, profiles, scratch, out);
+}
+
+void
+BudgetAllocator::splitImpl(const double *usablePerSlot,
+                           double usableFlat,
+                           const std::vector<ServerProfile> &profiles,
+                           SplitScratch &scratch,
+                           std::vector<ProfileTemplate> &out) const
+{
+    assert(!profiles.empty());
+    const std::size_t n = profiles.size();
 
     // Per-slot scratch hoisted out of the 2016-iteration loop, and
     // per-server weekly buffers reused call to call (assign keeps
@@ -72,6 +94,9 @@ BudgetAllocator::splitInto(power::Watts limit,
     for (int slot = 0; slot < sim::kSlotsPerWeek; ++slot) {
         const sim::Tick t =
             static_cast<sim::Tick>(slot) * sim::kSlot;
+        const double usable = usablePerSlot != nullptr
+            ? usablePerSlot[slot]
+            : usableFlat;
 
         // Phase 1+2: regular power is the initial budget.
         double regular_sum = 0.0;

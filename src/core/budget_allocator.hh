@@ -102,6 +102,21 @@ class BudgetAllocator
                    std::vector<ProfileTemplate> &out) const;
 
     /**
+     * Split a *per-slot* limit across members.  @p usablePerSlot
+     * holds one usable-watts value per slot of the week
+     * (sim::kSlotsPerWeek entries) and is consumed as-is — no
+     * safety fraction is re-applied, so a hierarchy applying the
+     * margin once at the top level can pass intermediate budgets
+     * down unchanged (see core/budget_hierarchy.hh).  With a
+     * constant row equal to limit * (1 - safetyFraction) this is
+     * bit-identical to splitInto.
+     */
+    void splitWeeklyInto(const std::vector<double> &usablePerSlot,
+                         const std::vector<ServerProfile> &profiles,
+                         SplitScratch &scratch,
+                         std::vector<ProfileTemplate> &out) const;
+
+    /**
      * Regular (non-overclock) power of a server at @p t: predicted
      * total draw minus the modelled overclock surcharge of the cores
      * that were overclocked.
@@ -117,6 +132,13 @@ class BudgetAllocator
                                  sim::Tick t) const;
 
   private:
+    /** Shared split loop: per-slot usable watts come from
+     *  @p usablePerSlot when non-null, else @p usableFlat. */
+    void splitImpl(const double *usablePerSlot, double usableFlat,
+                   const std::vector<ServerProfile> &profiles,
+                   SplitScratch &scratch,
+                   std::vector<ProfileTemplate> &out) const;
+
     const power::PowerModel &model_;
     BudgetConfig config_;
 };

@@ -1,0 +1,132 @@
+#include "core/budget_hierarchy.hh"
+
+#include <cassert>
+
+namespace soc
+{
+namespace core
+{
+
+BudgetHierarchy::BudgetHierarchy(const power::PowerModel &model,
+                                 HierarchyConfig config)
+    : model_(model), config_(config), allocator_(model, config.budget)
+{
+    assert(config_.racksPerRow > 0);
+}
+
+int
+BudgetHierarchy::addRack(std::vector<ServerProfile> profiles)
+{
+    assert(!profiles.empty());
+    const int id = static_cast<int>(rackProfiles_.size());
+    rackProfiles_.push_back(std::move(profiles));
+    rackDirty_.push_back(true);
+
+    const auto row = static_cast<std::size_t>(id) /
+        static_cast<std::size_t>(config_.racksPerRow);
+    if (row >= rowCount_) {
+        rowCount_ = row + 1;
+        rackAggregates_.emplace_back();
+        rackBudgets_.emplace_back();
+        rowAggregates_.emplace_back();
+        rowDirty_.push_back(true);
+    }
+    rackAggregates_[row].emplace_back();
+    rowDirty_[row] = true;
+    return id;
+}
+
+void
+BudgetHierarchy::setRackProfiles(int rack,
+                                 std::vector<ServerProfile> profiles)
+{
+    assert(!profiles.empty());
+    const auto r = static_cast<std::size_t>(rack);
+    rackProfiles_[r] = std::move(profiles);
+    rackDirty_[r] = true;
+    rowDirty_[r / static_cast<std::size_t>(config_.racksPerRow)] =
+        true;
+}
+
+void
+BudgetHierarchy::aggregate(const ServerProfile *members,
+                           std::size_t count, ServerProfile &out)
+{
+    assert(count > 0);
+    const auto slots = static_cast<std::size_t>(sim::kSlotsPerWeek);
+    aggPower_.assign(slots, 0.0);
+    aggUtil_.assign(slots, 0.0);
+    aggOc_.assign(slots, 0.0);
+    aggReq_.assign(slots, 0.0);
+    for (std::size_t m = 0; m < count; ++m) {
+        const ServerProfile &p = members[m];
+        for (std::size_t slot = 0; slot < slots; ++slot) {
+            const sim::Tick t =
+                static_cast<sim::Tick>(slot) * sim::kSlot;
+            aggPower_[slot] += p.power.predict(t);
+            aggUtil_[slot] += p.utilization.predict(t);
+            aggOc_[slot] += p.overclockedCores.predict(t);
+            aggReq_[slot] += p.requestedCores.predict(t);
+        }
+    }
+    // Power and core counts add; utilization is the members' mean
+    // (it only feeds the allocator's per-core surcharge model, where
+    // a representative utilization is what the flat split uses too).
+    for (std::size_t slot = 0; slot < slots; ++slot)
+        aggUtil_[slot] /= static_cast<double>(count);
+    out.power.assignWeekly(aggPower_);
+    out.utilization.assignWeekly(aggUtil_);
+    out.overclockedCores.assignWeekly(aggOc_);
+    out.requestedCores.assignWeekly(aggReq_);
+}
+
+void
+BudgetHierarchy::recompute(power::Watts zoneLimit)
+{
+    if (rackProfiles_.empty())
+        return;
+    const auto k = static_cast<std::size_t>(config_.racksPerRow);
+
+    // 1. Rebuild stale rack aggregates (dirty racks only).
+    for (std::size_t r = 0; r < rackProfiles_.size(); ++r) {
+        if (!rackDirty_[r])
+            continue;
+        aggregate(rackProfiles_[r].data(), rackProfiles_[r].size(),
+                  rackAggregates_[r / k][r % k]);
+        rackDirty_[r] = false;
+        ++stats_.rackAggregations;
+    }
+
+    // 2. Rebuild stale row aggregates from their rack aggregates.
+    for (std::size_t row = 0; row < rowCount_; ++row) {
+        if (!rowDirty_[row])
+            continue;
+        aggregate(rackAggregates_[row].data(),
+                  rackAggregates_[row].size(), rowAggregates_[row]);
+        rowDirty_[row] = false;
+        ++stats_.rowAggregations;
+    }
+
+    // 3. Zone -> rows.  The safety margin is applied here, once.
+    const auto slots = static_cast<std::size_t>(sim::kSlotsPerWeek);
+    const double usable = zoneLimit.count() *
+        (1.0 - config_.budget.safetyFraction);
+    limitRow_.assign(slots, usable);
+    allocator_.splitWeeklyInto(limitRow_, rowAggregates_, scratch_,
+                               rowBudgets_);
+    ++stats_.splits;
+
+    // 4. Row -> racks, per row, over the row's per-slot budget.
+    for (std::size_t row = 0; row < rowCount_; ++row) {
+        for (std::size_t slot = 0; slot < slots; ++slot) {
+            limitRow_[slot] = rowBudgets_[row].predict(
+                static_cast<sim::Tick>(slot) * sim::kSlot);
+        }
+        allocator_.splitWeeklyInto(limitRow_, rackAggregates_[row],
+                                   scratch_, rackBudgets_[row]);
+        ++stats_.splits;
+    }
+}
+
+} // namespace core
+} // namespace soc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Hierarchical gOA budget tier: rack -> row -> zone.
+ *
+ * A flat BudgetAllocator split prices a zone at O(servers x slots)
+ * per recompute.  At fleet scale (thousands of racks) the gOA
+ * instead splits in two coarse stages over *aggregated* profiles:
+ *
+ *   zone limit --(split over row aggregates)--> row budgets
+ *   row budget --(split over rack aggregates)--> rack budgets
+ *
+ * where a rack aggregate sums its servers' power / overclocked-core
+ * / requested-core templates (utilization is averaged) and a row
+ * aggregate does the same over its racks.  Each per-rack gOA then
+ * splits its own rack budget across its servers exactly as today,
+ * on its own (staggered) schedule.
+ *
+ * Costs per recompute, with R racks of s servers grouped into rows
+ * of k racks:
+ *
+ *  - aggregation: O(s x slots) per rack whose profiles changed
+ *    since the last recompute (dirty tracking — unchanged racks
+ *    reuse their aggregate);
+ *  - splits: O((R/k + R) x slots), independent of the server count.
+ *
+ * The safety margin is applied once, at the zone level; the
+ * intermediate splits use BudgetAllocator::splitWeeklyInto, which
+ * consumes per-slot limits as-is.  Everything is a pure function of
+ * the registered profiles and the zone limit: recompute(), run
+ * incrementally after any sequence of setRackProfiles calls, yields
+ * budgets bit-identical to a freshly built hierarchy over the same
+ * inputs (enforced by tests/core/budget_hierarchy_test.cc).
+ */
+
+#ifndef SOC_CORE_BUDGET_HIERARCHY_HH
+#define SOC_CORE_BUDGET_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/budget_allocator.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** Shape and pricing knobs of the rack/row/zone tier. */
+struct HierarchyConfig {
+    /** Racks per row; the zone splits across ceil(racks / this). */
+    int racksPerRow = 8;
+    /** Allocator knobs; safetyFraction is applied once, zone-level. */
+    BudgetConfig budget;
+};
+
+/**
+ * Fleet-scale budget splitter over rack/row aggregates; see the
+ * file comment.  Deterministic: no clocks, no RNG, iteration in
+ * rack-id order.
+ */
+class BudgetHierarchy
+{
+  public:
+    /** Recompute-cost counters, for tests and the bench driver. */
+    struct Stats {
+        /** Rack aggregates rebuilt (== dirty racks seen). */
+        std::uint64_t rackAggregations = 0;
+        /** Row aggregates rebuilt. */
+        std::uint64_t rowAggregations = 0;
+        /** Allocator splits performed (zone + per-row). */
+        std::uint64_t splits = 0;
+    };
+
+    BudgetHierarchy(const power::PowerModel &model,
+                    HierarchyConfig config = {});
+
+    /**
+     * Register a rack with its per-server profiles; returns the
+     * rack id (sequential).  Racks fill rows in id order: rack r
+     * belongs to row r / racksPerRow.
+     */
+    int addRack(std::vector<ServerProfile> profiles);
+
+    /** Replace one rack's server profiles (after a telemetry pull);
+     *  marks the rack dirty for the next recompute. */
+    void setRackProfiles(int rack,
+                         std::vector<ServerProfile> profiles);
+
+    /**
+     * Rebuild dirty aggregates and re-split @p zoneLimit down to
+     * per-rack budgets.  Splits always rerun (the limit may have
+     * changed); aggregation cost scales with the dirty racks only.
+     */
+    void recompute(power::Watts zoneLimit);
+
+    /** Weekly budget template of @p rack (valid after recompute). */
+    const ProfileTemplate &rackBudget(int rack) const
+    {
+        const auto r = static_cast<std::size_t>(rack);
+        const auto k = static_cast<std::size_t>(config_.racksPerRow);
+        return rackBudgets_[r / k][r % k];
+    }
+
+    std::size_t racks() const { return rackProfiles_.size(); }
+    std::size_t rows() const { return rowCount_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    /** Sum/mean the member profiles' predictions slot by slot into
+     *  @p out (stored as weekly templates, allocation-free after
+     *  the first build). */
+    void aggregate(const ServerProfile *members, std::size_t count,
+                   ServerProfile &out);
+
+    const power::PowerModel &model_;
+    HierarchyConfig config_;
+    BudgetAllocator allocator_;
+
+    /** Per-rack server profiles, by rack id. */
+    std::vector<std::vector<ServerProfile>> rackProfiles_;
+    /** Racks whose aggregate is stale. */
+    std::vector<bool> rackDirty_;
+    /** Rack-level aggregates, grouped by row (rack r sits at
+     *  [r / racksPerRow][r % racksPerRow]) so each row's members
+     *  feed the allocator contiguously, copy-free. */
+    std::vector<std::vector<ServerProfile>> rackAggregates_;
+    /** Row-level aggregates, by row id. */
+    std::vector<ServerProfile> rowAggregates_;
+    /** Rows whose aggregate is stale. */
+    std::vector<bool> rowDirty_;
+    std::size_t rowCount_ = 0;
+
+    /** Outputs of the last recompute (rack budgets grouped like
+     *  rackAggregates_). */
+    std::vector<ProfileTemplate> rowBudgets_;
+    std::vector<std::vector<ProfileTemplate>> rackBudgets_;
+
+    /** Scratch reused across recomputes (allocation-free steady
+     *  state, mirroring BudgetAllocator::SplitScratch). */
+    BudgetAllocator::SplitScratch scratch_;
+    std::vector<double> aggPower_;
+    std::vector<double> aggUtil_;
+    std::vector<double> aggOc_;
+    std::vector<double> aggReq_;
+    std::vector<double> limitRow_;
+
+    Stats stats_;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_BUDGET_HIERARCHY_HH

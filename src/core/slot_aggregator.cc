@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace soc
 {
@@ -9,19 +12,33 @@ namespace core
 {
 
 void
-SlotAggregator::SortedBag::insert(double v)
-{
-    values.insert(std::upper_bound(values.begin(), values.end(), v),
-                  v);
-}
-
-void
 SlotAggregator::SortedBag::erase(double v)
 {
+    // Evictions leave in arrival order, so the victim is as likely
+    // to sit in the unsorted tail as in the body; try the cheap
+    // unordered removal first.
+    const auto pit =
+        std::find(pending.begin(), pending.end(), v);
+    if (pit != pending.end()) {
+        pending.erase(pit);
+        return;
+    }
     const auto it =
         std::lower_bound(values.begin(), values.end(), v);
     assert(it != values.end() && *it == v);
     values.erase(it);
+}
+
+void
+SlotAggregator::SortedBag::flushPending() const
+{
+    std::sort(pending.begin(), pending.end());
+    const std::size_t mid = values.size();
+    values.insert(values.end(), pending.begin(), pending.end());
+    std::inplace_merge(values.begin(),
+                       values.begin() + static_cast<std::ptrdiff_t>(mid),
+                       values.end());
+    pending.clear();
 }
 
 double
@@ -29,6 +46,7 @@ SlotAggregator::SortedBag::median() const
 {
     // Mirrors sim::median(): the mid element for odd sizes, the
     // same 0.5 * (lower + upper) expression for even sizes.
+    flush();
     assert(!values.empty());
     const std::size_t mid = values.size() / 2;
     if (values.size() % 2 == 1)
@@ -51,8 +69,21 @@ void
 SlotAggregator::add(sim::Tick t, double value)
 {
     assert(t >= 0);
-    assert(samples_.empty() || t > samples_.back().first);
-    samples_.emplace_back(t, value);
+    assert(t > lastTick_);
+    // Reject non-finite telemetry before it touches any bucket: a
+    // NaN breaks SortedBag's ordering invariant (upper_bound /
+    // lower_bound stop meaning anything), silently corrupting every
+    // median until erase() asserts far from the cause.  Same
+    // fail-at-ingestion stance as BudgetAssignment validation.
+    if (!std::isfinite(value)) {
+        throw std::invalid_argument(
+            "SlotAggregator: non-finite sample " +
+            std::to_string(value) + " at tick " + std::to_string(t));
+    }
+    lastTick_ = t;
+    ++count_;
+    if (window_ > 0)
+        samples_.emplace_back(t, value);
     all_.insert(value);
     auto &bucket = sim::isWeekend(t) ? weekend_[sim::slotOfDay(t)]
                                      : weekday_[sim::slotOfDay(t)];
@@ -72,6 +103,7 @@ SlotAggregator::evictOlderThan(sim::Tick cutoff)
     while (!samples_.empty() && samples_.front().first < cutoff) {
         const auto [t, value] = samples_.front();
         samples_.pop_front();
+        --count_;
         all_.erase(value);
         auto &bucket = sim::isWeekend(t)
             ? weekend_[sim::slotOfDay(t)]
@@ -91,11 +123,18 @@ void
 SlotAggregator::clear()
 {
     samples_.clear();
+    count_ = 0;
+    lastTick_ = -1;
     all_.values.clear();
-    for (auto &bucket : weekday_)
+    all_.pending.clear();
+    for (auto &bucket : weekday_) {
         bucket.values.clear();
-    for (auto &bucket : weekend_)
+        bucket.pending.clear();
+    }
+    for (auto &bucket : weekend_) {
         bucket.values.clear();
+        bucket.pending.clear();
+    }
     std::fill(weeklyTick_.begin(), weeklyTick_.end(),
               sim::Tick{-1});
     ++version_;
@@ -122,7 +161,7 @@ SlotAggregator::assemble(TemplateStrategy strategy) const
     // bit-identical for every strategy.
     ProfileTemplate out;
     out.strategy_ = strategy;
-    if (samples_.empty())
+    if (empty())
         return out;
 
     switch (strategy) {

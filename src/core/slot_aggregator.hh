@@ -72,7 +72,10 @@ class SlotAggregator
     /**
      * Fold in the sample of the slot starting at @p t.  Ticks must
      * be strictly increasing across calls (the sOA feeds slots in
-     * the order they close).
+     * the order they close).  @p value must be finite: NaN/Inf
+     * telemetry would corrupt the sorted buckets' ordering
+     * invariant, so it is rejected here with std::invalid_argument
+     * (the aggregator is left unchanged).
      */
     void add(sim::Tick t, double value);
 
@@ -80,8 +83,11 @@ class SlotAggregator
     void clear();
 
     sim::Tick window() const { return window_; }
-    bool empty() const { return samples_.empty(); }
-    std::size_t sampleCount() const { return samples_.size(); }
+    bool empty() const { return count_ == 0; }
+    std::size_t sampleCount() const
+    {
+        return static_cast<std::size_t>(count_);
+    }
 
     /** Monotonic counter bumped by every add() and eviction. */
     std::uint64_t version() const { return version_; }
@@ -98,18 +104,54 @@ class SlotAggregator
     std::uint64_t rebuildCount() const { return rebuilds_; }
 
   private:
-    /** Sorted multiset on a vector: O(bucket) insert/erase via
-     *  binary search + memmove, O(1) exact median/max. */
+    /**
+     * Sorted multiset on a vector with a lazily merged unsorted
+     * tail.  insert() is an O(1) append; the tail is folded into
+     * the sorted body when it grows past kMaxPending (amortizing
+     * the memmove-heavy sorted insertion that used to cost O(bag)
+     * per sample) or when an ordered read needs it.  The vectors
+     * are mutable because flushing is a pure representation change:
+     * the multiset the bag denotes — and thus every median()/max()
+     * — is identical before and after.
+     */
     struct SortedBag {
-        std::vector<double> values;
+        /** Sorted body. */
+        mutable std::vector<double> values;
+        /** Unsorted recent tail, bounded by kMaxPending. */
+        mutable std::vector<double> pending;
 
-        void insert(double v);
+        static constexpr std::size_t kMaxPending = 128;
+
+        void insert(double v)
+        {
+            pending.push_back(v);
+            if (pending.size() >= kMaxPending)
+                flushPending();
+        }
         void erase(double v);
-        bool empty() const { return values.empty(); }
+        bool empty() const
+        {
+            return values.empty() && pending.empty();
+        }
+        /** Merge the pending tail into the sorted body.  Inline
+         *  no-op when the tail is empty (template assembly reads
+         *  every bucket, most of which have nothing pending). */
+        void flush() const
+        {
+            if (!pending.empty())
+                flushPending();
+        }
         /** Matches sim::median bit for bit. */
         double median() const;
         /** Matches *std::max_element over the same multiset. */
-        double max() const { return values.back(); }
+        double max() const
+        {
+            flush();
+            return values.back();
+        }
+
+      private:
+        void flushPending() const;
     };
 
     void evictOlderThan(sim::Tick cutoff);
@@ -118,7 +160,14 @@ class SlotAggregator
     sim::Tick window_;
     std::uint64_t version_ = 0;
 
-    /** Retained samples in arrival (= tick) order, for eviction. */
+    /** Retained-sample count and last accepted tick (strict
+     *  monotonicity check); kept separately from samples_ because
+     *  the unbounded (window_ == 0) mode never evicts and so never
+     *  needs the per-sample arrival log at all. */
+    std::uint64_t count_ = 0;
+    sim::Tick lastTick_ = -1;
+    /** Retained samples in arrival (= tick) order, for eviction.
+     *  Only populated when window_ > 0. */
     std::deque<std::pair<sim::Tick, double>> samples_;
     SortedBag all_;
     std::vector<SortedBag> weekday_; // kSlotsPerDay buckets

@@ -152,7 +152,7 @@ ServerOverclockingAgent::requestOverclock(
     // group's cores are already counted through the granted side of
     // the telemetry, so they must not also be counted as fresh
     // demand (requested = granted + requestedCoresNow_).
-    auto it = active_.find(request.groupId);
+    auto it = activeFind(request.groupId);
     if (it != active_.end()) {
         AdmissionDecision decision;
         decision.granted = true;
@@ -210,7 +210,13 @@ ServerOverclockingAgent::requestOverclock(
     oc.coreSet = pickCores(request.cores, now);
     for (int core : oc.coreSet)
         tis_.startOverclock(core, now);
-    active_.emplace(request.groupId, std::move(oc));
+    active_.emplace(
+        std::lower_bound(active_.begin(), active_.end(),
+                         request.groupId,
+                         [](const auto &e, int id) {
+                             return e.first < id;
+                         }),
+        request.groupId, std::move(oc));
 
     // Begin the ramp one step above turbo; the feedback loop takes
     // it the rest of the way.
@@ -251,7 +257,7 @@ ServerOverclockingAgent::chargeWear(ActiveOverclock &oc,
 void
 ServerOverclockingAgent::stopOverclock(int group_id, sim::Tick now)
 {
-    auto it = active_.find(group_id);
+    auto it = activeFind(group_id);
     if (it == active_.end())
         return;
 
@@ -275,7 +281,25 @@ ServerOverclockingAgent::stopOverclock(int group_id, sim::Tick now)
 bool
 ServerOverclockingAgent::isOverclockActive(int group_id) const
 {
-    return active_.count(group_id) > 0;
+    // Sorted and small: a linear scan with early exit beats a
+    // binary search for a handful of grants.
+    for (const auto &e : active_) {
+        if (e.first >= group_id)
+            return e.first == group_id;
+    }
+    return false;
+}
+
+std::vector<std::pair<int, ServerOverclockingAgent::ActiveOverclock>>
+    ::iterator
+ServerOverclockingAgent::activeFind(int group_id)
+{
+    const auto it = std::lower_bound(
+        active_.begin(), active_.end(), group_id,
+        [](const auto &e, int id) { return e.first < id; });
+    return it != active_.end() && it->first == group_id
+        ? it
+        : active_.end();
 }
 
 void
@@ -306,33 +330,56 @@ std::vector<int>
 ServerOverclockingAgent::pickCores(int count, sim::Tick now)
 {
     rollCoreEpoch(now);
-    std::vector<bool> busy(server_.totalCores(), false);
+    // Reused member scratch: this runs once per grant, which under
+    // short request chunks is the hottest allocation site in the
+    // whole control loop.
+    auto &busy = pickBusy_;
+    busy.assign(server_.totalCores(), 0);
     for (const auto &[group_id, oc] : active_)
         for (int core : oc.coreSet)
-            busy[core] = true;
+            busy[core] = 1;
 
-    std::vector<int> order(server_.totalCores());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(),
-                     [this](int a, int b) {
-        return coreUsedEpoch_[a] < coreUsedEpoch_[b];
-    });
+    // (wear, index) is a strict total order equal to the historical
+    // stable_sort by wear alone (stable = index tie-break).
+    auto before = [this](int a, int b) {
+        return coreUsedEpoch_[a] != coreUsedEpoch_[b]
+            ? coreUsedEpoch_[a] < coreUsedEpoch_[b]
+            : a < b;
+    };
 
+    // k-selection instead of sorting all cores per grant: keep the
+    // `count` least-worn cores of the wanted busy-state, maintained
+    // in (wear, index) order — bit-identical to filtering a full
+    // sort, and O(cores) when wear is uniform (the common case,
+    // since we scan in index order and ties never displace).
     std::vector<int> picked;
-    for (int core : order) {
-        if (static_cast<int>(picked.size()) >= count)
-            break;
-        if (!busy[core])
-            picked.push_back(core);
-    }
+    picked.reserve(static_cast<std::size_t>(count));
+    const int total = server_.totalCores();
+    auto selectInto = [&](char want_busy) {
+        const std::size_t base = picked.size();
+        if (static_cast<int>(base) >= count)
+            return;
+        const std::size_t room =
+            static_cast<std::size_t>(count) - base;
+        for (int core = 0; core < total; ++core) {
+            if (busy[core] != want_busy)
+                continue;
+            if (picked.size() - base < room) {
+                picked.push_back(core);
+            } else if (before(core, picked.back())) {
+                picked.back() = core;
+            } else {
+                continue;
+            }
+            for (std::size_t i = picked.size() - 1;
+                 i > base && before(picked[i], picked[i - 1]); --i)
+                std::swap(picked[i], picked[i - 1]);
+        }
+    };
+    selectInto(0);
     // If the server is fully busy with overclocks, reuse cores (the
     // request would have been capacity-checked at the cluster layer).
-    for (int core : order) {
-        if (static_cast<int>(picked.size()) >= count)
-            break;
-        if (busy[core])
-            picked.push_back(core);
-    }
+    selectInto(1);
     return picked;
 }
 
@@ -595,7 +642,7 @@ ServerOverclockingAgent::lifetimeAccounting(sim::Tick now)
     }
 
     for (int group_id : expired) {
-        auto it = active_.find(group_id);
+        auto it = activeFind(group_id);
         if (it != active_.end())
             revoke(it->second, now, "budget exhausted/expired");
     }

@@ -407,12 +407,20 @@ class ServerOverclockingAgent : public power::RackPowerListener
     WearJournal journal_;
 
     /**
-     * Ordered maps on purpose (DET-003): the feedback loop, wear
-     * accounting, exhaustion signaling and telemetry sums all
+     * Ordered containers on purpose (DET-003): the feedback loop,
+     * wear accounting, exhaustion signaling and telemetry sums all
      * iterate these, and priority ties, FP addition order and
-     * callback order must not depend on a hash function.
+     * callback order must not depend on a hash function.  active_
+     * is a group-id-sorted flat vector rather than a std::map: it
+     * is walked several times per control tick (feedback victim
+     * scans, wear accounting, telemetry sums) and holds only a
+     * handful of grants, so contiguous iteration beats node hops;
+     * activeFind() keeps the map's lookup semantics.
      */
-    std::map<int, ActiveOverclock> active_;
+    std::vector<std::pair<int, ActiveOverclock>> active_;
+    /** Iterator to the entry for @p group_id, or active_.end(). */
+    std::vector<std::pair<int, ActiveOverclock>>::iterator
+    activeFind(int group_id);
     /** Recently denied requests: groupId -> (cores, expiry). */
     std::map<int, std::pair<int, sim::Tick>> recentDenied_;
     /** Until when a power-based denial keeps the agent "constrained"
@@ -429,6 +437,8 @@ class ServerOverclockingAgent : public power::RackPowerListener
 
     // Lifetime accounting.
     std::vector<sim::Tick> coreUsedEpoch_;
+    /** pickCores scratch, reused across grants (hot path). */
+    std::vector<char> pickBusy_;
     std::int64_t coreEpochIndex_ = 0;
     sim::Tick lastAccounting_ = 0;
     sim::Tick allowancePerCore_ = 0;

@@ -23,6 +23,52 @@ Server::usedCores() const
     return used;
 }
 
+std::size_t
+Server::groupIndex(GroupId id) const
+{
+    // Ids are handed out sequentially, so in the common case (no
+    // removals) a group sits at position == id; fall back to the
+    // linear scan only when removals have shifted positions.
+    const auto pos = static_cast<std::size_t>(id);
+    if (id >= 0 && pos < groups_.size() && groups_[pos].id == id)
+        return pos;
+    for (std::size_t i = 0; i < groups_.size(); ++i)
+        if (groups_[i].id == id)
+            return i;
+    return groups_.size();
+}
+
+void
+Server::refreshContrib(std::size_t pos)
+{
+    const CoreGroup &g = groups_[pos];
+    const FreqMHz eff = g.effectiveMHz();
+    const Watts power = g.cores * model_->corePower(g.util, eff);
+    powerContrib_[pos] = power.count();
+    if (eff <= kTurboMHz) {
+        regularContrib_[pos] = power.count();
+    } else {
+        regularContrib_[pos] =
+            (g.cores * model_->corePower(g.util, kTurboMHz)).count();
+    }
+}
+
+void
+Server::refreshSums()
+{
+    double power = 0.0;
+    double regular = 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        power += powerContrib_[i];
+        regular += regularContrib_[i];
+        weighted += groups_[i].cores * groups_[i].util;
+    }
+    powerSum_ = power;
+    regularSum_ = regular;
+    utilWeighted_ = weighted;
+}
+
 GroupId
 Server::addGroup(int cores, double util, FreqMHz target, int priority)
 {
@@ -37,94 +83,140 @@ Server::addGroup(int cores, double util, FreqMHz target, int priority)
     g.capMHz = ladder_.maxMHz;
     g.priority = priority;
     groups_.push_back(g);
+    powerContrib_.push_back(0.0);
+    regularContrib_.push_back(0.0);
+    refreshContrib(groups_.size() - 1);
+    refreshSums();
     return g.id;
 }
 
 void
 Server::removeGroup(GroupId id)
 {
-    std::erase_if(groups_,
-                  [id](const CoreGroup &g) { return g.id == id; });
+    const std::size_t pos = groupIndex(id);
+    if (pos >= groups_.size())
+        return;
+    const auto at = static_cast<std::ptrdiff_t>(pos);
+    if (groups_[pos].capMHz < ladder_.maxMHz)
+        --cappedGroups_;
+    groups_.erase(groups_.begin() + at);
+    powerContrib_.erase(powerContrib_.begin() + at);
+    regularContrib_.erase(regularContrib_.begin() + at);
+    refreshSums();
 }
 
 CoreGroup *
 Server::group(GroupId id)
 {
-    for (auto &g : groups_)
-        if (g.id == id)
-            return &g;
-    return nullptr;
+    const std::size_t pos = groupIndex(id);
+    return pos < groups_.size() ? &groups_[pos] : nullptr;
 }
 
 const CoreGroup *
 Server::group(GroupId id) const
 {
-    for (const auto &g : groups_)
-        if (g.id == id)
-            return &g;
-    return nullptr;
+    const std::size_t pos = groupIndex(id);
+    return pos < groups_.size() ? &groups_[pos] : nullptr;
 }
 
 void
 Server::setUtil(GroupId id, double util)
 {
-    if (auto *g = group(id))
-        g->util = std::clamp(util, 0.0, 1.0);
+    const std::size_t pos = groupIndex(id);
+    if (pos >= groups_.size())
+        return;
+    groups_[pos].util = std::clamp(util, 0.0, 1.0);
+    refreshContrib(pos);
+    refreshSums();
+}
+
+void
+Server::setUtilsAndTurboWatts(std::size_t count, const double *utils,
+                              const double *turboWatts)
+{
+    assert(count == groups_.size());
+    double power = 0.0;
+    double regular = 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        CoreGroup &g = groups_[i];
+        g.util = std::clamp(utils[i], 0.0, 1.0);
+        const FreqMHz eff = g.effectiveMHz();
+        if (eff == kTurboMHz) {
+            // The hint is exactly corePower(util, turbo) scaled by
+            // the core count — the value refreshContrib would
+            // compute — so the model is not consulted at all.
+            powerContrib_[i] = turboWatts[i];
+            regularContrib_[i] = turboWatts[i];
+        } else if (eff > kTurboMHz) {
+            powerContrib_[i] =
+                (g.cores * model_->corePower(g.util, eff)).count();
+            regularContrib_[i] = turboWatts[i];
+        } else {
+            const Watts capped =
+                g.cores * model_->corePower(g.util, eff);
+            powerContrib_[i] = capped.count();
+            regularContrib_[i] = capped.count();
+        }
+        power += powerContrib_[i];
+        regular += regularContrib_[i];
+        weighted += g.cores * g.util;
+    }
+    powerSum_ = power;
+    regularSum_ = regular;
+    utilWeighted_ = weighted;
 }
 
 void
 Server::setTarget(GroupId id, FreqMHz f)
 {
-    if (auto *g = group(id))
-        g->targetMHz = ladder_.clamp(f);
+    const std::size_t pos = groupIndex(id);
+    if (pos >= groups_.size())
+        return;
+    groups_[pos].targetMHz = ladder_.clamp(f);
+    refreshContrib(pos);
+    refreshSums();
 }
 
 void
 Server::setAllTargets(FreqMHz f)
 {
-    for (auto &g : groups_)
-        g.targetMHz = ladder_.clamp(f);
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        groups_[i].targetMHz = ladder_.clamp(f);
+        refreshContrib(i);
+    }
+    refreshSums();
 }
 
 Watts
 Server::powerWatts() const
 {
-    Watts watts = model_->params().idleWatts;
-    for (const auto &g : groups_)
-        watts += g.cores * model_->corePower(g.util, g.effectiveMHz());
-    return watts;
+    return model_->params().idleWatts + Watts{powerSum_};
 }
 
 Watts
 Server::regularPowerWatts() const
 {
-    Watts watts = model_->params().idleWatts;
-    for (const auto &g : groups_) {
-        const FreqMHz f = std::min(g.effectiveMHz(), kTurboMHz);
-        watts += g.cores * model_->corePower(g.util, f);
-    }
-    return watts;
+    return model_->params().idleWatts + Watts{regularSum_};
 }
 
 Watts
 Server::powerWattsIf(GroupId id, FreqMHz f) const
 {
-    Watts watts = model_->params().idleWatts;
-    for (const auto &g : groups_) {
-        const FreqMHz freq =
-            g.id == id ? ladder_.clamp(f) : g.effectiveMHz();
-        watts += g.cores * model_->corePower(g.util, freq);
-    }
-    return watts;
+    const std::size_t pos = groupIndex(id);
+    if (pos >= groups_.size())
+        return powerWatts();
+    const CoreGroup &g = groups_[pos];
+    const Watts swapped =
+        g.cores * model_->corePower(g.util, ladder_.clamp(f));
+    return model_->params().idleWatts +
+        Watts{powerSum_ - powerContrib_[pos]} + swapped;
 }
 
 double
 Server::utilization() const
 {
-    double weighted = 0.0;
-    for (const auto &g : groups_)
-        weighted += g.cores * g.util;
-    return weighted / totalCores();
+    return utilWeighted_ / totalCores();
 }
 
 int
@@ -143,66 +235,89 @@ Server::throttleOneStep()
     // Pick the lowest-priority group whose *effective* frequency can
     // still go down; ties broken towards the fastest group so the
     // overclocked ones lose their boost first.
-    CoreGroup *victim = nullptr;
-    for (auto &g : groups_) {
+    std::size_t victim = groups_.size();
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        const CoreGroup &g = groups_[i];
         const FreqMHz eff = g.effectiveMHz();
         if (eff <= ladder_.minMHz)
             continue;
-        if (victim == nullptr || g.priority < victim->priority ||
-            (g.priority == victim->priority &&
-             eff > victim->effectiveMHz())) {
-            victim = &g;
+        if (victim == groups_.size() ||
+            g.priority < groups_[victim].priority ||
+            (g.priority == groups_[victim].priority &&
+             eff > groups_[victim].effectiveMHz())) {
+            victim = i;
         }
     }
-    if (victim == nullptr)
+    if (victim == groups_.size())
         return false;
-    victim->capMHz = ladder_.down(victim->effectiveMHz());
+    setCap(victim, ladder_.down(groups_[victim].effectiveMHz()));
+    refreshContrib(victim);
+    refreshSums();
     return true;
 }
 
 bool
 Server::unthrottleOneStep()
 {
-    CoreGroup *candidate = nullptr;
-    for (auto &g : groups_) {
+    if (cappedGroups_ == 0)
+        return false;
+    std::size_t candidate = groups_.size();
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        const CoreGroup &g = groups_[i];
         if (g.capMHz >= ladder_.maxMHz)
             continue;
         // Only useful to raise caps that actually bind.
         if (g.capMHz >= g.targetMHz)
             continue;
-        if (candidate == nullptr || g.priority > candidate->priority) {
-            candidate = &g;
+        if (candidate == groups_.size() ||
+            g.priority > groups_[candidate].priority) {
+            candidate = i;
         }
     }
-    if (candidate == nullptr) {
+    if (candidate == groups_.size()) {
         // Raise any remaining (non-binding) caps so state converges
         // back to uncapped.
-        for (auto &g : groups_) {
-            if (g.capMHz < ladder_.maxMHz) {
-                g.capMHz = ladder_.up(g.capMHz);
+        for (std::size_t i = 0; i < groups_.size(); ++i) {
+            if (groups_[i].capMHz < ladder_.maxMHz) {
+                setCap(i, ladder_.up(groups_[i].capMHz));
+                refreshContrib(i);
+                refreshSums();
                 return true;
             }
         }
         return false;
     }
-    candidate->capMHz = ladder_.up(candidate->capMHz);
+    setCap(candidate, ladder_.up(groups_[candidate].capMHz));
+    refreshContrib(candidate);
+    refreshSums();
     return true;
+}
+
+void
+Server::setCap(std::size_t pos, FreqMHz cap)
+{
+    cappedGroups_ += (cap < ladder_.maxMHz ? 1 : 0) -
+        (groups_[pos].capMHz < ladder_.maxMHz ? 1 : 0);
+    groups_[pos].capMHz = cap;
 }
 
 bool
 Server::capped() const
 {
-    for (const auto &g : groups_)
-        if (g.capMHz < ladder_.maxMHz)
-            return true;
-    return false;
+    return cappedGroups_ > 0;
 }
 
 void
 Server::clearCaps()
 {
-    for (auto &g : groups_)
-        g.capMHz = ladder_.maxMHz;
+    if (cappedGroups_ == 0)
+        return; // every cap already at the ladder max
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        groups_[i].capMHz = ladder_.maxMHz;
+        refreshContrib(i);
+    }
+    cappedGroups_ = 0;
+    refreshSums();
 }
 
 double

@@ -10,6 +10,7 @@
 #ifndef SOC_POWER_SERVER_HH
 #define SOC_POWER_SERVER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -99,6 +100,20 @@ class Server
     /** Set a group's utilization (clamped to [0, 1]). */
     void setUtil(GroupId id, double util);
 
+    /**
+     * Batch utilization update by group *position* (not id), the
+     * fleet-replay fast path.  @p count must equal groups().size();
+     * utils[i] is groups()[i]'s new utilization and turboWatts[i]
+     * its precomputed turbo-frequency power contribution,
+     * (cores * corePower(utils[i], kTurboMHz)).count() — exactly
+     * what TraceGenerator emits alongside each utilization sample.
+     * Groups whose effective frequency is turbo (the common case)
+     * reuse the hint and cost zero corePower evaluations here;
+     * overclocked or capped groups cost one.
+     */
+    void setUtilsAndTurboWatts(std::size_t count, const double *utils,
+                               const double *turboWatts);
+
     /** Set a group's target frequency (clamped to the ladder). */
     void setTarget(GroupId id, FreqMHz f);
 
@@ -163,11 +178,45 @@ class Server
     int cappedNonOverclockCores() const;
 
   private:
+    /** Position of the group with @p id, or groups_.size(). */
+    std::size_t groupIndex(GroupId id) const;
+
+    /** Recompute groups_[pos]'s cached power contributions. */
+    void refreshContrib(std::size_t pos);
+
+    /** Write groups_[pos].capMHz, keeping cappedGroups_ exact. */
+    void setCap(std::size_t pos, FreqMHz cap);
+
+    /** Re-fold the cached sums from the per-group contributions,
+     *  always in group order so results are deterministic and free
+     *  of incremental-update drift. */
+    void refreshSums();
+
     int id_;
     const PowerModel *model_;
     FrequencyLadder ladder_;
     GroupId nextGroup_ = 0;
     std::vector<CoreGroup> groups_;
+
+    /**
+     * Struct-of-arrays cache, parallel to groups_: each group's
+     * power contribution at its effective frequency and at
+     * min(effective, turbo), plus their folds and the core-weighted
+     * utilization sum.  Every mutator routes through
+     * refreshContrib/refreshSums, making powerWatts(),
+     * regularPowerWatts() and utilization() O(1) reads — the hot
+     * queries of the per-tick rack loop.
+     */
+    std::vector<double> powerContrib_;
+    std::vector<double> regularContrib_;
+    double powerSum_ = 0.0;
+    double regularSum_ = 0.0;
+    double utilWeighted_ = 0.0;
+
+    /** Groups with capMHz below the ladder max, maintained at every
+     *  cap mutation so the per-step "is anything capped?" checks of
+     *  the rack manager are O(1) instead of a group scan. */
+    int cappedGroups_ = 0;
 };
 
 } // namespace power

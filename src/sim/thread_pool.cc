@@ -59,27 +59,46 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
+    // One index per chunk: identical semantics to the historical
+    // per-index dispatch, now expressed over the chunked scheduler.
+    parallelForChunked(n, 1,
+                       [&fn](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                               fn(i);
+                       });
+}
+
+void
+ThreadPool::parallelForChunked(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
     if (n == 0)
         return;
-    if (workers_.empty() || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+    grain = std::max<std::size_t>(grain, 1);
+    const std::size_t chunks = (n + grain - 1) / grain;
+    if (workers_.empty() || chunks == 1) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            fn(c * grain, std::min(n, (c + 1) * grain));
         return;
     }
 
-    /** Work-sharing state for one parallelFor call.  Indices are
-     *  claimed through an atomic counter; `completed` (guarded by
-     *  `mutex`) tracks finished iterations so the caller can block
-     *  until stragglers on worker threads drain. */
+    /** Work-sharing state for one parallelForChunked call.  Chunk
+     *  indices are claimed through an atomic cursor; `completed`
+     *  (guarded by `mutex`) tracks finished chunks so the caller
+     *  can block until stragglers on worker threads drain. */
     struct Batch {
-        explicit Batch(std::size_t total,
-                       const std::function<void(std::size_t)> &f)
-            : n(total), fn(f)
+        Batch(std::size_t total, std::size_t chunk_count,
+              std::size_t grain_size,
+              const std::function<void(std::size_t, std::size_t)> &f)
+            : n(total), chunks(chunk_count), grain(grain_size), fn(f)
         {
         }
 
         std::size_t n;
-        const std::function<void(std::size_t)> &fn;
+        std::size_t chunks;
+        std::size_t grain;
+        const std::function<void(std::size_t, std::size_t)> &fn;
         std::atomic<std::size_t> next{0};
         std::mutex mutex;
         std::condition_variable done;
@@ -89,20 +108,20 @@ ThreadPool::parallelFor(std::size_t n,
         void run()
         {
             for (;;) {
-                const std::size_t i =
+                const std::size_t c =
                     next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n)
+                if (c >= chunks)
                     return;
                 std::exception_ptr thrown;
                 try {
-                    fn(i);
+                    fn(c * grain, std::min(n, (c + 1) * grain));
                 } catch (...) {
                     thrown = std::current_exception();
                 }
                 std::lock_guard<std::mutex> lock(mutex);
                 if (thrown && !error)
                     error = thrown;
-                if (++completed == n)
+                if (++completed == chunks)
                     done.notify_all();
             }
         }
@@ -110,11 +129,11 @@ ThreadPool::parallelFor(std::size_t n,
 
     // The batch must outlive the caller's wait, and the enqueued
     // tasks may still hold a reference while they observe an empty
-    // index range, hence shared ownership.
-    auto batch = std::make_shared<Batch>(n, fn);
+    // chunk range, hence shared ownership.
+    auto batch = std::make_shared<Batch>(n, chunks, grain, fn);
 
     const std::size_t helpers =
-        std::min(workers_.size(), n - 1);
+        std::min(workers_.size(), chunks - 1);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t i = 0; i < helpers; ++i)
@@ -128,8 +147,9 @@ ThreadPool::parallelFor(std::size_t n,
     batch->run();
 
     std::unique_lock<std::mutex> lock(batch->mutex);
-    batch->done.wait(lock,
-                     [&batch] { return batch->completed == batch->n; });
+    batch->done.wait(lock, [&batch] {
+        return batch->completed == batch->chunks;
+    });
     if (batch->error)
         std::rethrow_exception(batch->error);
 }

@@ -67,6 +67,23 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Run `fn(begin, end)` over contiguous chunks of [0, n) with at
+     * most @p grain indices per chunk.  Chunks are claimed through
+     * an atomic cursor (work-stealing by idle threads), so chunk
+     * boundaries — and hence any per-chunk accumulators — are fixed
+     * by (n, grain) alone, never by the thread count: chunk c covers
+     * [c*grain, min(n, (c+1)*grain)).  Callers that merge per-chunk
+     * results in chunk order therefore stay bit-identical at any
+     * pool size.  Blocks until all chunks finish; the first
+     * exception thrown by any chunk is rethrown on the calling
+     * thread after the loop drains (remaining chunks still run).
+     * A grain < 1 is clamped to 1.
+     */
+    void parallelForChunked(
+        std::size_t n, std::size_t grain,
+        const std::function<void(std::size_t, std::size_t)> &fn);
+
     /** Hardware concurrency, with a floor of 1. */
     static int defaultThreads();
 

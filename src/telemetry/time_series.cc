@@ -53,6 +53,10 @@ TimeSeries::indexOf(sim::Tick t) const
 {
     if (values_.empty())
         return 0;
+    // Ticks at/after end() have no covering sample: loud in debug
+    // (the caller's trace is shorter than its horizon), clamped to
+    // the last sample in release so replays degrade gracefully.
+    assert(t < end() && "TimeSeries: tick at/after end()");
     if (t <= start_)
         return 0;
     const auto idx =

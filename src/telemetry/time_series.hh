@@ -57,12 +57,17 @@ class TimeSeries
 
     /**
      * Value of the sample whose window contains @p t.  Ticks before
-     * start() clamp to the first sample, ticks at/after end() clamp
-     * to the last; sampling an empty series returns 0.
+     * start() clamp to the first sample.  Ticks at/after end() are
+     * out of range: they assert in debug builds (a trace shorter
+     * than the simulation horizon is a caller bug, not a sampling
+     * policy), and clamp to the last sample in release builds so
+     * production replays degrade gracefully rather than reading
+     * past the buffer.  Sampling an empty series returns 0.
      */
     double atTime(sim::Tick t) const;
 
-    /** Index of the sample containing @p t (clamped like atTime). */
+    /** Index of the sample containing @p t (same out-of-range
+     *  policy as atTime: debug assert, release clamp). */
     std::size_t indexOf(sim::Tick t) const;
 
     /** Start tick of sample @p idx. */

@@ -55,6 +55,7 @@ TraceGenerator::serverTrace(const std::vector<VmMix> &mix,
     int used_cores = 0;
     for (const auto &vm : mix) {
         trace.vmUtil.push_back(utilSeries(vm.archetype));
+        trace.vmTurboWatts.emplace_back(cfg_.start, cfg_.interval);
         used_cores += vm.cores;
     }
     assert(used_cores <= model.params().cores);
@@ -74,8 +75,10 @@ TraceGenerator::serverTrace(const std::vector<VmMix> &mix,
         for (std::size_t v = 0; v < mix.size(); ++v) {
             const double util = trace.vmUtil[v].at(i);
             weighted += mix[v].cores * util;
-            watts += mix[v].cores *
+            const power::Watts contrib = mix[v].cores *
                 model.corePower(util, power::kTurboMHz);
+            watts += contrib;
+            trace.vmTurboWatts[v].append(contrib.count());
         }
         trace.serverUtil.append(weighted / total_cores);
         trace.powerWatts.append(watts.count());

@@ -43,6 +43,14 @@ struct ServerTrace {
     std::vector<VmMix> mix;
     /** Per-VM utilization series. */
     std::vector<telemetry::TimeSeries> vmUtil;
+    /**
+     * Per-VM power contribution at max turbo: sample i equals
+     * (mix[v].cores * corePower(vmUtil[v].at(i), kTurboMHz)).count()
+     * — precisely the summand of powerWatts and the hint
+     * Server::setUtilsAndTurboWatts consumes, so replay never
+     * re-evaluates the power model for uncapped groups.
+     */
+    std::vector<telemetry::TimeSeries> vmTurboWatts;
     /** Core-weighted server utilization (all cores). */
     telemetry::TimeSeries serverUtil;
     /** Server power at max turbo given serverUtil. */

@@ -114,8 +114,11 @@ TEST(TraceSim, PerformanceAboveTurboWhenOverclockingSucceeds)
 
 TEST(TraceSim, ThreadCountDoesNotChangeResults)
 {
+    // 5 racks across 1/2/8 workers exercises every chunked-dispatch
+    // shape: serial, racks split unevenly over workers, and more
+    // workers than racks (some stay idle).
     auto cfg = quickConfig(core::PolicyKind::SmartOClock, 1.1);
-    cfg.racks = 4;
+    cfg.racks = 5;
     cfg.serversPerRack = 3;
     const auto run_with = [&cfg](int threads) {
         auto c = cfg;
@@ -123,20 +126,22 @@ TEST(TraceSim, ThreadCountDoesNotChangeResults)
         return runTraceSim(c);
     };
     const auto serial = run_with(1);
-    const auto parallel = run_with(4);
-    // Bit-identical, not merely close: every rack owns its RNG
-    // stream and accumulators, merged in rack order.
-    EXPECT_EQ(serial.capEvents, parallel.capEvents);
-    EXPECT_EQ(serial.cappedTicks, parallel.cappedTicks);
-    EXPECT_EQ(serial.warnings, parallel.warnings);
-    EXPECT_EQ(serial.requests, parallel.requests);
-    EXPECT_EQ(serial.wantSteps, parallel.wantSteps);
-    EXPECT_EQ(serial.successSteps, parallel.successSteps);
-    EXPECT_EQ(serial.successRate, parallel.successRate);
-    EXPECT_EQ(serial.cappingPenalty, parallel.cappingPenalty);
-    EXPECT_EQ(serial.normPerformance, parallel.normPerformance);
-    EXPECT_EQ(serial.meanRackUtil, parallel.meanRackUtil);
-    EXPECT_EQ(serial.energyJoules, parallel.energyJoules);
+    for (const int threads : {2, 8}) {
+        const auto parallel = run_with(threads);
+        // Bit-identical, not merely close: every rack owns its RNG
+        // stream and accumulators, merged in rack order.
+        EXPECT_EQ(serial.capEvents, parallel.capEvents);
+        EXPECT_EQ(serial.cappedTicks, parallel.cappedTicks);
+        EXPECT_EQ(serial.warnings, parallel.warnings);
+        EXPECT_EQ(serial.requests, parallel.requests);
+        EXPECT_EQ(serial.wantSteps, parallel.wantSteps);
+        EXPECT_EQ(serial.successSteps, parallel.successSteps);
+        EXPECT_EQ(serial.successRate, parallel.successRate);
+        EXPECT_EQ(serial.cappingPenalty, parallel.cappingPenalty);
+        EXPECT_EQ(serial.normPerformance, parallel.normPerformance);
+        EXPECT_EQ(serial.meanRackUtil, parallel.meanRackUtil);
+        EXPECT_EQ(serial.energyJoules, parallel.energyJoules);
+    }
 }
 
 TEST(TraceSim, TemplateWindowBitIdenticalAcrossThreadCounts)

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include "core/profile_template.hh"
@@ -195,6 +197,38 @@ TEST(SlotAggregator, ClearResetsToEmpty)
     for (std::size_t i = 0; i < history.size(); ++i)
         agg.add(history.timeOf(i), history.at(i));
     expectMatchesBatch(agg, history);
+}
+
+TEST(SlotAggregator, RejectsNonFiniteSamplesAtIngestion)
+{
+    // A NaN admitted into a SortedBag breaks the upper_bound /
+    // lower_bound ordering invariant and silently corrupts medians;
+    // the aggregator must refuse it up front and stay untouched.
+    const auto history = randomHistory(77, 0, 64);
+    auto agg = aggregate(history);
+    const std::uint64_t version = agg.version();
+    const sim::Tick next = history.end();
+
+    const double bad[] = {
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::signaling_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+    };
+    for (double v : bad)
+        EXPECT_THROW(agg.add(next, v), std::invalid_argument);
+
+    // No partial mutation: same version, same sample count, and
+    // every template still matches the batch builder over the
+    // samples that were actually accepted.
+    EXPECT_EQ(agg.version(), version);
+    EXPECT_EQ(agg.sampleCount(), history.size());
+    expectMatchesBatch(agg, history);
+
+    // The rejected tick was never recorded, so the slot is still
+    // free for a finite retry.
+    agg.add(next, 250.0);
+    EXPECT_EQ(agg.sampleCount(), history.size() + 1);
 }
 
 TEST(ProfileTemplateEquality, DetectsEveryFieldDifference)

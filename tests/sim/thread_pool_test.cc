@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <string>
@@ -53,6 +54,90 @@ TEST(ThreadPool, EmptyRangeIsANoop)
     bool ran = false;
     pool.parallelFor(0, [&](std::size_t) { ran = true; });
     EXPECT_FALSE(ran);
+    pool.parallelForChunked(0, 4, [&](std::size_t, std::size_t) {
+        ran = true;
+    });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, FewerIndicesThanThreads)
+{
+    // n < threads must still run every index exactly once and leave
+    // the surplus workers idle rather than claiming phantom work.
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ChunkedCoversEveryIndexOnceWithFixedBounds)
+{
+    // Chunk boundaries depend only on (n, grain): chunk c is
+    // [c*grain, min(n, (c+1)*grain)), at every pool size.
+    for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const std::size_t n = 103;
+        const std::size_t grain = 10;
+        std::vector<std::atomic<int>> hits(n);
+        std::atomic<int> bad_bounds{0};
+        pool.parallelForChunked(
+            n, grain, [&](std::size_t begin, std::size_t end) {
+                if (begin % grain != 0 ||
+                    end != std::min(n, begin + grain))
+                    bad_bounds.fetch_add(1);
+                for (std::size_t i = begin; i < end; ++i)
+                    hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+        EXPECT_EQ(bad_bounds.load(), 0) << threads << " threads";
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1)
+                << "index " << i << ", " << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, ChunkedClampsGrainAndOversizedChunks)
+{
+    ThreadPool pool(2);
+    // grain = 0 clamps to 1 (one index per chunk).
+    std::vector<std::atomic<int>> hits(5);
+    pool.parallelForChunked(hits.size(), 0,
+                            [&](std::size_t begin, std::size_t end) {
+                                EXPECT_EQ(end, begin + 1);
+                                hits[begin].fetch_add(1);
+                            });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+    // grain > n degenerates to a single inline chunk.
+    std::size_t calls = 0, lo = 99, hi = 99;
+    pool.parallelForChunked(4, 100,
+                            [&](std::size_t begin, std::size_t end) {
+                                ++calls;
+                                lo = begin;
+                                hi = end;
+                            });
+    EXPECT_EQ(calls, 1u);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 4u);
+}
+
+TEST(ThreadPool, ChunkedPropagatesException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> visited{0};
+    EXPECT_THROW(
+        pool.parallelForChunked(
+            64, 4,
+            [&](std::size_t begin, std::size_t end) {
+                visited.fetch_add(static_cast<int>(end - begin));
+                if (begin == 8)
+                    throw std::runtime_error("chunk failed");
+            }),
+        std::runtime_error);
+    // The loop drains: every index was still visited exactly once.
+    EXPECT_EQ(visited.load(), 64);
 }
 
 TEST(ThreadPool, PropagatesFirstException)

@@ -41,7 +41,31 @@ TEST(TimeSeries, AtTimeSelectsWindow)
     EXPECT_EQ(s.atTime(0), 10.0);
     EXPECT_EQ(s.atTime(kSlot - 1), 10.0);
     EXPECT_EQ(s.atTime(kSlot), 20.0);
-    EXPECT_EQ(s.atTime(3 * kSlot + 5), 30.0); // clamps past end
+    EXPECT_EQ(s.atTime(3 * kSlot - 1), 30.0); // last covered tick
+}
+
+// Regression: a trace shorter than the sim horizon used to clamp
+// silently, replaying the final sample forever.  Out-of-range reads
+// now die in debug builds; release builds still clamp so replays
+// degrade gracefully instead of reading past the buffer.
+TEST(TimeSeries, AtTimePastEndDiesInDebug)
+{
+    TimeSeries short_trace(0, kSlot, {10.0, 20.0, 30.0});
+    EXPECT_DEBUG_DEATH(short_trace.atTime(short_trace.end()),
+                       "tick at/after end");
+    EXPECT_DEBUG_DEATH(short_trace.atTime(3 * kSlot + 5),
+                       "tick at/after end");
+    EXPECT_DEBUG_DEATH(short_trace.indexOf(100 * kSlot),
+                       "tick at/after end");
+#ifdef NDEBUG
+    // Release policy: clamp to the last sample.
+    EXPECT_EQ(short_trace.atTime(3 * kSlot + 5), 30.0);
+    EXPECT_EQ(short_trace.indexOf(100 * kSlot), 2u);
+#endif
+    // Empty series stay readable at any tick.
+    TimeSeries empty(0, kSlot);
+    EXPECT_EQ(empty.atTime(123), 0.0);
+    EXPECT_EQ(empty.indexOf(123), 0u);
 }
 
 TEST(TimeSeries, AtTimeClampsBeforeStart)
@@ -108,6 +132,29 @@ TEST(TimeSeries, SliceOfEmptySeriesIsEmpty)
 {
     TimeSeries s(kSlot, kSlot);
     EXPECT_TRUE(s.slice(0, 10 * kSlot).empty());
+}
+
+TEST(TimeSeries, SliceBoundaryCases)
+{
+    TimeSeries s(2 * kSlot, kSlot, {0.0, 1.0, 2.0, 3.0, 4.0});
+    // `to` lands inside the first sample's window: no sample is
+    // fully contained, so the slice is empty (and must not trip the
+    // unsigned (to - start_) / interval_ arithmetic for to < start).
+    EXPECT_TRUE(s.slice(0, 2 * kSlot + kSlot / 2).empty());
+    EXPECT_TRUE(s.slice(2 * kSlot, 3 * kSlot - 1).empty());
+    EXPECT_TRUE(s.slice(0, kSlot).empty()); // to before start
+    // `from` at/past end(): nothing left to keep.
+    EXPECT_TRUE(s.slice(s.end(), s.end() + 3 * kSlot).empty());
+    EXPECT_TRUE(s.slice(s.end() + kSlot, s.end() + 9 * kSlot).empty());
+    // Degenerate from == to windows are empty everywhere.
+    EXPECT_TRUE(s.slice(3 * kSlot, 3 * kSlot).empty());
+    EXPECT_TRUE(s.slice(s.start(), s.start()).empty());
+    EXPECT_TRUE(s.slice(s.end(), s.end()).empty());
+    // Exactly one fully contained sample survives.
+    const TimeSeries one = s.slice(3 * kSlot, 4 * kSlot);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one.at(0), 1.0);
+    EXPECT_EQ(one.start(), 3 * kSlot);
 }
 
 TEST(TimeSeries, QuantileMatchesPercentilesReference)
