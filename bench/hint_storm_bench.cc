@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Hint-storm benchmark driver (ROADMAP item 5).
+ *
+ * Two measurements, written as JSON (argv[1], default
+ * BENCH_hint_storm.json):
+ *
+ *  1. Per-stressor isolation: each catalog entry poured alone into
+ *     a HintIngress microharness (stress-ng style), reporting the
+ *     sustained hints/s the boundary absorbs and the counters the
+ *     stressor is supposed to move (rejects, duplicates, drops).
+ *  2. The combined standard storm through the full trace simulator,
+ *     reporting hints/s alongside replay racks/s — the ingestion
+ *     boundary must not buy robustness by wrecking replay
+ *     throughput.
+ */
+
+#include <cstdio>
+
+#include "cluster/trace_sim.hh"
+#include "hint_storm_common.hh"
+
+using namespace soc;
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path =
+        argc > 1 ? argv[1] : "BENCH_hint_storm.json";
+
+    std::FILE *out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"stressors\": [\n");
+
+    // 1. Each stressor in isolation: 8 servers x 32 frames/step x
+    //    1500 steps ~= 384k frames per catalog entry.
+    constexpr int kServers = 8;
+    constexpr int kVms = 16;
+    constexpr int kSteps = 1500;
+    constexpr double kRate = 32.0;
+    core::HintIngressConfig icfg;
+    icfg.maxHintAge = sim::kHour;
+    // Half a step's flood: the capacity stressors must actually hit
+    // the drop policy, not just fill and drain.
+    icfg.queueCapacity = 128;
+    for (std::size_t k = 0; k < sim::kStormKinds; ++k) {
+        const auto kind = static_cast<sim::StormKind>(k);
+        const auto r = benchutil::runIngressStorm(
+            sim::HintStormConfig::only(kind, kRate), icfg, kServers,
+            kVms, kSteps);
+        std::fprintf(
+            out,
+            "    {\"name\": \"%s\", \"offered\": %llu, "
+            "\"hints_per_s\": %.0f, \"accepted\": %llu, "
+            "\"parse_rejects\": %llu, \"duplicates\": %llu, "
+            "\"overflow_evictions\": %llu}%s\n",
+            sim::stormName(kind),
+            static_cast<unsigned long long>(r.offered), r.hintsPerS,
+            static_cast<unsigned long long>(r.stats.accepted),
+            static_cast<unsigned long long>(r.stats.parseRejects),
+            static_cast<unsigned long long>(r.stats.duplicates),
+            static_cast<unsigned long long>(
+                r.stats.overflowEvictions),
+            k + 1 < sim::kStormKinds ? "," : "");
+        std::printf("%-18s %8.2f Mhints/s  accepted=%llu "
+                    "rejects=%llu dups=%llu evictions=%llu\n",
+                    sim::stormName(kind), r.hintsPerS / 1e6,
+                    static_cast<unsigned long long>(r.stats.accepted),
+                    static_cast<unsigned long long>(
+                        r.stats.parseRejects),
+                    static_cast<unsigned long long>(
+                        r.stats.duplicates),
+                    static_cast<unsigned long long>(
+                        r.stats.overflowEvictions));
+    }
+    std::fprintf(out, "  ],\n");
+
+    // 2. Combined storm through the trace simulator: the bounded
+    //    boundary under full control-loop load.
+    cluster::TraceSimConfig cfg;
+    cfg.racks = 16;
+    cfg.serversPerRack = 8;
+    cfg.warmup = 6 * sim::kHour;
+    cfg.duration = 6 * sim::kHour;
+    cfg.controlStep = 300 * sim::kSecond;
+    cfg.requestChunk = sim::kHour;
+    cfg.seed = 101;
+    cfg.ingress.enabled = true;
+    cfg.ingress.maxHintAge = sim::kHour;
+    cfg.ingress.flapHoldoff = 10 * sim::kMinute;
+    cfg.storm = sim::HintStormConfig::standardStorm();
+    const auto result = cluster::runTraceSim(cfg);
+    const double racks_per_s = result.simSeconds > 0.0
+        ? cfg.racks / result.simSeconds
+        : 0.0;
+    const double hints_per_s = result.simSeconds > 0.0
+        ? static_cast<double>(result.ingress.offered) /
+            result.simSeconds
+        : 0.0;
+
+    std::fprintf(
+        out,
+        "  \"combined_trace_sim\": {\n"
+        "    \"racks\": %d,\n"
+        "    \"servers_per_rack\": %d,\n"
+        "    \"offered\": %llu,\n"
+        "    \"parse_rejects\": %llu,\n"
+        "    \"overflow_evictions\": %llu,\n"
+        "    \"flap_denied\": %llu,\n"
+        "    \"hints_per_s\": %.0f,\n"
+        "    \"racks_per_s\": %.3f\n"
+        "  }\n"
+        "}\n",
+        cfg.racks, cfg.serversPerRack,
+        static_cast<unsigned long long>(result.ingress.offered),
+        static_cast<unsigned long long>(result.ingress.parseRejects),
+        static_cast<unsigned long long>(
+            result.ingress.overflowEvictions),
+        static_cast<unsigned long long>(result.flapDenied),
+        hints_per_s, racks_per_s);
+    std::fclose(out);
+    std::printf("combined storm: offered=%llu hints_per_s=%.0f "
+                "racks_per_s=%.3f -> %s\n",
+                static_cast<unsigned long long>(
+                    result.ingress.offered),
+                hints_per_s, racks_per_s, out_path);
+    return 0;
+}

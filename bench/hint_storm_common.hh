@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared microharness for the hint-ingestion benchmarks: pours a
+ * HintStormGenerator straight into a HintIngress (offer + batched
+ * drain per step, trivial sink) and reports sustained ingestion
+ * throughput.  Used by bench_hint_storm (per-stressor isolation)
+ * and bench_trace_sim (the gated hints_per_s figure).
+ */
+
+#ifndef SOC_BENCH_HINT_STORM_COMMON_HH
+#define SOC_BENCH_HINT_STORM_COMMON_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/hint_ingress.hh"
+#include "sim/hint_storm.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace benchutil
+{
+
+struct IngressBenchResult {
+    std::uint64_t offered = 0;
+    double wallSeconds = 0.0;
+    /** Sustained frames/s through offer + drain. */
+    double hintsPerS = 0.0;
+    core::IngressStats stats;
+};
+
+/**
+ * Drive @p storm into one ingress for @p steps control steps of
+ * @p stepLen simulated time across @p servers, draining after each
+ * step.  Wall time covers the full offer/parse/dedup/drop/drain
+ * path — the figure the storm actually stresses.
+ */
+inline IngressBenchResult
+runIngressStorm(const sim::HintStormConfig &storm,
+                const core::HintIngressConfig &ingress_cfg,
+                int servers, int vms_per_server, int steps,
+                sim::Tick step_len = sim::kMinute,
+                std::uint64_t seed = 11)
+{
+    core::HintIngress ingress(ingress_cfg);
+    const sim::HintStormGenerator generator(storm, seed, /*rack=*/0,
+                                            servers, vms_per_server);
+    IngressBenchResult result;
+
+    const auto start = std::chrono::steady_clock::now();
+    sim::Tick now = 0;
+    for (int step = 0; step < steps; ++step, now += step_len) {
+        for (int s = 0; s < servers; ++s)
+            generator.generate(s, now,
+                               [&](const core::wire::Frame &f) {
+                                   ingress.offer(f, now);
+                                   ++result.offered;
+                               });
+        ingress.drain(now, [](const core::wire::ParsedHint &) {
+            return true;
+        });
+    }
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    result.stats = ingress.stats();
+    result.hintsPerS = result.wallSeconds > 0.0
+        ? static_cast<double>(result.offered) / result.wallSeconds
+        : 0.0;
+    return result;
+}
+
+} // namespace benchutil
+} // namespace soc
+
+#endif // SOC_BENCH_HINT_STORM_COMMON_HH

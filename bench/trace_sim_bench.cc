@@ -23,6 +23,7 @@
 #include "cluster/trace_sim.hh"
 #include "core/budget_hierarchy.hh"
 #include "core/goa.hh"
+#include "hint_storm_common.hh"
 #include "sim/time.hh"
 
 using namespace soc;
@@ -193,6 +194,17 @@ main(int argc, char **argv)
     }
     const double hier_us = secondsSince(start) / kHierReps * 1e6;
 
+    // 4. Hint-ingestion throughput under the standard adversarial
+    //    storm (offer + parse + dedup + drop policy + drain).  The
+    //    gated hints_per_s figure: scripts/bench_check.sh fails if
+    //    the boundary can no longer absorb storms at rate.
+    core::HintIngressConfig ingress_cfg;
+    ingress_cfg.maxHintAge = sim::kHour;
+    auto storm_cfg = sim::HintStormConfig::standardStorm();
+    const auto ingress_bench = benchutil::runIngressStorm(
+        storm_cfg, ingress_cfg, /*servers=*/8, /*vms_per_server=*/16,
+        /*steps=*/2000);
+
     std::FILE *out = std::fopen(out_path, "w");
     if (out == nullptr) {
         std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -221,6 +233,13 @@ main(int argc, char **argv)
                  "    \"rows\": %d,\n"
                  "    \"flat_zone_split_us\": %.2f,\n"
                  "    \"incremental_recompute_us\": %.2f\n"
+                 "  },\n"
+                 "  \"hint_ingress\": {\n"
+                 "    \"storm\": \"standard\",\n"
+                 "    \"offered\": %llu,\n"
+                 "    \"accepted\": %llu,\n"
+                 "    \"parse_rejects\": %llu,\n"
+                 "    \"hints_per_s\": %.0f\n"
                  "  }\n"
                  "}\n",
                  cfg.racks, cfg.serversPerRack, wall_s,
@@ -228,15 +247,22 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(result.requests),
                  RecomputeHarness::kServers, us_1d, us_6w, ratio,
                  cfg.racks, static_cast<int>(hierarchy.rows()),
-                 flat_us, hier_us);
+                 flat_us, hier_us,
+                 static_cast<unsigned long long>(
+                     ingress_bench.offered),
+                 static_cast<unsigned long long>(
+                     ingress_bench.stats.accepted),
+                 static_cast<unsigned long long>(
+                     ingress_bench.stats.parseRejects),
+                 ingress_bench.hintsPerS);
     std::fclose(out);
     std::printf("wall_s=%.3f gen_s=%.3f sim_s=%.3f "
                 "racks_per_s=%.3f "
                 "recompute_us_1d=%.2f recompute_us_6w=%.2f "
                 "ratio=%.3f flat_zone_split_us=%.2f "
-                "hier_incremental_us=%.2f -> %s\n",
+                "hier_incremental_us=%.2f hints_per_s=%.0f -> %s\n",
                 wall_s, result.genSeconds, result.simSeconds,
                 racks_per_s, us_1d, us_6w, ratio, flat_us, hier_us,
-                out_path);
+                ingress_bench.hintsPerS, out_path);
     return 0;
 }

@@ -1,17 +1,22 @@
 #!/bin/sh
 # Performance check: build the bench targets and refresh
 # BENCH_trace_sim.json at the repo root (simulator replay throughput,
-# gOA recompute latency at 1-day vs 6-week telemetry horizons, and
-# the hierarchical budget tier).  Two gates:
+# gOA recompute latency at 1-day vs 6-week telemetry horizons, the
+# hierarchical budget tier, and hint-ingestion throughput under the
+# standard adversarial storm).  Three gates:
 #  - replay throughput must stay at or above RACKS_PER_S_MIN
 #    (struct-of-arrays replay baseline, with margin for CI noise);
 #  - the 6-week recompute must stay within 2x of the 1-day one —
-#    the incremental-aggregation guarantee this repo relies on.
+#    the incremental-aggregation guarantee this repo relies on;
+#  - storm ingestion must sustain HINTS_PER_S_MIN through the
+#    offer/parse/dedup/drop/drain path (~1/4 of the throughput
+#    measured when the HintIngress boundary landed).
 # Usage: scripts/bench_check.sh [builddir]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-build}"
 RACKS_PER_S_MIN=500
+HINTS_PER_S_MIN=1000000
 cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j "$(nproc)" \
     --target bench_trace_sim bench_micro_primitives
@@ -42,6 +47,15 @@ RATIO=$(extract ratio_6w_over_1d)
 echo "recompute 6w/1d ratio: $RATIO (bound: 2.0)"
 awk "BEGIN { exit !($RATIO <= 2.0) }" || {
     echo "FAIL: recompute cost grows with telemetry horizon" >&2
+    exit 1
+}
+
+HINTS_PER_S=$(extract hints_per_s)
+echo "storm ingestion: $HINTS_PER_S hints/s" \
+     "(floor: $HINTS_PER_S_MIN)"
+awk "BEGIN { exit !($HINTS_PER_S >= $HINTS_PER_S_MIN) }" || {
+    echo "FAIL: hint ingestion regressed below" \
+         "$HINTS_PER_S_MIN hints/s" >&2
     exit 1
 }
 # Microbenchmarks of the underlying primitives (informational).

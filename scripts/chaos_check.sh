@@ -2,9 +2,12 @@
 # Chaos job: build the tree under ThreadSanitizer and then
 # AddressSanitizer, and run the fault-injection suite (ctest label
 # `chaos`) under each.  The suite drives the simulators through gOA
-# outages, sOA crash-restarts and message faults, so a data race or
-# heap error on the degraded paths surfaces here rather than in a
-# long bench run.  Usage: scripts/chaos_check.sh [builddir-prefix]
+# outages, sOA crash-restarts, message faults, and the adversarial
+# hint-storm catalog against the bounded HintIngress (flood, dedup,
+# flapping, lying/stale telemetry, malformed-frame fuzz), so a data
+# race or heap error on the degraded and ingestion paths surfaces
+# here rather than in a long bench run.
+# Usage: scripts/chaos_check.sh [builddir-prefix]
 set -e
 ROOT="$(dirname "$0")/.."
 PREFIX="${1:-build-chaos}"

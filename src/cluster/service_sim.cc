@@ -75,6 +75,12 @@ ServiceSimConfig::validate() const
     if (maxInstances < 1)
         fail("maxInstances must be >= 1");
     faults.validate();
+    ingress.validate();
+    storm.validate();
+    if (storm.enabled && !ingress.enabled) {
+        fail("storm requires the ingress (there is no hint channel "
+             "to attack otherwise)");
+    }
 }
 
 namespace
@@ -511,6 +517,25 @@ runServiceSim(const ServiceSimConfig &config)
         }
     });
 
+    // Hint channel (DESIGN.md §12): when enabled, the metric pump
+    // serializes each deployment's poll window as a wire frame
+    // through one cluster-level bounded ingress instead of calling
+    // the WI agents directly; the deployment index doubles as the
+    // wire "server" field.  Storm frames pour into the same queue.
+    std::unique_ptr<core::HintIngress> hint_ingress;
+    sim::HintStormGenerator hint_storm;
+    std::vector<std::uint64_t> hint_seq(deployments.size(), 0);
+    if (config.ingress.enabled) {
+        hint_ingress =
+            std::make_unique<core::HintIngress>(config.ingress);
+        if (config.storm.enabled) {
+            hint_storm = sim::HintStormGenerator(
+                config.storm, config.seed, /*rack=*/0,
+                static_cast<int>(deployments.size()),
+                config.maxInstances);
+        }
+    }
+
     simulator.every(config.pollPeriod, [&](sim::Tick now) {
         const bool in_eval = now >= config.warmup;
         for (auto &dep : deployments) {
@@ -520,10 +545,30 @@ runServiceSim(const ServiceSimConfig &config)
             metrics.meanLatencyMs = window.latencyMs.mean();
             metrics.utilization = window.utilization;
             metrics.completed = window.completed;
-            for (std::size_t v = 0; v < dep->wi->vmCount(); ++v)
-                dep->wi->vm(v).lastMetrics = metrics;
-            dep->wi->onMetrics(now, metrics);
-            dep->wi->tick(now);
+            if (hint_ingress) {
+                const auto d =
+                    static_cast<std::size_t>(dep->index);
+                if (hint_storm.enabled()) {
+                    hint_storm.generate(
+                        dep->index, now,
+                        [&](const core::wire::Frame &frame) {
+                            hint_ingress->offer(frame, now);
+                        });
+                }
+                core::wire::HintHeader hdr;
+                hdr.server = dep->index;
+                hdr.vmId = dep->index;
+                hdr.seq = hint_seq[d]++;
+                hdr.issuedAt = now;
+                hint_ingress->offer(
+                    core::wire::encodeMetricsWindow(hdr, metrics),
+                    now);
+            } else {
+                for (std::size_t v = 0; v < dep->wi->vmCount(); ++v)
+                    dep->wi->vm(v).lastMetrics = metrics;
+                dep->wi->onMetrics(now, metrics);
+                dep->wi->tick(now);
+            }
 
             if (in_eval && window.completed > 0) {
                 dep->evalLatency.merge(window.latencyMs);
@@ -540,6 +585,45 @@ runServiceSim(const ServiceSimConfig &config)
                     }
                 }
             }
+        }
+
+        if (hint_ingress) {
+            // One batched drain dispatches the surviving hints into
+            // the WI agents; the sink bounds-checks the addressed
+            // deployment (forged frames may name anything).
+            hint_ingress->drain(
+                now, [&](const core::wire::ParsedHint &hint) {
+                    if (hint.server < 0 ||
+                        hint.server >=
+                            static_cast<int>(deployments.size()))
+                        return false;
+                    Deployment &dep =
+                        *deployments[static_cast<std::size_t>(
+                            hint.server)];
+                    switch (hint.kind) {
+                    case core::wire::HintKind::MetricsWindow:
+                        for (std::size_t v = 0;
+                             v < dep.wi->vmCount(); ++v)
+                            dep.wi->vm(v).lastMetrics = hint.metrics;
+                        dep.wi->onMetrics(now, hint.metrics);
+                        return true;
+                    case core::wire::HintKind::ScheduleDeclaration:
+                        // A declared high-traffic window replaces
+                        // the deployment's schedule.
+                        dep.wi->mutableConfig().windows = {
+                            hint.window};
+                        return true;
+                    case core::wire::HintKind::ExhaustionSignal:
+                        dep.wi->onExhaustion(now, hint.exhaustion);
+                        return true;
+                    default:
+                        // Start/stop hints have no consumer here:
+                        // the WI agents drive the sOAs directly.
+                        return false;
+                    }
+                });
+            for (auto &dep : deployments)
+                dep->wi->tick(now);
         }
     });
 
@@ -626,7 +710,10 @@ runServiceSim(const ServiceSimConfig &config)
             dep->wi->stats().proactiveScaleOuts;
         result.overclockStarts += dep->wi->stats().overclockStarts;
         result.denials += dep->wi->stats().denials;
+        result.rejectedMetrics += dep->wi->stats().rejectedMetrics;
     }
+    if (hint_ingress)
+        result.ingress.merge(hint_ingress->stats());
 
     for (int c = 0; c < 3; ++c) {
         auto &out = result.byClass[c];

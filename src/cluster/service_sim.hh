@@ -29,9 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "core/hint_ingress.hh"
 #include "core/policy.hh"
 #include "power/power_model.hh"
 #include "sim/fault_injector.hh"
+#include "sim/hint_storm.hh"
 #include "sim/time.hh"
 
 namespace soc
@@ -110,6 +112,20 @@ struct ServiceSimConfig {
      * goaPeriod.
      */
     sim::FaultConfig faults;
+    /**
+     * Hint ingestion boundary (DESIGN.md §12).  Disabled by default
+     * (the metric pump calls GlobalWiAgent::onMetrics directly, the
+     * seed behavior).  When enabled, each deployment's poll-window
+     * metrics cross the cluster's HintIngress as wire::MetricsWindow
+     * frames, and schedule/exhaustion hints become first-class wire
+     * messages too.
+     */
+    core::HintIngressConfig ingress;
+    /**
+     * Adversarial hint-storm catalog (requires ingress.enabled);
+     * storms target deployments (server index = deployment index).
+     */
+    sim::HintStormConfig storm;
 
     /**
      * Reject nonsensical configurations up front with a clear
@@ -151,6 +167,11 @@ struct ServiceSimResult {
     /** Injected-fault and degraded-path counters (zero when fault
      *  injection is disabled). */
     sim::FaultStats faults;
+    /** Ingress counters (zero when the ingress is disabled). */
+    core::IngressStats ingress;
+    /** Metric windows the WI agents rejected fail-closed
+     *  (NaN/negative fields), summed over deployments. */
+    std::uint64_t rejectedMetrics = 0;
 };
 
 /** Run one environment over the 36-server cluster. */

@@ -70,6 +70,12 @@ TraceSimConfig::validate() const
              "the telemetry slot");
     }
     faults.validate();
+    ingress.validate();
+    storm.validate();
+    if (storm.enabled && !ingress.enabled) {
+        fail("storm requires the ingress (there is no hint channel "
+             "to attack otherwise)");
+    }
 }
 
 namespace
@@ -97,6 +103,12 @@ struct SimRack {
     std::vector<std::vector<bool>> candidate;
     /** Deterministic fault schedule (inert when faults disabled). */
     sim::FaultPlan plan;
+    /** Bounded hint queue (null when the ingress is disabled). */
+    std::unique_ptr<core::HintIngress> ingress;
+    /** Deterministic adversarial frame source (inert when off). */
+    sim::HintStormGenerator storm;
+    /** seq[s][v]: next wire sequence number for server s, VM v. */
+    std::vector<std::vector<std::uint64_t>> seq;
 };
 
 /**
@@ -121,6 +133,8 @@ struct RackOutcome {
     std::uint64_t staleLeaseTicks = 0;
     std::uint64_t recoveries = 0;
     sim::Tick recoverySum = 0;
+    core::IngressStats ingress;
+    std::uint64_t flapDenied = 0;
     /** Wall-clock accounting (not simulation state). */
     double genSeconds = 0.0;
     double simSeconds = 0.0;
@@ -225,6 +239,23 @@ buildRack(SimRack &sr, int rack_index, const TraceSimConfig &config,
     sr.fleet = std::make_unique<FleetState>(config.ocUtilThreshold);
     for (int s = 0; s < config.serversPerRack; ++s)
         sr.fleet->addServer(sr.traces[s], sr.candidate[s]);
+
+    if (config.ingress.enabled) {
+        sr.ingress =
+            std::make_unique<core::HintIngress>(config.ingress);
+        sr.seq.resize(sr.traces.size());
+        std::size_t max_vms = 1;
+        for (std::size_t s = 0; s < sr.traces.size(); ++s) {
+            sr.seq[s].assign(sr.traces[s].mix.size(), 0);
+            max_vms = std::max(max_vms, sr.traces[s].mix.size());
+        }
+        if (config.storm.enabled) {
+            sr.storm = sim::HintStormGenerator(
+                config.storm, config.seed,
+                static_cast<std::uint64_t>(rack_index),
+                config.serversPerRack, static_cast<int>(max_vms));
+        }
+    }
 }
 
 /** Run one rack's whole control loop, filling its outcome slot. */
@@ -385,6 +416,127 @@ simulateRack(SimRack &sr, RackOutcome &out,
         }
 
         const bool in_eval = t >= config.warmup;
+        if (sr.ingress) {
+            // Ingress path (DESIGN.md §12), three phases per step.
+            //
+            // Phase 1 — serialize: forge this step's storm frames
+            // and the legitimate want/stop transitions as wire
+            // messages, offering each to the bounded queue.
+            // active_mask is updated at *offer* time, which keeps it
+            // the documented conservative superset: if a start hint
+            // is dropped, the VM still wants next step and re-offers;
+            // a stale bit is cleared by the !active branch.
+            for (std::size_t s = 0; s < sr.soas.size(); ++s) {
+                power::Server &server = sr.rack->server(s);
+                auto &soa = *sr.soas[s];
+                const auto &trace = sr.traces[s];
+                if (sr.storm.enabled()) {
+                    sr.storm.generate(
+                        static_cast<int>(s), t,
+                        [&](const core::wire::Frame &frame) {
+                            sr.ingress->offer(frame, t);
+                        });
+                }
+                const std::uint64_t want_mask = sr.fleet->wantMask(s);
+                std::uint64_t pending = want_mask | active_mask[s];
+                while (pending != 0) {
+                    const int v = std::countr_zero(pending);
+                    pending &= pending - 1;
+                    const auto bit = std::uint64_t{1} << v;
+                    const power::GroupId g =
+                        sr.groups[s][static_cast<std::size_t>(v)];
+                    const bool want = (want_mask & bit) != 0;
+                    const bool active = soa.isOverclockActive(g);
+                    core::wire::HintHeader hdr;
+                    hdr.server = static_cast<int>(s);
+                    hdr.vmId = g;
+                    hdr.issuedAt = t;
+                    if (want && !active) {
+                        hdr.seq =
+                            sr.seq[s][static_cast<std::size_t>(v)]++;
+                        core::OverclockRequest request;
+                        request.groupId = g;
+                        request.cores =
+                            trace.mix[static_cast<std::size_t>(v)]
+                                .cores;
+                        request.trigger = core::TriggerKind::Metrics;
+                        request.duration = config.requestChunk;
+                        request.priority = 1;
+                        sr.ingress->offer(
+                            core::wire::encodeOverclockRequest(
+                                hdr, request),
+                            t);
+                        active_mask[s] |= bit;
+                    } else if (!want && active) {
+                        hdr.seq =
+                            sr.seq[s][static_cast<std::size_t>(v)]++;
+                        sr.ingress->offer(
+                            core::wire::encodeStopRequest(hdr), t);
+                        active_mask[s] &= ~bit;
+                    } else if (!active) {
+                        active_mask[s] &= ~bit;
+                    }
+
+                    if (in_eval && want) {
+                        ++out.wantSteps;
+                        const auto *group = server.group(g);
+                        const power::FreqMHz eff = group != nullptr
+                            ? group->effectiveMHz()
+                            : power::kTurboMHz;
+                        out.perf.add(eff / power::kTurboMHz);
+                        if (group != nullptr && group->overclocked())
+                            ++out.successSteps;
+                    }
+                }
+            }
+
+            // Phase 2 — one batched drain dispatches the surviving
+            // hints into the agents.  The sink bounds-checks the
+            // addressed server/group (a forged frame may name
+            // anything); hints it cannot place are sink drops.
+            sr.ingress->drain(
+                t, [&](const core::wire::ParsedHint &hint) {
+                    if (hint.server < 0 ||
+                        hint.server >=
+                            static_cast<int>(sr.soas.size()))
+                        return false;
+                    const auto &groups =
+                        sr.groups[static_cast<std::size_t>(
+                            hint.server)];
+                    switch (hint.kind) {
+                    case core::wire::HintKind::OverclockRequest:
+                        if (hint.vmId < 0 ||
+                            hint.vmId >=
+                                static_cast<std::int32_t>(
+                                    groups.size()))
+                            return false;
+                        sr.soas[static_cast<std::size_t>(
+                                    hint.server)]
+                            ->requestOverclock(hint.request, t);
+                        return true;
+                    case core::wire::HintKind::StopRequest:
+                        if (hint.vmId < 0 ||
+                            hint.vmId >=
+                                static_cast<std::int32_t>(
+                                    groups.size()))
+                            return false;
+                        sr.soas[static_cast<std::size_t>(
+                                    hint.server)]
+                            ->stopOverclock(hint.vmId, t);
+                        return true;
+                    default:
+                        // Metrics/schedule/exhaustion hints have no
+                        // consumer in the trace sim (no WI layer);
+                        // counted as sink drops, not crashes.
+                        return false;
+                    }
+                });
+
+            // Phase 3 — control ticks run after the drain so every
+            // sOA sees this step's surviving hints.
+            for (auto &soa : sr.soas)
+                soa->tick(t);
+        } else
         for (std::size_t s = 0; s < sr.soas.size(); ++s) {
             power::Server &server = sr.rack->server(s);
             auto &soa = *sr.soas[s];
@@ -494,6 +646,12 @@ simulateRack(SimRack &sr, RackOutcome &out,
         for (auto &soa : sr.soas)
             out.staleLeaseTicks += soa->stats().staleLeaseTicks;
     }
+
+    if (sr.ingress) {
+        out.ingress.merge(sr.ingress->stats());
+        for (auto &soa : sr.soas)
+            out.flapDenied += soa->stats().flapDenied;
+    }
 }
 
 } // namespace
@@ -511,6 +669,8 @@ runTraceSim(const TraceSimConfig &config)
     // budget to the workloads' requirements).
     soa_cfg.overclockFraction = 0.25;
     soa_cfg.templateWindow = config.templateWindow;
+    if (config.ingress.enabled)
+        soa_cfg.flapHoldoff = config.ingress.flapHoldoff;
 
     const std::size_t n_racks =
         static_cast<std::size_t>(std::max(0, config.racks));
@@ -575,6 +735,8 @@ runTraceSim(const TraceSimConfig &config)
         result.staleLeaseTicks += out.staleLeaseTicks;
         result.recoveries += out.recoveries;
         recovery_sum += out.recoverySum;
+        result.ingress.merge(out.ingress);
+        result.flapDenied += out.flapDenied;
         result.genSeconds += out.genSeconds;
         result.simSeconds += out.simSeconds;
     }

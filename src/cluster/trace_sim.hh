@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/hint_ingress.hh"
 #include "core/policy.hh"
 #include "power/power_model.hh"
 #include "sim/fault_injector.hh"
+#include "sim/hint_storm.hh"
 #include "sim/time.hh"
 #include "telemetry/time_series.hh"
 
@@ -71,6 +73,24 @@ struct TraceSimConfig {
      * fault counters in TraceSimResult.
      */
     sim::FaultConfig faults;
+    /**
+     * Hint ingestion boundary (DESIGN.md §12).  Disabled by default:
+     * WI requests then reach the sOAs through the original direct
+     * call path, bit-identical to the seed behavior.  When enabled,
+     * every per-rack hint is serialized as a core::wire frame,
+     * offered to a bounded per-rack HintIngress (fail-closed
+     * parsing, dedup, overflow drop policy) and dispatched in one
+     * batched drain per control step; SoaConfig::flapHoldoff is
+     * taken from ingress.flapHoldoff.
+     */
+    core::HintIngressConfig ingress;
+    /**
+     * Adversarial hint-storm catalog (requires ingress.enabled):
+     * each rack derives a deterministic sim::HintStormGenerator
+     * from the run seed and pours its forged frames into the same
+     * ingress the legitimate hints use.
+     */
+    sim::HintStormConfig storm;
     /**
      * Worker threads for trace generation and the per-rack control
      * loops (racks are fully independent, see DESIGN.md "Threading
@@ -142,6 +162,12 @@ struct TraceSimResult {
     std::uint64_t recoveries = 0;
     /** Mean recovery time over those recoveries, in seconds. */
     double meanRecoveryS = 0.0;
+
+    // Ingestion metrics (all zero when the ingress is disabled).
+    /** Ingress counters merged over racks in rack order. */
+    core::IngressStats ingress;
+    /** Requests denied by the sOA flap-hysteresis window. */
+    std::uint64_t flapDenied = 0;
 };
 
 /** Run one policy over one generated fleet. */

@@ -79,8 +79,14 @@ GlobalOverclockingAgent::collectProfiles(
             }
         }
         if (reached) {
-            agent->refreshOwnTemplate(config_.strategy);
-            lastProfiles_[i] = agent->buildProfile(config_.strategy);
+            // Snapshot read (DESIGN.md §12): the sOA serves a
+            // cached profile keyed by its aggregator versions —
+            // bit-identical to buildProfile(), but a recompute
+            // landing between slot closes copies into the existing
+            // allocation and assembles nothing, so recompute never
+            // contends with hint ingestion.
+            lastProfiles_[i] =
+                agent->profileSnapshot(config_.strategy);
             lastProfileValid_[i] = true;
         } else if (lastProfileValid_[i]) {
             // Unreachable server: budget from its last known

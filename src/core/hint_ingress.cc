@@ -1,0 +1,184 @@
+#include "core/hint_ingress.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soc
+{
+namespace core
+{
+
+HintIngress::HintIngress(HintIngressConfig config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+std::size_t
+HintIngress::depth() const
+{
+    return pending_.size() + draining_.size();
+}
+
+HintIngress::FlowKey
+HintIngress::flowKey(const wire::ParsedHint &h)
+{
+    return FlowKey{h.server, h.vmId,
+                   static_cast<std::uint8_t>(h.kind)};
+}
+
+HintIngress::DupKey
+HintIngress::dupKey(const wire::ParsedHint &h)
+{
+    return DupKey{h.server, h.vmId,
+                  static_cast<std::uint8_t>(h.kind), h.seq};
+}
+
+void
+HintIngress::noteDepth()
+{
+    const std::uint64_t d = static_cast<std::uint64_t>(depth());
+    if (d > stats_.maxDepth)
+        stats_.maxDepth = d;
+}
+
+/**
+ * Oldest-duplicate-first: scan pending_ front-to-back for the first
+ * entry whose flow has >= 2 queued entries and evict it (a newer
+ * hint of the same flow supersedes it).  If every flow is unique,
+ * evict the overall front.  Front-to-back scan order makes the
+ * choice deterministic; the supersedable-flow counter makes the
+ * common no-duplicate case O(1).
+ */
+void
+HintIngress::evictForOverflow()
+{
+    assert(!pending_.empty());
+    std::size_t victim = 0;
+    bool superseded = false;
+    if (supersedableFlows_ > 0) {
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            const auto it =
+                flowCounts_.find(flowKey(pending_[i].hint));
+            assert(it != flowCounts_.end());
+            if (it->second >= 2) {
+                victim = i;
+                superseded = true;
+                break;
+            }
+        }
+    }
+
+    const wire::ParsedHint &h = pending_[victim].hint;
+    const auto fit = flowCounts_.find(flowKey(h));
+    assert(fit != flowCounts_.end());
+    if (fit->second == 2)
+        --supersedableFlows_;
+    if (--fit->second == 0)
+        flowCounts_.erase(fit);
+    const auto dit = dupCounts_.find(dupKey(h));
+    if (dit != dupCounts_.end() && --dit->second == 0)
+        dupCounts_.erase(dit);
+
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(victim));
+    ++stats_.overflowEvictions;
+    if (superseded)
+        ++stats_.overflowSuperseded;
+}
+
+wire::Reject
+HintIngress::offer(const std::uint8_t *data, std::size_t len,
+                   sim::Tick now)
+{
+    ++stats_.offered;
+
+    wire::ParsedHint hint;
+    const wire::Reject reject =
+        wire::parseFrame(data, len, config_.limits, hint);
+    if (reject != wire::Reject::None) {
+        ++stats_.parseRejects;
+        ++stats_.rejectsByReason[static_cast<std::size_t>(reject)];
+        return reject;
+    }
+
+    // Staleness is an ingress property (it needs "now"), not a wire
+    // property: too old, or claiming to be from the future.
+    if (config_.maxHintAge > 0 &&
+        (hint.issuedAt > now ||
+         now - hint.issuedAt > config_.maxHintAge)) {
+        ++stats_.parseRejects;
+        ++stats_.rejectsByReason[static_cast<std::size_t>(
+            wire::Reject::Stale)];
+        return wire::Reject::Stale;
+    }
+
+    // Exact duplicates (retransmits) are suppressed, not queued
+    // twice.  Not a rejection: the original is still in flight.
+    const auto dup = dupCounts_.find(dupKey(hint));
+    if (dup != dupCounts_.end()) {
+        ++stats_.duplicates;
+        return wire::Reject::None;
+    }
+
+    if (pending_.size() >= config_.queueCapacity)
+        evictForOverflow();
+
+    Entry entry;
+    entry.hint = hint;
+    entry.stamp = nextStamp_++;
+    pending_.push_back(entry);
+    dupCounts_[dupKey(hint)] = 1;
+    const auto fit = flowCounts_.emplace(flowKey(hint), 0u).first;
+    if (++fit->second == 2)
+        ++supersedableFlows_;
+    ++stats_.accepted;
+    noteDepth();
+    return wire::Reject::None;
+}
+
+std::size_t
+HintIngress::drain(sim::Tick now, const Sink &sink)
+{
+    (void)now;
+    if (draining_.empty()) {
+        // Snapshot swap: everything queued so far becomes this
+        // batch; offers made while the sink runs go to the fresh
+        // pending_ and wait for the next drain.
+        draining_.swap(pending_);
+        dupCounts_.clear();
+        flowCounts_.clear();
+        supersedableFlows_ = 0;
+    }
+    if (draining_.empty())
+        return 0;
+
+    const std::size_t limit = config_.drainMax == 0
+        ? draining_.size()
+        : std::min(config_.drainMax, draining_.size());
+
+    std::size_t dispatched = 0;
+    for (; dispatched < limit; ++dispatched) {
+        const Entry entry = draining_.front();
+        draining_.pop_front();
+        ++stats_.drained;
+        if (!sink(entry.hint))
+            ++stats_.sinkDrops;
+    }
+    if (dispatched > 0)
+        ++stats_.drainBatches;
+    return dispatched;
+}
+
+void
+HintIngress::clear()
+{
+    pending_.clear();
+    draining_.clear();
+    dupCounts_.clear();
+    flowCounts_.clear();
+    supersedableFlows_ = 0;
+}
+
+} // namespace core
+} // namespace soc

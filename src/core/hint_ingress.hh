@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Bounded, batched hint ingestion boundary (DESIGN.md §12).
+ *
+ * `HintIngress` sits between the WI agents and the gOA/sOA control
+ * loop.  Hints arrive as serialized `wire` frames, are parsed
+ * fail-closed (every rejection attributed to a `wire::Reject`
+ * counter, zero state mutation), deduplicated, and enqueued into a
+ * fixed-capacity queue with an explicit, deterministic drop policy.
+ * The control loop drains hints in batches from a snapshot, so
+ * ingestion never blocks — or reorders — a recompute in flight.
+ *
+ * Determinism: the queue is plain FIFO storage plus ordered-map
+ * bookkeeping; given the same offer sequence it accepts, drops and
+ * drains the same hints in the same order regardless of how many
+ * worker threads the surrounding sim uses (each rack owns its own
+ * ingress, and racks are merged in rack order).
+ *
+ * Drop policy on overflow (oldest-duplicate-first): evict the
+ * front-most queued entry belonging to any flow (server, vm, kind)
+ * with at least two entries queued — the newer entry supersedes it —
+ * otherwise evict the queue front (oldest overall).  Ties are broken
+ * by queue position, which is seed-stable.
+ */
+
+#ifndef SOC_CORE_HINT_INGRESS_HH
+#define SOC_CORE_HINT_INGRESS_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/wire.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace core
+{
+
+/** Tunables for one ingress instance (typically one per rack). */
+struct HintIngressConfig {
+    /** Master switch; disabled ingress rejects nothing and the sims
+     *  keep their direct call path, preserving seed behavior. */
+    bool enabled = false;
+
+    /** Fixed queue capacity; offers beyond it trigger the drop
+     *  policy, they never grow the queue. */
+    std::size_t queueCapacity = 4096;
+
+    /** Max hints dispatched per drain() call; 0 = drain the whole
+     *  snapshot.  Bounds the control loop's per-step work under a
+     *  storm (explicit backpressure). */
+    std::size_t drainMax = 0;
+
+    /**
+     * Hysteresis window the sims copy into SoaConfig::flapHoldoff:
+     * after a VM stops overclocking, re-requests within this window
+     * are denied (rate-limits per-VM hint flapping).
+     */
+    sim::Tick flapHoldoff = 0;
+
+    /**
+     * Reject hints whose issuedAt is older than this relative to
+     * the offer time, or from the future; 0 disables the check.
+     */
+    sim::Tick maxHintAge = 0;
+
+    /** Field bounds enforced by the fail-closed parser. */
+    wire::WireLimits limits;
+
+    void
+    validate() const
+    {
+        if (queueCapacity == 0)
+            throw std::invalid_argument(
+                "HintIngressConfig: queueCapacity must be > 0");
+        if (flapHoldoff < 0 || maxHintAge < 0)
+            throw std::invalid_argument(
+                "HintIngressConfig: negative window");
+    }
+};
+
+/** Counters for the evaluation harnesses; merged in rack order. */
+struct IngressStats {
+    /** Frames offered, valid or not. */
+    std::uint64_t offered = 0;
+    /** Frames that passed parsing and were enqueued. */
+    std::uint64_t accepted = 0;
+    /** Frames rejected by the parser (sum of rejectsByReason). */
+    std::uint64_t parseRejects = 0;
+    /** Per-reason rejection counters, indexed by wire::Reject. */
+    std::array<std::uint64_t, wire::kRejectReasons> rejectsByReason{};
+    /** Exact duplicates (same server/vm/kind/seq) suppressed. */
+    std::uint64_t duplicates = 0;
+    /** Queue-overflow evictions, total. */
+    std::uint64_t overflowEvictions = 0;
+    /** ...of which evicted an older entry of the same flow. */
+    std::uint64_t overflowSuperseded = 0;
+    /** Hints dropped by the drain sink (e.g. unknown server). */
+    std::uint64_t sinkDrops = 0;
+    /** Hints dispatched to the sink. */
+    std::uint64_t drained = 0;
+    /** drain() calls that dispatched at least one hint. */
+    std::uint64_t drainBatches = 0;
+    /** High-water mark of the pending queue. */
+    std::uint64_t maxDepth = 0;
+
+    void
+    merge(const IngressStats &other)
+    {
+        offered += other.offered;
+        accepted += other.accepted;
+        parseRejects += other.parseRejects;
+        for (std::size_t i = 0; i < rejectsByReason.size(); ++i)
+            rejectsByReason[i] += other.rejectsByReason[i];
+        duplicates += other.duplicates;
+        overflowEvictions += other.overflowEvictions;
+        overflowSuperseded += other.overflowSuperseded;
+        sinkDrops += other.sinkDrops;
+        drained += other.drained;
+        drainBatches += other.drainBatches;
+        if (other.maxDepth > maxDepth)
+            maxDepth = other.maxDepth;
+    }
+
+    std::uint64_t
+    rejects(wire::Reject r) const
+    {
+        return rejectsByReason[static_cast<std::size_t>(r)];
+    }
+};
+
+/**
+ * The bounded ingestion queue.  Single-threaded by design: each
+ * rack's sim step owns its ingress exclusively (same model as the
+ * rest of the per-rack state), so determinism comes from ordering,
+ * not locks.
+ */
+class HintIngress
+{
+  public:
+    /** Drain callback; return false to count the hint as a sink
+     *  drop (e.g. it names a server this rack doesn't host). */
+    using Sink = std::function<bool(const wire::ParsedHint &)>;
+
+    explicit HintIngress(HintIngressConfig config);
+
+    const HintIngressConfig &config() const { return config_; }
+    const IngressStats &stats() const { return stats_; }
+
+    /** Hints currently queued (pending + still draining). */
+    std::size_t depth() const;
+
+    /**
+     * Offer one serialized frame.  Parses fail-closed, checks
+     * staleness and duplicates, then enqueues — applying the drop
+     * policy if the queue is full.  Returns the rejection reason
+     * (None when the hint was enqueued or deduplicated).
+     */
+    wire::Reject offer(const std::uint8_t *data, std::size_t len,
+                       sim::Tick now);
+
+    wire::Reject
+    offer(const wire::Frame &frame, sim::Tick now)
+    {
+        return offer(frame.data(), frame.size, now);
+    }
+
+    /**
+     * Dispatch up to config().drainMax hints (all, when 0) to
+     * `sink`, oldest first.  Works from a snapshot: the pending
+     * queue is swapped out first, so offers made *during* the drain
+     * (re-entrancy) land in the next batch and can never starve or
+     * reorder the one in flight.  Returns hints dispatched.
+     */
+    std::size_t drain(sim::Tick now, const Sink &sink);
+
+    /** Drop all queued hints (e.g. across a crash restart). */
+    void clear();
+
+  private:
+    struct Entry {
+        wire::ParsedHint hint;
+        /** Arrival order stamp, for deterministic diagnostics. */
+        std::uint64_t stamp = 0;
+    };
+
+    /** Flow identity: hints of one kind for one VM supersede each
+     *  other under overflow. */
+    using FlowKey = std::tuple<int, std::int32_t, std::uint8_t>;
+    /** Exact-duplicate identity adds the sequence number. */
+    using DupKey =
+        std::tuple<int, std::int32_t, std::uint8_t, std::uint64_t>;
+
+    static FlowKey flowKey(const wire::ParsedHint &h);
+    static DupKey dupKey(const wire::ParsedHint &h);
+
+    void evictForOverflow();
+    void noteDepth();
+
+    HintIngressConfig config_;
+    IngressStats stats_;
+
+    /** Hints accepted but not yet snapshotted for drain. */
+    std::deque<Entry> pending_;
+    /** The drain-in-progress snapshot. */
+    std::deque<Entry> draining_;
+
+    /** Exact-duplicate suppression over pending_ only (ordered
+     *  containers per DET-003). */
+    std::map<DupKey, std::uint32_t> dupCounts_;
+    /** Entries per flow over pending_, for O(log n) drop policy. */
+    std::map<FlowKey, std::uint32_t> flowCounts_;
+    /** Flows with >= 2 pending entries (supersede candidates). */
+    std::size_t supersedableFlows_ = 0;
+
+    std::uint64_t nextStamp_ = 0;
+};
+
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_HINT_INGRESS_HH

@@ -8,6 +8,7 @@
 #ifndef SOC_CORE_MESSAGES_HH
 #define SOC_CORE_MESSAGES_HH
 
+#include <cstdint>
 #include <string>
 
 #include "core/profile_template.hh"
@@ -24,6 +25,33 @@ namespace core
 enum class TriggerKind {
     Metrics,  ///< reactive: latency/utilization threshold crossed
     Schedule, ///< proactive: pre-declared high-traffic window
+};
+
+/**
+ * Metrics a local WI agent reports for its VM (one poll window).
+ * Crosses the WI hint channel as a wire::MetricsWindow frame, so
+ * every consumer (GlobalWiAgent::onMetrics, the ingress parser)
+ * validates it fail-closed: NaN/negative fields are rejected and
+ * counted, never clamped.
+ */
+struct VmMetrics {
+    double p99LatencyMs = 0.0;
+    double meanLatencyMs = 0.0;
+    /** Busy-core fraction in [0, 1]. */
+    double utilization = 0.0;
+    std::uint64_t completed = 0;
+};
+
+/** A schedule-based overclocking window (§IV-A), declarable over
+ *  the hint channel as a wire::ScheduleDeclaration frame. */
+struct ScheduleWindow {
+    /** Bitmask of days, bit 0 = Monday; 0x1F = weekdays. */
+    int dayMask = 0x1f;
+    /** Window start/end, minutes since midnight. */
+    int startMinute = 0;
+    int endMinute = 0;
+
+    bool contains(sim::Tick t) const;
 };
 
 /**

@@ -164,6 +164,23 @@ ServerOverclockingAgent::requestOverclock(
         return decision;
     }
 
+    // Flap hysteresis (DESIGN.md §12): a group that just stopped
+    // must sit out the holdoff window before re-requesting.  Checked
+    // before the requested-core accounting so a flap storm cannot
+    // inflate apparent demand and steal budget from steady groups.
+    if (config_.flapHoldoff > 0) {
+        const auto stop = lastStopAt_.find(request.groupId);
+        if (stop != lastStopAt_.end() &&
+            now - stop->second < config_.flapHoldoff) {
+            ++stats_.rejects;
+            ++stats_.flapDenied;
+            AdmissionDecision denied;
+            denied.granted = false;
+            denied.reason = "flap hysteresis";
+            return denied;
+        }
+    }
+
     requestedCoresNow_ += request.cores;
 
     AdmissionDecision decision;
@@ -276,6 +293,8 @@ ServerOverclockingAgent::stopOverclock(int group_id, sim::Tick now)
         tis_.stopOverclock(core, now);
     server_.setTarget(group_id, power::kTurboMHz);
     active_.erase(it);
+    if (config_.flapHoldoff > 0)
+        lastStopAt_[group_id] = now;
 }
 
 bool
@@ -780,6 +799,7 @@ ServerOverclockingAgent::crashRestart(sim::Tick now)
     stats_.revocations += active_.size();
     active_.clear();
     recentDenied_.clear();
+    lastStopAt_.clear();
     powerDenialUntil_ = 0;
 
     // Volatile exploration/back-off state is lost.
@@ -802,6 +822,9 @@ ServerOverclockingAgent::crashRestart(sim::Tick now)
     ownPower_ = ProfileTemplate();
     ownTemplateValid_ = false;
     ownPowerVersion_ = 0;
+    // Aggregator versions restart from zero below, so the snapshot
+    // key would collide with the pre-crash one; invalidate it.
+    profileSnapshotValid_ = false;
 
     // Telemetry accumulators restart empty (history is agent-local;
     // the next recompute sees a short history, which is the real
@@ -872,6 +895,26 @@ ServerOverclockingAgent::buildProfile(TemplateStrategy strategy)
     stats_.templateRebuilds += misses;
     stats_.templateCacheHits += 4 - misses;
     return profile;
+}
+
+const ServerProfile &
+ServerOverclockingAgent::profileSnapshot(TemplateStrategy strategy)
+{
+    refreshOwnTemplate(strategy);
+    // Versions only ever increment, so their sum is a monotone key
+    // for "any telemetry slot closed since the last snapshot".
+    const std::uint64_t version = powerAgg_.version() +
+        utilAgg_.version() + grantedCoresAgg_.version() +
+        requestedCoresAgg_.version();
+    if (!profileSnapshotValid_ ||
+        strategy != profileSnapshotStrategy_ ||
+        version != profileSnapshotVersion_) {
+        profileSnapshot_ = buildProfile(strategy);
+        profileSnapshotStrategy_ = strategy;
+        profileSnapshotVersion_ = version;
+        profileSnapshotValid_ = true;
+    }
+    return profileSnapshot_;
 }
 
 } // namespace core

@@ -99,6 +99,16 @@ struct SoaConfig {
     sim::Tick staleDecayTime = 10 * sim::kMinute;
 
     /**
+     * Hint-flap hysteresis (DESIGN.md §12): after a group stops
+     * overclocking, re-requests for the same group within this
+     * window are denied ("flap hysteresis") before they touch
+     * admission or the requested-core telemetry — a flapping WI
+     * agent can neither thrash grants nor inflate apparent demand.
+     * 0 (default) disables the window, preserving prior behavior.
+     */
+    sim::Tick flapHoldoff = 0;
+
+    /**
      * Telemetry horizon the power/utilization templates aggregate
      * over.  0 (default) keeps the full history — bit-identical to
      * the original batch builder.  The paper-faithful setting is
@@ -137,6 +147,8 @@ struct SoaStats {
      *  misses) vs requests answered from the cache. */
     std::uint64_t templateRebuilds = 0;
     std::uint64_t templateCacheHits = 0;
+    /** Requests denied by the flap-hysteresis window. */
+    std::uint64_t flapDenied = 0;
 };
 
 /**
@@ -303,6 +315,18 @@ class ServerOverclockingAgent : public power::RackPowerListener
                                    TemplateStrategy::DailyMed);
 
     /**
+     * Snapshot read of this server's profile for the gOA recompute
+     * (DESIGN.md §12): refreshes the own template, then serves a
+     * cached ServerProfile keyed by the telemetry aggregators'
+     * versions — bit-identical to buildProfile(), but recomputes
+     * that land between slot closes are answered without assembling
+     * (or allocating) anything, so budget recompute never contends
+     * with hint ingestion for the telemetry state.
+     */
+    const ServerProfile &profileSnapshot(
+        TemplateStrategy strategy = TemplateStrategy::DailyMed);
+
+    /**
      * Rebuild the agent's own power template from its history; used
      * for admission look-ahead and exhaustion prediction.  The gOA
      * triggers this on its periodic recompute.  When no slot has
@@ -423,6 +447,16 @@ class ServerOverclockingAgent : public power::RackPowerListener
     activeFind(int group_id);
     /** Recently denied requests: groupId -> (cores, expiry). */
     std::map<int, std::pair<int, sim::Tick>> recentDenied_;
+    /** Last stopOverclock time per group, for the flap-hysteresis
+     *  window (ordered per DET-003; empty while flapHoldoff == 0). */
+    std::map<int, sim::Tick> lastStopAt_;
+    /** profileSnapshot cache: the assembled profile plus the
+     *  (strategy, aggregator-version) key it was built under. */
+    ServerProfile profileSnapshot_;
+    bool profileSnapshotValid_ = false;
+    TemplateStrategy profileSnapshotStrategy_ =
+        TemplateStrategy::DailyMed;
+    std::uint64_t profileSnapshotVersion_ = 0;
     /** Until when a power-based denial keeps the agent "constrained"
      *  for exploration purposes. */
     sim::Tick powerDenialUntil_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace soc
 {
@@ -161,12 +162,22 @@ GlobalWiAgent::stopOverclockAll(sim::Tick now)
     overclockActive_ = false;
 }
 
+bool
+GlobalWiAgent::cooldownElapsed(sim::Tick now) const
+{
+    // kNeverTick is INT64_MIN, so `now - lastScaleAction_` would
+    // overflow; check the sentinel explicitly instead.
+    if (lastScaleAction_ == kNeverTick)
+        return true;
+    return now - lastScaleAction_ >= config_.scaleCooldown;
+}
+
 void
 GlobalWiAgent::maybeScaleOut(sim::Tick now, int step, bool proactive)
 {
     if (!config_.enableScaleOut || !scaleOutHandler_)
         return;
-    if (now - lastScaleAction_ < config_.scaleCooldown)
+    if (!cooldownElapsed(now))
         return;
     const int room = config_.maxInstances -
         static_cast<int>(vms_.size());
@@ -185,7 +196,7 @@ GlobalWiAgent::maybeScaleIn(sim::Tick now)
 {
     if (!config_.enableScaleOut || !scaleInHandler_)
         return;
-    if (now - lastScaleAction_ < config_.scaleCooldown)
+    if (!cooldownElapsed(now))
         return;
     if (static_cast<int>(vms_.size()) <= config_.minInstances)
         return;
@@ -209,6 +220,17 @@ GlobalWiAgent::latencyThresholdMs(double frac) const
 void
 GlobalWiAgent::onMetrics(sim::Tick now, const VmMetrics &metrics)
 {
+    // Fail-closed validation: a window with non-finite or negative
+    // fields is rejected whole, before any trigger state changes.
+    if (!std::isfinite(metrics.p99LatencyMs) ||
+        !std::isfinite(metrics.meanLatencyMs) ||
+        !std::isfinite(metrics.utilization) ||
+        metrics.p99LatencyMs < 0.0 || metrics.meanLatencyMs < 0.0 ||
+        metrics.utilization < 0.0) {
+        ++stats_.rejectedMetrics;
+        return;
+    }
+
     const double slo = config_.sloMs;
     const bool latency_triggers = slo > 0.0;
     const bool util_triggers = config_.overclockUpUtil > 0.0;

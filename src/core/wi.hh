@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,25 +34,16 @@ namespace soc
 namespace core
 {
 
-/** Metrics a local WI agent reports for its VM (one poll window). */
-struct VmMetrics {
-    double p99LatencyMs = 0.0;
-    double meanLatencyMs = 0.0;
-    /** Busy-core fraction in [0, 1]. */
-    double utilization = 0.0;
-    std::uint64_t completed = 0;
-};
-
-/** A schedule-based overclocking window (§IV-A). */
-struct ScheduleWindow {
-    /** Bitmask of days, bit 0 = Monday; 0x1F = weekdays. */
-    int dayMask = 0x1f;
-    /** Window start/end, minutes since midnight. */
-    int startMinute = 0;
-    int endMinute = 0;
-
-    bool contains(sim::Tick t) const;
-};
+/**
+ * Sentinel for "this action has never happened": far enough in the
+ * past that any cooldown has elapsed, but compared explicitly (see
+ * GlobalWiAgent::cooldownElapsed) rather than subtracted, so the
+ * arithmetic can never overflow.  Replaces the old -(1 << 30) magic
+ * number, which silently broke cooldowns longer than ~18 simulated
+ * minutes (now - sentinel was already positive).
+ */
+constexpr sim::Tick kNeverTick =
+    std::numeric_limits<sim::Tick>::min();
 
 /** Thresholds and fallback policy for one service. */
 struct WiPolicyConfig {
@@ -159,6 +151,9 @@ struct WiStats {
     std::uint64_t scaleIns = 0;
     std::uint64_t proactiveScaleOuts = 0;
     std::uint64_t suppressedByDeploymentGoal = 0;
+    /** Metric windows rejected fail-closed (NaN/negative fields)
+     *  before touching any trigger state. */
+    std::uint64_t rejectedMetrics = 0;
 };
 
 /**
@@ -198,7 +193,12 @@ class GlobalWiAgent
 
     /**
      * Push one service-level metric window (aggregated across VM
-     * instances) and run the trigger logic.
+     * instances) and run the trigger logic.  The sample is
+     * validated fail-closed first: a window with NaN/infinite or
+     * negative latency/utilization fields is rejected whole
+     * (stats().rejectedMetrics) without touching any trigger or
+     * scaling state — consistent with the SlotAggregator::add NaN
+     * policy.
      */
     void onMetrics(sim::Tick now, const VmMetrics &metrics);
 
@@ -220,6 +220,8 @@ class GlobalWiAgent
   private:
     double latencyThresholdMs(double frac) const;
     bool scheduleActive(sim::Tick now) const;
+    /** Overflow-safe cooldown check against lastScaleAction_. */
+    bool cooldownElapsed(sim::Tick now) const;
     void startOverclockAll(sim::Tick now, TriggerKind trigger);
     void stopOverclockAll(sim::Tick now);
     void maybeScaleOut(sim::Tick now, int step, bool proactive);
@@ -234,7 +236,7 @@ class GlobalWiAgent
     /** Consecutive poll windows with P99 beyond the SLO itself. */
     int severeWindows_ = 0;
     TriggerKind activeTrigger_ = TriggerKind::Metrics;
-    sim::Tick lastScaleAction_ = -(1 << 30);
+    sim::Tick lastScaleAction_ = kNeverTick;
     int pendingDenials_ = 0;
 
     std::function<void(int)> scaleOutHandler_;

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Wire format for WI hint messages (DESIGN.md §12).
+ *
+ * At fleet scale the gOA/sOA boundary must survive millions of VMs'
+ * hints arriving malformed, late, duplicated, or in storms.  This
+ * header defines the serialized frame every hint crosses that
+ * boundary as, plus a fail-closed parser: a frame is either decoded
+ * completely and validated field-by-field, or rejected with a
+ * specific `Reject` reason — never silently clamped or partially
+ * applied.
+ *
+ * Layout (all little-endian, fixed offsets, no padding games):
+ *
+ *     offset  size  field
+ *     0       2     magic      0x5c0c ("SoC")
+ *     2       1     version    1
+ *     3       1     tag        HintKind
+ *     4       2     payloadLen bytes after the header
+ *     6       2     server     rack-scoped server index
+ *     8       4     vmId       server-scoped VM / group id (i32)
+ *     12      8     seq        per-(server,vm,kind) sequence (u64)
+ *     20      8     issuedAt   sender timestamp, sim::Tick (i64)
+ *     28      ...   payload    per-kind, see encode functions
+ *
+ * The header is intentionally header-only: `sim::HintStormGenerator`
+ * lives in soc_sim, which soc_core links against (not vice versa),
+ * so the generator forges frames through these same inline helpers
+ * without a link dependency on soc_core.
+ */
+
+#ifndef SOC_CORE_WIRE_HH
+#define SOC_CORE_WIRE_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "core/messages.hh"
+#include "power/frequency.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace core
+{
+namespace wire
+{
+
+constexpr std::uint16_t kMagic = 0x5c0c;
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 28;
+/** Upper bound on any frame; the ingress refuses longer input. */
+constexpr std::size_t kMaxFrameBytes = 64;
+
+/** Hint kinds that cross the WI -> control-plane channel. */
+enum class HintKind : std::uint8_t {
+    OverclockRequest = 1,    ///< start/extend overclocking a VM
+    StopRequest = 2,         ///< stop overclocking a VM
+    MetricsWindow = 3,       ///< one VmMetrics poll window
+    ScheduleDeclaration = 4, ///< declare a ScheduleWindow
+    ExhaustionSignal = 5,    ///< sOA -> WI exhaustion forecast
+};
+
+/** Per-kind payload sizes (bytes after the header). */
+constexpr std::uint16_t kOverclockPayloadBytes = 21;
+constexpr std::uint16_t kStopPayloadBytes = 0;
+constexpr std::uint16_t kMetricsPayloadBytes = 32;
+constexpr std::uint16_t kSchedulePayloadBytes = 12;
+constexpr std::uint16_t kExhaustionPayloadBytes = 9;
+
+/** A serialized hint: fixed storage, actual length in `size`. */
+struct Frame {
+    std::array<std::uint8_t, kMaxFrameBytes> bytes{};
+    std::size_t size = 0;
+
+    const std::uint8_t *data() const { return bytes.data(); }
+};
+
+/**
+ * Why a frame was rejected.  Ordered roughly by how early in the
+ * parse the check fires; `kCount` sizes per-reason counter arrays.
+ */
+enum class Reject : std::uint8_t {
+    None = 0,       ///< accepted
+    Truncated,      ///< shorter than header, or payload cut short
+    BadMagic,       ///< first two bytes are not kMagic
+    BadVersion,     ///< unknown protocol version
+    UnknownTag,     ///< tag is not a HintKind
+    LengthMismatch, ///< payloadLen disagrees with the tag's size
+    NonFinite,      ///< NaN/inf in a floating-point field
+    Negative,       ///< negative count/latency/duration field
+    OutOfRange,     ///< finite but outside configured WireLimits
+    Stale,          ///< issuedAt too old (or from the future)
+    kCount,
+};
+
+constexpr std::size_t kRejectReasons =
+    static_cast<std::size_t>(Reject::kCount);
+
+inline const char *
+rejectName(Reject r)
+{
+    switch (r) {
+    case Reject::None: return "none";
+    case Reject::Truncated: return "truncated";
+    case Reject::BadMagic: return "bad_magic";
+    case Reject::BadVersion: return "bad_version";
+    case Reject::UnknownTag: return "unknown_tag";
+    case Reject::LengthMismatch: return "length_mismatch";
+    case Reject::NonFinite: return "non_finite";
+    case Reject::Negative: return "negative";
+    case Reject::OutOfRange: return "out_of_range";
+    case Reject::Stale: return "stale";
+    case Reject::kCount: break;
+    }
+    return "invalid";
+}
+
+/**
+ * Field bounds the parser enforces.  Everything finite and
+ * non-negative must *also* fall inside these before a hint is
+ * accepted — a lying agent claiming 10^6 cores is as rejected as a
+ * NaN one.
+ */
+struct WireLimits {
+    std::int32_t maxVmId = 1 << 20;
+    std::int32_t maxCores = 1024;
+    power::FreqMHz minDesiredMHz = power::kTurboMHz;
+    power::FreqMHz maxDesiredMHz = power::kOverclockMHz;
+    sim::Tick maxDuration = sim::kDay;
+    std::int32_t maxPriority = 100;
+    /** Latency fields above this are treated as lying telemetry. */
+    double maxLatencyMs = 1e6;
+};
+
+// ---------------------------------------------------------------
+// Byte-level put/get helpers.  All little-endian, memcpy-based so
+// they are alignment- and strict-aliasing-safe; explicit casts keep
+// -Wconversion quiet.
+// ---------------------------------------------------------------
+
+inline void
+putU16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v & 0xff);
+    p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+}
+
+inline void
+putU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+inline void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+inline void
+putI32(std::uint8_t *p, std::int32_t v)
+{
+    putU32(p, static_cast<std::uint32_t>(v));
+}
+
+inline void
+putI64(std::uint8_t *p, std::int64_t v)
+{
+    putU64(p, static_cast<std::uint64_t>(v));
+}
+
+inline void
+putF64(std::uint8_t *p, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(p, bits);
+}
+
+inline std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(p[0]) |
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[1])
+                                   << 8));
+}
+
+inline std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline std::int32_t
+getI32(const std::uint8_t *p)
+{
+    return static_cast<std::int32_t>(getU32(p));
+}
+
+inline std::int64_t
+getI64(const std::uint8_t *p)
+{
+    return static_cast<std::int64_t>(getU64(p));
+}
+
+inline double
+getF64(const std::uint8_t *p)
+{
+    const std::uint64_t bits = getU64(p);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+// ---------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------
+
+/** Header shared by every hint kind. */
+struct HintHeader {
+    HintKind kind = HintKind::OverclockRequest;
+    /** Rack-scoped server index the hint concerns. */
+    int server = 0;
+    /** Server-scoped VM / core-group id. */
+    std::int32_t vmId = 0;
+    /** Per-(server, vm, kind) monotonic sequence number. */
+    std::uint64_t seq = 0;
+    /** Sender-stamped issue time. */
+    sim::Tick issuedAt = 0;
+};
+
+inline void
+encodeHeader(Frame &f, const HintHeader &h, std::uint16_t payload_len)
+{
+    std::uint8_t *p = f.bytes.data();
+    putU16(p + 0, kMagic);
+    p[2] = kVersion;
+    p[3] = static_cast<std::uint8_t>(h.kind);
+    putU16(p + 4, payload_len);
+    putU16(p + 6, static_cast<std::uint16_t>(h.server));
+    putI32(p + 8, h.vmId);
+    putU64(p + 12, h.seq);
+    putI64(p + 20, h.issuedAt);
+    f.size = kHeaderBytes + payload_len;
+}
+
+inline Frame
+encodeOverclockRequest(const HintHeader &h,
+                       const OverclockRequest &req)
+{
+    Frame f;
+    HintHeader hdr = h;
+    hdr.kind = HintKind::OverclockRequest;
+    encodeHeader(f, hdr, kOverclockPayloadBytes);
+    std::uint8_t *p = f.bytes.data() + kHeaderBytes;
+    putI32(p + 0, req.cores);
+    putI32(p + 4, static_cast<std::int32_t>(req.desiredMHz.count()));
+    p[8] = static_cast<std::uint8_t>(req.trigger);
+    putI32(p + 9, req.priority);
+    putI64(p + 13, req.duration);
+    return f;
+}
+
+inline Frame
+encodeStopRequest(const HintHeader &h)
+{
+    Frame f;
+    HintHeader hdr = h;
+    hdr.kind = HintKind::StopRequest;
+    encodeHeader(f, hdr, kStopPayloadBytes);
+    return f;
+}
+
+inline Frame
+encodeMetricsWindow(const HintHeader &h, const VmMetrics &m)
+{
+    Frame f;
+    HintHeader hdr = h;
+    hdr.kind = HintKind::MetricsWindow;
+    encodeHeader(f, hdr, kMetricsPayloadBytes);
+    std::uint8_t *p = f.bytes.data() + kHeaderBytes;
+    putF64(p + 0, m.p99LatencyMs);
+    putF64(p + 8, m.meanLatencyMs);
+    putF64(p + 16, m.utilization);
+    putU64(p + 24, m.completed);
+    return f;
+}
+
+inline Frame
+encodeScheduleDeclaration(const HintHeader &h,
+                          const ScheduleWindow &w)
+{
+    Frame f;
+    HintHeader hdr = h;
+    hdr.kind = HintKind::ScheduleDeclaration;
+    encodeHeader(f, hdr, kSchedulePayloadBytes);
+    std::uint8_t *p = f.bytes.data() + kHeaderBytes;
+    putI32(p + 0, w.dayMask);
+    putI32(p + 4, w.startMinute);
+    putI32(p + 8, w.endMinute);
+    return f;
+}
+
+inline Frame
+encodeExhaustionSignal(const HintHeader &h,
+                       const ExhaustionSignal &s)
+{
+    Frame f;
+    HintHeader hdr = h;
+    hdr.kind = HintKind::ExhaustionSignal;
+    encodeHeader(f, hdr, kExhaustionPayloadBytes);
+    std::uint8_t *p = f.bytes.data() + kHeaderBytes;
+    p[0] = static_cast<std::uint8_t>(s.kind);
+    putI64(p + 1, s.eta);
+    return f;
+}
+
+// ---------------------------------------------------------------
+// Decoding (fail-closed)
+// ---------------------------------------------------------------
+
+/**
+ * A fully decoded, validated hint.  Only the member matching `kind`
+ * is meaningful.  (groupId inside `request` / `exhaustion` mirrors
+ * the header's vmId — the wire keeps one copy.)
+ */
+struct ParsedHint {
+    HintKind kind = HintKind::OverclockRequest;
+    int server = 0;
+    std::int32_t vmId = 0;
+    std::uint64_t seq = 0;
+    sim::Tick issuedAt = 0;
+
+    OverclockRequest request;
+    VmMetrics metrics;
+    ScheduleWindow window;
+    ExhaustionSignal exhaustion;
+};
+
+inline std::uint16_t
+payloadBytesFor(HintKind kind)
+{
+    switch (kind) {
+    case HintKind::OverclockRequest: return kOverclockPayloadBytes;
+    case HintKind::StopRequest: return kStopPayloadBytes;
+    case HintKind::MetricsWindow: return kMetricsPayloadBytes;
+    case HintKind::ScheduleDeclaration: return kSchedulePayloadBytes;
+    case HintKind::ExhaustionSignal: return kExhaustionPayloadBytes;
+    }
+    return 0;
+}
+
+/**
+ * Parse and validate one frame.  Decodes into locals, validates
+ * everything, and only on full success copies into `out` — a
+ * rejected frame provably mutates nothing.
+ */
+inline Reject
+parseFrame(const std::uint8_t *data, std::size_t len,
+           const WireLimits &limits, ParsedHint &out)
+{
+    if (len < kHeaderBytes || len > kMaxFrameBytes)
+        return Reject::Truncated;
+    if (getU16(data + 0) != kMagic)
+        return Reject::BadMagic;
+    if (data[2] != kVersion)
+        return Reject::BadVersion;
+    const std::uint8_t tag = data[3];
+    if (tag < static_cast<std::uint8_t>(HintKind::OverclockRequest) ||
+        tag > static_cast<std::uint8_t>(HintKind::ExhaustionSignal))
+        return Reject::UnknownTag;
+    const HintKind kind = static_cast<HintKind>(tag);
+    const std::uint16_t payload_len = getU16(data + 4);
+    if (payload_len != payloadBytesFor(kind))
+        return Reject::LengthMismatch;
+    if (len != kHeaderBytes + payload_len)
+        return Reject::Truncated;
+
+    ParsedHint h;
+    h.kind = kind;
+    h.server = getU16(data + 6);
+    h.vmId = getI32(data + 8);
+    h.seq = getU64(data + 12);
+    h.issuedAt = getI64(data + 20);
+    if (h.vmId < 0)
+        return Reject::Negative;
+    if (h.vmId > limits.maxVmId)
+        return Reject::OutOfRange;
+    if (h.issuedAt < 0)
+        return Reject::Negative;
+
+    const std::uint8_t *p = data + kHeaderBytes;
+    switch (kind) {
+    case HintKind::OverclockRequest: {
+        OverclockRequest req;
+        req.groupId = h.vmId;
+        req.cores = getI32(p + 0);
+        req.desiredMHz = power::FreqMHz{getI32(p + 4)};
+        const std::uint8_t trig = p[8];
+        req.priority = getI32(p + 9);
+        req.duration = getI64(p + 13);
+        if (req.cores < 0 || req.priority < 0 || req.duration < 0)
+            return Reject::Negative;
+        if (trig > static_cast<std::uint8_t>(TriggerKind::Schedule))
+            return Reject::OutOfRange;
+        req.trigger = static_cast<TriggerKind>(trig);
+        if (req.cores == 0 || req.cores > limits.maxCores ||
+            req.desiredMHz < limits.minDesiredMHz ||
+            req.desiredMHz > limits.maxDesiredMHz ||
+            req.duration == 0 ||
+            req.duration > limits.maxDuration ||
+            req.priority > limits.maxPriority)
+            return Reject::OutOfRange;
+        h.request = req;
+        break;
+    }
+    case HintKind::StopRequest:
+        break;
+    case HintKind::MetricsWindow: {
+        VmMetrics m;
+        m.p99LatencyMs = getF64(p + 0);
+        m.meanLatencyMs = getF64(p + 8);
+        m.utilization = getF64(p + 16);
+        m.completed = getU64(p + 24);
+        if (!std::isfinite(m.p99LatencyMs) ||
+            !std::isfinite(m.meanLatencyMs) ||
+            !std::isfinite(m.utilization))
+            return Reject::NonFinite;
+        if (m.p99LatencyMs < 0.0 || m.meanLatencyMs < 0.0 ||
+            m.utilization < 0.0)
+            return Reject::Negative;
+        if (m.p99LatencyMs > limits.maxLatencyMs ||
+            m.meanLatencyMs > limits.maxLatencyMs ||
+            m.utilization > 1.0)
+            return Reject::OutOfRange;
+        h.metrics = m;
+        break;
+    }
+    case HintKind::ScheduleDeclaration: {
+        ScheduleWindow w;
+        w.dayMask = getI32(p + 0);
+        w.startMinute = getI32(p + 4);
+        w.endMinute = getI32(p + 8);
+        if (w.dayMask < 0 || w.startMinute < 0 || w.endMinute < 0)
+            return Reject::Negative;
+        if (w.dayMask == 0 || w.dayMask > 0x7f ||
+            w.startMinute >= 24 * 60 || w.endMinute > 24 * 60 ||
+            w.endMinute <= w.startMinute)
+            return Reject::OutOfRange;
+        h.window = w;
+        break;
+    }
+    case HintKind::ExhaustionSignal: {
+        ExhaustionSignal s;
+        s.groupId = h.vmId;
+        const std::uint8_t ek = p[0];
+        s.eta = getI64(p + 1);
+        if (s.eta < 0)
+            return Reject::Negative;
+        if (ek > static_cast<std::uint8_t>(
+                     ExhaustionKind::OverclockBudget))
+            return Reject::OutOfRange;
+        s.kind = static_cast<ExhaustionKind>(ek);
+        h.exhaustion = s;
+        break;
+    }
+    }
+
+    out = h;
+    return Reject::None;
+}
+
+} // namespace wire
+} // namespace core
+} // namespace soc
+
+#endif // SOC_CORE_WIRE_HH

@@ -1,0 +1,424 @@
+#include "sim/hint_storm.hh"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace soc
+{
+namespace sim
+{
+namespace
+{
+
+// Stream tags keeping the stressors' hash streams independent.
+constexpr std::uint64_t kTagCount = 0x11;
+constexpr std::uint64_t kTagVm = 0x22;
+constexpr std::uint64_t kTagSeq = 0x33;
+constexpr std::uint64_t kTagLieClass = 0x44;
+constexpr std::uint64_t kTagFuzzClass = 0x55;
+constexpr std::uint64_t kTagStaleDir = 0x66;
+
+const StormInfo kCatalog[kStormKinds] = {
+    {StormKind::HintFlood, "hint-flood",
+     "queue capacity and the oldest-duplicate-first drop policy"},
+    {StormKind::DuplicateFlood, "duplicate-flood",
+     "exact-duplicate suppression (same server/vm/kind/seq)"},
+    {StormKind::FlappingSchedule, "flapping-schedule",
+     "per-VM start/stop hysteresis in the sOA"},
+    {StormKind::LyingTelemetry, "lying-telemetry",
+     "NaN/negative/absurd metrics validation"},
+    {StormKind::StaleTelemetry, "stale-telemetry",
+     "issuedAt staleness window (past- and future-dated)"},
+    {StormKind::MalformedFuzz, "malformed-fuzz",
+     "byte-level frame parsing (magic/version/tag/length/truncation)"},
+};
+
+} // namespace
+
+const StormInfo *
+stormCatalog()
+{
+    return kCatalog;
+}
+
+const char *
+stormName(StormKind kind)
+{
+    const std::size_t i = static_cast<std::size_t>(kind);
+    return i < kStormKinds ? kCatalog[i].name : "invalid";
+}
+
+void
+HintStormConfig::validate() const
+{
+    const double rates[] = {floodPerStep,  duplicatesPerStep,
+                            flapsPerStep,  lyingPerStep,
+                            stalePerStep,  malformedPerStep};
+    for (double r : rates) {
+        if (!(r >= 0.0) || !std::isfinite(r))
+            throw std::invalid_argument(
+                "HintStormConfig: rates must be finite and >= 0");
+    }
+    if (staleAge <= 0)
+        throw std::invalid_argument(
+            "HintStormConfig: staleAge must be > 0");
+}
+
+double
+HintStormConfig::rate(StormKind kind) const
+{
+    switch (kind) {
+    case StormKind::HintFlood: return floodPerStep;
+    case StormKind::DuplicateFlood: return duplicatesPerStep;
+    case StormKind::FlappingSchedule: return flapsPerStep;
+    case StormKind::LyingTelemetry: return lyingPerStep;
+    case StormKind::StaleTelemetry: return stalePerStep;
+    case StormKind::MalformedFuzz: return malformedPerStep;
+    case StormKind::kCount: break;
+    }
+    return 0.0;
+}
+
+double
+HintStormConfig::intensity() const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kStormKinds; ++i)
+        sum += rate(static_cast<StormKind>(i));
+    return sum;
+}
+
+bool
+HintStormConfig::any() const
+{
+    return enabled && intensity() > 0.0;
+}
+
+HintStormConfig
+HintStormConfig::standardStorm()
+{
+    HintStormConfig c;
+    c.enabled = true;
+    c.floodPerStep = 4.0;
+    c.duplicatesPerStep = 2.0;
+    c.flapsPerStep = 1.0;
+    c.lyingPerStep = 1.0;
+    c.stalePerStep = 1.0;
+    c.malformedPerStep = 2.0;
+    return c;
+}
+
+HintStormConfig
+HintStormConfig::only(StormKind kind, double perStep)
+{
+    HintStormConfig c;
+    c.enabled = true;
+    switch (kind) {
+    case StormKind::HintFlood: c.floodPerStep = perStep; break;
+    case StormKind::DuplicateFlood:
+        c.duplicatesPerStep = perStep;
+        break;
+    case StormKind::FlappingSchedule:
+        c.flapsPerStep = perStep;
+        break;
+    case StormKind::LyingTelemetry: c.lyingPerStep = perStep; break;
+    case StormKind::StaleTelemetry: c.stalePerStep = perStep; break;
+    case StormKind::MalformedFuzz:
+        c.malformedPerStep = perStep;
+        break;
+    case StormKind::kCount: break;
+    }
+    return c;
+}
+
+HintStormGenerator::HintStormGenerator(const HintStormConfig &config,
+                                       std::uint64_t seed,
+                                       std::uint64_t rack,
+                                       int servers, int vmsPerServer)
+    : config_(config), servers_(servers),
+      vmsPerServer_(vmsPerServer > 0 ? vmsPerServer : 1)
+{
+    config_.validate();
+    stream_ = deriveSeed(seed ^ config_.salt, rack);
+}
+
+double
+HintStormGenerator::hashUniform(std::uint64_t kind, std::uint64_t a,
+                                std::uint64_t b,
+                                std::uint64_t c) const
+{
+    std::uint64_t h = deriveSeed(stream_, kind);
+    h = deriveSeed(h, a);
+    h = deriveSeed(h, b);
+    h = deriveSeed(h, c);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::size_t
+HintStormGenerator::countFor(StormKind kind, double rate, int server,
+                             Tick now) const
+{
+    if (rate <= 0.0)
+        return 0;
+    const double whole = std::floor(rate);
+    const double frac = rate - whole;
+    std::size_t n = static_cast<std::size_t>(whole);
+    if (frac > 0.0 &&
+        hashUniform(kTagCount, static_cast<std::uint64_t>(kind),
+                    static_cast<std::uint64_t>(server),
+                    static_cast<std::uint64_t>(now)) < frac)
+        ++n;
+    return n;
+}
+
+int
+HintStormGenerator::vmFor(std::uint64_t kind, int server, Tick now,
+                          std::size_t i) const
+{
+    const double u = hashUniform(
+        deriveSeed(kTagVm, kind), static_cast<std::uint64_t>(server),
+        static_cast<std::uint64_t>(now), i);
+    return static_cast<int>(u * vmsPerServer_);
+}
+
+core::wire::Frame
+HintStormGenerator::forgeFlood(int server, Tick now,
+                               std::size_t i) const
+{
+    core::wire::HintHeader h;
+    h.server = server;
+    h.vmId = vmFor(static_cast<std::uint64_t>(StormKind::HintFlood),
+                   server, now, i);
+    // Unique per emission so every frame survives dedup and lands
+    // on the queue (that's the attack).
+    h.seq = deriveSeed(
+        deriveSeed(stream_, kTagSeq),
+        static_cast<std::uint64_t>(server) * 1000003u +
+            static_cast<std::uint64_t>(now) + i);
+    h.issuedAt = now;
+    core::OverclockRequest req;
+    req.groupId = h.vmId;
+    req.cores = 4;
+    return core::wire::encodeOverclockRequest(h, req);
+}
+
+core::wire::Frame
+HintStormGenerator::forgeDuplicate(int server, Tick now) const
+{
+    core::wire::HintHeader h;
+    h.server = server;
+    h.vmId = vmFor(
+        static_cast<std::uint64_t>(StormKind::DuplicateFlood), server,
+        now, 0);
+    // Same seq for every retransmit this step: all but the first
+    // must be suppressed by dedup.
+    h.seq = deriveSeed(deriveSeed(stream_, kTagSeq + 1),
+                       static_cast<std::uint64_t>(now));
+    h.issuedAt = now;
+    core::OverclockRequest req;
+    req.groupId = h.vmId;
+    req.cores = 4;
+    return core::wire::encodeOverclockRequest(h, req);
+}
+
+core::wire::Frame
+HintStormGenerator::forgeFlap(int server, Tick now,
+                              std::size_t i) const
+{
+    core::wire::HintHeader h;
+    h.server = server;
+    h.vmId = vmFor(
+        static_cast<std::uint64_t>(StormKind::FlappingSchedule),
+        server, now, i / 2);
+    h.seq = deriveSeed(
+        deriveSeed(stream_, kTagSeq + 2),
+        static_cast<std::uint64_t>(server) * 1000003u +
+            static_cast<std::uint64_t>(now) + i);
+    h.issuedAt = now;
+    // Alternate stop / start for the same VM: the restart half of
+    // each pair should hit the sOA's flap-hysteresis window.
+    if (i % 2 == 0)
+        return core::wire::encodeStopRequest(h);
+    core::OverclockRequest req;
+    req.groupId = h.vmId;
+    req.cores = 4;
+    return core::wire::encodeOverclockRequest(h, req);
+}
+
+core::wire::Frame
+HintStormGenerator::forgeLying(int server, Tick now,
+                               std::size_t i) const
+{
+    core::wire::HintHeader h;
+    h.server = server;
+    h.vmId = vmFor(
+        static_cast<std::uint64_t>(StormKind::LyingTelemetry), server,
+        now, i);
+    h.seq = deriveSeed(
+        deriveSeed(stream_, kTagSeq + 3),
+        static_cast<std::uint64_t>(server) * 1000003u +
+            static_cast<std::uint64_t>(now) + i);
+    h.issuedAt = now;
+    core::VmMetrics m;
+    const double u = hashUniform(kTagLieClass,
+                                 static_cast<std::uint64_t>(server),
+                                 static_cast<std::uint64_t>(now), i);
+    const int lie = static_cast<int>(u * 3.0);
+    switch (lie) {
+    case 0: // NaN latency -> NonFinite
+        m.p99LatencyMs = std::numeric_limits<double>::quiet_NaN();
+        m.utilization = 0.5;
+        break;
+    case 1: // negative utilization -> Negative
+        m.p99LatencyMs = 10.0;
+        m.utilization = -0.25;
+        break;
+    default: // absurd latency -> OutOfRange
+        m.p99LatencyMs = 1e9;
+        m.utilization = 0.5;
+        break;
+    }
+    return core::wire::encodeMetricsWindow(h, m);
+}
+
+core::wire::Frame
+HintStormGenerator::forgeStale(int server, Tick now,
+                               std::size_t i) const
+{
+    core::wire::HintHeader h;
+    h.server = server;
+    h.vmId = vmFor(
+        static_cast<std::uint64_t>(StormKind::StaleTelemetry), server,
+        now, i);
+    h.seq = deriveSeed(
+        deriveSeed(stream_, kTagSeq + 4),
+        static_cast<std::uint64_t>(server) * 1000003u +
+            static_cast<std::uint64_t>(now) + i);
+    // Half the stream is hours old, half claims to be from the
+    // future; both must be rejected as Stale.  Past-dated stamps
+    // are clamped at 0 so the frame stays well-formed (negative
+    // issuedAt is a different rejection class).
+    const bool future =
+        hashUniform(kTagStaleDir, static_cast<std::uint64_t>(server),
+                    static_cast<std::uint64_t>(now), i) < 0.5;
+    h.issuedAt = future ? now + config_.staleAge
+                        : (now > config_.staleAge
+                               ? now - config_.staleAge
+                               : 0);
+    core::VmMetrics m;
+    m.p99LatencyMs = 12.0;
+    m.meanLatencyMs = 5.0;
+    m.utilization = 0.5;
+    m.completed = 100;
+    return core::wire::encodeMetricsWindow(h, m);
+}
+
+core::wire::Frame
+HintStormGenerator::forgeMalformed(int server, Tick now,
+                                   std::size_t i) const
+{
+    // Start from a perfectly valid frame, then corrupt it into one
+    // of the corpus classes.  Class choice is a stateless hash, so
+    // a long run covers the whole corpus deterministically.
+    core::wire::HintHeader h;
+    h.server = server;
+    h.vmId = vmFor(
+        static_cast<std::uint64_t>(StormKind::MalformedFuzz), server,
+        now, i);
+    h.seq = deriveSeed(
+        deriveSeed(stream_, kTagSeq + 5),
+        static_cast<std::uint64_t>(server) * 1000003u +
+            static_cast<std::uint64_t>(now) + i);
+    h.issuedAt = now;
+    core::OverclockRequest req;
+    req.groupId = h.vmId;
+    req.cores = 4;
+    core::wire::Frame f = core::wire::encodeOverclockRequest(h, req);
+
+    const double u = hashUniform(
+        kTagFuzzClass, static_cast<std::uint64_t>(server),
+        static_cast<std::uint64_t>(now), i);
+    const int cls = static_cast<int>(u * 8.0);
+    switch (cls) {
+    case 0: // BadMagic
+        f.bytes[0] = static_cast<std::uint8_t>(f.bytes[0] ^ 0xff);
+        break;
+    case 1: // BadVersion
+        f.bytes[2] = 0x7e;
+        break;
+    case 2: // UnknownTag
+        f.bytes[3] = 0xc8;
+        break;
+    case 3: // LengthMismatch (header lies about the payload size)
+        core::wire::putU16(f.bytes.data() + 4,
+                           core::wire::kOverclockPayloadBytes + 3);
+        break;
+    case 4: // Truncated (frame cut mid-header)
+        f.size = core::wire::kHeaderBytes / 2;
+        break;
+    case 5: { // NaN payload -> NonFinite
+        core::VmMetrics m;
+        m.p99LatencyMs = std::numeric_limits<double>::quiet_NaN();
+        f = core::wire::encodeMetricsWindow(h, m);
+        break;
+    }
+    case 6: // Negative cores
+        core::wire::putI32(f.bytes.data() + core::wire::kHeaderBytes,
+                           -5);
+        break;
+    default: // Over-limit desiredMHz -> OutOfRange
+        core::wire::putI32(
+            f.bytes.data() + core::wire::kHeaderBytes + 4, 99999);
+        break;
+    }
+    return f;
+}
+
+std::size_t
+HintStormGenerator::generate(int server, Tick now,
+                             const Emit &emit) const
+{
+    if (!config_.any())
+        return 0;
+
+    std::size_t emitted = 0;
+    for (std::size_t k = 0; k < kStormKinds; ++k) {
+        const StormKind kind = static_cast<StormKind>(k);
+        const std::size_t n =
+            countFor(kind, config_.rate(kind), server, now);
+        for (std::size_t i = 0; i < n; ++i) {
+            core::wire::Frame f;
+            switch (kind) {
+            case StormKind::HintFlood:
+                f = forgeFlood(server, now, i);
+                break;
+            case StormKind::DuplicateFlood:
+                f = forgeDuplicate(server, now);
+                break;
+            case StormKind::FlappingSchedule:
+                f = forgeFlap(server, now, i);
+                break;
+            case StormKind::LyingTelemetry:
+                f = forgeLying(server, now, i);
+                break;
+            case StormKind::StaleTelemetry:
+                f = forgeStale(server, now, i);
+                break;
+            case StormKind::MalformedFuzz:
+                f = forgeMalformed(server, now, i);
+                break;
+            case StormKind::kCount:
+                continue;
+            }
+            emit(f);
+            ++emitted;
+        }
+    }
+    return emitted;
+}
+
+} // namespace sim
+} // namespace soc

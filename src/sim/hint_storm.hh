@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Adversarial hint generators for the ingestion boundary
+ * (DESIGN.md §12; ROADMAP item 5).
+ *
+ * A stress-ng-style *catalog* of deterministic stressors, each
+ * forging `core::wire` frames that attack the `core::HintIngress`
+ * in a different way:
+ *
+ *  - HintFlood        : valid overclock requests far beyond the
+ *                       queue capacity (exercises the drop policy);
+ *  - DuplicateFlood   : exact retransmits of one frame (exercises
+ *                       dedup and oldest-duplicate-first eviction);
+ *  - FlappingSchedule : alternating start/stop request pairs for
+ *                       the same VM (exercises the sOA hysteresis);
+ *  - LyingTelemetry   : metrics windows with NaN / negative /
+ *                       absurd fields (must all be rejected with an
+ *                       attributed counter);
+ *  - StaleTelemetry   : well-formed metrics stamped hours in the
+ *                       past or the future (Stale rejection);
+ *  - MalformedFuzz    : byte-level corruptions drawn from a seeded
+ *                       corpus (bad magic/version/tag/length,
+ *                       truncation, NaN, negative, over-limit).
+ *
+ * Determinism follows the FaultPlan idiom: per-event decisions are
+ * stateless hashes of (stream, kind, server, time), so generated
+ * storms depend neither on call order nor on thread count — the
+ * same seed yields bit-identical frames at 1, 2 or 8 threads.
+ */
+
+#ifndef SOC_SIM_HINT_STORM_HH
+#define SOC_SIM_HINT_STORM_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/wire.hh"
+#include "sim/time.hh"
+
+namespace soc
+{
+namespace sim
+{
+
+/** The stressor catalog. */
+enum class StormKind : std::uint8_t {
+    HintFlood = 0,
+    DuplicateFlood,
+    FlappingSchedule,
+    LyingTelemetry,
+    StaleTelemetry,
+    MalformedFuzz,
+    kCount,
+};
+
+constexpr std::size_t kStormKinds =
+    static_cast<std::size_t>(StormKind::kCount);
+
+/** Catalog entry: name + what the stressor attacks. */
+struct StormInfo {
+    StormKind kind = StormKind::HintFlood;
+    const char *name = "";
+    const char *attacks = "";
+};
+
+/** The full catalog, indexed by StormKind. */
+const StormInfo *stormCatalog();
+
+const char *stormName(StormKind kind);
+
+/**
+ * Storm intensities, in expected frames per (server, step).
+ * Fractional rates are realized deterministically via a stateless
+ * hash (a rate of 0.25 emits one frame every ~4th step).
+ */
+struct HintStormConfig {
+    /** Master switch; disabled generators emit nothing. */
+    bool enabled = false;
+
+    double floodPerStep = 0.0;
+    double duplicatesPerStep = 0.0;
+    double flapsPerStep = 0.0;
+    double lyingPerStep = 0.0;
+    double stalePerStep = 0.0;
+    double malformedPerStep = 0.0;
+
+    /** Age of StaleTelemetry frames (also used, negated, for
+     *  future-dated ones). */
+    Tick staleAge = 2 * kHour;
+
+    /** Salt separating storm streams from workload and fault
+     *  streams. */
+    std::uint64_t salt = 0x5707A57707A5ULL;
+
+    /** Throws std::invalid_argument on out-of-range knobs. */
+    void validate() const;
+
+    /** Rate for @p kind. */
+    double rate(StormKind kind) const;
+
+    /** Sum of all rates (expected frames per server-step). */
+    double intensity() const;
+
+    /** Any stressor active? */
+    bool any() const;
+
+    /** The standard mixed storm used by the chaos tests and
+     *  bench_hint_storm: every stressor at a rate high enough that
+     *  a short run exercises every rejection and drop path. */
+    static HintStormConfig standardStorm();
+
+    /** A single-stressor config (bench isolates each catalog
+     *  entry). */
+    static HintStormConfig only(StormKind kind, double perStep);
+};
+
+/**
+ * Deterministic per-rack storm generator.  Owns no queue and no
+ * clock: generate() forges the frames for one (server, step) pair
+ * and hands them to a callback, which typically offers them to the
+ * rack's HintIngress.
+ */
+class HintStormGenerator
+{
+  public:
+    using Emit = std::function<void(const core::wire::Frame &)>;
+
+    /** Inert generator (emits nothing). */
+    HintStormGenerator() = default;
+
+    /**
+     * @param config       Storm rates (validated).
+     * @param seed         Experiment seed.
+     * @param rack         Rack index (independent streams per rack).
+     * @param servers      Servers in the rack.
+     * @param vmsPerServer VM ids the stressors target, [0, n).
+     */
+    HintStormGenerator(const HintStormConfig &config,
+                       std::uint64_t seed, std::uint64_t rack,
+                       int servers, int vmsPerServer);
+
+    bool enabled() const { return config_.enabled; }
+    const HintStormConfig &config() const { return config_; }
+
+    /**
+     * Forge this step's adversarial frames for @p server at @p now
+     * and pass each to @p emit.  Deterministic in (server, now):
+     * the same arguments always produce the same frames.
+     *
+     * @return frames emitted.
+     */
+    std::size_t generate(int server, Tick now,
+                         const Emit &emit) const;
+
+  private:
+    /** Uniform in [0, 1) from a stateless hash of the operands. */
+    double hashUniform(std::uint64_t kind, std::uint64_t a,
+                       std::uint64_t b, std::uint64_t c = 0) const;
+
+    /** Deterministic count realizing a fractional rate. */
+    std::size_t countFor(StormKind kind, double rate, int server,
+                         Tick now) const;
+
+    core::wire::Frame forgeFlood(int server, Tick now,
+                                 std::size_t i) const;
+    core::wire::Frame forgeDuplicate(int server, Tick now) const;
+    core::wire::Frame forgeFlap(int server, Tick now,
+                                std::size_t i) const;
+    core::wire::Frame forgeLying(int server, Tick now,
+                                 std::size_t i) const;
+    core::wire::Frame forgeStale(int server, Tick now,
+                                 std::size_t i) const;
+    core::wire::Frame forgeMalformed(int server, Tick now,
+                                     std::size_t i) const;
+
+    int vmFor(std::uint64_t kind, int server, Tick now,
+              std::size_t i) const;
+
+    HintStormConfig config_;
+    std::uint64_t stream_ = 0;
+    int servers_ = 0;
+    int vmsPerServer_ = 1;
+};
+
+} // namespace sim
+} // namespace soc
+
+#endif // SOC_SIM_HINT_STORM_HH

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Hint-storm chaos tests: the adversarial generator catalog poured
+ * into the cluster simulators' ingestion boundary.  Acceptance
+ * checks: a standard storm never corrupts a run (every malformed
+ * class rejected with an attributed counter), the drop policy and
+ * flap hysteresis actually engage, storms compose with gOA outages
+ * and sOA crash-restarts, and everything stays bit-identical across
+ * thread counts and reruns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/service_sim.hh"
+#include "cluster/trace_sim.hh"
+#include "sim/hint_storm.hh"
+
+using namespace soc;
+using namespace soc::cluster;
+using core::wire::Reject;
+using sim::HintStormConfig;
+using sim::HintStormGenerator;
+using sim::StormKind;
+
+namespace
+{
+
+/** A one-rack run under the standard mixed storm, sized so every
+ *  rejection and drop path fires within two simulated days. */
+TraceSimConfig
+stormConfig()
+{
+    TraceSimConfig cfg;
+    cfg.racks = 1;
+    cfg.serversPerRack = 8;
+    cfg.warmup = sim::kDay;
+    cfg.duration = sim::kDay;
+    cfg.controlStep = 60 * sim::kSecond;
+    cfg.seed = 202;
+    cfg.ingress.enabled = true;
+    // Small enough that the flood overflows it every step.
+    cfg.ingress.queueCapacity = 64;
+    cfg.ingress.maxHintAge = sim::kHour;
+    cfg.ingress.flapHoldoff = 10 * sim::kMinute;
+    cfg.storm = HintStormConfig::standardStorm();
+    // Rate 2 makes each step emit full stop/start flap pairs.
+    cfg.storm.flapsPerStep = 2.0;
+    return cfg;
+}
+
+void
+expectIngressIdentical(const core::IngressStats &a,
+                       const core::IngressStats &b)
+{
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.parseRejects, b.parseRejects);
+    for (std::size_t i = 0; i < a.rejectsByReason.size(); ++i)
+        EXPECT_EQ(a.rejectsByReason[i], b.rejectsByReason[i])
+            << core::wire::rejectName(static_cast<Reject>(i));
+    EXPECT_EQ(a.duplicates, b.duplicates);
+    EXPECT_EQ(a.overflowEvictions, b.overflowEvictions);
+    EXPECT_EQ(a.overflowSuperseded, b.overflowSuperseded);
+    EXPECT_EQ(a.sinkDrops, b.sinkDrops);
+    EXPECT_EQ(a.drained, b.drained);
+    EXPECT_EQ(a.maxDepth, b.maxDepth);
+}
+
+} // namespace
+
+TEST(HintStormGenerator, DeterministicAndSeedSeparated)
+{
+    const auto cfg = HintStormConfig::standardStorm();
+    const HintStormGenerator a(cfg, /*seed=*/9, /*rack=*/1, 4, 8);
+    const HintStormGenerator b(cfg, 9, 1, 4, 8);
+    const HintStormGenerator other_rack(cfg, 9, 2, 4, 8);
+
+    const auto collect = [](const HintStormGenerator &g) {
+        std::vector<std::vector<std::uint8_t>> frames;
+        for (int server = 0; server < 4; ++server)
+            for (sim::Tick t = 0; t < 5 * sim::kMinute;
+                 t += sim::kMinute)
+                g.generate(server, t,
+                           [&](const core::wire::Frame &f) {
+                               frames.emplace_back(
+                                   f.bytes.begin(),
+                                   f.bytes.begin() +
+                                       static_cast<std::ptrdiff_t>(
+                                           f.size));
+                           });
+        return frames;
+    };
+
+    const auto fa = collect(a);
+    EXPECT_FALSE(fa.empty());
+    EXPECT_EQ(fa, collect(b));
+    EXPECT_NE(fa, collect(other_rack));
+}
+
+TEST(HintStormGenerator, FloodFramesAreWellFormed)
+{
+    // The flood attacks capacity, not the parser: every frame must
+    // parse clean so it reaches the queue.
+    const auto cfg = HintStormConfig::only(StormKind::HintFlood, 3.0);
+    const HintStormGenerator g(cfg, 1, 0, 2, 8);
+    std::size_t n = 0;
+    g.generate(0, sim::kMinute, [&](const core::wire::Frame &f) {
+        core::wire::ParsedHint out;
+        EXPECT_EQ(core::wire::parseFrame(f.data(), f.size,
+                                         core::wire::WireLimits{},
+                                         out),
+                  Reject::None);
+        EXPECT_EQ(out.kind, core::wire::HintKind::OverclockRequest);
+        ++n;
+    });
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(HintStormGenerator, MalformedFramesAllRejected)
+{
+    // Long enough that the hash covers the whole corpus: every
+    // frame must be rejected, across at least five distinct classes.
+    const auto cfg =
+        HintStormConfig::only(StormKind::MalformedFuzz, 4.0);
+    const HintStormGenerator g(cfg, 3, 0, 2, 8);
+    std::array<std::uint64_t, core::wire::kRejectReasons> seen{};
+    for (sim::Tick t = 0; t < sim::kHour; t += sim::kMinute) {
+        g.generate(0, t, [&](const core::wire::Frame &f) {
+            core::wire::ParsedHint out;
+            const Reject r = core::wire::parseFrame(
+                f.data(), f.size, core::wire::WireLimits{}, out);
+            EXPECT_NE(r, Reject::None);
+            ++seen[static_cast<std::size_t>(r)];
+        });
+    }
+    int classes = 0;
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        classes += seen[i] > 0 ? 1 : 0;
+    EXPECT_GE(classes, 5);
+}
+
+TEST(HintStormConfigValidation, RejectsNonsense)
+{
+    HintStormConfig bad;
+    bad.floodPerStep = -1.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = HintStormConfig{};
+    bad.staleAge = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    // A storm without an ingress has no channel to attack.
+    TraceSimConfig cfg;
+    cfg.storm = HintStormConfig::standardStorm();
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    ServiceSimConfig svc;
+    svc.storm = HintStormConfig::standardStorm();
+    EXPECT_THROW(svc.validate(), std::invalid_argument);
+}
+
+TEST(HintStormConfigValidation, CatalogIsNamed)
+{
+    for (std::size_t i = 0; i < sim::kStormKinds; ++i) {
+        EXPECT_STRNE(sim::stormCatalog()[i].name, "");
+        EXPECT_STRNE(sim::stormCatalog()[i].attacks, "");
+    }
+}
+
+TEST(ChaosHintStorm, TraceSimSurvivesStandardStorm)
+{
+    const auto result = runTraceSim(stormConfig());
+    const auto &in = result.ingress;
+
+    // The storm actually hit the boundary...
+    EXPECT_GT(in.offered, 0u);
+    EXPECT_GT(in.accepted, 0u);
+    EXPECT_GT(in.parseRejects, 0u);
+    // ...and every corruption class was rejected with its own
+    // attributed counter (None is index 0).
+    for (std::size_t i = 1; i < in.rejectsByReason.size(); ++i)
+        EXPECT_GT(in.rejectsByReason[i], 0u)
+            << core::wire::rejectName(static_cast<Reject>(i));
+    // Dedup, the bounded queue's drop policy, and the sOA flap
+    // hysteresis all engaged.
+    EXPECT_GT(in.duplicates, 0u);
+    EXPECT_GT(in.overflowEvictions, 0u);
+    EXPECT_GT(in.overflowSuperseded, 0u);
+    EXPECT_GT(result.flapDenied, 0u);
+    // The queue never grew past its bound.
+    EXPECT_LE(in.maxDepth, stormConfig().ingress.queueCapacity);
+    // Accounting closes: accepted hints are either dispatched,
+    // evicted, or still queued at the end (< one step's worth).
+    EXPECT_LE(in.drained + in.overflowEvictions, in.accepted);
+
+    // And the run itself stayed sane under fire.
+    EXPECT_GT(result.requests, 0u);
+    EXPECT_GE(result.successRate, 0.0);
+    EXPECT_LE(result.successRate, 1.0);
+    EXPECT_GT(result.meanRackUtil, 0.0);
+    EXPECT_LT(result.meanRackUtil, 1.05);
+}
+
+TEST(ChaosHintStorm, StormFreeIngressMatchesCounters)
+{
+    // Ingress on, storm off: only legitimate hints flow, so nothing
+    // is rejected and nothing is dropped.
+    auto cfg = stormConfig();
+    cfg.storm = HintStormConfig{};
+    cfg.ingress.queueCapacity = 4096;
+    const auto result = runTraceSim(cfg);
+    const auto &in = result.ingress;
+    EXPECT_GT(in.offered, 0u);
+    EXPECT_EQ(in.parseRejects, 0u);
+    EXPECT_EQ(in.duplicates, 0u);
+    EXPECT_EQ(in.overflowEvictions, 0u);
+    EXPECT_EQ(in.offered, in.accepted);
+}
+
+TEST(ChaosHintStorm, StormDuringGoaOutageAndSoaCrashes)
+{
+    // Compose the storm with the fault harness: gOA outages (stale
+    // leases mid-storm) and sOA crash-restarts (ingress keeps
+    // dispatching to restarted agents).
+    auto cfg = stormConfig();
+    cfg.recomputePeriod = 3 * sim::kHour;
+    cfg.faults = sim::FaultConfig::standardChaos();
+    cfg.faults.goaOutagesPerWeek = 60.0;
+    cfg.faults.goaOutageMeanDuration = 6 * sim::kHour;
+    cfg.faults.soaCrashesPerServerWeek = 20.0;
+
+    const auto result = runTraceSim(cfg);
+    EXPECT_GT(result.faults.goaOutages, 0u);
+    EXPECT_GT(result.faults.soaCrashes, 0u);
+    EXPECT_GT(result.ingress.offered, 0u);
+    EXPECT_GT(result.ingress.parseRejects, 0u);
+    // Degraded budgets + storm pressure never broke the rack cap
+    // accounting or the hint counters.
+    EXPECT_GT(result.staleLeaseTicks, 0u);
+    EXPECT_GE(result.successRate, 0.0);
+    EXPECT_LE(result.successRate, 1.0);
+    EXPECT_LT(result.meanRackUtil, 1.05);
+}
+
+TEST(ChaosHintStorm, BitIdenticalAcrossThreadCountsAndReruns)
+{
+    auto cfg = stormConfig();
+    cfg.racks = 3;
+    cfg.serversPerRack = 4;
+    // Fewer servers per rack offer less per step; shrink the queue
+    // so the overflow drop policy still engages.
+    cfg.ingress.queueCapacity = 16;
+    cfg.faults = sim::FaultConfig::standardChaos();
+    const auto run_with = [&cfg](int threads) {
+        auto c = cfg;
+        c.threads = threads;
+        return runTraceSim(c);
+    };
+    const auto serial = run_with(1);
+    const auto two = run_with(2);
+    const auto eight = run_with(8);
+    const auto again = run_with(1);
+
+    for (const auto *other : {&two, &eight, &again}) {
+        EXPECT_EQ(serial.capEvents, other->capEvents);
+        EXPECT_EQ(serial.requests, other->requests);
+        EXPECT_EQ(serial.wantSteps, other->wantSteps);
+        EXPECT_EQ(serial.successSteps, other->successSteps);
+        EXPECT_DOUBLE_EQ(serial.energyJoules, other->energyJoules);
+        EXPECT_EQ(serial.flapDenied, other->flapDenied);
+        expectIngressIdentical(serial.ingress, other->ingress);
+    }
+    // The comparison above covered real storm traffic.
+    EXPECT_GT(serial.ingress.parseRejects, 0u);
+    EXPECT_GT(serial.ingress.overflowEvictions, 0u);
+}
+
+TEST(ChaosHintStorm, ServiceSimStormShieldedAndDeterministic)
+{
+    ServiceSimConfig cfg;
+    cfg.socialNetServers = 4;
+    cfg.mlServers = 2;
+    cfg.spareServers = 2;
+    cfg.duration = 10 * sim::kMinute;
+    cfg.warmup = 2 * sim::kMinute;
+    cfg.goaPeriod = 2 * sim::kMinute;
+    cfg.ingress.enabled = true;
+    cfg.ingress.maxHintAge = sim::kHour;
+    cfg.storm = HintStormConfig::standardStorm();
+
+    const auto a = runServiceSim(cfg);
+    // The storm reached the boundary and died there: lying/stale/
+    // malformed telemetry was rejected at the ingress, so the WI
+    // agents' own fail-closed check never saw a bad window.
+    EXPECT_GT(a.ingress.offered, 0u);
+    EXPECT_GT(a.ingress.parseRejects, 0u);
+    EXPECT_GT(a.ingress.rejectsByReason[static_cast<std::size_t>(
+                  Reject::NonFinite)],
+              0u);
+    EXPECT_EQ(a.rejectedMetrics, 0u);
+    // The cluster still served traffic end to end.
+    EXPECT_GT(a.byClass[0].completed, 0u);
+    EXPECT_GT(a.totalEnergyJ, 0.0);
+
+    const auto b = runServiceSim(cfg);
+    EXPECT_EQ(a.capEvents, b.capEvents);
+    EXPECT_EQ(a.scaleOuts, b.scaleOuts);
+    EXPECT_EQ(a.overclockStarts, b.overclockStarts);
+    EXPECT_DOUBLE_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    expectIngressIdentical(a.ingress, b.ingress);
+}
+
+TEST(ChaosHintStorm, DisabledIngressKeepsSeedBehavior)
+{
+    // The ingress is strictly opt-in: with it off, results must be
+    // bit-identical to the seed direct-call path, and all ingestion
+    // counters must stay zero.
+    TraceSimConfig cfg;
+    cfg.racks = 1;
+    cfg.serversPerRack = 4;
+    cfg.warmup = sim::kDay;
+    cfg.duration = sim::kDay;
+    cfg.controlStep = 60 * sim::kSecond;
+    const auto off = runTraceSim(cfg);
+    EXPECT_EQ(off.ingress.offered, 0u);
+    EXPECT_EQ(off.ingress.accepted, 0u);
+    EXPECT_EQ(off.flapDenied, 0u);
+}

@@ -283,3 +283,63 @@ TEST(Wi, RemoveLastVmStopsItsOverclock)
     EXPECT_FALSE(fx.soa->isOverclockActive(fx.vm));
     EXPECT_EQ(fx.wi->vmCount(), 0u);
 }
+
+TEST(Wi, RejectsNonFiniteMetricsFailClosed)
+{
+    Fixture fx(latencyPolicy());
+    auto bad = metrics(150.0);
+    bad.p99LatencyMs = std::numeric_limits<double>::quiet_NaN();
+    fx.wi->onMetrics(0, bad);
+    // Rejected whole: counted, and zero trigger/scaling mutation
+    // even though the (garbage) latency reads as an SLO breach.
+    EXPECT_EQ(fx.wi->stats().rejectedMetrics, 1u);
+    EXPECT_FALSE(fx.wi->overclocking());
+    EXPECT_EQ(fx.wi->stats().overclockStarts, 0u);
+    EXPECT_EQ(fx.scaleOuts, 0);
+
+    bad = metrics(150.0);
+    bad.meanLatencyMs = std::numeric_limits<double>::infinity();
+    fx.wi->onMetrics(kSecond, bad);
+    EXPECT_EQ(fx.wi->stats().rejectedMetrics, 2u);
+    EXPECT_FALSE(fx.wi->overclocking());
+}
+
+TEST(Wi, RejectsNegativeMetricsFailClosed)
+{
+    Fixture fx(latencyPolicy());
+    auto bad = metrics(150.0);
+    bad.utilization = -0.5;
+    fx.wi->onMetrics(0, bad);
+    EXPECT_EQ(fx.wi->stats().rejectedMetrics, 1u);
+    EXPECT_FALSE(fx.wi->overclocking());
+
+    bad = metrics(150.0);
+    bad.p99LatencyMs = -1.0;
+    fx.wi->onMetrics(kSecond, bad);
+    EXPECT_EQ(fx.wi->stats().rejectedMetrics, 2u);
+    EXPECT_FALSE(fx.wi->overclocking());
+
+    // A valid window still works after the rejects.
+    fx.wi->onMetrics(2 * kSecond, metrics(80.0));
+    EXPECT_TRUE(fx.wi->overclocking());
+    EXPECT_EQ(fx.wi->stats().rejectedMetrics, 2u);
+}
+
+TEST(Wi, LongCooldownDoesNotBlockFirstAction)
+{
+    // Regression for the old -(1 << 30) sentinel: that constant is
+    // only ~18 simulated minutes in the past, so any cooldown
+    // longer than that wrongly suppressed the *first* scale action
+    // of the run.  kNeverTick must let it fire.
+    auto cfg = latencyPolicy();
+    cfg.scaleCooldown = 2 * kHour;
+    Fixture fx(cfg);
+    // Two consecutive outright SLO breaches cut the overclock grace
+    // short and demand the horizontal fallback.
+    fx.wi->onMetrics(0, metrics(150.0));
+    fx.wi->onMetrics(15 * kSecond, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 1);
+    // And the (long) cooldown is then enforced from that action.
+    fx.wi->onMetrics(30 * kSecond, metrics(150.0));
+    EXPECT_EQ(fx.scaleOuts, 1);
+}

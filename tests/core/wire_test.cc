@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Wire-format tests (DESIGN.md §12): roundtrips for every hint
+ * kind, and a malformed-frame corpus where each corruption class
+ * must be rejected with its specific reason and provably zero
+ * output mutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/wire.hh"
+
+using namespace soc;
+using namespace soc::core;
+using namespace soc::core::wire;
+using sim::kMinute;
+
+namespace
+{
+
+HintHeader
+header(HintKind kind)
+{
+    HintHeader h;
+    h.kind = kind;
+    h.server = 3;
+    h.vmId = 42;
+    h.seq = 7;
+    h.issuedAt = 90 * kMinute;
+    return h;
+}
+
+OverclockRequest
+goodRequest()
+{
+    OverclockRequest r;
+    r.groupId = 42;
+    r.cores = 8;
+    r.desiredMHz = power::kOverclockMHz;
+    r.trigger = TriggerKind::Schedule;
+    r.duration = 10 * kMinute;
+    r.priority = 2;
+    return r;
+}
+
+VmMetrics
+goodMetrics()
+{
+    VmMetrics m;
+    m.p99LatencyMs = 85.0;
+    m.meanLatencyMs = 30.0;
+    m.utilization = 0.75;
+    m.completed = 12345;
+    return m;
+}
+
+/** Parse with a canary-filled output; on rejection the canary must
+ *  survive untouched (fail-closed means zero mutation). */
+Reject
+parseExpectNoMutation(const Frame &f, Reject expected)
+{
+    ParsedHint out;
+    out.server = -777;
+    out.seq = 0xdeadbeef;
+    const Reject r =
+        parseFrame(f.data(), f.size, WireLimits{}, out);
+    EXPECT_EQ(r, expected) << rejectName(r);
+    EXPECT_EQ(out.server, -777) << "rejected frame mutated output";
+    EXPECT_EQ(out.seq, 0xdeadbeefu);
+    return r;
+}
+
+} // namespace
+
+TEST(Wire, OverclockRequestRoundtrip)
+{
+    const auto f =
+        encodeOverclockRequest(header(HintKind::OverclockRequest),
+                               goodRequest());
+    ParsedHint out;
+    ASSERT_EQ(parseFrame(f.data(), f.size, WireLimits{}, out),
+              Reject::None);
+    EXPECT_EQ(out.kind, HintKind::OverclockRequest);
+    EXPECT_EQ(out.server, 3);
+    EXPECT_EQ(out.vmId, 42);
+    EXPECT_EQ(out.seq, 7u);
+    EXPECT_EQ(out.issuedAt, 90 * kMinute);
+    EXPECT_EQ(out.request.groupId, 42);
+    EXPECT_EQ(out.request.cores, 8);
+    EXPECT_EQ(out.request.desiredMHz, power::kOverclockMHz);
+    EXPECT_EQ(out.request.trigger, TriggerKind::Schedule);
+    EXPECT_EQ(out.request.duration, 10 * kMinute);
+    EXPECT_EQ(out.request.priority, 2);
+}
+
+TEST(Wire, StopRequestRoundtrip)
+{
+    const auto f = encodeStopRequest(header(HintKind::StopRequest));
+    ParsedHint out;
+    ASSERT_EQ(parseFrame(f.data(), f.size, WireLimits{}, out),
+              Reject::None);
+    EXPECT_EQ(out.kind, HintKind::StopRequest);
+    EXPECT_EQ(out.vmId, 42);
+}
+
+TEST(Wire, MetricsWindowRoundtrip)
+{
+    const auto f = encodeMetricsWindow(header(HintKind::MetricsWindow),
+                                       goodMetrics());
+    ParsedHint out;
+    ASSERT_EQ(parseFrame(f.data(), f.size, WireLimits{}, out),
+              Reject::None);
+    EXPECT_DOUBLE_EQ(out.metrics.p99LatencyMs, 85.0);
+    EXPECT_DOUBLE_EQ(out.metrics.meanLatencyMs, 30.0);
+    EXPECT_DOUBLE_EQ(out.metrics.utilization, 0.75);
+    EXPECT_EQ(out.metrics.completed, 12345u);
+}
+
+TEST(Wire, ScheduleDeclarationRoundtrip)
+{
+    ScheduleWindow w;
+    w.dayMask = 0x7f;
+    w.startMinute = 9 * 60;
+    w.endMinute = 17 * 60;
+    const auto f = encodeScheduleDeclaration(
+        header(HintKind::ScheduleDeclaration), w);
+    ParsedHint out;
+    ASSERT_EQ(parseFrame(f.data(), f.size, WireLimits{}, out),
+              Reject::None);
+    EXPECT_EQ(out.window.dayMask, 0x7f);
+    EXPECT_EQ(out.window.startMinute, 9 * 60);
+    EXPECT_EQ(out.window.endMinute, 17 * 60);
+}
+
+TEST(Wire, ExhaustionSignalRoundtrip)
+{
+    ExhaustionSignal s;
+    s.groupId = 42;
+    s.kind = ExhaustionKind::OverclockBudget;
+    s.eta = 10 * kMinute;
+    const auto f =
+        encodeExhaustionSignal(header(HintKind::ExhaustionSignal), s);
+    ParsedHint out;
+    ASSERT_EQ(parseFrame(f.data(), f.size, WireLimits{}, out),
+              Reject::None);
+    EXPECT_EQ(out.exhaustion.groupId, 42);
+    EXPECT_EQ(out.exhaustion.kind, ExhaustionKind::OverclockBudget);
+    EXPECT_EQ(out.exhaustion.eta, 10 * kMinute);
+}
+
+// ---------------------------------------------------------------
+// Malformed-frame corpus: one corruption class per test, each
+// attributed to its exact Reject reason, each provably mutating
+// nothing (canary in parseExpectNoMutation).
+// ---------------------------------------------------------------
+
+TEST(Wire, RejectsTruncatedHeader)
+{
+    auto f = encodeStopRequest(header(HintKind::StopRequest));
+    f.size = kHeaderBytes / 2;
+    parseExpectNoMutation(f, Reject::Truncated);
+}
+
+TEST(Wire, RejectsTruncatedPayload)
+{
+    auto f = encodeMetricsWindow(header(HintKind::MetricsWindow),
+                                 goodMetrics());
+    f.size -= 4; // header intact, payload cut short
+    parseExpectNoMutation(f, Reject::Truncated);
+}
+
+TEST(Wire, RejectsOversizedInput)
+{
+    Frame f;
+    f.size = kMaxFrameBytes + 1; // longer than any legal frame
+    parseExpectNoMutation(f, Reject::Truncated);
+}
+
+TEST(Wire, RejectsBadMagic)
+{
+    auto f = encodeStopRequest(header(HintKind::StopRequest));
+    f.bytes[0] ^= 0xff;
+    parseExpectNoMutation(f, Reject::BadMagic);
+}
+
+TEST(Wire, RejectsBadVersion)
+{
+    auto f = encodeStopRequest(header(HintKind::StopRequest));
+    f.bytes[2] = 0x7e;
+    parseExpectNoMutation(f, Reject::BadVersion);
+}
+
+TEST(Wire, RejectsUnknownTag)
+{
+    auto f = encodeStopRequest(header(HintKind::StopRequest));
+    f.bytes[3] = 0xc8;
+    parseExpectNoMutation(f, Reject::UnknownTag);
+    f.bytes[3] = 0; // zero tag is just as unknown
+    parseExpectNoMutation(f, Reject::UnknownTag);
+}
+
+TEST(Wire, RejectsLengthMismatch)
+{
+    auto f = encodeStopRequest(header(HintKind::StopRequest));
+    putU16(f.bytes.data() + 4, 3); // claims payload a stop lacks
+    f.size = kHeaderBytes + 3;
+    parseExpectNoMutation(f, Reject::LengthMismatch);
+}
+
+TEST(Wire, RejectsNonFiniteMetrics)
+{
+    auto m = goodMetrics();
+    m.p99LatencyMs = std::numeric_limits<double>::quiet_NaN();
+    auto f =
+        encodeMetricsWindow(header(HintKind::MetricsWindow), m);
+    parseExpectNoMutation(f, Reject::NonFinite);
+
+    m = goodMetrics();
+    m.utilization = std::numeric_limits<double>::infinity();
+    f = encodeMetricsWindow(header(HintKind::MetricsWindow), m);
+    parseExpectNoMutation(f, Reject::NonFinite);
+}
+
+TEST(Wire, RejectsNegativeFields)
+{
+    auto m = goodMetrics();
+    m.meanLatencyMs = -0.25;
+    parseExpectNoMutation(
+        encodeMetricsWindow(header(HintKind::MetricsWindow), m),
+        Reject::Negative);
+
+    auto r = goodRequest();
+    r.cores = -5;
+    parseExpectNoMutation(
+        encodeOverclockRequest(header(HintKind::OverclockRequest), r),
+        Reject::Negative);
+
+    auto h = header(HintKind::StopRequest);
+    h.vmId = -1;
+    parseExpectNoMutation(encodeStopRequest(h), Reject::Negative);
+
+    h = header(HintKind::StopRequest);
+    h.issuedAt = -1;
+    parseExpectNoMutation(encodeStopRequest(h), Reject::Negative);
+}
+
+TEST(Wire, RejectsOutOfRangeFields)
+{
+    // Lying frequency claim: 99999 MHz is finite and positive but
+    // outside [turbo, overclock].
+    auto r = goodRequest();
+    r.desiredMHz = power::FreqMHz{99999};
+    parseExpectNoMutation(
+        encodeOverclockRequest(header(HintKind::OverclockRequest), r),
+        Reject::OutOfRange);
+
+    r = goodRequest();
+    r.cores = WireLimits{}.maxCores + 1;
+    parseExpectNoMutation(
+        encodeOverclockRequest(header(HintKind::OverclockRequest), r),
+        Reject::OutOfRange);
+
+    r = goodRequest();
+    r.duration = 0;
+    parseExpectNoMutation(
+        encodeOverclockRequest(header(HintKind::OverclockRequest), r),
+        Reject::OutOfRange);
+
+    // Lying utilization: 250% busy.
+    auto m = goodMetrics();
+    m.utilization = 2.5;
+    parseExpectNoMutation(
+        encodeMetricsWindow(header(HintKind::MetricsWindow), m),
+        Reject::OutOfRange);
+
+    auto h = header(HintKind::StopRequest);
+    h.vmId = WireLimits{}.maxVmId + 1;
+    parseExpectNoMutation(encodeStopRequest(h), Reject::OutOfRange);
+
+    // Inverted schedule window.
+    ScheduleWindow w;
+    w.dayMask = 0x1f;
+    w.startMinute = 600;
+    w.endMinute = 540;
+    parseExpectNoMutation(
+        encodeScheduleDeclaration(
+            header(HintKind::ScheduleDeclaration), w),
+        Reject::OutOfRange);
+}
+
+TEST(Wire, EveryRejectReasonHasAName)
+{
+    for (std::size_t i = 0; i < kRejectReasons; ++i) {
+        const auto name = rejectName(static_cast<Reject>(i));
+        EXPECT_NE(name, nullptr);
+        EXPECT_STRNE(name, "invalid");
+    }
+}
