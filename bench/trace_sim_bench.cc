@@ -2,9 +2,8 @@
  * @file
  * Simulator-throughput and recompute-cost benchmark driver.
  *
- * Two measurements, written as JSON (argv[1], default
- * BENCH_trace_sim.json) so scripts/bench_check.sh and CI can track
- * regressions:
+ * Measurements, written as JSON (default BENCH_trace_sim.json) so
+ * scripts/bench_check.sh and CI can track regressions:
  *
  *  1. End-to-end wall time of a multi-rack trace-simulator run
  *     (racks/sec of simulated fleet).
@@ -12,12 +11,46 @@
  *     telemetry.  With the incremental slot aggregators the cost is
  *     O(slots-per-week) regardless of history length, so the 6-week
  *     figure must stay within ~2x of the 1-day figure; the batch
- *     builder it replaced scaled linearly (42x the history).
+ *     builder it replaced scaled linearly (42x the history).  The
+ *     gated ratio uses min-of-N (the distribution floor): means mix
+ *     in scheduler noise that once pushed the ratio to ~0.96 of
+ *     pure jitter.
+ *  3. Hierarchical budget tier vs the flat zone split.
+ *  4. Hint-ingestion throughput under the standard storm.
+ *  5. Paper-scale streaming replay: the full 7,104-rack fleet of
+ *     the paper (§III) through the HierarchyZone budget path,
+ *     reporting replay throughput, the serial hierarchy-recompute
+ *     share, and peak RSS (the streaming-window design holds it to
+ *     racks x window, not racks x horizon).
+ *
+ * Usage:
+ *   trace_sim_bench [out.json] [--paper-scale] [--six-weeks]
+ *                   [--racks N] [--servers N] [--threads N]
+ *
+ *   --paper-scale  run *only* the paper-scale section (CI smoke uses
+ *                  this with --racks 512); by default every section
+ *                  runs, paper-scale included.
+ *   --six-weeks    paper-scale horizon: 1 week warmup + 5 weeks eval
+ *                  with weekly recomputes (the paper's full study)
+ *                  instead of the default 6h + 6h.
+ *   --racks N      paper-scale rack count   (default 7104)
+ *   --servers N    paper-scale servers/rack (default 8)
+ *   --threads N    worker threads, all sections (default 0 = auto)
+ *
+ * Unknown flags and malformed numbers are usage errors (exit 2):
+ * a bench invoked with a typo must not silently measure the wrong
+ * fleet.
  */
 
+#include <sys/resource.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/trace_sim.hh"
@@ -37,6 +70,88 @@ secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start)
         .count();
+}
+
+/** Peak resident set of this process in MiB (Linux ru_maxrss is
+ *  KiB).  The paper-scale gate tracks it: the streaming replay
+ *  must keep 7.1k racks x 6 weeks out of memory. */
+double
+peakRssMb()
+{
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct Args {
+    const char *outPath = "BENCH_trace_sim.json";
+    bool paperScaleOnly = false;
+    bool sixWeeks = false;
+    int racks = 7104;
+    int servers = 8;
+    int threads = 0;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [out.json] [--paper-scale] "
+                 "[--six-weeks] [--racks N] [--servers N] "
+                 "[--threads N]\n",
+                 argv0);
+    return 2;
+}
+
+/** Strict int parse: the whole token, in [min, max]. */
+bool
+parseInt(const char *text, long min, long max, int &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0' ||
+        value < min || value > max)
+        return false;
+    out = static_cast<int>(value);
+    return true;
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    bool have_path = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--paper-scale") == 0) {
+            args.paperScaleOnly = true;
+        } else if (std::strcmp(arg, "--six-weeks") == 0) {
+            args.sixWeeks = true;
+        } else if (std::strcmp(arg, "--racks") == 0) {
+            if (++i >= argc ||
+                !parseInt(argv[i], 1, 1000000, args.racks))
+                return false;
+        } else if (std::strcmp(arg, "--servers") == 0) {
+            if (++i >= argc ||
+                !parseInt(argv[i], 1, 1024, args.servers))
+                return false;
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            if (++i >= argc ||
+                !parseInt(argv[i], 0, 4096, args.threads))
+                return false;
+        } else if (arg[0] == '-') {
+            return false; // unknown flag: fail closed
+        } else if (!have_path) {
+            args.outPath = arg;
+            have_path = true;
+        } else {
+            return false; // second positional
+        }
+    }
+    return true;
 }
 
 /** One rack of idle-ish servers streaming telemetry into their
@@ -76,23 +191,37 @@ struct RecomputeHarness {
                 soa->tick(now);
     }
 
+    struct Latency {
+        double meanUs = 0.0;
+        double minUs = 0.0;
+    };
+
     /**
-     * Mean recompute latency in microseconds over @p reps, each
-     * preceded by one fresh telemetry slot so every recompute does
-     * real incremental work (otherwise the aggregator caches make
-     * all but the first recompute trivial).
+     * Recompute latency over @p reps, each preceded by one fresh
+     * telemetry slot so every recompute does real incremental work
+     * (otherwise the aggregator caches make all but the first
+     * recompute trivial).  Reports the mean (context) and the min
+     * (the gated figure: the distribution floor is the cost of the
+     * work; everything above it is scheduler noise).
      */
-    double measureRecomputeUs(int reps)
+    Latency measureRecompute(int reps)
     {
         goa.recompute(now); // warm scratch buffers, not timed
+        Latency lat;
         double total_s = 0.0;
+        double min_s = 0.0;
         for (int r = 0; r < reps; ++r) {
             advanceTo(now + sim::kSlot);
             const auto start = Clock::now();
             goa.recompute(now);
-            total_s += secondsSince(start);
+            const double s = secondsSince(start);
+            total_s += s;
+            if (r == 0 || s < min_s)
+                min_s = s;
         }
-        return total_s / reps * 1e6;
+        lat.meanUs = total_s / reps * 1e6;
+        lat.minUs = min_s * 1e6;
+        return lat;
     }
 };
 
@@ -117,13 +246,114 @@ syntheticRack(int rack, int servers)
     return out;
 }
 
+/** The paper-scale streaming replay (section 5). */
+struct PaperScaleResult {
+    cluster::TraceSimConfig cfg;
+    cluster::TraceSimResult result;
+    double wallS = 0.0;
+    double racksPerS = 0.0;
+    double hierShare = 0.0;
+    double peakRssMb = 0.0;
+};
+
+PaperScaleResult
+runPaperScale(const Args &args)
+{
+    PaperScaleResult out;
+    cluster::TraceSimConfig &cfg = out.cfg;
+    cfg.racks = args.racks;
+    cfg.serversPerRack = args.servers;
+    if (args.sixWeeks) {
+        cfg.warmup = sim::kWeek;
+        cfg.duration = 5 * sim::kWeek;
+        cfg.recomputePeriod = sim::kWeek;
+    } else {
+        cfg.warmup = 6 * sim::kHour;
+        cfg.duration = 6 * sim::kHour;
+        cfg.recomputePeriod = 3 * sim::kHour;
+    }
+    cfg.controlStep = 300 * sim::kSecond;
+    cfg.requestChunk = sim::kHour;
+    cfg.templateWindow = sim::kWeek;
+    cfg.streamWindow = sim::kDay;
+    cfg.budgetPath = cluster::BudgetPath::HierarchyZone;
+    cfg.racksPerRow = 8;
+    cfg.threads = args.threads;
+    cfg.seed = 101;
+
+    const auto start = Clock::now();
+    out.result = cluster::runTraceSim(cfg);
+    out.wallS = secondsSince(start);
+    // Replay throughput charges the hierarchy's serial recompute
+    // phase too — it is on the critical path at paper scale.
+    const double replay_s =
+        out.result.simSeconds + out.result.hierSeconds;
+    out.racksPerS = replay_s > 0.0 ? cfg.racks / replay_s : 0.0;
+    out.hierShare =
+        replay_s > 0.0 ? out.result.hierSeconds / replay_s : 0.0;
+    out.peakRssMb = peakRssMb();
+    return out;
+}
+
+void
+printPaperScaleJson(std::FILE *out, const Args &args,
+                    const PaperScaleResult &paper)
+{
+    std::fprintf(
+        out,
+        "  \"paper_scale\": {\n"
+        "    \"paper_racks\": %d,\n"
+        "    \"paper_servers_per_rack\": %d,\n"
+        "    \"paper_horizon\": \"%s\",\n"
+        "    \"paper_wall_s\": %.3f,\n"
+        "    \"paper_gen_s\": %.3f,\n"
+        "    \"paper_sim_s\": %.3f,\n"
+        "    \"paper_hier_s\": %.4f,\n"
+        "    \"paper_hier_share\": %.4f,\n"
+        "    \"paper_hier_recomputes\": %llu,\n"
+        "    \"paper_racks_per_s\": %.1f,\n"
+        "    \"paper_peak_rss_mb\": %.1f,\n"
+        "    \"paper_requests\": %llu\n"
+        "  }\n",
+        paper.cfg.racks, paper.cfg.serversPerRack,
+        args.sixWeeks ? "1w warmup + 5w eval" : "6h warmup + 6h eval",
+        paper.wallS, paper.result.genSeconds,
+        paper.result.simSeconds, paper.result.hierSeconds,
+        paper.hierShare,
+        static_cast<unsigned long long>(
+            paper.result.hierarchyRecomputes),
+        paper.racksPerS, paper.peakRssMb,
+        static_cast<unsigned long long>(paper.result.requests));
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const char *out_path =
-        argc > 1 ? argv[1] : "BENCH_trace_sim.json";
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return usage(argv[0]);
+
+    if (args.paperScaleOnly) {
+        const auto paper = runPaperScale(args);
+        std::FILE *out = std::fopen(args.outPath, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", args.outPath);
+            return 1;
+        }
+        std::fprintf(out, "{\n");
+        printPaperScaleJson(out, args, paper);
+        std::fprintf(out, "}\n");
+        std::fclose(out);
+        std::printf("paper_racks=%d paper_sim_s=%.3f "
+                    "paper_hier_s=%.4f paper_racks_per_s=%.1f "
+                    "paper_peak_rss_mb=%.1f -> %s\n",
+                    paper.cfg.racks, paper.result.simSeconds,
+                    paper.result.hierSeconds, paper.racksPerS,
+                    paper.peakRssMb, args.outPath);
+        return 0;
+    }
 
     // 1. Simulator throughput at fleet-bench scale (ROADMAP item
     //    1).  racks_per_s is *replay* throughput — racks over the
@@ -142,20 +372,35 @@ main(int argc, char **argv)
     cfg.controlStep = 300 * sim::kSecond;
     cfg.requestChunk = sim::kHour;
     cfg.seed = 101;
-    const auto wall_start = Clock::now();
-    const auto result = cluster::runTraceSim(cfg);
-    const double wall_s = secondsSince(wall_start);
+    cfg.threads = args.threads;
+    // Best-of-N, like the recompute min: the run is short enough
+    // (~0.2s) that one page-reclaim stall or scheduler preemption
+    // otherwise dominates the gated figure.
+    constexpr int kReplayReps = 3;
+    cluster::TraceSimResult result;
+    double wall_s = 0.0;
+    for (int rep = 0; rep < kReplayReps; ++rep) {
+        const auto wall_start = Clock::now();
+        auto r = cluster::runTraceSim(cfg);
+        const double w = secondsSince(wall_start);
+        if (rep == 0 || r.simSeconds < result.simSeconds) {
+            result = std::move(r);
+            wall_s = w;
+        }
+    }
     const double racks_per_s = result.simSeconds > 0.0
         ? cfg.racks / result.simSeconds
         : 0.0;
 
-    // 2. Recompute latency vs telemetry horizon.
+    // 2. Recompute latency vs telemetry horizon (min-of-N gated).
+    constexpr int kRecomputeReps = 64;
     RecomputeHarness harness;
     harness.advanceTo(sim::kDay);
-    const double us_1d = harness.measureRecomputeUs(64);
+    const auto lat_1d = harness.measureRecompute(kRecomputeReps);
     harness.advanceTo(6 * sim::kWeek);
-    const double us_6w = harness.measureRecomputeUs(64);
-    const double ratio = us_1d > 0.0 ? us_6w / us_1d : 0.0;
+    const auto lat_6w = harness.measureRecompute(kRecomputeReps);
+    const double ratio =
+        lat_1d.minUs > 0.0 ? lat_6w.minUs / lat_1d.minUs : 0.0;
 
     // 3. Hierarchical budget tier at the same fleet scale.  The
     //    flat split prices the zone at O(servers x slots) every
@@ -205,9 +450,12 @@ main(int argc, char **argv)
         storm_cfg, ingress_cfg, /*servers=*/8, /*vms_per_server=*/16,
         /*steps=*/2000);
 
-    std::FILE *out = std::fopen(out_path, "w");
+    // 5. Paper-scale streaming replay (gated racks/s + peak RSS).
+    const auto paper = runPaperScale(args);
+
+    std::FILE *out = std::fopen(args.outPath, "w");
     if (out == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", out_path);
+        std::fprintf(stderr, "cannot open %s\n", args.outPath);
         return 1;
     }
     std::fprintf(out,
@@ -224,8 +472,11 @@ main(int argc, char **argv)
                  "  },\n"
                  "  \"goa_recompute\": {\n"
                  "    \"servers\": %d,\n"
+                 "    \"iterations\": %d,\n"
                  "    \"recompute_us_1d\": %.2f,\n"
+                 "    \"recompute_us_1d_min\": %.2f,\n"
                  "    \"recompute_us_6w\": %.2f,\n"
+                 "    \"recompute_us_6w_min\": %.2f,\n"
                  "    \"ratio_6w_over_1d\": %.3f\n"
                  "  },\n"
                  "  \"budget_hierarchy\": {\n"
@@ -240,14 +491,15 @@ main(int argc, char **argv)
                  "    \"accepted\": %llu,\n"
                  "    \"parse_rejects\": %llu,\n"
                  "    \"hints_per_s\": %.0f\n"
-                 "  }\n"
-                 "}\n",
+                 "  },\n",
                  cfg.racks, cfg.serversPerRack, wall_s,
                  result.genSeconds, result.simSeconds, racks_per_s,
                  static_cast<unsigned long long>(result.requests),
-                 RecomputeHarness::kServers, us_1d, us_6w, ratio,
-                 cfg.racks, static_cast<int>(hierarchy.rows()),
-                 flat_us, hier_us,
+                 RecomputeHarness::kServers, kRecomputeReps,
+                 lat_1d.meanUs, lat_1d.minUs, lat_6w.meanUs,
+                 lat_6w.minUs, ratio, cfg.racks,
+                 static_cast<int>(hierarchy.rows()), flat_us,
+                 hier_us,
                  static_cast<unsigned long long>(
                      ingress_bench.offered),
                  static_cast<unsigned long long>(
@@ -255,14 +507,19 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(
                      ingress_bench.stats.parseRejects),
                  ingress_bench.hintsPerS);
+    printPaperScaleJson(out, args, paper);
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wall_s=%.3f gen_s=%.3f sim_s=%.3f "
                 "racks_per_s=%.3f "
-                "recompute_us_1d=%.2f recompute_us_6w=%.2f "
+                "recompute_us_1d_min=%.2f recompute_us_6w_min=%.2f "
                 "ratio=%.3f flat_zone_split_us=%.2f "
-                "hier_incremental_us=%.2f hints_per_s=%.0f -> %s\n",
+                "hier_incremental_us=%.2f hints_per_s=%.0f "
+                "paper_racks_per_s=%.1f paper_peak_rss_mb=%.1f "
+                "-> %s\n",
                 wall_s, result.genSeconds, result.simSeconds,
-                racks_per_s, us_1d, us_6w, ratio, flat_us, hier_us,
-                ingress_bench.hintsPerS, out_path);
+                racks_per_s, lat_1d.minUs, lat_6w.minUs, ratio,
+                flat_us, hier_us, ingress_bench.hintsPerS,
+                paper.racksPerS, paper.peakRssMb, args.outPath);
     return 0;
 }

@@ -15,6 +15,21 @@ ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)"
 echo "==== ci_check: bench gates ===="
 "$ROOT/scripts/bench_check.sh" "$ROOT/build"
 
+echo "==== ci_check: paper-scale smoke (512 racks) ===="
+# CI-sized slice of the 7,104-rack streaming replay: exercises the
+# HierarchyZone lockstep orchestrator end to end without the full
+# fleet's minutes of wall time.  Success = the run completes and
+# emits its gated fields (values are gated at full scale by
+# bench_check.sh).
+"$ROOT/build/bench/bench_trace_sim" \
+    "$ROOT/build/BENCH_paper_smoke.json" --paper-scale --racks 512
+for field in paper_racks_per_s paper_peak_rss_mb; do
+    grep -q "\"$field\"" "$ROOT/build/BENCH_paper_smoke.json" || {
+        echo "FAIL: $field missing from paper-scale smoke output" >&2
+        exit 1
+    }
+done
+
 echo "==== ci_check: static analysis ===="
 "$ROOT/scripts/static_check.sh" "$ROOT/build-static"
 

@@ -10,86 +10,104 @@ namespace cluster
 {
 
 void
-FleetState::addServer(const workload::ServerTrace &trace,
+FleetState::addServer(std::size_t vms,
                       const std::vector<bool> &candidate)
 {
-    const std::size_t vms = trace.vmUtil.size();
-    assert(vms == trace.vmTurboWatts.size());
     assert(vms == candidate.size());
     assert(vms <= kMaxVmsPerServer);
+    assert(windowSlots_ == 0 &&
+           "FleetState: addServer after beginWindow");
 
-    offsets_.push_back(utilSamples_.size());
+    offsets_.push_back(totalVms());
     counts_.push_back(vms);
 
     std::uint64_t mask = 0;
-    for (std::size_t v = 0; v < vms; ++v) {
-        const auto &util = trace.vmUtil[v];
-        const auto &watts = trace.vmTurboWatts[v];
-        assert(util.size() == watts.size());
-        if (slots_ == 0)
-            slots_ = util.size();
-        assert(util.size() == slots_);
-        utilSamples_.push_back(util.values().data());
-        wattsSamples_.push_back(watts.values().data());
+    for (std::size_t v = 0; v < vms; ++v)
         if (candidate[v])
             mask |= std::uint64_t{1} << v;
-    }
     candidate_.push_back(mask);
     want_.push_back(0);
-    // Registering a server invalidates any existing transpose.
-    utilBySlot_.clear();
-    wattsBySlot_.clear();
-    wantBySlot_.clear();
 }
 
 void
-FleetState::finalize()
+FleetState::setHorizon(std::size_t slots)
 {
-    const std::size_t total = utilSamples_.size();
+    assert(slots > 0);
+    slots_ = slots;
+}
+
+std::size_t
+FleetState::beginWindow(std::size_t firstSlot, std::size_t maxSlots)
+{
+    assert(slots_ > 0 && "FleetState: setHorizon before windows");
+    assert(maxSlots > 0);
+    assert(firstSlot == windowEnd() &&
+           "FleetState: windows must be streamed in order");
+    assert(firstSlot < slots_);
+
+    windowBegin_ = firstSlot;
+    windowSlots_ = std::min(maxSlots, slots_ - firstSlot);
+    windowFinal_ = false;
+    const std::size_t total = totalVms();
+    utilBySlot_.resize(windowSlots_ * total);
+    wattsBySlot_.resize(windowSlots_ * total);
+    wantBySlot_.resize(windowSlots_ * counts_.size());
+    return windowSlots_;
+}
+
+void
+FleetState::finalizeWindow()
+{
+    assert(windowSlots_ > 0);
+    const std::size_t total = totalVms();
     const std::size_t servers = counts_.size();
-    utilBySlot_.resize(slots_ * total);
-    wattsBySlot_.resize(slots_ * total);
-    wantBySlot_.resize(slots_ * servers);
-    for (std::size_t slot = 0; slot < slots_; ++slot) {
-        double *urow = utilBySlot_.data() + slot * total;
-        double *wrow = wattsBySlot_.data() + slot * total;
-        for (std::size_t i = 0; i < total; ++i) {
-            urow[i] = utilSamples_[i][slot];
-            wrow[i] = wattsSamples_[i][slot];
-        }
+    for (std::size_t slot = 0; slot < windowSlots_; ++slot) {
+        const double *urow = utilBySlot_.data() + slot * total;
         for (std::size_t s = 0; s < servers; ++s) {
             const std::size_t base = offsets_[s];
             std::uint64_t above = 0;
             for (std::size_t v = 0; v < counts_[s]; ++v)
                 if (urow[base + v] >= threshold_)
                     above |= std::uint64_t{1} << v;
-            wantBySlot_[slot * servers + s] =
-                above & candidate_[s];
+            wantBySlot_[slot * servers + s] = above & candidate_[s];
         }
     }
+    windowFinal_ = true;
+}
+
+void
+FleetState::resetWindows()
+{
+    windowBegin_ = 0;
+    windowSlots_ = 0;
+    windowFinal_ = false;
 }
 
 void
 FleetState::applySlot(power::Rack &rack, std::size_t slot)
 {
-    // Same out-of-range stance as TimeSeries::atTime: the traces
-    // span the whole horizon by construction, so running past them
-    // is a bug, caught loudly here rather than replaying the final
-    // slot forever.
-    assert(slot < slots_ && "FleetState: slot past trace end");
-    if (utilBySlot_.empty())
-        finalize();
+    // Same out-of-range stance as TimeSeries::atTime: the windows
+    // are streamed to span the whole horizon by construction, so
+    // replaying outside the current one is a bug, caught loudly here
+    // rather than replaying stale samples.
+    assert(windowFinal_ && "FleetState: applySlot before finalize");
+    assert(slot >= windowBegin_ && slot < windowEnd() &&
+           "FleetState: slot outside the streamed window");
     lastSlot_ = slot;
-    const std::size_t total = utilSamples_.size();
+    const std::size_t row = slot - windowBegin_;
+    const std::size_t total = totalVms();
     const std::size_t servers = counts_.size();
-    const double *urow = utilBySlot_.data() + slot * total;
-    const double *wrow = wattsBySlot_.data() + slot * total;
-    const std::uint64_t *wants = wantBySlot_.data() + slot * servers;
+    // soclint:hot-begin(PERF-001) — once per closed telemetry slot,
+    // the replay inner loop's data feed: no per-call allocation.
+    const double *urow = utilBySlot_.data() + row * total;
+    const double *wrow = wattsBySlot_.data() + row * total;
+    const std::uint64_t *wants = wantBySlot_.data() + row * servers;
     for (std::size_t s = 0; s < servers; ++s) {
         want_[s] = wants[s];
         rack.server(s).setUtilsAndTurboWatts(
             counts_[s], urow + offsets_[s], wrow + offsets_[s]);
     }
+    // soclint:hot-end(PERF-001)
 }
 
 } // namespace cluster

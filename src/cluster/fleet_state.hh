@@ -9,14 +9,14 @@
  * flattens the replay inputs into parallel arrays indexed by a
  * per-server [offset, offset+count) range:
  *
- *  - raw pointers to each VM's utilization and turbo-power sample
- *    arrays (the TimeSeries storage, stable for the rack lifetime);
+ *  - slot-major sample windows (all VMs' utilization and turbo-watts
+ *    samples for one slot contiguous), filled window by window from
+ *    the streaming trace generator;
  *  - per-server candidate bitmasks (VMs that ever request
  *    overclocking);
- *  - contiguous scratch rows handed to
- *    Server::setUtilsAndTurboWatts, the batch update that reuses
- *    the generator's precomputed turbo watts instead of
- *    re-evaluating the power model.
+ *  - contiguous rows handed to Server::setUtilsAndTurboWatts, the
+ *    batch update that reuses the generator's precomputed turbo
+ *    watts instead of re-evaluating the power model.
  *
  * Utilization is slot-constant (5-minute telemetry), so applySlot()
  * runs once per closed slot, not once per control step, and also
@@ -24,12 +24,13 @@
  * utilization crosses the overclock threshold).  The step loop then
  * touches only the set bits of want|active instead of every VM.
  *
- * On first use the per-VM series are additionally transposed into
- * slot-major rows (all VMs' samples for one slot contiguous) and the
- * want masks precomputed per slot — both are pure functions of the
- * immutable trace, so applySlot degenerates to handing each server a
- * pointer into the transposed row plus a mask load, instead of
- * striding across one heap-allocated series per VM every slot.
+ * Windows replaced the former whole-horizon transpose: the replay
+ * opens a window (beginWindow), streams samples into the exposed
+ * slot-major buffers, finalizes it (per-slot want masks), and
+ * replays it to the end before opening the next one.  The buffers
+ * are recycled across windows, so a rack's replay footprint is
+ * O(VMs x window slots) regardless of the simulated horizon — what
+ * lets the 7.1k-rack, 6-week study fit in memory (DESIGN.md §13).
  */
 
 #ifndef SOC_CLUSTER_FLEET_STATE_HH
@@ -40,7 +41,6 @@
 #include <vector>
 
 #include "power/rack.hh"
-#include "workload/trace_generator.hh"
 
 namespace soc
 {
@@ -64,26 +64,74 @@ class FleetState
     }
 
     /**
-     * Register one server's replay inputs.  @p trace must outlive
-     * this object (its sample vectors are captured by pointer);
-     * @p candidate flags which VMs ever request overclocking.
-     * Servers must be added in rack order.
+     * Register one server's VM layout: @p vms VM columns whose
+     * samples will arrive through the window buffers, and
+     * @p candidate flagging which VMs ever request overclocking.
+     * Servers must be added in rack order, before setHorizon().
      */
-    void addServer(const workload::ServerTrace &trace,
+    void addServer(std::size_t vms,
                    const std::vector<bool> &candidate);
 
     std::size_t servers() const { return counts_.size(); }
 
-    /** Number of telemetry slots every registered series covers. */
+    /** Flat VM count across all registered servers (the slot-major
+     *  row width of the window buffers). */
+    std::size_t totalVms() const { return offsets_.empty()
+            ? 0
+            : offsets_.back() + counts_.back(); }
+
+    /** First flat VM index of @p server (its window column base). */
+    std::size_t serverOffset(std::size_t server) const
+    {
+        return offsets_[server];
+    }
+
+    /** Fix the replay horizon in slots; must precede beginWindow. */
+    void setHorizon(std::size_t slots);
+
+    /** Number of telemetry slots the replay horizon covers. */
     std::size_t slots() const { return slots_; }
+
+    /**
+     * Open the window starting at @p firstSlot, covering up to
+     * @p maxSlots slots (clamped to the horizon), and return the
+     * number of slots actually covered.  Windows must be opened in
+     * order, each starting where the previous ended (asserted); the
+     * caller then fills utilWindow()/wattsWindow() — slot i of the
+     * window at row i * totalVms() — and calls finalizeWindow().
+     */
+    std::size_t beginWindow(std::size_t firstSlot,
+                            std::size_t maxSlots);
+
+    /** Slot-major utilization buffer of the open window. */
+    double *utilWindow() { return utilBySlot_.data(); }
+    /** Slot-major turbo-watts buffer of the open window. */
+    double *wattsWindow() { return wattsBySlot_.data(); }
+
+    /** Compute the open window's per-slot want masks; applySlot may
+     *  then replay any slot of the window. */
+    void finalizeWindow();
+
+    /** First slot of the current window. */
+    std::size_t windowBegin() const { return windowBegin_; }
+    /** One past the last slot of the current window (0 before the
+     *  first beginWindow). */
+    std::size_t windowEnd() const
+    {
+        return windowBegin_ + windowSlots_;
+    }
+
+    /** Forget all window state: the next beginWindow must restart
+     *  at slot 0 (a fresh replay pass over the same layout). */
+    void resetWindows();
 
     /**
      * Push slot @p slot's utilizations (with turbo-power hints) into
      * every server of @p rack and rebuild the want masks.  Servers
-     * are updated in rack order.  @p slot must be < slots(): the
-     * traces are generated to cover the full sim horizon, so an
-     * out-of-range slot is a caller bug (asserted), mirroring the
-     * TimeSeries out-of-range policy.
+     * are updated in rack order.  @p slot must lie inside the
+     * current finalized window: the windows are streamed to cover
+     * the full sim horizon, so an out-of-window slot is a caller bug
+     * (asserted), mirroring the TimeSeries out-of-range policy.
      */
     void applySlot(power::Rack &rack, std::size_t slot);
 
@@ -98,33 +146,32 @@ class FleetState
      *  slot (valid after the first applySlot). */
     double util(std::size_t server, std::size_t v) const
     {
-        return utilBySlot_[lastSlot_ * utilSamples_.size() +
+        return utilBySlot_[(lastSlot_ - windowBegin_) * totalVms() +
                            offsets_[server] + v];
     }
 
   private:
-    /** Build the slot-major transpose and per-slot want masks. */
-    void finalize();
-
     double threshold_;
     std::size_t slots_ = 0;
     std::size_t lastSlot_ = 0;
 
-    /** Per-server [offset, offset+count) range into the VM arrays. */
+    /** Per-server [offset, offset+count) range into the VM columns. */
     std::vector<std::size_t> offsets_;
     std::vector<std::size_t> counts_;
-    /** Per-VM sample arrays (TimeSeries storage), by flat VM index. */
-    std::vector<const double *> utilSamples_;
-    std::vector<const double *> wattsSamples_;
     /** Candidate VMs per server, as a bitmask. */
     std::vector<std::uint64_t> candidate_;
     /** Want mask per server at the last applied slot. */
     std::vector<std::uint64_t> want_;
-    /** Slot-major transposes: row `slot` holds every VM's sample
-     *  for that slot, in flat VM-index order (finalize()). */
+
+    std::size_t windowBegin_ = 0;
+    std::size_t windowSlots_ = 0;
+    bool windowFinal_ = false;
+    /** Slot-major sample windows: row `slot - windowBegin_` holds
+     *  every VM's sample for that slot, in flat VM-index order.
+     *  Capacity is recycled across windows. */
     std::vector<double> utilBySlot_;
     std::vector<double> wattsBySlot_;
-    /** Per-slot want masks, servers-major per row (finalize()). */
+    /** Per-slot want masks of the window, servers-major per row. */
     std::vector<std::uint64_t> wantBySlot_;
 };
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/budget_hierarchy.hh"
 #include "core/hint_ingress.hh"
 #include "core/policy.hh"
 #include "power/power_model.hh"
@@ -36,6 +37,32 @@ namespace cluster
 
 /** Power-draw tiers of Table I (how tight the rack limit is). */
 enum class PowerTier { High, Medium, Low };
+
+/** Which budget path the gOAs recompute through (DESIGN.md §13). */
+enum class BudgetPath {
+    /** Each rack's gOA splits its own limit flat — the seed
+     *  behavior, always available. */
+    PerRack,
+    /**
+     * The hierarchical two-phase recompute (pullProfiles +
+     * recomputeWithBudget) fed a constant usable row equal to the
+     * rack limit minus the safety margin: exercises the hierarchy
+     * plumbing while staying bit-identical to PerRack (the
+     * splitWeeklyInto equivalence guarantee) — the verification
+     * mode for small fleets.
+     */
+    HierarchyEquivalence,
+    /**
+     * Full rack -> row -> zone tier: racks advance in lockstep
+     * between recompute boundaries; at each boundary every gOA's
+     * profiles are aggregated into core::BudgetHierarchy, the zone
+     * limit (the sum of the rack limits) is re-split incrementally,
+     * and each gOA pushes its rack's budget share down to its sOAs.
+     * Requires faults disabled (the lockstep orchestrator has no
+     * outage-retry path).
+     */
+    HierarchyZone,
+};
 
 /** Configuration of one trace-driven run. */
 struct TraceSimConfig {
@@ -92,6 +119,28 @@ struct TraceSimConfig {
      */
     sim::HintStormConfig storm;
     /**
+     * Budget recompute topology.  PerRack (default) keeps every
+     * result bit-identical to the seed; HierarchyZone is the
+     * paper-scale path (racks/s gated at 7.1k racks by
+     * bench_check.sh); HierarchyEquivalence runs the hierarchy
+     * plumbing with a budget provably equal to PerRack's, for
+     * equivalence tests.  The hierarchical paths reject
+     * faults.enabled (validate()).
+     */
+    BudgetPath budgetPath = BudgetPath::PerRack;
+    /** Racks per row of the HierarchyZone tier. */
+    int racksPerRow = 8;
+    /**
+     * Streaming-replay window: how much trace each rack holds
+     * materialized at once, as a multiple of the 5-minute slot
+     * (sim::kDay default keeps a rack's replay footprint at
+     * VMs x 288 samples regardless of horizon).  0 materializes the
+     * whole horizon in one window.  Replay results are bit-identical
+     * for any window size — the generator cursors produce the same
+     * sample stream however it is chunked (enforced by test).
+     */
+    sim::Tick streamWindow = sim::kDay;
+    /**
      * Worker threads for trace generation and the per-rack control
      * loops (racks are fully independent, see DESIGN.md "Threading
      * model").  0 means hardware concurrency.  Results are
@@ -146,6 +195,16 @@ struct TraceSimResult {
      */
     double genSeconds = 0.0;
     double simSeconds = 0.0;
+    /** Wall seconds spent in the serial hierarchy recompute phase
+     *  (aggregate exchange + zone re-split); zero unless
+     *  budgetPath == HierarchyZone.  Not simulation state. */
+    double hierSeconds = 0.0;
+
+    // Hierarchy metrics (zero unless budgetPath == HierarchyZone).
+    /** Zone-level hierarchy recomputes performed. */
+    std::uint64_t hierarchyRecomputes = 0;
+    /** Aggregation/split work counters of the hierarchy tier. */
+    core::BudgetHierarchy::Stats hierarchyStats;
 
     // Chaos metrics (all zero when fault injection is disabled).
     /** Injected-fault and degraded-path counters, all racks. */

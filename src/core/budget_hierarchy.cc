@@ -1,6 +1,7 @@
 #include "core/budget_hierarchy.hh"
 
 #include <cassert>
+#include <utility>
 
 namespace soc
 {
@@ -14,10 +15,44 @@ BudgetHierarchy::BudgetHierarchy(const power::PowerModel &model,
     assert(config_.racksPerRow > 0);
 }
 
+void
+ProfileAggregator::aggregate(const ServerProfile *members,
+                             std::size_t count, ServerProfile &out)
+{
+    assert(count > 0);
+    const auto slots = static_cast<std::size_t>(sim::kSlotsPerWeek);
+    power_.assign(slots, 0.0);
+    util_.assign(slots, 0.0);
+    oc_.assign(slots, 0.0);
+    req_.assign(slots, 0.0);
+    for (std::size_t m = 0; m < count; ++m) {
+        const ServerProfile &p = members[m];
+        for (std::size_t slot = 0; slot < slots; ++slot) {
+            const sim::Tick t =
+                static_cast<sim::Tick>(slot) * sim::kSlot;
+            power_[slot] += p.power.predict(t);
+            util_[slot] += p.utilization.predict(t);
+            oc_[slot] += p.overclockedCores.predict(t);
+            req_[slot] += p.requestedCores.predict(t);
+        }
+    }
+    // Power and core counts add; utilization is the members' mean
+    // (it only feeds the allocator's per-core surcharge model, where
+    // a representative utilization is what the flat split uses too).
+    for (std::size_t slot = 0; slot < slots; ++slot)
+        util_[slot] /= static_cast<double>(count);
+    out.power.assignWeekly(power_);
+    out.utilization.assignWeekly(util_);
+    out.overclockedCores.assignWeekly(oc_);
+    out.requestedCores.assignWeekly(req_);
+}
+
 int
 BudgetHierarchy::addRack(std::vector<ServerProfile> profiles)
 {
     assert(!profiles.empty());
+    assert(!externalAggregates_ &&
+           "BudgetHierarchy: addRack mixed with addRackAggregate");
     const int id = static_cast<int>(rackProfiles_.size());
     rackProfiles_.push_back(std::move(profiles));
     rackDirty_.push_back(true);
@@ -36,11 +71,39 @@ BudgetHierarchy::addRack(std::vector<ServerProfile> profiles)
     return id;
 }
 
+int
+BudgetHierarchy::addRackAggregate(ServerProfile aggregate)
+{
+    assert((rackProfiles_.empty() || externalAggregates_) &&
+           "BudgetHierarchy: addRackAggregate mixed with addRack");
+    externalAggregates_ = true;
+    const int id = static_cast<int>(rackProfiles_.size());
+    // The per-server slot stays empty: aggregates are pushed from
+    // outside, the hierarchy never aggregates this rack itself.
+    rackProfiles_.emplace_back();
+    rackDirty_.push_back(false);
+
+    const auto row = static_cast<std::size_t>(id) /
+        static_cast<std::size_t>(config_.racksPerRow);
+    if (row >= rowCount_) {
+        rowCount_ = row + 1;
+        rackAggregates_.emplace_back();
+        rackBudgets_.emplace_back();
+        rowAggregates_.emplace_back();
+        rowDirty_.push_back(true);
+    }
+    rackAggregates_[row].push_back(std::move(aggregate));
+    rowDirty_[row] = true;
+    return id;
+}
+
 void
 BudgetHierarchy::setRackProfiles(int rack,
                                  std::vector<ServerProfile> profiles)
 {
     assert(!profiles.empty());
+    assert(!externalAggregates_ &&
+           "BudgetHierarchy: setRackProfiles on an aggregate rack");
     const auto r = static_cast<std::size_t>(rack);
     rackProfiles_[r] = std::move(profiles);
     rackDirty_[r] = true;
@@ -49,35 +112,15 @@ BudgetHierarchy::setRackProfiles(int rack,
 }
 
 void
-BudgetHierarchy::aggregate(const ServerProfile *members,
-                           std::size_t count, ServerProfile &out)
+BudgetHierarchy::exchangeRackAggregate(int rack,
+                                       ServerProfile &aggregate)
 {
-    assert(count > 0);
-    const auto slots = static_cast<std::size_t>(sim::kSlotsPerWeek);
-    aggPower_.assign(slots, 0.0);
-    aggUtil_.assign(slots, 0.0);
-    aggOc_.assign(slots, 0.0);
-    aggReq_.assign(slots, 0.0);
-    for (std::size_t m = 0; m < count; ++m) {
-        const ServerProfile &p = members[m];
-        for (std::size_t slot = 0; slot < slots; ++slot) {
-            const sim::Tick t =
-                static_cast<sim::Tick>(slot) * sim::kSlot;
-            aggPower_[slot] += p.power.predict(t);
-            aggUtil_[slot] += p.utilization.predict(t);
-            aggOc_[slot] += p.overclockedCores.predict(t);
-            aggReq_[slot] += p.requestedCores.predict(t);
-        }
-    }
-    // Power and core counts add; utilization is the members' mean
-    // (it only feeds the allocator's per-core surcharge model, where
-    // a representative utilization is what the flat split uses too).
-    for (std::size_t slot = 0; slot < slots; ++slot)
-        aggUtil_[slot] /= static_cast<double>(count);
-    out.power.assignWeekly(aggPower_);
-    out.utilization.assignWeekly(aggUtil_);
-    out.overclockedCores.assignWeekly(aggOc_);
-    out.requestedCores.assignWeekly(aggReq_);
+    assert(externalAggregates_ &&
+           "BudgetHierarchy: exchangeRackAggregate on addRack racks");
+    const auto r = static_cast<std::size_t>(rack);
+    const auto k = static_cast<std::size_t>(config_.racksPerRow);
+    std::swap(rackAggregates_[r / k][r % k], aggregate);
+    rowDirty_[r / k] = true;
 }
 
 void
@@ -87,12 +130,15 @@ BudgetHierarchy::recompute(power::Watts zoneLimit)
         return;
     const auto k = static_cast<std::size_t>(config_.racksPerRow);
 
-    // 1. Rebuild stale rack aggregates (dirty racks only).
+    // 1. Rebuild stale rack aggregates (dirty racks only; racks
+    //    registered through addRackAggregate are never dirty — their
+    //    aggregates arrive pre-built via exchangeRackAggregate).
     for (std::size_t r = 0; r < rackProfiles_.size(); ++r) {
         if (!rackDirty_[r])
             continue;
-        aggregate(rackProfiles_[r].data(), rackProfiles_[r].size(),
-                  rackAggregates_[r / k][r % k]);
+        aggregator_.aggregate(rackProfiles_[r].data(),
+                              rackProfiles_[r].size(),
+                              rackAggregates_[r / k][r % k]);
         rackDirty_[r] = false;
         ++stats_.rackAggregations;
     }
@@ -101,8 +147,9 @@ BudgetHierarchy::recompute(power::Watts zoneLimit)
     for (std::size_t row = 0; row < rowCount_; ++row) {
         if (!rowDirty_[row])
             continue;
-        aggregate(rackAggregates_[row].data(),
-                  rackAggregates_[row].size(), rowAggregates_[row]);
+        aggregator_.aggregate(rackAggregates_[row].data(),
+                              rackAggregates_[row].size(),
+                              rowAggregates_[row]);
         rowDirty_[row] = false;
         ++stats_.rowAggregations;
     }

@@ -54,6 +54,30 @@ struct HierarchyConfig {
 };
 
 /**
+ * Sums member profiles' predictions slot by slot into one weekly
+ * aggregate profile: power and core counts add, utilization is the
+ * members' mean.  The reduction both hierarchy tiers use, exposed so
+ * a per-rack gOA can pre-aggregate its own servers where the
+ * profiles live (trace sim hot path) and hand the hierarchy one
+ * profile per rack instead of servers-per-rack of them.
+ * Allocation-free after the first aggregate() (scratch retained).
+ */
+class ProfileAggregator
+{
+  public:
+    /** Aggregate @p count member profiles into @p out (whose weekly
+     *  templates are overwritten in place). */
+    void aggregate(const ServerProfile *members, std::size_t count,
+                   ServerProfile &out);
+
+  private:
+    std::vector<double> power_;
+    std::vector<double> util_;
+    std::vector<double> oc_;
+    std::vector<double> req_;
+};
+
+/**
  * Fleet-scale budget splitter over rack/row aggregates; see the
  * file comment.  Deterministic: no clocks, no RNG, iteration in
  * rack-id order.
@@ -87,6 +111,28 @@ class BudgetHierarchy
                          std::vector<ServerProfile> profiles);
 
     /**
+     * Register a rack by its pre-built aggregate profile (one
+     * ProfileAggregator reduction over its servers) instead of the
+     * per-server profiles; returns the rack id.  The externally
+     * aggregated form the trace sim uses: the per-rack gOAs own the
+     * server profiles and push fresh aggregates each recompute tick
+     * through exchangeRackAggregate, so the hierarchy never stores
+     * per-server state.  A default-constructed aggregate is allowed
+     * at registration (it reads as an idle rack until the first
+     * exchange).  Aggregate racks and addRack racks must not be
+     * mixed in one hierarchy (asserted).
+     */
+    int addRackAggregate(ServerProfile aggregate);
+
+    /**
+     * Swap in @p aggregate as rack @p rack's current aggregate
+     * profile (the previous one is swapped out into @p aggregate for
+     * the caller to reuse — zero steady-state allocation) and mark
+     * its row dirty.  Only valid for addRackAggregate racks.
+     */
+    void exchangeRackAggregate(int rack, ServerProfile &aggregate);
+
+    /**
      * Rebuild dirty aggregates and re-split @p zoneLimit down to
      * per-rack budgets.  Splits always rerun (the limit may have
      * changed); aggregation cost scales with the dirty racks only.
@@ -106,12 +152,6 @@ class BudgetHierarchy
     const Stats &stats() const { return stats_; }
 
   private:
-    /** Sum/mean the member profiles' predictions slot by slot into
-     *  @p out (stored as weekly templates, allocation-free after
-     *  the first build). */
-    void aggregate(const ServerProfile *members, std::size_t count,
-                   ServerProfile &out);
-
     const power::PowerModel &model_;
     HierarchyConfig config_;
     BudgetAllocator allocator_;
@@ -120,6 +160,9 @@ class BudgetHierarchy
     std::vector<std::vector<ServerProfile>> rackProfiles_;
     /** Racks whose aggregate is stale. */
     std::vector<bool> rackDirty_;
+    /** True once addRackAggregate was used (aggregates are pushed
+     *  from outside; step 1 of recompute never runs). */
+    bool externalAggregates_ = false;
     /** Rack-level aggregates, grouped by row (rack r sits at
      *  [r / racksPerRow][r % racksPerRow]) so each row's members
      *  feed the allocator contiguously, copy-free. */
@@ -138,10 +181,7 @@ class BudgetHierarchy
     /** Scratch reused across recomputes (allocation-free steady
      *  state, mirroring BudgetAllocator::SplitScratch). */
     BudgetAllocator::SplitScratch scratch_;
-    std::vector<double> aggPower_;
-    std::vector<double> aggUtil_;
-    std::vector<double> aggOc_;
-    std::vector<double> aggReq_;
+    ProfileAggregator aggregator_;
     std::vector<double> limitRow_;
 
     Stats stats_;

@@ -1,5 +1,6 @@
 #include "core/goa.hh"
 
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -131,6 +132,47 @@ GlobalOverclockingAgent::recompute(sim::Tick now)
             ++stats_.assignmentsRejected;
     }
     ++recomputes_;
+}
+
+const std::vector<ServerProfile> &
+GlobalOverclockingAgent::pullProfiles()
+{
+    if (agents_.empty())
+        throw std::logic_error("gOA: pullProfiles with no sOAs");
+    collectProfiles(RecomputeFaults{});
+    return lastProfiles_;
+}
+
+void
+GlobalOverclockingAgent::recomputeWithBudget(
+    sim::Tick now, const std::vector<double> &usablePerSlot)
+{
+    if (agents_.empty())
+        throw std::logic_error("gOA: recompute with no sOAs");
+    assert(lastProfiles_.size() == agents_.size() &&
+           "gOA: recomputeWithBudget before pullProfiles");
+    assert(usablePerSlot.size() ==
+           static_cast<std::size_t>(sim::kSlotsPerWeek));
+
+    allocator_.splitWeeklyInto(usablePerSlot, lastProfiles_,
+                               splitScratch_, lastBudgets_);
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        fillAssignment(assignScratch_, i, now);
+        if (!agents_[i]->assignBudget(assignScratch_, now))
+            ++stats_.assignmentsRejected;
+    }
+    ++recomputes_;
+}
+
+void
+GlobalOverclockingAgent::releaseProfiles()
+{
+    lastProfiles_.clear();
+    lastProfiles_.shrink_to_fit();
+    // The validity flags must shrink with the storage: a later
+    // collectProfiles resizes both in lockstep.
+    lastProfileValid_.clear();
+    lastProfileValid_.shrink_to_fit();
 }
 
 std::vector<PendingAssignment>

@@ -168,6 +168,39 @@ class GlobalOverclockingAgent
     recompute(sim::Tick now, const RecomputeFaults &faults);
 
     /**
+     * Pull fresh telemetry from every sOA (perfect network) and
+     * return the per-server profiles, without splitting or pushing
+     * budgets.  The first half of recompute(now), exposed so a
+     * hierarchical tier (core::BudgetHierarchy) can aggregate the
+     * rack's profiles before deciding its budget; the pulled
+     * profiles stay cached for recomputeWithBudget.  Pulling twice
+     * without an intervening slot close is a cache hit with no
+     * observable effect — the two-phase sequence
+     * pullProfiles() + recomputeWithBudget(now, flat usable row)
+     * is bit-identical to recompute(now) (see splitWeeklyInto).
+     */
+    const std::vector<ServerProfile> &pullProfiles();
+
+    /**
+     * Second half of a hierarchical recompute: split the externally
+     * decided per-slot usable watts (@p usablePerSlot, one entry per
+     * slot of the week, consumed as-is — the hierarchy applies the
+     * safety margin once at the zone) across the profiles pulled by
+     * pullProfiles(), and push the budgets to the sOAs exactly like
+     * recompute(now) does.  Counts as one recompute.
+     */
+    void recomputeWithBudget(sim::Tick now,
+                             const std::vector<double> &usablePerSlot);
+
+    /**
+     * Drop the cached profile storage (fleet-scale footprint trim
+     * between recomputes).  Only safe when no degraded-mode fallback
+     * relies on cached profiles — i.e. fault injection is off; the
+     * next pull repopulates everything.
+     */
+    void releaseProfiles();
+
+    /**
      * Apply one pending assignment to its sOA at @p now.
      * @return true when the sOA accepted it (rejections are counted
      * in stats().assignmentsRejected).

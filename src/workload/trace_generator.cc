@@ -15,6 +15,81 @@ TraceGenerator::TraceGenerator(std::uint64_t seed, TraceConfig cfg)
     assert(cfg_.interval > 0);
 }
 
+VmUtilCursor::VmUtilCursor(sim::Rng rng, const Archetype &archetype,
+                           const TraceConfig &cfg)
+    : rng_(rng),
+      initialRng_(rng),
+      archetype_(archetype),
+      cfg_(cfg),
+      next_(cfg.start)
+{
+}
+
+void
+VmUtilCursor::generate(std::size_t n, double *out, std::size_t stride)
+{
+    // Mirrors TraceGenerator::utilSeries sample for sample; the only
+    // difference is that the loop state (rng_, next_, the day
+    // amplitude) persists across calls instead of living on the
+    // stack for the whole horizon.
+    for (std::size_t i = 0; i < n; ++i) {
+        assert(next_ < cfg_.end &&
+               "VmUtilCursor: generated past the trace horizon");
+        const long day = static_cast<long>(next_ / sim::kDay);
+        if (day != currentDay_) {
+            currentDay_ = day;
+            dayAmplitude_ = std::max(
+                0.0, rng_.normal(1.0, cfg_.dailyAmplitudeSigma));
+            if (rng_.chance(cfg_.outlierDayProb))
+                dayAmplitude_ *= cfg_.outlierScale;
+            else if (rng_.chance(cfg_.surgeDayProb))
+                dayAmplitude_ *= cfg_.surgeScale;
+        }
+        const double base = archetype_.baseUtil;
+        const double shaped = archetype_.utilAt(next_);
+        double util = base + (shaped - base) * dayAmplitude_;
+        util += rng_.normal(0.0, archetype_.noiseSigma);
+        out[i * stride] = std::clamp(util, 0.0, 1.0);
+        next_ += cfg_.interval;
+    }
+    produced_ += n;
+}
+
+void
+VmUtilCursor::reset()
+{
+    rng_ = initialRng_;
+    next_ = cfg_.start;
+    produced_ = 0;
+    currentDay_ = -1;
+    dayAmplitude_ = 1.0;
+}
+
+void
+ServerTraceStream::generate(std::size_t n, double *util,
+                            double *watts, std::size_t stride)
+{
+    for (std::size_t v = 0; v < cursors_.size(); ++v)
+        cursors_[v].generate(n, util + v, stride);
+    for (std::size_t i = 0; i < n; ++i) {
+        double *urow = util + i * stride;
+        double *wrow = watts + i * stride;
+        for (std::size_t v = 0; v < mix_.size(); ++v) {
+            // The exact vmTurboWatts summand of serverTrace().
+            const power::Watts contrib = mix_[v].cores *
+                model_->corePower(urow[v], power::kTurboMHz);
+            wrow[v] = contrib.count();
+        }
+    }
+}
+
+void
+ServerTraceStream::reset()
+{
+    for (auto &cursor : cursors_)
+        cursor.reset();
+}
+
 telemetry::TimeSeries
 TraceGenerator::utilSeries(const Archetype &archetype)
 {
@@ -84,6 +159,28 @@ TraceGenerator::serverTrace(const std::vector<VmMix> &mix,
         trace.powerWatts.append(watts.count());
     }
     return trace;
+}
+
+ServerTraceStream
+TraceGenerator::serverTraceStream(const std::vector<VmMix> &mix,
+                                 const power::PowerModel &model)
+{
+    ServerTraceStream stream;
+    stream.mix_ = mix;
+    stream.model_ = &model;
+    stream.cursors_.reserve(mix.size());
+
+    int used_cores = 0;
+    for (const auto &vm : mix) {
+        // One split per VM in mix order: the same parent-stream
+        // consumption as serverTrace's utilSeries calls, so a run
+        // may mix the two APIs and stay bit-identical.
+        stream.cursors_.emplace_back(rng_.split(), vm.archetype,
+                                     cfg_);
+        used_cores += vm.cores;
+    }
+    assert(used_cores <= model.params().cores);
+    return stream;
 }
 
 std::vector<VmMix>

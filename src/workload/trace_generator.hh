@@ -77,6 +77,87 @@ struct TraceConfig {
 };
 
 /**
+ * Resumable generator state for one VM's utilization series.
+ *
+ * Holds a private split of the parent generator's stream plus the
+ * per-day amplitude state, so the series can be produced window by
+ * window: concatenating generate() calls of any sizes yields exactly
+ * the samples TraceGenerator::utilSeries materializes in one shot
+ * (bit-identical — same Rng copy, same draw order, including the
+ * polar method's cached spare normal carried across windows).
+ */
+class VmUtilCursor
+{
+  public:
+    VmUtilCursor(sim::Rng rng, const Archetype &archetype,
+                 const TraceConfig &cfg);
+
+    /**
+     * Produce the next @p n samples of the series into
+     * out[0], out[stride], ..., out[(n-1)*stride] — a column of a
+     * slot-major buffer when @p stride is the fleet's VM count.
+     * Must not run past cfg.end (asserted).
+     */
+    void generate(std::size_t n, double *out, std::size_t stride);
+
+    /** Rewind to the first sample (replays the same series). */
+    void reset();
+
+    /** Samples produced since construction / reset(). */
+    std::size_t position() const { return produced_; }
+
+  private:
+    sim::Rng rng_;
+    sim::Rng initialRng_;
+    Archetype archetype_;
+    TraceConfig cfg_;
+    sim::Tick next_;
+    std::size_t produced_ = 0;
+    long currentDay_ = -1;
+    double dayAmplitude_ = 1.0;
+};
+
+/**
+ * Streaming telemetry source for one server: the windowed
+ * counterpart of ServerTrace.  Each generate() call fills the next
+ * window of per-VM utilization and turbo-watts columns of a
+ * slot-major buffer, so replay never holds more than one window of
+ * samples per rack (peak RSS scales with racks x window instead of
+ * racks x horizon).  Created by TraceGenerator::serverTraceStream,
+ * which consumes the parent stream exactly like serverTrace does —
+ * the two are interchangeable draw-for-draw.
+ */
+class ServerTraceStream
+{
+  public:
+    ServerTraceStream() = default;
+
+    const std::vector<VmMix> &mix() const { return mix_; }
+    std::size_t vms() const { return cursors_.size(); }
+
+    /**
+     * Fill the next @p n slots.  VM v's sample for the window's
+     * slot i lands at util[i * stride + v] (likewise watts):
+     * the caller passes pointers already offset to this server's
+     * first VM column of a slot-major window with row width
+     * @p stride.  Watts columns hold the per-VM turbo power
+     * contribution (mix[v].cores * corePower(util, kTurboMHz)), the
+     * exact summand ServerTrace::vmTurboWatts stores.
+     */
+    void generate(std::size_t n, double *util, double *watts,
+                  std::size_t stride);
+
+    /** Rewind every VM cursor to slot 0. */
+    void reset();
+
+  private:
+    friend class TraceGenerator;
+    std::vector<VmMix> mix_;
+    const power::PowerModel *model_ = nullptr;
+    std::vector<VmUtilCursor> cursors_;
+};
+
+/**
  * Deterministic trace generator; a given (seed, config) pair always
  * produces the same traces.
  */
@@ -96,6 +177,19 @@ class TraceGenerator
      */
     ServerTrace serverTrace(const std::vector<VmMix> &mix,
                             const power::PowerModel &model);
+
+    /**
+     * Streaming counterpart of serverTrace: same parent-stream
+     * consumption (one split per VM, in mix order), but samples are
+     * produced lazily through ServerTraceStream::generate instead of
+     * being materialized.  A run that calls serverTraceStream where
+     * another called serverTrace leaves this generator in an
+     * identical state, and the streamed samples are bit-identical to
+     * the materialized ones.  @p model must outlive the stream.
+     */
+    ServerTraceStream
+    serverTraceStream(const std::vector<VmMix> &mix,
+                      const power::PowerModel &model);
 
     /**
      * A realistic multi-tenant VM mix for a server with

@@ -208,3 +208,129 @@ TEST(TraceSim, BatchMatchesIndividualRuns)
         EXPECT_EQ(batch[i].energyJoules, direct.energyJoules);
     }
 }
+
+namespace
+{
+
+/** Short two-recompute horizon for the budget-path tests. */
+TraceSimConfig
+hierarchyConfig()
+{
+    auto cfg = quickConfig(core::PolicyKind::SmartOClock, 1.1);
+    cfg.racks = 4;
+    cfg.serversPerRack = 3;
+    cfg.warmup = 6 * sim::kHour;
+    cfg.duration = 6 * sim::kHour;
+    cfg.controlStep = 5 * sim::kMinute;
+    cfg.recomputePeriod = 3 * sim::kHour;
+    cfg.racksPerRow = 2;
+    return cfg;
+}
+
+void
+expectSameSimState(const TraceSimResult &a, const TraceSimResult &b)
+{
+    EXPECT_EQ(a.capEvents, b.capEvents);
+    EXPECT_EQ(a.cappedTicks, b.cappedTicks);
+    EXPECT_EQ(a.warnings, b.warnings);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.wantSteps, b.wantSteps);
+    EXPECT_EQ(a.successSteps, b.successSteps);
+    EXPECT_EQ(a.successRate, b.successRate);
+    EXPECT_EQ(a.cappingPenalty, b.cappingPenalty);
+    EXPECT_EQ(a.normPerformance, b.normPerformance);
+    EXPECT_EQ(a.meanRackUtil, b.meanRackUtil);
+    EXPECT_EQ(a.energyJoules, b.energyJoules);
+}
+
+} // namespace
+
+TEST(TraceSimHierarchy, EquivalenceModeMatchesPerRackBitIdentically)
+{
+    // HierarchyEquivalence routes every recompute through the
+    // two-phase pull + splitWeeklyInto path over a constant usable
+    // row; the allocator guarantee (ConstantRowMatchesScalarSplit)
+    // lifts to the whole simulation: bit-identical metrics.
+    auto flat = hierarchyConfig();
+    flat.budgetPath = BudgetPath::PerRack;
+    auto equiv = hierarchyConfig();
+    equiv.budgetPath = BudgetPath::HierarchyEquivalence;
+    const auto a = runTraceSim(flat);
+    const auto b = runTraceSim(equiv);
+    EXPECT_GT(a.requests, 0u);
+    expectSameSimState(a, b);
+}
+
+TEST(TraceSimHierarchy, ZonePathProducesActivity)
+{
+    auto cfg = hierarchyConfig();
+    cfg.budgetPath = BudgetPath::HierarchyZone;
+    const auto result = runTraceSim(cfg);
+    EXPECT_GT(result.requests, 0u);
+    EXPECT_GT(result.wantSteps, 0u);
+    EXPECT_GE(result.hierarchyRecomputes, 2u);
+    EXPECT_EQ(result.hierarchyStats.splits,
+              result.hierarchyRecomputes * (1 + 2));
+    EXPECT_GE(result.successRate, 0.0);
+    EXPECT_LE(result.successRate, 1.0);
+    EXPECT_GT(result.meanRackUtil, 0.1);
+}
+
+TEST(TraceSimHierarchy, ZonePathBitIdenticalAcrossThreadCounts)
+{
+    // The lockstep orchestrator must preserve the determinism
+    // contract: racks advance in parallel between boundaries, but
+    // the hierarchy is only written by the serial exchange phase (in
+    // rack order), so 1/2/8 workers agree bit for bit.
+    auto cfg = hierarchyConfig();
+    cfg.racks = 5;
+    cfg.budgetPath = BudgetPath::HierarchyZone;
+    const auto run_with = [&cfg](int threads) {
+        auto c = cfg;
+        c.threads = threads;
+        return runTraceSim(c);
+    };
+    const auto serial = run_with(1);
+    EXPECT_GT(serial.requests, 0u);
+    for (const int threads : {2, 8}) {
+        const auto parallel = run_with(threads);
+        expectSameSimState(serial, parallel);
+        EXPECT_EQ(serial.hierarchyRecomputes,
+                  parallel.hierarchyRecomputes);
+    }
+}
+
+TEST(TraceSimHierarchy, StreamWindowSizeDoesNotChangeResults)
+{
+    // Chunking the trace stream differently must not perturb replay:
+    // the cursors produce the same samples however the windows land.
+    auto cfg = hierarchyConfig();
+    const auto run_with = [&cfg](sim::Tick window) {
+        auto c = cfg;
+        c.streamWindow = window;
+        return runTraceSim(c);
+    };
+    const auto daily = run_with(sim::kDay);
+    const auto odd = run_with(7 * sim::kSlot);
+    const auto whole = run_with(0);
+    expectSameSimState(daily, odd);
+    expectSameSimState(daily, whole);
+}
+
+TEST(TraceSimHierarchy, RejectsFaultsAndBadWindows)
+{
+    auto cfg = hierarchyConfig();
+    cfg.budgetPath = BudgetPath::HierarchyZone;
+    cfg.faults.enabled = true;
+    EXPECT_THROW(runTraceSim(cfg), std::invalid_argument);
+    cfg.faults.enabled = false;
+    cfg.streamWindow = sim::kSlot + 1;
+    EXPECT_THROW(runTraceSim(cfg), std::invalid_argument);
+    cfg.streamWindow = -sim::kDay;
+    EXPECT_THROW(runTraceSim(cfg), std::invalid_argument);
+    cfg.streamWindow = sim::kDay;
+    cfg.racksPerRow = 0;
+    EXPECT_THROW(runTraceSim(cfg), std::invalid_argument);
+    cfg.racksPerRow = 8;
+    EXPECT_NO_THROW(cfg.validate());
+}

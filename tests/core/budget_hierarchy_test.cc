@@ -169,3 +169,80 @@ TEST(BudgetAllocatorWeekly, ConstantRowMatchesScalarSplit)
     for (std::size_t i = 0; i < scalar.size(); ++i)
         EXPECT_EQ(scalar[i], weekly[i]);
 }
+
+TEST(BudgetHierarchy, AggregateRacksMatchPerServerRacks)
+{
+    // A hierarchy fed pre-built rack aggregates (the trace sim's
+    // form: gOAs reduce their own servers with ProfileAggregator)
+    // must produce bit-identical budgets to one holding the
+    // per-server profiles itself.
+    const auto fleet = fleetProfiles(10, 5);
+    HierarchyConfig cfg;
+    cfg.racksPerRow = 4;
+
+    BudgetHierarchy internal(model(), cfg);
+    for (const auto &rack : fleet)
+        internal.addRack(rack);
+    internal.recompute(power::Watts{20000.0});
+
+    BudgetHierarchy external(model(), cfg);
+    ProfileAggregator aggregator;
+    for (const auto &rack : fleet) {
+        ServerProfile aggregate;
+        aggregator.aggregate(rack.data(), rack.size(), aggregate);
+        external.addRackAggregate(std::move(aggregate));
+    }
+    external.recompute(power::Watts{20000.0});
+    // Externally-aggregated racks never trigger step-1 aggregation.
+    EXPECT_EQ(external.stats().rackAggregations, 0u);
+
+    ASSERT_EQ(external.racks(), internal.racks());
+    for (int r = 0; r < 10; ++r)
+        EXPECT_EQ(external.rackBudget(r), internal.rackBudget(r))
+            << "rack " << r;
+}
+
+TEST(BudgetHierarchy, ExchangePropagatesDirtinessToItsRowOnly)
+{
+    const auto fleet = fleetProfiles(8, 4);
+    HierarchyConfig cfg;
+    cfg.racksPerRow = 4;
+
+    BudgetHierarchy hierarchy(model(), cfg);
+    ProfileAggregator aggregator;
+    for (const auto &rack : fleet) {
+        ServerProfile aggregate;
+        aggregator.aggregate(rack.data(), rack.size(), aggregate);
+        hierarchy.addRackAggregate(std::move(aggregate));
+    }
+    hierarchy.recompute(power::Watts{16000.0});
+    const auto row_aggs = hierarchy.stats().rowAggregations;
+
+    // Swap a hotter aggregate into rack 6 (row 1); its old
+    // aggregate comes back in the slot for reuse.
+    std::vector<ServerProfile> hot(
+        4, flatProfile(500.0, 0.9, 2.0, 10.0));
+    ServerProfile slot;
+    aggregator.aggregate(hot.data(), hot.size(), slot);
+    hierarchy.exchangeRackAggregate(6, slot);
+    hierarchy.recompute(power::Watts{16000.0});
+    // Only the touched row re-aggregated; budgets match a fresh
+    // build over the same aggregates.
+    EXPECT_EQ(hierarchy.stats().rowAggregations - row_aggs, 1u);
+
+    BudgetHierarchy fresh(model(), cfg);
+    for (int r = 0; r < 8; ++r) {
+        const auto &rack = fleet[static_cast<std::size_t>(r)];
+        ServerProfile aggregate;
+        if (r == 6)
+            aggregator.aggregate(hot.data(), hot.size(), aggregate);
+        else
+            aggregator.aggregate(rack.data(), rack.size(),
+                                 aggregate);
+        fresh.addRackAggregate(std::move(aggregate));
+    }
+    fresh.recompute(power::Watts{16000.0});
+    for (int r = 0; r < 8; ++r)
+        EXPECT_EQ(hierarchy.rackBudget(r), fresh.rackBudget(r))
+            << "rack " << r;
+}

@@ -1,0 +1,14 @@
+/** Known-bad fixture: PERF-001 must flag per-step allocation inside
+ *  a declared replay hot region. */
+
+#include <vector>
+
+void
+replayStep(std::vector<double> &samples, double value)
+{
+    // soclint:hot-begin(PERF-001)
+    // Growing a vector once per control step: allocator traffic on
+    // the hot path.
+    samples.push_back(value);
+    // soclint:hot-end(PERF-001)
+}

@@ -1,0 +1,27 @@
+/** Known-good fixture: preallocated buffers inside a hot region,
+ *  allocation only in setup, annotated amortized growth allowed. */
+
+#include <cstddef>
+#include <vector>
+
+void
+replayLoop(std::size_t steps)
+{
+    // Setup: allocation outside the region is fine.
+    std::vector<double> samples;
+    samples.resize(steps);
+
+    // soclint:hot-begin(PERF-001)
+    for (std::size_t i = 0; i < steps; ++i) {
+        // Indexed writes into the preallocated buffer: no
+        // allocator traffic.  push_back in this comment is prose,
+        // not a finding.
+        samples[i] = static_cast<double>(i);
+        if (i == 0) {
+            // Amortized one-time growth, justified and annotated:
+            // soclint:allow(PERF-001)
+            samples.reserve(steps + 1);
+        }
+    }
+    // soclint:hot-end(PERF-001)
+}

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/profile_template.hh"
 #include "workload/trace_generator.hh"
 
@@ -187,4 +190,80 @@ TEST(TraceGenerator, OutlierDaysReduceLoad)
     const double mean_without =
         go.utilSeries(serviceA()).stats().mean();
     EXPECT_LT(mean_with, mean_without);
+}
+
+TEST(TraceGenerator, StreamMatchesMaterializedBitIdentically)
+{
+    // The streaming path must be a drop-in for the materialized one:
+    // same parent-stream consumption (so downstream draws agree) and
+    // sample-for-sample identical output, however the windows are
+    // chunked.  Window sizes are deliberately awkward (prime, not
+    // slot-aligned to days) to catch any per-window state reset.
+    const power::PowerModel model;
+    TraceGenerator materialized(77, shortConfig());
+    TraceGenerator streamed(77, shortConfig());
+
+    const auto mix_a = materialized.randomVmMix(64);
+    const auto mix_b = streamed.randomVmMix(64);
+    ASSERT_EQ(mix_a.size(), mix_b.size());
+
+    const auto trace = materialized.serverTrace(mix_a, model);
+    auto stream = streamed.serverTraceStream(mix_b, model);
+    ASSERT_EQ(stream.vms(), trace.vmUtil.size());
+
+    const std::size_t slots = trace.vmUtil[0].size();
+    const std::size_t stride = stream.vms();
+    std::vector<double> util(slots * stride);
+    std::vector<double> watts(slots * stride);
+    for (std::size_t first = 0; first < slots;) {
+        const std::size_t n = std::min<std::size_t>(97, slots - first);
+        stream.generate(n, util.data() + first * stride,
+                        watts.data() + first * stride, stride);
+        first += n;
+    }
+    for (std::size_t v = 0; v < stride; ++v) {
+        for (std::size_t i = 0; i < slots; ++i) {
+            ASSERT_EQ(util[i * stride + v], trace.vmUtil[v].at(i))
+                << "vm " << v << " slot " << i;
+            ASSERT_EQ(watts[i * stride + v],
+                      trace.vmTurboWatts[v].at(i))
+                << "vm " << v << " slot " << i;
+        }
+    }
+
+    // Both generators must leave the parent stream in the same
+    // state: the next draws agree bit for bit.
+    const auto next_a = materialized.utilSeries(serviceA());
+    const auto next_b = streamed.utilSeries(serviceA());
+    ASSERT_EQ(next_a.size(), next_b.size());
+    for (std::size_t i = 0; i < next_a.size(); ++i)
+        ASSERT_EQ(next_a.at(i), next_b.at(i));
+}
+
+TEST(TraceGenerator, StreamResetReplaysIdentically)
+{
+    const power::PowerModel model;
+    TraceGenerator gen(33, shortConfig());
+    const auto mix = gen.randomVmMix(64);
+    auto stream = gen.serverTraceStream(mix, model);
+
+    const std::size_t stride = stream.vms();
+    const std::size_t slots = static_cast<std::size_t>(
+        shortConfig().end / sim::kSlot);
+    std::vector<double> util_once(slots * stride);
+    std::vector<double> watts_once(slots * stride);
+    stream.generate(slots, util_once.data(), watts_once.data(),
+                    stride);
+
+    stream.reset();
+    std::vector<double> util_again(slots * stride);
+    std::vector<double> watts_again(slots * stride);
+    for (std::size_t first = 0; first < slots;) {
+        const std::size_t n = std::min<std::size_t>(7, slots - first);
+        stream.generate(n, util_again.data() + first * stride,
+                        watts_again.data() + first * stride, stride);
+        first += n;
+    }
+    ASSERT_EQ(util_once, util_again);
+    ASSERT_EQ(watts_once, watts_again);
 }

@@ -25,6 +25,17 @@
  *   UNIT-001 no raw `double ...Watts` declarations in the public
  *            headers of src/power and src/core — power quantities
  *            cross module boundaries as power::Watts.
+ *   PERF-001 no per-step heap allocation inside a declared replay
+ *            hot region.  Regions are opt-in: code between
+ *            `soclint:hot-begin(PERF-001)` and
+ *            `soclint:hot-end(PERF-001)` marker comments (the
+ *            replay inner loops that run once per control step per
+ *            rack — millions of times at paper scale) must not
+ *            allocate: no new / make_unique / make_shared, no
+ *            push_back / emplace_back, no resize / reserve /
+ *            assign.  Amortized or setup-time allocations inside a
+ *            region carry an annotated justification.  Unbalanced
+ *            markers are themselves findings (fail-closed).
  *
  * A finding is suppressed when the offending line, or one of the two
  * lines above it, carries `soclint:allow(RULE-ID)` in a comment.
@@ -188,6 +199,14 @@ const std::regex kUnorderedVar(
 const std::regex kRawWattsDouble(
     R"(\bdouble\s+&?\s*\w*[Ww]atts\w*)");
 
+// Heap-allocation-bearing calls that must not run once per control
+// step: allocator hits dominate the replay inner loop long before
+// the arithmetic does at fleet scale.
+const std::regex kHeapAlloc(
+    R"((\bnew\b|\bmake_unique\b|\bmake_shared\b|)"
+    R"(\bpush_back\s*\(|\bemplace_back\s*\(|)"
+    R"(\.\s*resize\s*\(|\.\s*reserve\s*\(|\.\s*assign\s*\())");
+
 void
 scanFile(const fs::path &path, const Options &opt,
          std::vector<Finding> &findings)
@@ -214,12 +233,45 @@ scanFile(const fs::path &path, const Options &opt,
             unordered_vars.push_back(m[1].str());
     }
 
-    // Pass 2: rule checks on the stripped code.
+    // Pass 2: rule checks on the stripped code.  The PERF-001
+    // region markers live in comments, so they are matched against
+    // the raw line before the empty-code skip.
+    bool in_hot = false;
     for (std::size_t i = 0; i < lines.size(); ++i) {
         const std::string &text = code[i];
+        const std::size_t ln = i + 1;
+
+        if (lines[i].find("soclint:hot-begin(PERF-001)") !=
+            std::string::npos) {
+            if (in_hot) {
+                findings.push_back(
+                    {file, ln, "PERF-001",
+                     "nested hot-begin marker; close the previous "
+                     "region first"});
+            }
+            in_hot = true;
+        }
+        if (lines[i].find("soclint:hot-end(PERF-001)") !=
+            std::string::npos) {
+            if (!in_hot) {
+                findings.push_back(
+                    {file, ln, "PERF-001",
+                     "hot-end marker without a matching "
+                     "hot-begin"});
+            }
+            in_hot = false;
+        }
+
         if (text.empty())
             continue;
-        const std::size_t ln = i + 1;
+
+        if (in_hot && std::regex_search(text, kHeapAlloc) &&
+            !allowed(lines, i, "PERF-001")) {
+            findings.push_back(
+                {file, ln, "PERF-001",
+                 "heap allocation inside a replay hot region; hoist "
+                 "it to setup or annotate the amortization"});
+        }
 
         if (!rng_impl && std::regex_search(text, kWallClock) &&
             !allowed(lines, i, "DET-001")) {
@@ -273,6 +325,12 @@ scanFile(const fs::path &path, const Options &opt,
                  "raw double watts in a public header; use "
                  "power::Watts"});
         }
+    }
+
+    if (in_hot) {
+        findings.push_back(
+            {file, lines.size(), "PERF-001",
+             "hot region never closed (missing hot-end marker)"});
     }
 }
 
