@@ -54,6 +54,44 @@ BM_RngNormal(benchmark::State &state)
 }
 BENCHMARK(BM_RngNormal);
 
+/*
+ * gen_batch_vs_scalar: the scalar normal() loop vs the batch
+ * normalFill over the same window size the trace generator fills
+ * (one day of slots).  items_processed counts normals, so the
+ * per-second rates of the two benches are directly comparable; the
+ * gated speedup figure lives in BENCH_trace_sim.json
+ * (gen_batch_speedup, scripts/bench_check.sh).
+ */
+
+void
+BM_RngNormalScalarWindow(benchmark::State &state)
+{
+    sim::Rng rng(2);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> out(n);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = rng.normal();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RngNormalScalarWindow)->Arg(288);
+
+void
+BM_RngNormalFillWindow(benchmark::State &state)
+{
+    sim::Rng rng(2);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> out(n);
+    for (auto _ : state) {
+        rng.normalFill(out.data(), n);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RngNormalFillWindow)->Arg(288);
+
 void
 BM_ServerPower(benchmark::State &state)
 {

@@ -15,18 +15,28 @@
 #  - storm ingestion must sustain HINTS_PER_S_MIN through the
 #    offer/parse/dedup/drop/drain path (~1/4 of the throughput
 #    measured when the HintIngress boundary landed);
+#  - batch normal generation (Rng::normalFill, the window-refill
+#    primitive) must stay faster than the scalar loop it replaced
+#    (GEN_BATCH_SPEEDUP_MIN, ~1.09x measured; the polar-method math
+#    dominates both sides, so the margin is thin — the end-to-end
+#    generation win is gated via paper_gen_s below);
 #  - the paper-scale run (7,104 racks x 8 servers, 6h + 6h,
 #    HierarchyZone) must sustain PAPER_RACKS_PER_S_MIN and stay
 #    under PAPER_PEAK_RSS_MB_MAX — the streaming-window + resident-
-#    fleet footprint (~55 racks/s, ~29 GB when the gate landed).
+#    fleet footprint (~178 racks/s, ~14 GB with the compact
+#    quantized columns; the gate landed at ~55 racks/s, ~29 GB);
+#  - paper-scale trace generation must stay cheaper than the replay
+#    itself (gen_s < sim_s): the batch generator must never become
+#    the bottleneck of a policy study.
 # Usage: scripts/bench_check.sh [builddir]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-build}"
 RACKS_PER_S_MIN=500
 HINTS_PER_S_MIN=1000000
-PAPER_RACKS_PER_S_MIN=30
-PAPER_PEAK_RSS_MB_MAX=40000
+GEN_BATCH_SPEEDUP_MIN=1.02
+PAPER_RACKS_PER_S_MIN=100
+PAPER_PEAK_RSS_MB_MAX=16000
 cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j "$(nproc)" \
     --target bench_trace_sim bench_micro_primitives
@@ -79,6 +89,18 @@ awk "BEGIN { exit !($HINTS_PER_S >= $HINTS_PER_S_MIN) }" || {
     exit 1
 }
 
+GEN_SCALAR=$(extract gen_scalar_normals_per_s)
+GEN_BATCH=$(extract gen_batch_normals_per_s)
+GEN_SPEEDUP=$(extract gen_batch_speedup)
+echo "batch normal generation: $GEN_BATCH normals/s batch" \
+     "vs $GEN_SCALAR scalar, speedup $GEN_SPEEDUP" \
+     "(floor: $GEN_BATCH_SPEEDUP_MIN)"
+awk "BEGIN { exit !($GEN_SPEEDUP >= $GEN_BATCH_SPEEDUP_MIN) }" || {
+    echo "FAIL: batch normalFill no longer beats the scalar loop" \
+         "by ${GEN_BATCH_SPEEDUP_MIN}x" >&2
+    exit 1
+}
+
 PAPER_RACKS_PER_S=$(extract paper_racks_per_s)
 echo "paper-scale replay: $PAPER_RACKS_PER_S racks/s" \
      "(floor: $PAPER_RACKS_PER_S_MIN)"
@@ -94,6 +116,16 @@ echo "paper-scale peak RSS: $PAPER_PEAK_RSS_MB MB" \
 awk "BEGIN { exit !($PAPER_PEAK_RSS_MB <= $PAPER_PEAK_RSS_MB_MAX) }" || {
     echo "FAIL: paper-scale peak RSS above" \
          "$PAPER_PEAK_RSS_MB_MAX MB — streaming replay leak?" >&2
+    exit 1
+}
+
+PAPER_GEN_S=$(extract paper_gen_s)
+PAPER_SIM_S=$(extract paper_sim_s)
+echo "paper-scale generation: ${PAPER_GEN_S}s gen" \
+     "vs ${PAPER_SIM_S}s sim (required: gen < sim)"
+awk "BEGIN { exit !($PAPER_GEN_S < $PAPER_SIM_S) }" || {
+    echo "FAIL: trace generation now dominates the paper-scale" \
+         "replay (gen_s >= sim_s)" >&2
     exit 1
 }
 # Microbenchmarks of the underlying primitives (informational).

@@ -30,6 +30,20 @@ for field in paper_racks_per_s paper_peak_rss_mb; do
     }
 done
 
+echo "==== ci_check: six-week horizon smoke (16 racks) ===="
+# Tiny fleet on the paper's full 1w + 5w horizon: crosses weekly
+# recomputes, weekend amplitude shifts and many stream-window
+# refills — the long-horizon paths the 6h + 6h smoke never reaches.
+"$ROOT/build/bench/bench_trace_sim" \
+    "$ROOT/build/BENCH_sixweek_smoke.json" --paper-scale \
+    --racks 16 --six-weeks
+for field in paper_racks_per_s paper_peak_rss_mb; do
+    grep -q "\"$field\"" "$ROOT/build/BENCH_sixweek_smoke.json" || {
+        echo "FAIL: $field missing from six-week smoke output" >&2
+        exit 1
+    }
+done
+
 echo "==== ci_check: static analysis ===="
 "$ROOT/scripts/static_check.sh" "$ROOT/build-static"
 

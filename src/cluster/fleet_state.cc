@@ -1,13 +1,61 @@
 #include "cluster/fleet_state.hh"
 
 #include <cassert>
+#include <cmath>
 
 #include "power/server.hh"
+#include "sim/quant.hh"
 
 namespace soc
 {
 namespace cluster
 {
+
+namespace
+{
+
+/** Smallest q with dequantUtil(q) >= threshold (65536 when no
+ *  uint16 reaches it), so `q >= qThreshold` is exactly
+ *  `dequantUtil(q) >= threshold`. */
+std::uint32_t
+quantThreshold(double threshold)
+{
+    if (!(threshold > 0.0))
+        return 0; // every sample wants (or threshold is NaN: none
+                  // would pass a double compare either — but a NaN
+                  // threshold is rejected by config validation)
+    if (threshold > 1.0)
+        return static_cast<std::uint32_t>(sim::kUtilQuantMax) + 1;
+    std::uint32_t q = static_cast<std::uint32_t>(
+        std::ceil(threshold * 65535.0));
+    // ceil() in FP can land one step off the exact boundary; nudge
+    // with the real dequantization expression.
+    while (q > 0 &&
+           sim::dequantUtil(static_cast<std::uint16_t>(q - 1)) >=
+               threshold)
+        --q;
+    while (q <= sim::kUtilQuantMax &&
+           sim::dequantUtil(static_cast<std::uint16_t>(q)) <
+               threshold)
+        ++q;
+    return q;
+}
+
+} // namespace
+
+FleetState::FleetState(double ocUtilThreshold)
+    : threshold_(ocUtilThreshold),
+      qThreshold_(quantThreshold(ocUtilThreshold))
+{
+}
+
+double
+FleetState::util(std::size_t server, std::size_t v) const
+{
+    return sim::dequantUtil(
+        utilBySlot_[(lastSlot_ - windowBegin_) * totalVms() +
+                    offsets_[server] + v]);
+}
 
 void
 FleetState::addServer(std::size_t vms,
@@ -62,12 +110,12 @@ FleetState::finalizeWindow()
     const std::size_t total = totalVms();
     const std::size_t servers = counts_.size();
     for (std::size_t slot = 0; slot < windowSlots_; ++slot) {
-        const double *urow = utilBySlot_.data() + slot * total;
+        const std::uint16_t *urow = utilBySlot_.data() + slot * total;
         for (std::size_t s = 0; s < servers; ++s) {
             const std::size_t base = offsets_[s];
             std::uint64_t above = 0;
             for (std::size_t v = 0; v < counts_[s]; ++v)
-                if (urow[base + v] >= threshold_)
+                if (urow[base + v] >= qThreshold_)
                     above |= std::uint64_t{1} << v;
             wantBySlot_[slot * servers + s] = above & candidate_[s];
         }
@@ -99,8 +147,8 @@ FleetState::applySlot(power::Rack &rack, std::size_t slot)
     const std::size_t servers = counts_.size();
     // soclint:hot-begin(PERF-001) — once per closed telemetry slot,
     // the replay inner loop's data feed: no per-call allocation.
-    const double *urow = utilBySlot_.data() + row * total;
-    const double *wrow = wattsBySlot_.data() + row * total;
+    const std::uint16_t *urow = utilBySlot_.data() + row * total;
+    const float *wrow = wattsBySlot_.data() + row * total;
     const std::uint64_t *wants = wantBySlot_.data() + row * servers;
     for (std::size_t s = 0; s < servers; ++s) {
         want_[s] = wants[s];

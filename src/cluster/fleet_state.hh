@@ -58,10 +58,7 @@ class FleetState
      * @param ocUtilThreshold Utilization at/above which a candidate
      *        VM wants to overclock (TraceSimConfig::ocUtilThreshold).
      */
-    explicit FleetState(double ocUtilThreshold)
-        : threshold_(ocUtilThreshold)
-    {
-    }
+    explicit FleetState(double ocUtilThreshold);
 
     /**
      * Register one server's VM layout: @p vms VM columns whose
@@ -103,10 +100,12 @@ class FleetState
     std::size_t beginWindow(std::size_t firstSlot,
                             std::size_t maxSlots);
 
-    /** Slot-major utilization buffer of the open window. */
-    double *utilWindow() { return utilBySlot_.data(); }
-    /** Slot-major turbo-watts buffer of the open window. */
-    double *wattsWindow() { return wattsBySlot_.data(); }
+    /** Slot-major utilization buffer of the open window, in uint16
+     *  fixed point (sim::quantizeUtil). */
+    std::uint16_t *utilWindow() { return utilBySlot_.data(); }
+    /** Slot-major turbo-watts buffer of the open window (float
+     *  hints, computed from the dequantized utilization). */
+    float *wattsWindow() { return wattsBySlot_.data(); }
 
     /** Compute the open window's per-slot want masks; applySlot may
      *  then replay any slot of the window. */
@@ -143,15 +142,17 @@ class FleetState
     }
 
     /** Utilization of VM @p v on @p server at the last applied
-     *  slot (valid after the first applySlot). */
-    double util(std::size_t server, std::size_t v) const
-    {
-        return utilBySlot_[(lastSlot_ - windowBegin_) * totalVms() +
-                           offsets_[server] + v];
-    }
+     *  slot (valid after the first applySlot); the dequantized
+     *  value every other reader of the column sees. */
+    double util(std::size_t server, std::size_t v) const;
 
   private:
     double threshold_;
+    /** Smallest quantized utilization whose dequantized value
+     *  reaches threshold_ (65536 when threshold_ > 1, so no sample
+     *  ever wants): finalizeWindow's integer want compare is exactly
+     *  the dequantize-then-compare it replaces. */
+    std::uint32_t qThreshold_;
     std::size_t slots_ = 0;
     std::size_t lastSlot_ = 0;
 
@@ -168,9 +169,12 @@ class FleetState
     bool windowFinal_ = false;
     /** Slot-major sample windows: row `slot - windowBegin_` holds
      *  every VM's sample for that slot, in flat VM-index order.
-     *  Capacity is recycled across windows. */
-    std::vector<double> utilBySlot_;
-    std::vector<double> wattsBySlot_;
+     *  Compact columns — uint16 fixed-point utilization and float
+     *  turbo-watts (sim/quant.hh) — so a resident fleet's windows
+     *  cost 6 bytes per sample instead of 16.  Capacity is recycled
+     *  across windows. */
+    std::vector<std::uint16_t> utilBySlot_;
+    std::vector<float> wattsBySlot_;
     /** Per-slot want masks of the window, servers-major per row. */
     std::vector<std::uint64_t> wantBySlot_;
 };

@@ -343,23 +343,26 @@ RackRuntime::build()
     // First pass: stream the whole horizon once to derive the rack
     // limit from the baseline power profile, accumulating the rack
     // power series in the same order TimeSeries::sum reduced the
-    // materialized per-server traces (servers ascending per slot),
-    // so the P99 limit is bit-identical to the former path.
+    // materialized per-server traces (servers ascending per slot).
+    // The summands are the compact columns' float turbo-watts
+    // hints, so the P99 limit is window-size and thread-count
+    // invariant (the per-sample quantization is), though it differs
+    // from the retired double-column path in the last float bits.
     const std::size_t stride = fleet_->totalVms();
     std::vector<double> rack_power_values(slotsTotal_, 0.0);
     while (fleet_->windowEnd() < slotsTotal_) {
         const std::size_t first = fleet_->windowEnd();
         const std::size_t n = fleet_->beginWindow(first,
                                                   windowSlots_);
-        double *util = fleet_->utilWindow();
-        double *watts = fleet_->wattsWindow();
+        std::uint16_t *util = fleet_->utilWindow();
+        float *watts = fleet_->wattsWindow();
         for (std::size_t s = 0; s < streams_.size(); ++s) {
             const std::size_t off = fleet_->serverOffset(s);
-            streams_[s].generate(n, util + off, watts + off,
-                                 stride);
+            streams_[s].generateQuantized(n, util + off, watts + off,
+                                          stride);
         }
         for (std::size_t i = 0; i < n; ++i) {
-            const double *wrow = watts + i * stride;
+            const float *wrow = watts + i * stride;
             double rack_watts = 0.0;
             for (std::size_t s = 0; s < streams_.size(); ++s) {
                 power::Watts server_watts =
@@ -367,7 +370,8 @@ RackRuntime::build()
                 const std::size_t off = fleet_->serverOffset(s);
                 const std::size_t vms = streams_[s].vms();
                 for (std::size_t v = 0; v < vms; ++v)
-                    server_watts += power::Watts{wrow[off + v]};
+                    server_watts += power::Watts{
+                        static_cast<double>(wrow[off + v])};
                 if (s == 0)
                     rack_watts = server_watts.count();
                 else
@@ -468,11 +472,12 @@ RackRuntime::refillWindow()
     const std::size_t first = fleet_->windowEnd();
     const std::size_t n = fleet_->beginWindow(first, windowSlots_);
     const std::size_t stride = fleet_->totalVms();
-    double *util = fleet_->utilWindow();
-    double *watts = fleet_->wattsWindow();
+    std::uint16_t *util = fleet_->utilWindow();
+    float *watts = fleet_->wattsWindow();
     for (std::size_t s = 0; s < streams_.size(); ++s) {
         const std::size_t off = fleet_->serverOffset(s);
-        streams_[s].generate(n, util + off, watts + off, stride);
+        streams_[s].generateQuantized(n, util + off, watts + off,
+                                      stride);
     }
     fleet_->finalizeWindow();
     const double spent = secondsSince(t0);

@@ -81,6 +81,7 @@ BudgetAllocator::splitImpl(const double *usablePerSlot,
 {
     assert(!profiles.empty());
     const std::size_t n = profiles.size();
+    const auto slots = static_cast<std::size_t>(sim::kSlotsPerWeek);
 
     // Per-slot scratch hoisted out of the 2016-iteration loop, and
     // per-server weekly buffers reused call to call (assign keeps
@@ -91,21 +92,64 @@ BudgetAllocator::splitImpl(const double *usablePerSlot,
     for (auto &weekly : scratch.budgets)
         weekly.assign(sim::kSlotsPerWeek, 0.0);
 
+    // Phase 1: materialize each profile's regular-power and
+    // overclock-demand weeks up front (profile-outer, bulk
+    // fillWeek), instead of 5 predict() calls per (slot, server).
+    // The expressions mirror regularPower()/overclockDemand()
+    // exactly — including computing the per-core surcharge once
+    // from the same utilization both share — so every stored value
+    // is bit-identical to the per-tick calls this replaces.  The
+    // surcharge model is mapped over the utilization template with
+    // fillWeekMapped: a pure function of the utilization value, so
+    // evaluating it per distinct stored value (576 for DailyMed
+    // instead of 2016) changes nothing, while the model evaluation
+    // per (server, slot) dominated recompute cost.
+    scratch.regularRows.resize(n * slots);
+    scratch.demandRows.resize(n * slots);
+    scratch.powerRow.resize(slots);
+    scratch.perCoreRow.resize(slots);
+    scratch.ocRow.resize(slots);
+    scratch.reqRow.resize(slots);
+    for (std::size_t i = 0; i < n; ++i) {
+        profiles[i].power.fillWeek(scratch.powerRow.data());
+        profiles[i].utilization.fillWeekMapped(
+            scratch.perCoreRow.data(), [this](double util) {
+                return model_
+                    .overclockExtraPower(util, config_.demandFreq, 1)
+                    .count();
+            });
+        profiles[i].overclockedCores.fillWeek(scratch.ocRow.data());
+        profiles[i].requestedCores.fillWeek(scratch.reqRow.data());
+        double *regular_row = &scratch.regularRows[i * slots];
+        double *demand_row = &scratch.demandRows[i * slots];
+        for (std::size_t slot = 0; slot < slots; ++slot) {
+            const power::Watts per_core{scratch.perCoreRow[slot]};
+            const power::Watts surcharge =
+                per_core * std::max(0.0, scratch.ocRow[slot]);
+            regular_row[slot] =
+                std::max(power::Watts{0.0},
+                         power::Watts{scratch.powerRow[slot]} -
+                             surcharge)
+                    .count();
+            demand_row[slot] =
+                (per_core * std::max(0.0, scratch.reqRow[slot]))
+                    .count();
+        }
+    }
+
     for (int slot = 0; slot < sim::kSlotsPerWeek; ++slot) {
-        const sim::Tick t =
-            static_cast<sim::Tick>(slot) * sim::kSlot;
         const double usable = usablePerSlot != nullptr
             ? usablePerSlot[slot]
             : usableFlat;
 
-        // Phase 1+2: regular power is the initial budget.
+        // Phase 2: regular power is the initial budget.
         double regular_sum = 0.0;
         double demand_sum = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            scratch.regular[i] = regularPower(profiles[i], t).count();
+            scratch.regular[i] =
+                scratch.regularRows[i * slots + slot];
             regular_sum += scratch.regular[i];
-            scratch.demand[i] =
-                overclockDemand(profiles[i], t).count();
+            scratch.demand[i] = scratch.demandRows[i * slots + slot];
             demand_sum += scratch.demand[i];
         }
 

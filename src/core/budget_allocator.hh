@@ -73,6 +73,18 @@ class BudgetAllocator
         std::vector<double> regular;
         std::vector<double> demand;
         std::vector<std::vector<double>> budgets;
+        /** Materialized per-profile weeks (n x kSlotsPerWeek,
+         *  profile-major): regular power and overclock demand,
+         *  filled once per split instead of predicted per slot. */
+        std::vector<double> regularRows;
+        std::vector<double> demandRows;
+        /** One profile's template weeks (fillWeek scratch);
+         *  perCoreRow holds the surcharge model mapped over the
+         *  utilization week (fillWeekMapped). */
+        std::vector<double> powerRow;
+        std::vector<double> perCoreRow;
+        std::vector<double> ocRow;
+        std::vector<double> reqRow;
     };
 
     BudgetAllocator(const power::PowerModel &model,

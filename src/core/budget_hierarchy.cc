@@ -25,16 +25,23 @@ ProfileAggregator::aggregate(const ServerProfile *members,
     util_.assign(slots, 0.0);
     oc_.assign(slots, 0.0);
     req_.assign(slots, 0.0);
+    // Member-outer with a bulk fillWeek per template: each slot
+    // still accumulates members in index order, so the sums are
+    // bit-identical to the per-tick predict loop this replaces —
+    // without re-deriving slot-of-week 2016 times per template.
+    row_.resize(slots);
+    const auto accumulate = [&](const ProfileTemplate &tmpl,
+                                std::vector<double> &acc) {
+        tmpl.fillWeek(row_.data());
+        for (std::size_t slot = 0; slot < slots; ++slot)
+            acc[slot] += row_[slot];
+    };
     for (std::size_t m = 0; m < count; ++m) {
         const ServerProfile &p = members[m];
-        for (std::size_t slot = 0; slot < slots; ++slot) {
-            const sim::Tick t =
-                static_cast<sim::Tick>(slot) * sim::kSlot;
-            power_[slot] += p.power.predict(t);
-            util_[slot] += p.utilization.predict(t);
-            oc_[slot] += p.overclockedCores.predict(t);
-            req_[slot] += p.requestedCores.predict(t);
-        }
+        accumulate(p.power, power_);
+        accumulate(p.utilization, util_);
+        accumulate(p.overclockedCores, oc_);
+        accumulate(p.requestedCores, req_);
     }
     // Power and core counts add; utilization is the members' mean
     // (it only feeds the allocator's per-core surcharge model, where
@@ -165,10 +172,7 @@ BudgetHierarchy::recompute(power::Watts zoneLimit)
 
     // 4. Row -> racks, per row, over the row's per-slot budget.
     for (std::size_t row = 0; row < rowCount_; ++row) {
-        for (std::size_t slot = 0; slot < slots; ++slot) {
-            limitRow_[slot] = rowBudgets_[row].predict(
-                static_cast<sim::Tick>(slot) * sim::kSlot);
-        }
+        rowBudgets_[row].fillWeek(limitRow_.data());
         allocator_.splitWeeklyInto(limitRow_, rackAggregates_[row],
                                    scratch_, rackBudgets_[row]);
         ++stats_.splits;

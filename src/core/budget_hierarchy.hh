@@ -75,6 +75,8 @@ class ProfileAggregator
     std::vector<double> util_;
     std::vector<double> oc_;
     std::vector<double> req_;
+    /** One template's week, reused across members (fillWeek). */
+    std::vector<double> row_;
 };
 
 /**

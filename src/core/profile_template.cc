@@ -169,6 +169,42 @@ ProfileTemplate::predict(sim::Tick t) const
     return 0.0;
 }
 
+void
+ProfileTemplate::fillWeek(double *out) const
+{
+    const auto slots = static_cast<std::size_t>(sim::kSlotsPerWeek);
+    switch (strategy_) {
+      case TemplateStrategy::FlatMed:
+      case TemplateStrategy::FlatMax:
+        std::fill(out, out + slots, flatValue_);
+        return;
+      case TemplateStrategy::Weekly:
+        if (weekly_.empty()) {
+            std::fill(out, out + slots, flatValue_);
+            return;
+        }
+        std::copy(weekly_.begin(), weekly_.end(), out);
+        return;
+      case TemplateStrategy::DailyMed:
+      case TemplateStrategy::DailyMax: {
+        if (weekday_.empty()) {
+            std::fill(out, out + slots, flatValue_);
+            return;
+        }
+        // Monday-first week: days 5 and 6 are the weekend
+        // (sim::isWeekend), matching predict's per-tick test.
+        for (int day = 0; day < 7; ++day) {
+            const auto &src = day >= 5 ? weekend_ : weekday_;
+            std::copy(src.begin(), src.end(),
+                      out + static_cast<std::size_t>(day) *
+                          static_cast<std::size_t>(sim::kSlotsPerDay));
+        }
+        return;
+      }
+    }
+    std::fill(out, out + slots, 0.0);
+}
+
 std::vector<double>
 ProfileTemplate::predictSeries(const telemetry::TimeSeries &actual)
     const

@@ -20,6 +20,8 @@
 #ifndef SOC_CORE_PROFILE_TEMPLATE_HH
 #define SOC_CORE_PROFILE_TEMPLATE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -87,6 +89,75 @@ class ProfileTemplate
 
     /** Predicted value at simulated time @p t. */
     double predict(sim::Tick t) const;
+
+    /**
+     * Write one full week of predictions into @p out
+     * (sim::kSlotsPerWeek values, Monday 00:00 first), equal to
+     * predict(slot * sim::kSlot) at every slot.  The bulk accessor
+     * the recompute paths use: a slot loop over predict() re-derives
+     * the slot-of-week from the tick 2016 times per template, which
+     * dominated paper-scale boundary recomputes.
+     */
+    void fillWeek(double *out) const;
+
+    /**
+     * Like fillWeek, but writes fn(prediction) instead of the raw
+     * prediction: out[slot] == fn(predict(slot * sim::kSlot)) for
+     * every slot of the week, with @p fn invoked once per *distinct
+     * stored value* and the result reused wherever that value
+     * repeats.  For a pure @p fn this is exact — same double in,
+     * same double out — while evaluating a DailyMed template costs
+     * 576 calls instead of 2016 and a flat one costs a single call.
+     * The budget allocator maps its per-core overclock surcharge
+     * model over utilization templates this way; the model
+     * evaluation per (server, slot) dominated recompute cost.
+     */
+    template <typename Fn>
+    void fillWeekMapped(double *out, Fn fn) const
+    {
+        const auto slots =
+            static_cast<std::size_t>(sim::kSlotsPerWeek);
+        switch (strategy_) {
+          case TemplateStrategy::FlatMed:
+          case TemplateStrategy::FlatMax: {
+            std::fill(out, out + slots, fn(flatValue_));
+            return;
+          }
+          case TemplateStrategy::Weekly: {
+            if (weekly_.empty()) {
+                std::fill(out, out + slots, fn(flatValue_));
+                return;
+            }
+            for (std::size_t slot = 0; slot < slots; ++slot)
+                out[slot] = fn(weekly_[slot]);
+            return;
+          }
+          case TemplateStrategy::DailyMed:
+          case TemplateStrategy::DailyMax: {
+            if (weekday_.empty()) {
+                std::fill(out, out + slots, fn(flatValue_));
+                return;
+            }
+            const auto day_slots =
+                static_cast<std::size_t>(sim::kSlotsPerDay);
+            // Map each day-shape once, then copy per day: days 5-6
+            // are the weekend (sim::isWeekend), as in fillWeek.
+            double *monday = out;
+            for (std::size_t s = 0; s < day_slots; ++s)
+                monday[s] = fn(weekday_[s]);
+            for (int day = 1; day < 5; ++day)
+                std::copy(monday, monday + day_slots,
+                          out + day * day_slots);
+            double *saturday = out + 5 * day_slots;
+            for (std::size_t s = 0; s < day_slots; ++s)
+                saturday[s] = fn(weekend_[s]);
+            std::copy(saturday, saturday + day_slots,
+                      out + 6 * day_slots);
+            return;
+          }
+        }
+        std::fill(out, out + slots, 0.0);
+    }
 
     /** Predictions aligned with @p actual's sampling grid. */
     std::vector<double>

@@ -6,21 +6,31 @@
  * ProfileTemplate::build scans a server's *entire* telemetry history
  * on every call: with weekly recomputes over an unbounded history
  * the per-recompute cost grows O(t) and the whole-run cost O(t²) per
- * rack.  SlotAggregator maintains the same aggregates incrementally:
- * the sOA feeds it one sample per closed 5-minute slot, and it keeps
+ * rack.  SlotAggregator bounds both the rebuild cost and the
+ * resident footprint with a two-mode representation:
  *
- *  - one sorted bag per (weekday|weekend) × slot-of-day bucket
- *    (exact per-bucket median and max in O(1) after an O(bucket)
- *    sorted insertion),
- *  - a global sorted bag over all retained samples (the FlatMed /
- *    FlatMax values and the empty-bucket median fallback),
- *  - the most recent value per slot-of-week (the Weekly replay).
+ *  - **Ring mode** (small retained sets, the fleet-replay steady
+ *    state): the only per-sample state is a window-bounded
+ *    arrival-order ring; build(strategy) scatters it into
+ *    thread-local bucket scratch and sorts at build time.  An
+ *    earlier design maintained per-(weekday|weekend)×slot sorted
+ *    buckets plus a global sorted bag incrementally on every add();
+ *    at fleet scale that cost ~1.5 KB of resident bucket state per
+ *    retained slot per server (280k+ aggregators resident),
+ *    dominating the paper-scale footprint, while build() only runs
+ *    at recompute boundaries — a handful of times per run.
+ *  - **Indexed mode** (retention beyond kIndexThreshold slots —
+ *    unbounded or multi-week windows): the ring is replayed once
+ *    into the classic incremental structures (sorted bag per
+ *    bucket, global sorted bag, latest-per-slot-of-week), and
+ *    add()/evictions maintain them from then on, so build() stays
+ *    O(slots) no matter how long the history grows — the
+ *    recompute-vs-horizon bench gates this.
  *
- * build(strategy) then assembles a template in O(kSlotsPerDay) (or
- * O(kSlotsPerWeek) for Weekly) regardless of history length, and is
- * **bit-identical** to ProfileTemplate::build over the retained
- * history for all five strategies — enforced by test, so the
- * incremental path is a pure optimization, never a behavior change.
+ * Both modes assemble templates **bit-identical** to
+ * ProfileTemplate::build over the retained history for all five
+ * strategies — enforced by test, so the mode switch is a pure
+ * representation change, never a behavior change.
  *
  * A version counter increments on every accepted sample (and every
  * eviction); build() caches the assembled template per strategy and
@@ -43,6 +53,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "core/profile_template.hh"
@@ -56,11 +67,24 @@ namespace core
 /**
  * Exact incremental slot aggregation with per-strategy template
  * caching.  Not thread-safe; each sOA owns its aggregators, like
- * the telemetry series they shadow.
+ * the telemetry series they shadow.  (Ring-mode assembly uses
+ * thread-local scratch, so distinct aggregators may build
+ * concurrently from distinct threads.)
  */
 class SlotAggregator
 {
   public:
+    /**
+     * Retained-sample count past which the aggregator switches from
+     * the ring-only representation to incremental index
+     * maintenance.  Three weeks: comfortably above the one-week
+     * window the fleet replay uses (those aggregators never pay for
+     * the index), comfortably below the multi-week histories where
+     * an O(retained) rebuild would start to dominate recomputes.
+     */
+    static constexpr std::size_t kIndexThreshold =
+        static_cast<std::size_t>(3 * sim::kSlotsPerWeek);
+
     /**
      * @param window Eviction horizon; 0 keeps every sample forever
      *               (bit-identical to the unbounded batch builder).
@@ -73,9 +97,11 @@ class SlotAggregator
      * Fold in the sample of the slot starting at @p t.  Ticks must
      * be strictly increasing across calls (the sOA feeds slots in
      * the order they close).  @p value must be finite: NaN/Inf
-     * telemetry would corrupt the sorted buckets' ordering
-     * invariant, so it is rejected here with std::invalid_argument
-     * (the aggregator is left unchanged).
+     * telemetry would corrupt the sort-based bucket aggregation
+     * (ordering comparisons stop meaning anything), so it is
+     * rejected here with std::invalid_argument (the aggregator is
+     * left unchanged).  Same fail-at-ingestion stance as
+     * BudgetAssignment validation.
      */
     void add(sim::Tick t, double value);
 
@@ -83,11 +109,8 @@ class SlotAggregator
     void clear();
 
     sim::Tick window() const { return window_; }
-    bool empty() const { return count_ == 0; }
-    std::size_t sampleCount() const
-    {
-        return static_cast<std::size_t>(count_);
-    }
+    bool empty() const { return samples_.empty(); }
+    std::size_t sampleCount() const { return samples_.size(); }
 
     /** Monotonic counter bumped by every add() and eviction. */
     std::uint64_t version() const { return version_; }
@@ -106,13 +129,13 @@ class SlotAggregator
   private:
     /**
      * Sorted multiset on a vector with a lazily merged unsorted
-     * tail.  insert() is an O(1) append; the tail is folded into
-     * the sorted body when it grows past kMaxPending (amortizing
-     * the memmove-heavy sorted insertion that used to cost O(bag)
-     * per sample) or when an ordered read needs it.  The vectors
-     * are mutable because flushing is a pure representation change:
-     * the multiset the bag denotes — and thus every median()/max()
-     * — is identical before and after.
+     * tail (indexed mode only).  insert() is an O(1) append; the
+     * tail is folded into the sorted body when it grows past
+     * kMaxPending (amortizing the memmove-heavy sorted insertion
+     * that used to cost O(bag) per sample) or when an ordered read
+     * needs it.  The vectors are mutable because flushing is a pure
+     * representation change: the multiset the bag denotes — and
+     * thus every median()/max() — is identical before and after.
      */
     struct SortedBag {
         /** Sorted body. */
@@ -155,27 +178,41 @@ class SlotAggregator
     };
 
     void evictOlderThan(sim::Tick cutoff);
+    /** Feed one retained sample into the indexed structures. */
+    void indexSample(sim::Tick t, double value);
+    /** Replay the ring into the indexed structures (mode switch). */
+    void buildIndex();
     ProfileTemplate assemble(TemplateStrategy strategy) const;
+    ProfileTemplate assembleFromRing(TemplateStrategy strategy) const;
+    ProfileTemplate assembleFromIndex(TemplateStrategy strategy)
+        const;
 
     sim::Tick window_;
     std::uint64_t version_ = 0;
 
-    /** Retained-sample count and last accepted tick (strict
-     *  monotonicity check); kept separately from samples_ because
-     *  the unbounded (window_ == 0) mode never evicts and so never
-     *  needs the per-sample arrival log at all. */
-    std::uint64_t count_ = 0;
+    /** Last accepted tick (strict monotonicity check). */
     sim::Tick lastTick_ = -1;
-    /** Retained samples in arrival (= tick) order, for eviction.
-     *  Only populated when window_ > 0. */
+    /** Retained samples in arrival (= tick) order — the complete
+     *  per-sample state in ring mode, and the eviction log in
+     *  indexed mode. */
     std::deque<std::pair<sim::Tick, double>> samples_;
+
+    /** True once the retained set crossed kIndexThreshold and the
+     *  incremental structures below took over (sticky until
+     *  clear()). */
+    bool indexed_ = false;
+    /*
+     * The indexed stores below stay unallocated until buildIndex()
+     * runs, so ring-mode aggregators (all of them at fleet scale)
+     * pay nothing for the indexed path.
+     */
     SortedBag all_;
     std::vector<SortedBag> weekday_; // kSlotsPerDay buckets
     std::vector<SortedBag> weekend_; // kSlotsPerDay buckets
     /** Most recent retained value per slot-of-week (Weekly). */
-    std::vector<double> weeklyLatest_;
+    std::vector<double> weeklyLatest_; // kSlotsPerWeek
     /** Tick that wrote weeklyLatest_[s]; -1 when unfilled. */
-    std::vector<sim::Tick> weeklyTick_;
+    std::vector<sim::Tick> weeklyTick_; // kSlotsPerWeek
 
     struct CacheEntry {
         ProfileTemplate tmpl;

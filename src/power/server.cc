@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/quant.hh"
+
 namespace soc
 {
 namespace power
@@ -152,6 +154,45 @@ Server::setUtilsAndTurboWatts(std::size_t count, const double *utils,
             powerContrib_[i] =
                 (g.cores * model_->corePower(g.util, eff)).count();
             regularContrib_[i] = turboWatts[i];
+        } else {
+            const Watts capped =
+                g.cores * model_->corePower(g.util, eff);
+            powerContrib_[i] = capped.count();
+            regularContrib_[i] = capped.count();
+        }
+        power += powerContrib_[i];
+        regular += regularContrib_[i];
+        weighted += g.cores * g.util;
+    }
+    powerSum_ = power;
+    regularSum_ = regular;
+    utilWeighted_ = weighted;
+}
+
+void
+Server::setUtilsAndTurboWatts(std::size_t count,
+                              const std::uint16_t *utilsQ,
+                              const float *turboWatts)
+{
+    // Mirror of the double overload above; the only differences are
+    // the one-time dequantization (already in [0, 1], so the clamp
+    // is unnecessary) and the float->double widening of the hint.
+    assert(count == groups_.size());
+    double power = 0.0;
+    double regular = 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        CoreGroup &g = groups_[i];
+        g.util = sim::dequantUtil(utilsQ[i]);
+        const double hint = static_cast<double>(turboWatts[i]);
+        const FreqMHz eff = g.effectiveMHz();
+        if (eff == kTurboMHz) {
+            powerContrib_[i] = hint;
+            regularContrib_[i] = hint;
+        } else if (eff > kTurboMHz) {
+            powerContrib_[i] =
+                (g.cores * model_->corePower(g.util, eff)).count();
+            regularContrib_[i] = hint;
         } else {
             const Watts capped =
                 g.cores * model_->corePower(g.util, eff);

@@ -114,6 +114,19 @@ class Server
     void setUtilsAndTurboWatts(std::size_t count, const double *utils,
                                const double *turboWatts);
 
+    /**
+     * Compact-column form of the batch update: utilizations arrive
+     * as uint16 fixed point (sim/quant.hh) and the turbo-watts
+     * hints as float, dequantized exactly once here — the only
+     * place a stored window sample is widened back to double.  The
+     * hint must have been computed from the *dequantized*
+     * utilization (ServerTraceStream::generateQuantized does), so
+     * it remains the exact turbo-power summand for the group.
+     */
+    void setUtilsAndTurboWatts(std::size_t count,
+                               const std::uint16_t *utilsQ,
+                               const float *turboWatts);
+
     /** Set a group's target frequency (clamped to the ladder). */
     void setTarget(GroupId id, FreqMHz f);
 

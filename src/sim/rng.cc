@@ -97,6 +97,39 @@ Rng::normal(double mean, double stddev)
     return mean + stddev * normal();
 }
 
+void
+Rng::normalFill(double *out, std::size_t n)
+{
+    std::size_t i = 0;
+    if (i < n && hasSpare_) {
+        hasSpare_ = false;
+        out[i++] = spareNormal_;
+    }
+    // Accepted polar pairs land as consecutive samples; this is the
+    // same draw order as the scalar path, which returns u*factor and
+    // caches v*factor for the immediately following call.
+    while (i + 1 < n) {
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double factor = std::sqrt(-2.0 * std::log(s) / s);
+        out[i++] = u * factor;
+        out[i++] = v * factor;
+    }
+    if (i < n)
+        out[i] = normal(); // odd tail: caches the pair's spare
+}
+
+void
+Rng::uniformFill(double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
 double
 Rng::exponential(double mean)
 {

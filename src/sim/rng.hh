@@ -56,6 +56,23 @@ class Rng
     /** Normal with the given mean and standard deviation. */
     double normal(double mean, double stddev);
 
+    /**
+     * Fill out[0..n) with standard normals, consuming the stream
+     * exactly like n successive normal() calls: a cached spare from
+     * a previous call is emitted first, accepted polar pairs land in
+     * order, and an odd tail leaves its second draw cached for the
+     * *next* call (scalar or batch).  Pinned bit-identical to the
+     * scalar loop by test, so generators may switch freely between
+     * the two shapes mid-stream.  The batch form hoists the
+     * spare-cache bookkeeping and call overhead out of the per-sample
+     * path — the trace generator's window fills run on it.
+     */
+    void normalFill(double *out, std::size_t n);
+
+    /** Fill out[0..n) with uniforms in [0, 1): bit-identical to n
+     *  successive uniform() calls. */
+    void uniformFill(double *out, std::size_t n);
+
     /** Exponential with the given mean (not rate). */
     double exponential(double mean);
 

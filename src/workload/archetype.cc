@@ -23,6 +23,93 @@ bump(double hour, double center, double width)
     return 0.5 * (1.0 + std::cos(kPi * dist / width));
 }
 
+/*
+ * Per-kind shape kernels.  shapeValue dispatches to these per
+ * sample; Archetype::utilFill hoists the dispatch out of its fill
+ * loop and runs one kernel over the whole batch.  Sharing the
+ * kernels keeps the two paths bit-identical by construction.
+ */
+
+double
+shapeMorningPeak(double hour)
+{
+    // Ramp from 8am, flat top 10am-noon, decay into afternoon.
+    if (hour >= 10.0 && hour <= 12.0)
+        return 1.0;
+    return std::max(bump(hour, 11.0, 3.5),
+                    0.15 * bump(hour, 15.0, 4.0));
+}
+
+double
+shapeTopOfHour(double hour)
+{
+    const double minute = (hour - std::floor(hour)) * 60.0;
+    const bool spike = minute < 5.0 ||
+        (minute >= 30.0 && minute < 35.0);
+    // Spikes ride on a business-hours plateau.
+    const double plateau = 0.35 * bump(hour, 13.0, 7.0);
+    return spike ? std::min(1.0, plateau + 0.65) : plateau;
+}
+
+double
+shapeBusinessHours(double hour)
+{
+    if (hour >= 9.0 && hour <= 17.0)
+        return 0.85 + 0.15 * bump(hour, 13.0, 4.0);
+    return bump(hour, 13.0, 6.5) * 0.5;
+}
+
+double
+shapeDiurnal(double hour)
+{
+    return bump(hour, 13.5, 9.0);
+}
+
+double
+shapeConstantHigh(double)
+{
+    return 1.0;
+}
+
+double
+shapeNightBatch(double hour)
+{
+    return std::max(bump(hour, 2.0, 4.0), bump(hour, 23.5, 2.0));
+}
+
+double
+shapeLowIdle(double hour)
+{
+    return 0.2 * bump(hour, 12.0, 8.0);
+}
+
+/**
+ * The shared fill loop of Archetype::utilFill, instantiated once
+ * per shape kernel so the per-sample switch disappears and the
+ * compiler can vectorize across the batch.  Expression order mirrors
+ * Archetype::utilAt exactly (bit-identity is pinned by test).
+ */
+template <typename ShapeFn>
+void
+fillShaped(const Archetype &a, bool weekend_scales, sim::Tick start,
+           sim::Tick interval, std::size_t n, double *out,
+           ShapeFn shape)
+{
+    const double base = a.baseUtil;
+    const double full_amplitude = a.peakUtil - a.baseUtil;
+    for (std::size_t k = 0; k < n; ++k) {
+        const sim::Tick shifted =
+            start + static_cast<sim::Tick>(k) * interval +
+            a.phaseShift;
+        double amplitude = full_amplitude;
+        if (weekend_scales && sim::isWeekend(shifted))
+            amplitude *= a.weekendFactor;
+        const double util =
+            base + amplitude * shape(sim::hourOfDay(shifted));
+        out[k] = std::clamp(util, 0.0, 1.0);
+    }
+}
+
 } // namespace
 
 std::string
@@ -45,33 +132,13 @@ shapeValue(ShapeKind kind, sim::Tick t)
 {
     const double hour = sim::hourOfDay(t);
     switch (kind) {
-      case ShapeKind::MorningPeak:
-        // Ramp from 8am, flat top 10am-noon, decay into afternoon.
-        if (hour >= 10.0 && hour <= 12.0)
-            return 1.0;
-        return std::max(bump(hour, 11.0, 3.5), 0.15 * bump(hour, 15.0,
-                                                           4.0));
-      case ShapeKind::TopOfHour: {
-        const double minute = (hour - std::floor(hour)) * 60.0;
-        const bool spike = minute < 5.0 ||
-            (minute >= 30.0 && minute < 35.0);
-        // Spikes ride on a business-hours plateau.
-        const double plateau =
-            0.35 * bump(hour, 13.0, 7.0);
-        return spike ? std::min(1.0, plateau + 0.65) : plateau;
-      }
-      case ShapeKind::BusinessHours:
-        if (hour >= 9.0 && hour <= 17.0)
-            return 0.85 + 0.15 * bump(hour, 13.0, 4.0);
-        return bump(hour, 13.0, 6.5) * 0.5;
-      case ShapeKind::Diurnal:
-        return bump(hour, 13.5, 9.0);
-      case ShapeKind::ConstantHigh:
-        return 1.0;
-      case ShapeKind::NightBatch:
-        return std::max(bump(hour, 2.0, 4.0), bump(hour, 23.5, 2.0));
-      case ShapeKind::LowIdle:
-        return 0.2 * bump(hour, 12.0, 8.0);
+      case ShapeKind::MorningPeak: return shapeMorningPeak(hour);
+      case ShapeKind::TopOfHour: return shapeTopOfHour(hour);
+      case ShapeKind::BusinessHours: return shapeBusinessHours(hour);
+      case ShapeKind::Diurnal: return shapeDiurnal(hour);
+      case ShapeKind::ConstantHigh: return shapeConstantHigh(hour);
+      case ShapeKind::NightBatch: return shapeNightBatch(hour);
+      case ShapeKind::LowIdle: return shapeLowIdle(hour);
     }
     return 0.0;
 }
@@ -86,6 +153,43 @@ Archetype::utilAt(sim::Tick t) const
     const double util =
         baseUtil + amplitude * shapeValue(kind, shifted);
     return std::clamp(util, 0.0, 1.0);
+}
+
+void
+Archetype::utilFill(sim::Tick start, sim::Tick interval,
+                    std::size_t n, double *out) const
+{
+    const bool weekend_scales = kind != ShapeKind::ConstantHigh;
+    switch (kind) {
+      case ShapeKind::MorningPeak:
+        fillShaped(*this, weekend_scales, start, interval, n, out,
+                   shapeMorningPeak);
+        return;
+      case ShapeKind::TopOfHour:
+        fillShaped(*this, weekend_scales, start, interval, n, out,
+                   shapeTopOfHour);
+        return;
+      case ShapeKind::BusinessHours:
+        fillShaped(*this, weekend_scales, start, interval, n, out,
+                   shapeBusinessHours);
+        return;
+      case ShapeKind::Diurnal:
+        fillShaped(*this, weekend_scales, start, interval, n, out,
+                   shapeDiurnal);
+        return;
+      case ShapeKind::ConstantHigh:
+        fillShaped(*this, weekend_scales, start, interval, n, out,
+                   shapeConstantHigh);
+        return;
+      case ShapeKind::NightBatch:
+        fillShaped(*this, weekend_scales, start, interval, n, out,
+                   shapeNightBatch);
+        return;
+      case ShapeKind::LowIdle:
+        fillShaped(*this, weekend_scales, start, interval, n, out,
+                   shapeLowIdle);
+        return;
+    }
 }
 
 Archetype

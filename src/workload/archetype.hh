@@ -15,6 +15,7 @@
 #ifndef SOC_WORKLOAD_ARCHETYPE_HH
 #define SOC_WORKLOAD_ARCHETYPE_HH
 
+#include <cstddef>
 #include <string>
 
 #include "sim/time.hh"
@@ -66,6 +67,15 @@ struct Archetype {
      * Clamped to [0, 1].
      */
     double utilAt(sim::Tick t) const;
+
+    /**
+     * Batch form of utilAt: out[k] = utilAt(start + k * interval)
+     * for k in [0, n), bit-identical to the scalar calls (pinned by
+     * test).  The per-sample shape dispatch is hoisted out of the
+     * loop so window fills run one straight-line kernel per VM.
+     */
+    void utilFill(sim::Tick start, sim::Tick interval, std::size_t n,
+                  double *out) const;
 };
 
 /** The three services of Fig. 1, as archetypes. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/quant.hh"
+
 namespace soc
 {
 namespace workload
@@ -28,11 +30,17 @@ VmUtilCursor::VmUtilCursor(sim::Rng rng, const Archetype &archetype,
 void
 VmUtilCursor::generate(std::size_t n, double *out, std::size_t stride)
 {
-    // Mirrors TraceGenerator::utilSeries sample for sample; the only
-    // difference is that the loop state (rng_, next_, the day
-    // amplitude) persists across calls instead of living on the
-    // stack for the whole horizon.
-    for (std::size_t i = 0; i < n; ++i) {
+    // Mirrors TraceGenerator::utilSeries sample for sample (pinned
+    // bit-identical by test), but batched: the horizon is cut into
+    // same-day segments so the per-day amplitude draws interleave
+    // with the noise normals in exactly the scalar order, and within
+    // a segment the shape terms (Archetype::utilFill) and the noise
+    // normals (Rng::normalFill) fill contiguous arrays the combine
+    // loop below consumes straight-line.
+    double shaped[kBatch];
+    double noise[kBatch];
+    std::size_t i = 0;
+    while (i < n) {
         assert(next_ < cfg_.end &&
                "VmUtilCursor: generated past the trace horizon");
         const long day = static_cast<long>(next_ / sim::kDay);
@@ -45,12 +53,34 @@ VmUtilCursor::generate(std::size_t n, double *out, std::size_t stride)
             else if (rng_.chance(cfg_.surgeDayProb))
                 dayAmplitude_ *= cfg_.surgeScale;
         }
+        // Samples of this batch: same day, capped by the request
+        // and the scratch size.
+        const sim::Tick day_end =
+            static_cast<sim::Tick>(day + 1) * sim::kDay;
+        const std::size_t to_day_end = static_cast<std::size_t>(
+            (day_end - next_ + cfg_.interval - 1) / cfg_.interval);
+        const std::size_t seg =
+            std::min({n - i, to_day_end, kBatch});
+        assert(next_ + static_cast<sim::Tick>(seg - 1) *
+                   cfg_.interval < cfg_.end &&
+               "VmUtilCursor: generated past the trace horizon");
+
+        archetype_.utilFill(next_, cfg_.interval, seg, shaped);
+        rng_.normalFill(noise, seg);
         const double base = archetype_.baseUtil;
-        const double shaped = archetype_.utilAt(next_);
-        double util = base + (shaped - base) * dayAmplitude_;
-        util += rng_.normal(0.0, archetype_.noiseSigma);
-        out[i * stride] = std::clamp(util, 0.0, 1.0);
-        next_ += cfg_.interval;
+        const double amp = dayAmplitude_;
+        const double sigma = archetype_.noiseSigma;
+        double *dst = out + i * stride;
+        for (std::size_t k = 0; k < seg; ++k) {
+            // Exactly utilSeries' per-sample expression:
+            // base + (shaped - base) * amp, then += normal(0, sigma)
+            // = 0.0 + sigma * n, then clamp.
+            double util = base + (shaped[k] - base) * amp;
+            util += 0.0 + sigma * noise[k];
+            dst[k * stride] = std::clamp(util, 0.0, 1.0);
+        }
+        next_ += static_cast<sim::Tick>(seg) * cfg_.interval;
+        i += seg;
     }
     produced_ += n;
 }
@@ -69,18 +99,53 @@ void
 ServerTraceStream::generate(std::size_t n, double *util,
                             double *watts, std::size_t stride)
 {
-    for (std::size_t v = 0; v < cursors_.size(); ++v)
+    // Column-at-a-time: VM v's samples fill before its watts hints,
+    // fusing the turbo-watts pass into the same cache-warm sweep.
+    // RNG draw order is unchanged (each cursor owns a split stream).
+    for (std::size_t v = 0; v < cursors_.size(); ++v) {
         cursors_[v].generate(n, util + v, stride);
-    for (std::size_t i = 0; i < n; ++i) {
-        double *urow = util + i * stride;
-        double *wrow = watts + i * stride;
-        for (std::size_t v = 0; v < mix_.size(); ++v) {
+        const int cores = mix_[v].cores;
+        for (std::size_t i = 0; i < n; ++i) {
             // The exact vmTurboWatts summand of serverTrace().
-            const power::Watts contrib = mix_[v].cores *
-                model_->corePower(urow[v], power::kTurboMHz);
-            wrow[v] = contrib.count();
+            const power::Watts contrib = cores *
+                model_->corePower(util[i * stride + v],
+                                  power::kTurboMHz);
+            watts[i * stride + v] = contrib.count();
         }
     }
+}
+
+void
+ServerTraceStream::generateQuantized(std::size_t n,
+                                     std::uint16_t *util,
+                                     float *watts,
+                                     std::size_t stride)
+{
+    // soclint:hot-begin(PERF-001) — the window-refill path: every
+    // streamed slot of every rack funnels through this fill loop,
+    // so it must stay allocation-free (the batch scratch lives on
+    // the stack).
+    double col[VmUtilCursor::kBatch];
+    for (std::size_t v = 0; v < cursors_.size(); ++v) {
+        const int cores = mix_[v].cores;
+        std::size_t done = 0;
+        while (done < n) {
+            const std::size_t m =
+                std::min(n - done, VmUtilCursor::kBatch);
+            cursors_[v].generate(m, col, 1);
+            for (std::size_t k = 0; k < m; ++k) {
+                const std::uint16_t q = sim::quantizeUtil(col[k]);
+                const double uq = sim::dequantUtil(q);
+                const power::Watts contrib = cores *
+                    model_->corePower(uq, power::kTurboMHz);
+                const std::size_t at = (done + k) * stride + v;
+                util[at] = q;
+                watts[at] = static_cast<float>(contrib.count());
+            }
+            done += m;
+        }
+    }
+    // soclint:hot-end(PERF-001)
 }
 
 void

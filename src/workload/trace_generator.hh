@@ -89,6 +89,10 @@ struct TraceConfig {
 class VmUtilCursor
 {
   public:
+    /** Batch-fill scratch size: one day of 5-minute slots, so a
+     *  same-day segment is almost always a single batch. */
+    static constexpr std::size_t kBatch = sim::kSlotsPerDay;
+
     VmUtilCursor(sim::Rng rng, const Archetype &archetype,
                  const TraceConfig &cfg);
 
@@ -146,6 +150,21 @@ class ServerTraceStream
      */
     void generate(std::size_t n, double *util, double *watts,
                   std::size_t stride);
+
+    /**
+     * Compact-column counterpart of generate(): fills the next @p n
+     * slots of quantized slot-major windows — uint16 fixed-point
+     * utilization (sim::quantizeUtil) and float turbo-watts hints.
+     * Consumes the RNG streams exactly like generate(), so the two
+     * forms are interchangeable window by window; the stored sample
+     * pair is (q, float(cores * corePower(dequantUtil(q), turbo))),
+     * i.e. the watts hint is computed from the *dequantized*
+     * utilization — exactly the summand the replay's batch server
+     * update consumes, so uncapped groups never re-evaluate the
+     * power model (DESIGN.md §14).
+     */
+    void generateQuantized(std::size_t n, std::uint16_t *util,
+                           float *watts, std::size_t stride);
 
     /** Rewind every VM cursor to slot 0. */
     void reset();

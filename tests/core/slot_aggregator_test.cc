@@ -133,6 +133,51 @@ TEST(SlotAggregator, RandomHistoriesBitIdenticalAtEveryPrefix)
     }
 }
 
+TEST(SlotAggregator, IndexModeSwitchBitIdenticalAcrossThreshold)
+{
+    // Long unbounded histories flip the aggregator from the ring
+    // representation to incremental index maintenance at
+    // kIndexThreshold retained samples.  The switch must be
+    // invisible: bit-identical templates right before, at, and well
+    // after the crossing.
+    const auto threshold =
+        static_cast<int>(SlotAggregator::kIndexThreshold);
+    const auto history = randomHistory(41, 0, threshold + 640);
+    SlotAggregator agg;
+    TimeSeries prefix(0, kSlot);
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        agg.add(history.timeOf(i), history.at(i));
+        prefix.append(history.at(i));
+        const auto n = static_cast<int>(i) + 1;
+        if (n == threshold - 1 || n == threshold ||
+            n == threshold + 1 || n == threshold + 389 ||
+            i + 1 == history.size())
+            expectMatchesBatch(agg, prefix);
+    }
+}
+
+TEST(SlotAggregator, IndexedWindowEvictionMatchesSlicedBatch)
+{
+    // A window wider than kIndexThreshold slots forces indexed-mode
+    // *eviction* (bag erase + weekly-latest invalidation), which the
+    // ring-mode eviction tests never reach.
+    const sim::Tick window = 4 * kWeek;
+    const auto history =
+        randomHistory(43, 0, 4 * sim::kSlotsPerWeek + 500);
+    SlotAggregator agg(window);
+    TimeSeries prefix(0, kSlot);
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        agg.add(history.timeOf(i), history.at(i));
+        prefix.append(history.at(i));
+        if (i % 509 == 0 || i + 1 == history.size()) {
+            const auto windowed =
+                prefix.slice(prefix.end() - window, prefix.end());
+            expectMatchesBatch(agg, windowed);
+            EXPECT_EQ(agg.sampleCount(), windowed.size());
+        }
+    }
+}
+
 TEST(SlotAggregator, VersionAndCacheBehavior)
 {
     const auto history = randomHistory(21, 0, 3 * sim::kSlotsPerDay);

@@ -1,6 +1,7 @@
 /** Known-bad fixture: PERF-001 must flag per-step allocation inside
  *  a declared replay hot region. */
 
+#include <cstddef>
 #include <vector>
 
 void
@@ -10,5 +11,20 @@ replayStep(std::vector<double> &samples, double value)
     // Growing a vector once per control step: allocator traffic on
     // the hot path.
     samples.push_back(value);
+    // soclint:hot-end(PERF-001)
+}
+
+/** A window refill that allocates its scratch per call instead of
+ *  keeping it on the stack: allocator traffic once per streamed
+ *  window of every rack. */
+void
+refillWindow(std::size_t n, unsigned short *util, std::size_t stride)
+{
+    // soclint:hot-begin(PERF-001)
+    std::vector<double> column;
+    column.resize(n);
+    for (std::size_t k = 0; k < n; ++k)
+        util[k * stride] =
+            static_cast<unsigned short>(column[k] * 65535.0);
     // soclint:hot-end(PERF-001)
 }

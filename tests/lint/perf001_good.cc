@@ -25,3 +25,27 @@ replayLoop(std::size_t steps)
     }
     // soclint:hot-end(PERF-001)
 }
+
+/** The window-refill shape (ServerTraceStream fill loop): batch
+ *  scratch on the stack, strided scatter into caller-owned window
+ *  columns — allocation-free by construction. */
+void
+refillWindow(std::size_t n, unsigned short *util, float *watts,
+             std::size_t stride)
+{
+    // soclint:hot-begin(PERF-001)
+    double column[288];
+    for (std::size_t done = 0; done < n;) {
+        const std::size_t m = n - done < 288 ? n - done : 288;
+        for (std::size_t k = 0; k < m; ++k)
+            column[k] = static_cast<double>(done + k) / n;
+        for (std::size_t k = 0; k < m; ++k) {
+            const std::size_t at = (done + k) * stride;
+            util[at] =
+                static_cast<unsigned short>(column[k] * 65535.0);
+            watts[at] = static_cast<float>(column[k] * 40.0);
+        }
+        done += m;
+    }
+    // soclint:hot-end(PERF-001)
+}

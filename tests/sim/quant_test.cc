@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Contract tests for the fixed-point utilization quantization the
+ * compact replay columns rely on (sim/quant.hh, DESIGN.md §14).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/quant.hh"
+#include "sim/rng.hh"
+
+using namespace soc;
+
+TEST(Quant, RoundTripErrorWithinHalfStep)
+{
+    // Nearest-step rounding: the round trip must stay within half a
+    // quantization step (and therefore within the advertised
+    // 1/65535 bound) for every utilization in [0, 1].
+    const double half_step = 0.5 * sim::kUtilQuantStep;
+    sim::Rng rng(321);
+    for (int i = 0; i < 200000; ++i) {
+        const double u = rng.uniform();
+        const double back =
+            sim::dequantUtil(sim::quantizeUtil(u));
+        ASSERT_LE(std::abs(back - u), half_step) << "u " << u;
+    }
+}
+
+TEST(Quant, BoundaryUtilsAreExact)
+{
+    // The endpoints and every exact grid point round-trip with zero
+    // error: q * step re-quantizes to q.
+    EXPECT_EQ(sim::quantizeUtil(0.0), 0);
+    EXPECT_EQ(sim::quantizeUtil(1.0), sim::kUtilQuantMax);
+    EXPECT_EQ(sim::dequantUtil(0), 0.0);
+    EXPECT_EQ(sim::dequantUtil(sim::kUtilQuantMax), 1.0);
+    for (std::uint32_t q = 0; q <= sim::kUtilQuantMax; q += 997) {
+        const auto q16 = static_cast<std::uint16_t>(q);
+        EXPECT_EQ(sim::quantizeUtil(sim::dequantUtil(q16)), q16);
+    }
+    EXPECT_EQ(sim::quantizeUtil(sim::dequantUtil(sim::kUtilQuantMax)),
+              sim::kUtilQuantMax);
+}
+
+TEST(Quant, OutOfRangeClampsAndNaNFailsLow)
+{
+    // Utilization is defined on [0, 1]; the encoder clamps rather
+    // than wrapping, and NaN maps to 0 — the same fail-low stance
+    // as telemetry ingest, which rejects non-finite samples before
+    // any consumer sees them (SlotAggregator::add throws).
+    EXPECT_EQ(sim::quantizeUtil(-0.25), 0);
+    EXPECT_EQ(sim::quantizeUtil(-1e300), 0);
+    EXPECT_EQ(sim::quantizeUtil(1.25), sim::kUtilQuantMax);
+    EXPECT_EQ(sim::quantizeUtil(1e300), sim::kUtilQuantMax);
+    EXPECT_EQ(sim::quantizeUtil(
+                  std::numeric_limits<double>::infinity()),
+              sim::kUtilQuantMax);
+    EXPECT_EQ(sim::quantizeUtil(
+                  -std::numeric_limits<double>::infinity()),
+              0);
+    EXPECT_EQ(sim::quantizeUtil(
+                  std::numeric_limits<double>::quiet_NaN()),
+              0);
+}
+
+TEST(Quant, MonotoneOverTheUnitInterval)
+{
+    // The want-mask threshold compare (FleetState) replaces
+    // dequantize-then-compare with an integer compare; that is only
+    // sound if quantization is monotone.
+    std::uint16_t prev = 0;
+    for (double u = 0.0; u <= 1.0; u += 1e-4) {
+        const std::uint16_t q = sim::quantizeUtil(u);
+        ASSERT_GE(q, prev) << "u " << u;
+        prev = q;
+    }
+}

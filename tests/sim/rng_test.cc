@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "sim/rng.hh"
 
@@ -206,4 +207,59 @@ TEST(Rng, DeriveSeedAdjacentRackStreamsAreIndependent)
                 << "seed " << seed << " rack " << rack;
         }
     }
+}
+
+/*
+ * Batch-fill stream equivalence: normalFill/uniformFill must consume
+ * the generator exactly like repeated scalar calls, including the
+ * polar method's cached spare normal carried across batch
+ * boundaries.  The trace generator switches between the two shapes
+ * freely (scalar day-amplitude draws between batched noise fills),
+ * so any divergence would silently re-seed every trace.
+ */
+
+TEST(Rng, NormalFillMatchesScalarStream)
+{
+    // Batch sizes chosen to hit every boundary case: empty, one
+    // (odd tail caches a spare), even, odd-after-spare, and a batch
+    // larger than the internal pair loop's unroll.
+    const std::size_t batches[] = {0, 1, 2, 3, 7, 288, 5, 0, 97};
+    Rng scalar(2024), batch(2024);
+    for (const std::size_t n : batches) {
+        std::vector<double> got(n, 0.0);
+        batch.normalFill(got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double want = scalar.normal();
+            ASSERT_EQ(want, got[i]) << "batch " << n << " i " << i;
+        }
+    }
+    // Both generators end in the same raw-stream state too.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(scalar(), batch());
+}
+
+TEST(Rng, NormalFillCarriesLiveSpareAcrossBoundary)
+{
+    Rng scalar(7), batch(7);
+    // Leave a live spare in both generators...
+    ASSERT_EQ(scalar.normal(), batch.normal());
+    // ...then fill: the spare must come out as the first sample.
+    double got[5];
+    batch.normalFill(got, 5);
+    for (double g : got)
+        ASSERT_EQ(scalar.normal(), g);
+    // The odd tail cached a fresh spare; the next scalar draws on
+    // both generators must still agree.
+    EXPECT_EQ(scalar.normal(), batch.normal());
+    EXPECT_EQ(scalar.normal(), batch.normal());
+}
+
+TEST(Rng, UniformFillMatchesScalarStream)
+{
+    Rng scalar(11), batch(11);
+    double got[64];
+    batch.uniformFill(got, 64);
+    for (double g : got)
+        ASSERT_EQ(scalar.uniform(), g);
+    EXPECT_EQ(scalar(), batch());
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/profile_template.hh"
+#include "sim/quant.hh"
 #include "workload/trace_generator.hh"
 
 using namespace soc;
@@ -266,4 +267,114 @@ TEST(TraceGenerator, StreamResetReplaysIdentically)
     }
     ASSERT_EQ(util_once, util_again);
     ASSERT_EQ(watts_once, watts_again);
+}
+
+TEST(TraceGenerator, QuantizedStreamResumesBitIdentically)
+{
+    // The compact-column fill must be as resumable as the double
+    // one: however the windows are chunked (awkward prime sizes
+    // again), the quantized samples and float watts hints agree bit
+    // for bit with a single-shot fill — the VmUtilCursor resume
+    // guarantee carried through quantization.
+    const power::PowerModel model;
+    TraceGenerator whole(55, shortConfig());
+    TraceGenerator chunked(55, shortConfig());
+
+    const auto mix_a = whole.randomVmMix(64);
+    const auto mix_b = chunked.randomVmMix(64);
+    auto stream_a = whole.serverTraceStream(mix_a, model);
+    auto stream_b = chunked.serverTraceStream(mix_b, model);
+
+    const std::size_t stride = stream_a.vms();
+    const std::size_t slots = static_cast<std::size_t>(
+        shortConfig().end / sim::kSlot);
+    std::vector<std::uint16_t> util_once(slots * stride);
+    std::vector<float> watts_once(slots * stride);
+    stream_a.generateQuantized(slots, util_once.data(),
+                               watts_once.data(), stride);
+
+    std::vector<std::uint16_t> util_chunked(slots * stride);
+    std::vector<float> watts_chunked(slots * stride);
+    for (std::size_t first = 0; first < slots;) {
+        const std::size_t n =
+            std::min<std::size_t>(101, slots - first);
+        stream_b.generateQuantized(
+            n, util_chunked.data() + first * stride,
+            watts_chunked.data() + first * stride, stride);
+        first += n;
+    }
+    ASSERT_EQ(util_once, util_chunked);
+    ASSERT_EQ(watts_once, watts_chunked);
+}
+
+TEST(TraceGenerator, QuantizedStreamMatchesDoubleStream)
+{
+    // The quantized fill consumes the RNG exactly like the double
+    // fill, its stored sample is quantizeUtil(double sample), and
+    // its watts hint is the power model evaluated at the
+    // *dequantized* utilization — the invariant that lets the
+    // replay's batch server update reuse the hint verbatim.
+    const power::PowerModel model;
+    TraceGenerator doubles(91, shortConfig());
+    TraceGenerator quantized(91, shortConfig());
+
+    const auto mix_a = doubles.randomVmMix(64);
+    const auto mix_b = quantized.randomVmMix(64);
+    auto stream_a = doubles.serverTraceStream(mix_a, model);
+    auto stream_b = quantized.serverTraceStream(mix_b, model);
+
+    const std::size_t stride = stream_a.vms();
+    const std::size_t slots = 3 * sim::kSlotsPerDay + 17;
+    std::vector<double> util_d(slots * stride);
+    std::vector<double> watts_d(slots * stride);
+    stream_a.generate(slots, util_d.data(), watts_d.data(), stride);
+
+    std::vector<std::uint16_t> util_q(slots * stride);
+    std::vector<float> watts_q(slots * stride);
+    stream_b.generateQuantized(slots, util_q.data(), watts_q.data(),
+                               stride);
+
+    for (std::size_t v = 0; v < stride; ++v) {
+        const int cores = mix_a[v].cores;
+        for (std::size_t i = 0; i < slots; ++i) {
+            const std::size_t at = i * stride + v;
+            ASSERT_EQ(util_q[at],
+                      sim::quantizeUtil(util_d[at]))
+                << "vm " << v << " slot " << i;
+            const double uq = sim::dequantUtil(util_q[at]);
+            const float want = static_cast<float>(
+                (cores *
+                 model.corePower(uq, power::kTurboMHz)).count());
+            ASSERT_EQ(watts_q[at], want)
+                << "vm " << v << " slot " << i;
+        }
+    }
+}
+
+TEST(TraceGenerator, UtilFillMatchesUtilAt)
+{
+    // The batched shape kernel behind the window fills must agree
+    // bit for bit with the scalar utilAt across day, weekend, and
+    // phase-shift boundaries for every archetype kind.
+    TraceGenerator gen(12, shortConfig());
+    std::vector<Archetype> archetypes;
+    for (const auto &vm : gen.randomVmMix(64))
+        archetypes.push_back(vm.archetype);
+    archetypes.push_back(serviceA());
+    archetypes.push_back(serviceB());
+    archetypes.push_back(serviceC());
+    archetypes.push_back(mlTraining());
+
+    const std::size_t n = 9 * sim::kSlotsPerDay; // crosses a weekend
+    const sim::Tick start = 4 * sim::kDay + 3 * sim::kMinute;
+    std::vector<double> filled(n);
+    for (const auto &arch : archetypes) {
+        arch.utilFill(start, sim::kSlot, n, filled.data());
+        for (std::size_t k = 0; k < n; ++k) {
+            const sim::Tick t =
+                start + static_cast<sim::Tick>(k) * sim::kSlot;
+            ASSERT_EQ(filled[k], arch.utilAt(t))
+                << shapeName(arch.kind) << " k " << k;
+        }
+    }
 }
