@@ -43,12 +43,11 @@ main()
             workload::TraceGenerator::rackPower(traces);
         // Provisioned limit: oversubscribed relative to nameplate
         // (sum of TDPs), varied across the fleet like real racks.
-        const double limit = kServersPerRack *
-            model.params().tdpWatts.count() *
-            (0.78 + 0.47 * (r % 10) / 10.0);
-        avg_util.add(rack_power.stats().mean() / limit);
-        p50_util.add(rack_power.quantile(0.50) / limit);
-        p99_util.add(rack_power.quantile(0.99) / limit);
+        const power::Watts limit = model.params().tdpWatts *
+            (kServersPerRack * (0.78 + 0.47 * (r % 10) / 10.0));
+        avg_util.add(rack_power.stats().mean() / limit.count());
+        p50_util.add(rack_power.quantile(0.50) / limit.count());
+        p99_util.add(rack_power.quantile(0.99) / limit.count());
     }
 
     telemetry::Table table(

@@ -127,12 +127,12 @@ main(int argc, char **argv)
              fmt(results[2].byClass[c].energyPerServerJ / ref),
              fmt(results[3].byClass[c].energyPerServerJ / ref)});
     }
-    const double total_ref = results[0].totalEnergyJ;
+    const soc::power::Joules total_ref = results[0].totalEnergyJ;
     fig14.addRow({"total", fmt(1.0),
                   fmt(results[1].totalEnergyJ / total_ref),
                   fmt(results[2].totalEnergyJ / total_ref),
                   fmt(results[3].totalEnergyJ / total_ref)});
-    const double social_ref = results[0].socialEnergyJ;
+    const soc::power::Joules social_ref = results[0].socialEnergyJ;
     fig14.addRow({"latency-critical servers", fmt(1.0),
                   fmt(results[1].socialEnergyJ / social_ref),
                   fmt(results[2].socialEnergyJ / social_ref),

@@ -128,8 +128,11 @@ parseInt(const char *text, long min, long max, int &out)
 }
 
 bool
-parseArgs(int argc, char **argv, Args &args)
+parseArgs(int argc, char **argv, Args &out)
 {
+    // Fail-closed (FC-001): build into a local and assign only on
+    // success, so bad argv never leaves half-applied options.
+    Args args;
     bool have_path = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -158,6 +161,7 @@ parseArgs(int argc, char **argv, Args &args)
             return false; // second positional
         }
     }
+    out = args;
     return true;
 }
 

@@ -46,8 +46,8 @@ main()
     const double limit = rack_power.quantile(0.99) * 1.12;
 
     // Per-core overclock surcharge at worst-case utilization.
-    const double per_core = model.overclockExtraPower(
-        0.9, power::kOverclockMHz, 1).count();
+    const power::Watts per_core = model.overclockExtraPower(
+        0.9, power::kOverclockMHz, 1);
 
     telemetry::Table plan(
         "overclocking capacity plan (rack limit " + fmt(limit, 0) +
@@ -61,7 +61,8 @@ main()
             static_cast<sim::Tick>(hour) * sim::kHour;
         const double predicted = rack_template.predict(t);
         const double headroom = std::max(0.0, limit - predicted);
-        const int cores = static_cast<int>(headroom / per_core);
+        const int cores =
+            static_cast<int>(headroom / per_core.count());
         min_cores = std::min(min_cores, cores);
         max_cores = std::max(max_cores, cores);
         plan.addRow({std::to_string(hour) + ":00",

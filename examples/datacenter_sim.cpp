@@ -60,7 +60,7 @@ main(int argc, char **argv)
                       fmtPercent(result.successRate, 1),
                       fmt(result.normPerformance, 3),
                       fmtPercent(result.meanRackUtil, 1),
-                      fmt(result.energyJoules / 1e6, 1)});
+                      fmt(result.energyJoules.count() / 1e6, 1)});
     }
     table.print(std::cout);
 

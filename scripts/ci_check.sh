@@ -45,7 +45,19 @@ for field in paper_racks_per_s paper_peak_rss_mb; do
 done
 
 echo "==== ci_check: static analysis ===="
-"$ROOT/scripts/static_check.sh" "$ROOT/build-static"
+STATIC_LOG="$(mktemp)"
+if ! "$ROOT/scripts/static_check.sh" "$ROOT/build-static" \
+    >"$STATIC_LOG" 2>&1; then
+    cat "$STATIC_LOG"
+    rm -f "$STATIC_LOG"
+    exit 1
+fi
+cat "$STATIC_LOG"
+# One-line findings delta for the CI log scanner: new findings vs
+# the checked-in baseline, straight from the soclint summary.
+grep '^soclint summary:' "$STATIC_LOG" |
+    sed 's/^soclint summary:/soclint findings delta vs baseline:/'
+rm -f "$STATIC_LOG"
 
 echo "==== ci_check: ThreadSanitizer ===="
 "$ROOT/scripts/tsan_check.sh" "$ROOT/build-tsan"

@@ -1,8 +1,11 @@
 #!/bin/sh
-# Static-analysis gate (DESIGN.md §10): chains, in order,
+# Static-analysis gate (DESIGN.md §10, §15): chains, in order,
 #
-#   1. soclint        - determinism + unit rules (always available:
-#                       built from tools/soclint in this tree);
+#   1. soclint        - token-aware determinism / fail-closed / unit
+#                       rules over src/, bench/, tools/, examples/
+#                       against the checked-in baseline, emitting a
+#                       SARIF artifact that is then re-validated by
+#                       soclint's own fail-closed SARIF checker;
 #   2. clang-format   - check-only style pass (skipped when absent);
 #   3. clang-tidy     - .clang-tidy checks over the compilation
 #                       database (skipped when absent);
@@ -10,16 +13,47 @@
 #
 # The clang tools are optional because the reference container ships
 # only gcc; each skip is reported loudly so CI logs show what ran.
+#
 # Usage: scripts/static_check.sh [builddir]
+#        scripts/static_check.sh --baseline-update [builddir]
+#
+# --baseline-update regenerates tools/soclint/baseline.txt from the
+# current findings.  It refuses to run on a dirty work tree: the
+# baseline must be the only change in its commit so review can see
+# exactly which findings were accepted.
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+UPDATE=0
+if [ "$1" = "--baseline-update" ]; then
+    UPDATE=1
+    shift
+fi
 BUILD="${1:-$ROOT/build-static}"
+BASELINE="$ROOT/tools/soclint/baseline.txt"
+SARIF="$BUILD/soclint.sarif"
 
 echo "== static_check: 1/4 soclint =="
 cmake -B "$BUILD" -S "$ROOT" -DSOC_WERROR=ON >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target soclint >/dev/null
-"$BUILD/tools/soclint/soclint" "$ROOT/src"
-echo "soclint: clean"
+SOCLINT="$BUILD/tools/soclint/soclint"
+
+if [ "$UPDATE" = 1 ]; then
+    if [ -n "$(git -C "$ROOT" status --porcelain)" ]; then
+        echo "static_check: refusing --baseline-update on a dirty" \
+            "work tree; commit or stash first" >&2
+        exit 1
+    fi
+    "$SOCLINT" --root "$ROOT" --baseline-update "$BASELINE"
+    echo "static_check: baseline rewritten at $BASELINE"
+    exit 0
+fi
+
+"$SOCLINT" --root "$ROOT" --baseline "$BASELINE" --sarif "$SARIF"
+# Fail closed on our own artifact: a malformed report must never
+# reach the CI uploader looking like a clean run.
+"$SOCLINT" --check-sarif "$SARIF"
+echo "soclint: clean (SARIF artifact: $SARIF)"
 
 echo "== static_check: 2/4 clang-format (check only) =="
 if command -v clang-format >/dev/null 2>&1; then

@@ -92,7 +92,7 @@ struct Node {
     core::ServerOverclockingAgent *soa = nullptr;
     int rackIdx = 0;
     enum class Kind { SocialHome, MlTrain, Spare } kind;
-    double energyJ = 0.0;
+    power::Joules energyJ{0.0};
 };
 
 /** One VM instance binding across the three layers. */
@@ -513,7 +513,8 @@ runServiceSim(const ServiceSimConfig &config)
         // Energy accounting.
         if (in_eval) {
             for (auto &node : nodes)
-                node.energyJ += node.server->powerWatts().count() * dt_s;
+                node.energyJ += power::energyOver(
+                    node.server->powerWatts(), dt_s);
         }
     });
 
@@ -685,7 +686,7 @@ runServiceSim(const ServiceSimConfig &config)
 
     std::array<sim::Percentiles, 3> class_latency;
     std::array<double, 3> class_instances{};
-    std::array<double, 3> class_energy{};
+    std::array<power::Joules, 3> class_energy{};
     std::array<int, 3> class_count{};
     std::array<std::uint64_t, 3> class_windows{};
     std::array<std::uint64_t, 3> class_missed{};
@@ -721,7 +722,8 @@ runServiceSim(const ServiceSimConfig &config)
         out.meanMs = class_latency[c].mean();
         const int n = std::max(1, class_count[c]);
         out.meanInstances = class_instances[c] / n;
-        out.energyPerServerJ = class_energy[c] / n;
+        out.energyPerServerJ =
+            (class_energy[c] / static_cast<double>(n)).count();
         out.missedSloTimeFrac = class_windows[c] > 0
             ? static_cast<double>(class_missed[c]) /
                 static_cast<double>(class_windows[c])

@@ -151,9 +151,9 @@ struct ClassResult {
 /** Full result of one cluster run. */
 struct ServiceSimResult {
     std::array<ClassResult, 3> byClass; // low / med / high
-    double totalEnergyJ = 0.0;
+    power::Joules totalEnergyJ{0.0};
     /** Energy of the servers hosting latency-critical services. */
-    double socialEnergyJ = 0.0;
+    power::Joules socialEnergyJ{0.0};
     /** MLTrain mean throughput, normalized to turbo baseline. */
     double mlThroughputNorm = 0.0;
     std::uint64_t capEvents = 0;

@@ -113,7 +113,7 @@ struct RackOutcome {
     std::uint64_t requests = 0;
     std::uint64_t wantSteps = 0;
     std::uint64_t successSteps = 0;
-    double energyJoules = 0.0;
+    power::Joules energyJoules{0.0};
     sim::OnlineStats penalty;
     sim::OnlineStats rackUtil;
     sim::OnlineStats perf;
@@ -363,7 +363,7 @@ RackRuntime::build()
         }
         for (std::size_t i = 0; i < n; ++i) {
             const float *wrow = watts + i * stride;
-            double rack_watts = 0.0;
+            power::Watts rack_watts{0.0};
             for (std::size_t s = 0; s < streams_.size(); ++s) {
                 power::Watts server_watts =
                     model_.params().idleWatts;
@@ -373,11 +373,11 @@ RackRuntime::build()
                     server_watts += power::Watts{
                         static_cast<double>(wrow[off + v])};
                 if (s == 0)
-                    rack_watts = server_watts.count();
+                    rack_watts = server_watts;
                 else
-                    rack_watts += server_watts.count();
+                    rack_watts += server_watts;
             }
-            rack_power_values[first + i] = rack_watts;
+            rack_power_values[first + i] = rack_watts.count();
         }
     }
     const telemetry::TimeSeries rack_power(
@@ -836,7 +836,8 @@ RackRuntime::stepMain(sim::Tick t)
 
     if (in_eval) {
         out_.rackUtil.add(rack_->utilization());
-        out_.energyJoules += rack_->powerWatts().count() * dtS_;
+        out_.energyJoules +=
+            power::energyOver(rack_->powerWatts(), dtS_);
         if (manager_->capping()) {
             double penalty = 0.0;
             int affected = 0;
@@ -1070,10 +1071,9 @@ runLockstepZone(const TraceSimConfig &config,
         });
 
     // Zone limit: the sum of the rack limits, in rack order.
-    double zone_watts = 0.0;
+    power::Watts zone_limit{0.0};
     for (const auto &runtime : runtimes)
-        zone_watts += runtime->limitWatts().count();
-    const power::Watts zone_limit{zone_watts};
+        zone_limit += runtime->limitWatts();
 
     core::HierarchyConfig hier_cfg;
     hier_cfg.racksPerRow = config.racksPerRow;

@@ -183,8 +183,8 @@ struct TraceSimResult {
     double normPerformance = 1.0;
     /** Mean rack power utilization over the evaluation window. */
     double meanRackUtil = 0.0;
-    /** Integrated energy over the evaluation window (joules). */
-    double energyJoules = 0.0;
+    /** Integrated energy over the evaluation window. */
+    power::Joules energyJoules{0.0};
 
     /**
      * Wall-clock accounting, summed over racks: seconds spent

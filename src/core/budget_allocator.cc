@@ -54,10 +54,11 @@ BudgetAllocator::splitInto(power::Watts limit,
                            std::vector<ProfileTemplate> &out) const
 {
     // Scratch buffers feed ProfileTemplate::assignWeekly, which
-    // stores raw doubles; leave the unit at this boundary.
-    const double usable =
-        limit.count() * (1.0 - config_.safetyFraction);
-    splitImpl(nullptr, usable, profiles, scratch, out);
+    // stores raw doubles; the unit drops to a raw count only at
+    // the splitImpl boundary below.
+    const power::Watts usable =
+        limit * (1.0 - config_.safetyFraction);
+    splitImpl(nullptr, usable.count(), profiles, scratch, out);
 }
 
 void

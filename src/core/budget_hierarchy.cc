@@ -163,9 +163,9 @@ BudgetHierarchy::recompute(power::Watts zoneLimit)
 
     // 3. Zone -> rows.  The safety margin is applied here, once.
     const auto slots = static_cast<std::size_t>(sim::kSlotsPerWeek);
-    const double usable = zoneLimit.count() *
-        (1.0 - config_.budget.safetyFraction);
-    limitRow_.assign(slots, usable);
+    const power::Watts usable =
+        zoneLimit * (1.0 - config_.budget.safetyFraction);
+    limitRow_.assign(slots, usable.count());
     allocator_.splitWeeklyInto(limitRow_, rowAggregates_, scratch_,
                                rowBudgets_);
     ++stats_.splits;

@@ -29,9 +29,12 @@ LifetimeModel::agingRate(double util, power::FreqMHz f) const
         params_.utilFloor + (1.0 - params_.utilFloor) * util;
     const double volt_accel = std::exp(
         params_.betaVolts * (power_.voltage(f) - refVolts_));
+    // The Celsius delta degenerates to a dimensionless exponent
+    // argument here; .count() is the audited use site.
+    // soclint:allow(UNIT-003)
     const double temp_accel = std::exp(
         params_.betaTemp *
-        (power_.temperature(util, f) - refTempC_));
+        (power_.temperature(util, f) - refTempC_).count());
     return activity * volt_accel * temp_accel;
 }
 

@@ -92,7 +92,7 @@ class LifetimeModel
     const power::PowerModel &power_;
     LifetimeParams params_;
     double refVolts_;
-    double refTempC_;
+    power::Celsius refTempC_;
 };
 
 /**

@@ -15,22 +15,26 @@ PowerModel::PowerModel(const PowerModelParams &params)
     assert(params_.tdpWatts > params_.idleWatts);
 
     // Per-core budget at TDP (util = 1, turbo frequency).
-    const double core_budget =
-        (params_.tdpWatts - params_.idleWatts).count() /
+    const Watts core_budget =
+        (params_.tdpWatts - params_.idleWatts) /
         static_cast<double>(params_.cores);
-    const double leak_budget = core_budget * params_.leakageFraction;
-    const double dyn_budget = core_budget - leak_budget;
+    const Watts leak_budget = core_budget * params_.leakageFraction;
+    const Watts dyn_budget = core_budget - leak_budget;
 
     const double v_turbo = params_.turboVolts;
-    dynCoeff_ = dyn_budget /
+    dynCoeff_ = dyn_budget.count() /
         (static_cast<double>(kTurboMHz.count()) * v_turbo * v_turbo);
-    leakCoeff_ = leak_budget / v_turbo;
+    leakCoeff_ = leak_budget.count() / v_turbo;
 }
 
 double
 PowerModel::voltage(FreqMHz f) const
 {
+    // The V/f-curve coefficients are genuinely mixed-unit (volts
+    // per GHz / per MHz); frequency deltas drop to raw counts at
+    // this audited boundary, hence the UNIT-003 waivers.
     if (f >= kTurboMHz) {
+        // soclint:allow(UNIT-003)
         const double ghz_over =
             static_cast<double>((f - kTurboMHz).count()) / 1000.0;
         return params_.turboVolts +
@@ -38,8 +42,10 @@ PowerModel::voltage(FreqMHz f) const
     }
     // Linear between base and turbo; clamp at the base voltage for
     // deep-throttle frequencies.
+    // soclint:allow(UNIT-003)
     const double slope = (params_.turboVolts - params_.baseVolts) /
         static_cast<double>((kTurboMHz - kBaseMHz).count());
+    // soclint:allow(UNIT-003)
     const double v = params_.turboVolts +
         slope * static_cast<double>((f - kTurboMHz).count());
     return std::max(v, params_.baseVolts);
@@ -51,6 +57,9 @@ PowerModel::corePower(double util, FreqMHz f) const
     const double v = voltage(f);
     const double activity = params_.activityFloor +
         (1.0 - params_.activityFloor) * util;
+    // dynCoeff_ carries the units (W per MHz per V^2), so the
+    // frequency drops to a raw count inside the CMOS formula.
+    // soclint:allow(UNIT-003)
     const double dynamic =
         dynCoeff_ * activity * static_cast<double>(f.count()) * v * v;
     const double leakage = leakCoeff_ * v;
@@ -79,7 +88,7 @@ PowerModel::overclockExtraPower(double util, FreqMHz f,
     return cores * (corePower(util, f) - corePower(util, kTurboMHz));
 }
 
-double
+Celsius
 PowerModel::temperature(double util, FreqMHz f) const
 {
     // Relative activity compared to a fully utilized turbo core.

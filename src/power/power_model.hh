@@ -59,10 +59,10 @@ struct PowerModelParams {
      */
     double activityFloor = 0.25;
 
-    /** Ambient-equivalent die temperature at idle (Celsius). */
-    double ambientCelsius = 45.0;
-    /** Temperature rise from idle to TDP-level activity (Celsius). */
-    double thermalRangeCelsius = 35.0;
+    /** Ambient-equivalent die temperature at idle. */
+    Celsius ambientCelsius{45.0};
+    /** Temperature rise from idle to TDP-level activity. */
+    Celsius thermalRangeCelsius{35.0};
 };
 
 /**
@@ -106,7 +106,7 @@ class PowerModel
     /**
      * Estimated die temperature of a core (feeds the aging model).
      */
-    double temperature(double util, FreqMHz f) const;
+    Celsius temperature(double util, FreqMHz f) const;
 
     /**
      * Largest ladder frequency such that a server at utilization

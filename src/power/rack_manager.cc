@@ -83,7 +83,8 @@ RackManager::enforceCap()
         // overclocked groups lose their boost first (overclocking is
         // opportunistic); among equals, the hottest server yields.
         Server *victim = nullptr;
-        double victim_score = 0.0;
+        bool victim_oc = false;
+        Watts victim_power{0.0};
         for (const auto &server : rack_.servers()) {
             bool can = false;
             bool overclocked = false;
@@ -95,11 +96,14 @@ RackManager::enforceCap()
             }
             if (!can)
                 continue;
-            const double score = server->powerWatts().count() +
-                (overclocked ? 1.0e6 : 0.0);
-            if (score > victim_score) {
+            const Watts power = server->powerWatts();
+            const bool better = victim == nullptr ||
+                (overclocked && !victim_oc) ||
+                (overclocked == victim_oc && power > victim_power);
+            if (better) {
                 victim = server.get();
-                victim_score = score;
+                victim_oc = overclocked;
+                victim_power = power;
             }
         }
         if (victim == nullptr || !victim->throttleOneStep())

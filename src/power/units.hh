@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit-safe strong types for the physical quantities the budget
- * arithmetic of §IV-C mixes freely: watts and megahertz.
+ * arithmetic of §IV-C mixes freely: watts, megahertz, degrees
+ * Celsius and joules.
  *
  * The paper's control loops transpose exactly these scalars when
  * everything is a bare double — a power budget added to a frequency
@@ -133,12 +134,30 @@ class Quantity
 
 struct WattTag;
 struct MHzTag;
+struct CelsiusTag;
+struct JouleTag;
 
 /** Electrical power in watts. */
 using Watts = Quantity<WattTag, double>;
 
 /** Core frequency in MHz (integral: the ladder is discrete). */
 using FreqMHz = Quantity<MHzTag, int>;
+
+/** Temperature in degrees Celsius (§IV-B thermal model). */
+using Celsius = Quantity<CelsiusTag, double>;
+
+/** Energy in joules (integrated rack power over sim time). */
+using Joules = Quantity<JouleTag, double>;
+
+/** Energy accumulated by holding @p power for @p seconds.  A named
+ *  function rather than an operator: Quantity's operator* is
+ *  reserved for dimensionless scaling, and watts-times-seconds is
+ *  the one cross-unit product the replay loop needs. */
+constexpr Joules
+energyOver(Watts power, double seconds)
+{
+    return Joules{power.count() * seconds};
+}
 
 inline namespace unit_literals
 {
@@ -159,6 +178,18 @@ constexpr FreqMHz
 operator""_MHz(unsigned long long f)
 {
     return FreqMHz{static_cast<int>(f)};
+}
+
+constexpr Celsius
+operator""_C(long double t)
+{
+    return Celsius{static_cast<double>(t)};
+}
+
+constexpr Joules
+operator""_J(long double e)
+{
+    return Joules{static_cast<double>(e)};
 }
 
 } // namespace unit_literals

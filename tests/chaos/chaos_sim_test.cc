@@ -61,7 +61,7 @@ expectIdentical(const TraceSimResult &a, const TraceSimResult &b)
     EXPECT_DOUBLE_EQ(a.cappingPenalty, b.cappingPenalty);
     EXPECT_DOUBLE_EQ(a.normPerformance, b.normPerformance);
     EXPECT_DOUBLE_EQ(a.meanRackUtil, b.meanRackUtil);
-    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.energyJoules, b.energyJoules);
     EXPECT_EQ(a.faults.goaOutages, b.faults.goaOutages);
     EXPECT_EQ(a.faults.recomputesSkipped,
               b.faults.recomputesSkipped);
@@ -173,7 +173,7 @@ TEST(ChaosServiceSim, SurvivesCrashRestartStorm)
     EXPECT_GT(result.faults.total(), 0u);
     // The cluster still serves traffic end to end.
     EXPECT_GT(result.byClass[0].completed, 0u);
-    EXPECT_GT(result.totalEnergyJ, 0.0);
+    EXPECT_GT(result.totalEnergyJ, soc::power::Joules{0.0});
 }
 
 TEST(ChaosServiceSim, DeterministicUnderFaults)
@@ -193,7 +193,7 @@ TEST(ChaosServiceSim, DeterministicUnderFaults)
     EXPECT_EQ(a.capEvents, b.capEvents);
     EXPECT_EQ(a.scaleOuts, b.scaleOuts);
     EXPECT_EQ(a.overclockStarts, b.overclockStarts);
-    EXPECT_DOUBLE_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
     EXPECT_EQ(a.faults.soaCrashes, b.faults.soaCrashes);
     EXPECT_EQ(a.faults.budgetDrops, b.faults.budgetDrops);
     EXPECT_EQ(a.faults.budgetRejects, b.faults.budgetRejects);

@@ -269,7 +269,7 @@ TEST(ChaosHintStorm, BitIdenticalAcrossThreadCountsAndReruns)
         EXPECT_EQ(serial.requests, other->requests);
         EXPECT_EQ(serial.wantSteps, other->wantSteps);
         EXPECT_EQ(serial.successSteps, other->successSteps);
-        EXPECT_DOUBLE_EQ(serial.energyJoules, other->energyJoules);
+        EXPECT_EQ(serial.energyJoules, other->energyJoules);
         EXPECT_EQ(serial.flapDenied, other->flapDenied);
         expectIngressIdentical(serial.ingress, other->ingress);
     }
@@ -303,13 +303,13 @@ TEST(ChaosHintStorm, ServiceSimStormShieldedAndDeterministic)
     EXPECT_EQ(a.rejectedMetrics, 0u);
     // The cluster still served traffic end to end.
     EXPECT_GT(a.byClass[0].completed, 0u);
-    EXPECT_GT(a.totalEnergyJ, 0.0);
+    EXPECT_GT(a.totalEnergyJ, soc::power::Joules{0.0});
 
     const auto b = runServiceSim(cfg);
     EXPECT_EQ(a.capEvents, b.capEvents);
     EXPECT_EQ(a.scaleOuts, b.scaleOuts);
     EXPECT_EQ(a.overclockStarts, b.overclockStarts);
-    EXPECT_DOUBLE_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
     expectIngressIdentical(a.ingress, b.ingress);
 }
 

@@ -125,8 +125,8 @@ TEST(ServiceSim, EnergyAccountingIsPositiveAndDecomposes)
 {
     const auto result = runServiceSim(
         quickConfig(Environment::SmartOClock));
-    EXPECT_GT(result.totalEnergyJ, 0.0);
-    EXPECT_GT(result.socialEnergyJ, 0.0);
+    EXPECT_GT(result.totalEnergyJ, soc::power::Joules{0.0});
+    EXPECT_GT(result.socialEnergyJ, soc::power::Joules{0.0});
     EXPECT_LT(result.socialEnergyJ, result.totalEnergyJ);
 }
 

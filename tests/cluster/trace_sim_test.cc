@@ -39,7 +39,7 @@ TEST(TraceSim, ProducesActivityAndValidRates)
     EXPECT_LE(result.successRate, 1.0);
     EXPECT_GT(result.meanRackUtil, 0.2);
     EXPECT_LT(result.meanRackUtil, 1.05);
-    EXPECT_GT(result.energyJoules, 0.0);
+    EXPECT_GT(result.energyJoules, soc::power::Joules{0.0});
 }
 
 TEST(TraceSim, DeterministicForSameSeed)

@@ -109,14 +109,14 @@ TEST(PowerModel, OverclockExtraPowerPerCoreIsMeaningful)
 TEST(PowerModel, TemperatureRisesWithActivity)
 {
     const PowerModel model;
-    const double idle = model.temperature(0.0, kTurboMHz);
-    const double busy = model.temperature(1.0, kTurboMHz);
-    const double oc = model.temperature(1.0, kOverclockMHz);
+    const Celsius idle = model.temperature(0.0, kTurboMHz);
+    const Celsius busy = model.temperature(1.0, kTurboMHz);
+    const Celsius oc = model.temperature(1.0, kOverclockMHz);
     EXPECT_LT(idle, busy);
     EXPECT_LT(busy, oc);
-    EXPECT_NEAR(busy,
-                model.params().ambientCelsius +
-                    model.params().thermalRangeCelsius,
+    EXPECT_NEAR(busy.count(),
+                (model.params().ambientCelsius +
+                 model.params().thermalRangeCelsius).count(),
                 1e-9);
 }
 

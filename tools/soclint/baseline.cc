@@ -1,0 +1,122 @@
+#include "baseline.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+namespace soclint
+{
+
+std::string
+normalizeContext(const std::string &line)
+{
+    std::string out;
+    bool pending_space = false;
+    for (const char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            pending_space = !out.empty();
+            continue;
+        }
+        if (pending_space) {
+            out.push_back(' ');
+            pending_space = false;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+baselineKey(const Finding &f)
+{
+    return f.rule + "|" + f.file + "|" + f.context;
+}
+
+bool
+Baseline::load(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        error = "cannot open baseline file '" + path + "'";
+        return false;
+    }
+    std::map<std::string, std::size_t> fresh;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::string trimmed = normalizeContext(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        // RULE|path|context — exactly two structural pipes minimum
+        // (context may itself contain pipes).
+        const std::size_t p1 = trimmed.find('|');
+        const std::size_t p2 = p1 == std::string::npos
+                                   ? std::string::npos
+                                   : trimmed.find('|', p1 + 1);
+        if (p1 == std::string::npos || p2 == std::string::npos ||
+            p1 == 0 || p2 == p1 + 1) {
+            error = "malformed baseline entry at " + path + ":" +
+                    std::to_string(lineno) +
+                    " (want RULE|path|context)";
+            return false;
+        }
+        ++fresh[trimmed];
+    }
+    if (in.bad()) {
+        error = "I/O error reading baseline file '" + path + "'";
+        return false;
+    }
+    entries_ = std::move(fresh);
+    return true;
+}
+
+std::vector<std::string>
+Baseline::apply(std::vector<Finding> &findings) const
+{
+    std::map<std::string, std::size_t> remaining = entries_;
+    for (Finding &f : findings) {
+        auto it = remaining.find(baselineKey(f));
+        if (it != remaining.end() && it->second > 0) {
+            --it->second;
+            f.baselined = true;
+        }
+    }
+    std::vector<std::string> stale;
+    for (const auto &[key, count] : remaining)
+        for (std::size_t i = 0; i < count; ++i)
+            stale.push_back(key);
+    return stale;
+}
+
+std::size_t
+Baseline::size() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, count] : entries_)
+        n += count;
+    return n;
+}
+
+void
+writeBaseline(std::ostream &os,
+              const std::vector<Finding> &findings)
+{
+    os << "# soclint baseline - accepted findings, one per line:\n"
+       << "#   RULE-ID|root-relative-path|normalized source line\n"
+       << "# Regenerate with scripts/static_check.sh "
+          "--baseline-update (clean tree only).\n"
+       << "# Stale entries fail the gate; keep this file shrinking."
+       << "\n";
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const Finding &f : findings)
+        keys.push_back(baselineKey(f));
+    std::sort(keys.begin(), keys.end());
+    for (const std::string &k : keys)
+        os << k << "\n";
+}
+
+} // namespace soclint

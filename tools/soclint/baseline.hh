@@ -1,0 +1,57 @@
+/**
+ * @file
+ * soclint baseline: a checked-in list of accepted findings so a new
+ * rule family can land strict without a flag-day cleanup.  Keys are
+ * `RULE-ID|root-relative-path|normalized source line` — no line
+ * numbers, so unrelated edits above a baselined finding do not
+ * invalidate the key.  A baseline entry that no longer matches any
+ * finding is *stale* and fails the gate: the baseline may only
+ * shrink silently, never rot.
+ */
+
+#ifndef SOC_TOOLS_SOCLINT_BASELINE_HH
+#define SOC_TOOLS_SOCLINT_BASELINE_HH
+
+#include "rules.hh"
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace soclint
+{
+
+/** Collapse whitespace runs to single spaces and trim the ends;
+ *  the normalized text is the third baseline key component. */
+std::string normalizeContext(const std::string &line);
+
+/** Baseline key for @p f (f.context must be normalized already). */
+std::string baselineKey(const Finding &f);
+
+class Baseline
+{
+  public:
+    /** Load from @p path.  Fail-closed: an entry that is not
+     *  `RULE|path|context` (or a comment/blank line) is an error.
+     *  Returns false with @p error set; *this is untouched. */
+    bool load(const std::string &path, std::string &error);
+
+    /** Mark matching findings baselined (consuming one entry per
+     *  match) and return the stale keys left over. */
+    std::vector<std::string>
+    apply(std::vector<Finding> &findings) const;
+
+    std::size_t size() const;
+
+  private:
+    std::map<std::string, std::size_t> entries_; ///< key -> count
+};
+
+/** Write a fresh baseline covering every finding in @p findings. */
+void writeBaseline(std::ostream &os,
+                   const std::vector<Finding> &findings);
+
+} // namespace soclint
+
+#endif // SOC_TOOLS_SOCLINT_BASELINE_HH

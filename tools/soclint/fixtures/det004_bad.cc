@@ -1,0 +1,46 @@
+/** Known-bad fixture: DET-004 must flag order-dependent floating
+ *  point accumulation on shared state inside a parallelFor lambda
+ *  (the merge order depends on thread scheduling), and fma use
+ *  (fused contraction is hardware-dependent). */
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+    template <class F>
+    void
+    parallelFor(std::size_t n, F &&f)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            f(i);
+    }
+};
+
+double
+sumRackPower(Pool &pool, const std::vector<double> &watts)
+{
+    double total = 0.0;
+    pool.parallelFor(watts.size(), [&](std::size_t i) {
+        // Shared accumulator mutated from worker threads: the
+        // addition order (and thus the bits) depends on timing.
+        total += watts[i];
+    });
+    return total;
+}
+
+double
+dotProduct(Pool &pool, const std::vector<double> &a,
+           const std::vector<double> &b,
+           std::vector<double> &partial)
+{
+    pool.parallelFor(a.size(), [&](std::size_t i) {
+        // Own-slot write, but fused multiply-add contracts the
+        // rounding step: results differ across hardware.
+        partial[i] = std::fma(a[i], b[i], 0.0);
+    });
+    double total = 0.0;
+    for (const double p : partial)
+        total += p;
+    return total;
+}

@@ -1,0 +1,36 @@
+/** Known-good fixture: DET-004 — workers write only their own
+ *  output slot; the reduction happens after the join, in index
+ *  (rack) order, so the result is bit-identical at any thread
+ *  count.  Locals inside the lambda may accumulate freely. */
+
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+    template <class F>
+    void
+    parallelFor(std::size_t n, F &&f)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            f(i);
+    }
+};
+
+double
+sumRackPower(Pool &pool, const std::vector<double> &watts,
+             std::vector<double> &slots)
+{
+    pool.parallelFor(watts.size(), [&](std::size_t i) {
+        // Body-local accumulation is fine: it never leaves the
+        // worker's own iteration.
+        double local = 0.0;
+        local += watts[i];
+        // Own-slot write: indexed by the lambda parameter.
+        slots[i] += local;
+    });
+    // Deterministic merge: fixed order, single thread.
+    double total = 0.0;
+    for (const double s : slots)
+        total += s;
+    return total;
+}

@@ -1,0 +1,24 @@
+/** Known-bad fixture: FC-001 — a parse function that mutates its
+ *  out-parameter before the last validation return leaves the
+ *  caller holding half-parsed state on rejection. */
+
+#include <string>
+
+struct Limits {
+    double watts = 0.0;
+    int servers = 0;
+};
+
+bool
+parseLimits(const std::string &text, Limits &out)
+{
+    if (text.empty())
+        return false;
+    // Writing through the out-parameter before validation is done:
+    // a later reject leaves the caller's object half-mutated.
+    out.watts = 42.0;
+    if (text.size() > 64)
+        return false;
+    out.servers = static_cast<int>(text.size());
+    return true;
+}

@@ -1,0 +1,25 @@
+/** Known-good fixture: FC-001 — the core::wire shape: validate
+ *  everything into a local, assign the out-parameter once after
+ *  the last validation return, so rejection never mutates the
+ *  caller's state. */
+
+#include <string>
+
+struct Limits {
+    double watts = 0.0;
+    int servers = 0;
+};
+
+bool
+parseLimits(const std::string &text, Limits &out)
+{
+    Limits parsed;
+    if (text.empty())
+        return false;
+    parsed.watts = 42.0;
+    if (text.size() > 64)
+        return false;
+    parsed.servers = static_cast<int>(text.size());
+    out = parsed;
+    return true;
+}

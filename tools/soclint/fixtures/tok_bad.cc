@@ -1,0 +1,28 @@
+/** Known-bad fixture: violations only a token-aware scanner can
+ *  see — each one spans physical lines, so a line-at-a-time regex
+ *  (the v1 linter) misses all of them. */
+
+struct Watts {
+    double v = 0.0;
+    double count() const { return v; }
+};
+
+int
+spliced()
+{
+    // The identifier is split by a backslash-newline splice; after
+    // lexing it is a single 'rand' token followed by '('.
+    return ra\
+nd();
+}
+
+double
+crossLine(Watts w)
+{
+    // Declaration, initializer and the count call sit on three
+    // different physical lines; the statement is one token run.
+    const double escaped =
+        w
+            .count();
+    return escaped;
+}

@@ -1,0 +1,31 @@
+/** Known-good fixture: text that LOOKS like violations but is not
+ *  code — raw strings, a line-spliced comment — plus a properly
+ *  suppressed finding.  Must scan clean even with --all-paths. */
+
+#include <cstdlib>
+
+const char *
+docText()
+{
+    // Rule-tripping spellings inside a raw string are data, not
+    // code; the lexer must consume them verbatim.
+    return R"(rand() srand(7) double dieCelsius = t.count();)";
+}
+
+int
+splicedComment()
+{
+    int live = 1;
+    // this whole comment continues onto the next physical line \
+    live = rand();
+    return live;
+}
+
+int
+suppressed()
+{
+    // The deliberate exception: documented and suppressed on the
+    // preceding line.
+    // soclint:allow(DET-001)
+    return std::rand();
+}

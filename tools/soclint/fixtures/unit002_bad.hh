@@ -1,0 +1,15 @@
+/** Known-bad fixture: UNIT-002 must flag raw double/float MHz,
+ *  Celsius and Joules declarations in a public header. */
+
+#ifndef SOC_TOOLS_SOCLINT_FIXTURES_UNIT002_BAD_HH
+#define SOC_TOOLS_SOCLINT_FIXTURES_UNIT002_BAD_HH
+
+struct ThermalReport {
+    double dieCelsius = 45.0;   // should be power::Celsius
+    float targetMhz = 3500.0f;  // should be power::FreqMHz
+    double weekJoules = 0.0;    // should be power::Joules
+};
+
+double deriveLimitMhz(double baseMhz, double headroomCelsius);
+
+#endif

@@ -1,0 +1,28 @@
+/** Known-good fixture: UNIT-002 — quantities cross the header
+ *  boundary as strong types; dimensionless ratios may stay raw. */
+
+#ifndef SOC_TOOLS_SOCLINT_FIXTURES_UNIT002_GOOD_HH
+#define SOC_TOOLS_SOCLINT_FIXTURES_UNIT002_GOOD_HH
+
+// Stand-ins for power::Celsius / power::FreqMHz / power::Joules so
+// the fixture compiles standalone.
+struct Celsius {
+    double v = 0.0;
+};
+struct FreqMHz {
+    int v = 0;
+};
+struct Joules {
+    double v = 0.0;
+};
+
+struct ThermalReport {
+    Celsius dieTemp;
+    FreqMHz target;
+    Joules weekEnergy;
+    double utilization = 0.0; // dimensionless: raw double is fine
+};
+
+FreqMHz deriveLimit(FreqMHz base, Celsius headroom);
+
+#endif

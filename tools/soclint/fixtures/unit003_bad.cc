@@ -1,0 +1,28 @@
+/** Known-bad fixture: UNIT-003 — a strong type's raw count bound
+ *  to a named double that lives across statement boundaries, and a
+ *  raw-double accumulator fed from counts. */
+
+struct Watts {
+    double v = 0.0;
+    double count() const { return v; }
+    Watts operator+(Watts o) const { return Watts{v + o.v}; }
+};
+
+struct Server {
+    Watts power() const { return Watts{120.0}; }
+};
+
+double
+rackPower(const Server *servers, int n)
+{
+    // The unit escapes into a named raw double: every later use of
+    // `first` has lost the type the header promised.
+    const double first = servers[0].power().count();
+    double total = first;
+    for (int i = 1; i < n; ++i) {
+        // Accumulating raw counts: the sum silently leaves the
+        // unit system instead of staying Watts until the boundary.
+        total += servers[i].power().count();
+    }
+    return total;
+}

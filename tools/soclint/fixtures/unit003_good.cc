@@ -1,0 +1,38 @@
+/** Known-good fixture: UNIT-003 — quantities stay strongly typed
+ *  across statements; the raw count appears only at the boundary
+ *  where a plain double is genuinely required.  chrono durations
+ *  also spell .count() and must not be flagged. */
+
+#include <chrono>
+#include <cstdio>
+
+struct Watts {
+    double v = 0.0;
+    double count() const { return v; }
+    Watts &operator+=(Watts o)
+    {
+        v += o.v;
+        return *this;
+    }
+};
+
+struct Server {
+    Watts power() const { return Watts{120.0}; }
+};
+
+void
+report(const Server *servers, int n)
+{
+    // Accumulate in the strong type; .count() only at the sink.
+    Watts total{0.0};
+    for (int i = 0; i < n; ++i)
+        total += servers[i].power();
+    std::printf("%.1f\n", total.count());
+
+    // chrono exemption: a duration's .count() into a double is the
+    // idiomatic way to get fractional seconds.
+    const auto dt = std::chrono::milliseconds{1500};
+    const double seconds =
+        std::chrono::duration<double>(dt).count();
+    std::printf("%.3f\n", seconds);
+}

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * soclint lexer implementation.  See lexer.hh for the contract.
+ *
+ * The cursor resolves backslash-newline splices transparently
+ * (counting physical lines), except inside raw string literals,
+ * whose content is consumed verbatim off the underlying buffer.
+ */
+
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace soclint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    LexedFile
+    run()
+    {
+        bool line_start = true;
+        while (!eof()) {
+            const char c = peek();
+            if (eof())
+                break;
+            if (c == '\n') {
+                bump();
+                line_start = true;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                bump();
+                continue;
+            }
+            if (c == '/' && peek2() == '/') {
+                lineComment();
+                continue;
+            }
+            if (c == '/' && peek2() == '*') {
+                blockComment();
+                continue;
+            }
+            if (c == '#' && line_start) {
+                ppDirective();
+                line_start = true;
+                continue;
+            }
+            line_start = false;
+            if (isIdentStart(c)) {
+                identifier();
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                (c == '.' &&
+                 std::isdigit(static_cast<unsigned char>(peek2())))) {
+                number();
+                continue;
+            }
+            if (c == '"') {
+                stringLit();
+                continue;
+            }
+            if (c == '\'') {
+                charLit();
+                continue;
+            }
+            punct();
+        }
+        out_.lineCount = line_;
+        noteLine(line_);
+        return std::move(out_);
+    }
+
+  private:
+    bool eof() const { return i_ >= src_.size(); }
+
+    /** Skip backslash-newline splices at the current position. */
+    void
+    skipSplices()
+    {
+        while (i_ + 1 < src_.size() && src_[i_] == '\\') {
+            if (src_[i_ + 1] == '\n') {
+                i_ += 2;
+                ++line_;
+            } else if (src_[i_ + 1] == '\r' && i_ + 2 < src_.size() &&
+                       src_[i_ + 2] == '\n') {
+                i_ += 3;
+                ++line_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSplices();
+        return eof() ? '\0' : src_[i_];
+    }
+
+    /** The logical character after peek(). */
+    char
+    peek2()
+    {
+        skipSplices();
+        if (eof())
+            return '\0';
+        const std::size_t save_i = i_;
+        const std::size_t save_line = line_;
+        ++i_; // the current char cannot itself start a splice here
+        const char c = peek();
+        i_ = save_i;
+        line_ = save_line;
+        return c;
+    }
+
+    /** Consume one logical character. */
+    void
+    bump()
+    {
+        skipSplices();
+        if (eof())
+            return;
+        if (src_[i_] == '\n')
+            ++line_;
+        ++i_;
+    }
+
+    void
+    noteLine(std::size_t ln)
+    {
+        if (out_.lines.size() < ln)
+            out_.lines.resize(ln);
+    }
+
+    LineFacts &
+    facts(std::size_t ln)
+    {
+        noteLine(ln);
+        return out_.lines[ln - 1];
+    }
+
+    void
+    emit(Tk kind, std::string text, std::size_t ln)
+    {
+        out_.toks.push_back({kind, std::move(text), ln});
+    }
+
+    /** Scan @p text (a comment body) for soclint control markers;
+     *  @p char_lines gives the physical line of each character so a
+     *  marker in a multi-line block comment lands on its own line. */
+    void
+    scanMarkers(const std::string &text,
+                const std::vector<std::size_t> &char_lines)
+    {
+        static const std::string kAllow = "soclint:allow(";
+        static const std::string kHotBegin =
+            "soclint:hot-begin(PERF-001)";
+        static const std::string kHotEnd =
+            "soclint:hot-end(PERF-001)";
+
+        for (std::size_t pos = text.find(kAllow);
+             pos != std::string::npos;
+             pos = text.find(kAllow, pos + 1)) {
+            const std::size_t id_begin = pos + kAllow.size();
+            const std::size_t id_end = text.find(')', id_begin);
+            if (id_end == std::string::npos)
+                continue;
+            facts(char_lines[pos])
+                .allows.push_back(
+                    text.substr(id_begin, id_end - id_begin));
+        }
+        for (std::size_t pos = text.find(kHotBegin);
+             pos != std::string::npos;
+             pos = text.find(kHotBegin, pos + 1))
+            facts(char_lines[pos]).hotBegin = true;
+        for (std::size_t pos = text.find(kHotEnd);
+             pos != std::string::npos;
+             pos = text.find(kHotEnd, pos + 1))
+            facts(char_lines[pos]).hotEnd = true;
+    }
+
+    /** `//` comment; a trailing backslash splices the next physical
+     *  line into the comment (bump() resolves the splice), so code
+     *  behind a spliced line comment stays comment. */
+    void
+    lineComment()
+    {
+        bump(); // '/'
+        bump(); // '/'
+        std::string text;
+        std::vector<std::size_t> char_lines;
+        while (!eof() && peek() != '\n') {
+            text.push_back(peek());
+            char_lines.push_back(line_);
+            bump();
+        }
+        scanMarkers(text, char_lines);
+    }
+
+    void
+    blockComment()
+    {
+        bump(); // '/'
+        bump(); // '*'
+        std::string text;
+        std::vector<std::size_t> char_lines;
+        while (!eof()) {
+            if (peek() == '*' && peek2() == '/') {
+                bump();
+                bump();
+                break;
+            }
+            text.push_back(peek());
+            char_lines.push_back(line_);
+            bump();
+        }
+        scanMarkers(text, char_lines);
+    }
+
+    /** Whole preprocessor directive (splice-aware) as one token. */
+    void
+    ppDirective()
+    {
+        const std::size_t ln = line_;
+        std::string text;
+        while (!eof() && peek() != '\n') {
+            // A comment ends the directive's interesting text.
+            if (peek() == '/' &&
+                (peek2() == '/' || peek2() == '*'))
+                break;
+            text.push_back(peek());
+            bump();
+        }
+        emit(Tk::PP, std::move(text), ln);
+    }
+
+    void
+    identifier()
+    {
+        const std::size_t ln = line_;
+        std::string text;
+        while (!eof() && isIdentChar(peek())) {
+            text.push_back(peek());
+            bump();
+        }
+        // Raw-string prefix?  R"delim(...)delim" with optional
+        // encoding prefix; the content is consumed verbatim.
+        if ((text == "R" || text == "u8R" || text == "uR" ||
+             text == "UR" || text == "LR") &&
+            peek() == '"') {
+            rawString(ln);
+            return;
+        }
+        // Encoded ordinary string (u8"...", L"...") — the literal
+        // is lexed on the next loop iteration; keep the prefix as an
+        // identifier token, which no rule matches.
+        emit(Tk::Ident, std::move(text), ln);
+    }
+
+    void
+    number()
+    {
+        const std::size_t ln = line_;
+        std::string text;
+        char prev = '\0';
+        while (!eof()) {
+            const char c = peek();
+            const bool expo_sign =
+                (c == '+' || c == '-') &&
+                (prev == 'e' || prev == 'E' || prev == 'p' ||
+                 prev == 'P');
+            if (!(isIdentChar(c) || c == '.' || c == '\'' ||
+                  expo_sign))
+                break;
+            text.push_back(c);
+            prev = c;
+            bump();
+        }
+        emit(Tk::Number, std::move(text), ln);
+    }
+
+    void
+    stringLit()
+    {
+        const std::size_t ln = line_;
+        bump(); // '"'
+        while (!eof()) {
+            const char c = peek();
+            if (c == '\\') {
+                bump();
+                bump(); // escaped char
+                continue;
+            }
+            bump();
+            if (c == '"')
+                break;
+        }
+        emit(Tk::Str, "", ln);
+    }
+
+    void
+    charLit()
+    {
+        const std::size_t ln = line_;
+        bump(); // '\''
+        while (!eof()) {
+            const char c = peek();
+            if (c == '\\') {
+                bump();
+                bump();
+                continue;
+            }
+            bump();
+            if (c == '\'')
+                break;
+        }
+        emit(Tk::Char, "", ln);
+    }
+
+    /** Raw string: splice processing suspended, content verbatim.
+     *  The cursor sits on the opening '"'. */
+    void
+    rawString(std::size_t ln)
+    {
+        ++i_; // '"' — raw buffer from here on
+        std::string delim;
+        while (i_ < src_.size() && src_[i_] != '(' &&
+               delim.size() < 16) {
+            delim.push_back(src_[i_]);
+            ++i_;
+        }
+        if (i_ < src_.size())
+            ++i_; // '('
+        const std::string closer = ")" + delim + "\"";
+        while (i_ < src_.size()) {
+            if (src_[i_] == '\n')
+                ++line_;
+            if (src_.compare(i_, closer.size(), closer) == 0) {
+                i_ += closer.size();
+                break;
+            }
+            ++i_;
+        }
+        emit(Tk::Str, "", ln);
+    }
+
+    void
+    punct()
+    {
+        const std::size_t ln = line_;
+        const char c1 = peek();
+        bump();
+        const char c2 = peek();
+        std::string t(1, c1);
+
+        // "..." needs a 3-char lookahead of its own.
+        if (c1 == '.' && c2 == '.') {
+            const std::size_t save_i = i_;
+            const std::size_t save_line = line_;
+            bump();
+            if (peek() == '.') {
+                bump();
+                emit(Tk::Punct, "...", ln);
+                return;
+            }
+            i_ = save_i;
+            line_ = save_line;
+            emit(Tk::Punct, ".", ln);
+            return;
+        }
+
+        static const char *kTwo[] = {
+            "->", "::", "++", "--", "+=", "-=", "*=", "/=", "%=",
+            "&=", "|=", "^=", "<<", ">>", "<=", ">=", "==", "!=",
+            "&&", "||"};
+        for (const char *two : kTwo) {
+            if (two[0] == c1 && two[1] == c2) {
+                t.push_back(c2);
+                bump();
+                // <<= >>= ->*
+                const char c3 = peek();
+                if ((t == "<<" || t == ">>") && c3 == '=') {
+                    t.push_back(c3);
+                    bump();
+                } else if (t == "->" && c3 == '*') {
+                    t.push_back(c3);
+                    bump();
+                }
+                break;
+            }
+        }
+        emit(Tk::Punct, std::move(t), ln);
+    }
+
+    const std::string &src_;
+    std::size_t i_ = 0;
+    std::size_t line_ = 1;
+    LexedFile out_;
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+bool
+allowedAt(const LexedFile &lexed, std::size_t line,
+          const std::string &rule)
+{
+    const std::size_t first = line >= 3 ? line - 2 : 1;
+    for (std::size_t ln = first; ln <= line; ++ln) {
+        if (ln > lexed.lines.size())
+            break;
+        for (const auto &id : lexed.lines[ln - 1].allows)
+            if (id == rule)
+                return true;
+    }
+    return false;
+}
+
+} // namespace soclint

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Token stream for soclint: a small C++ lexer that strips comments,
+ * string/char literals and preprocessor directives once, so the rule
+ * passes never re-parse raw text with regexes.
+ *
+ * Design points the rules rely on:
+ *
+ *  - Every token carries the 1-based physical line it starts on, so
+ *    findings point at real source locations even when a statement
+ *    spans lines (the v1 line-regex checker could not see those).
+ *  - Backslash-newline splices are resolved at the character level,
+ *    so a spliced identifier, string, or line comment lexes as one
+ *    unit while physical line numbers stay correct.  In particular a
+ *    line comment ending in a backslash swallows the next line —
+ *    code "hidden" behind a spliced comment is comment, not code.
+ *  - Raw strings (R"delim(...)delim", with encoding prefixes) are
+ *    skipped verbatim: splice processing is suspended inside them
+ *    and their content never reaches the token stream, so rule text
+ *    quoted in a raw string cannot trip a rule.
+ *  - Preprocessor directives become a single Tk::PP token holding
+ *    the directive's (spliced) text; `#include <unordered_map>`
+ *    therefore never looks like a container declaration.
+ *  - soclint control comments are not tokens; the lexer records them
+ *    per physical line in LineFacts: `soclint:allow(RULE-ID)` tags
+ *    and the PERF-001 hot-begin/hot-end region markers.  Markers in
+ *    string literals deliberately do not count: only comments carry
+ *    suppressions.
+ */
+
+#ifndef SOC_TOOLS_SOCLINT_LEXER_HH
+#define SOC_TOOLS_SOCLINT_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace soclint
+{
+
+enum class Tk {
+    Ident,  ///< identifier or keyword
+    Number, ///< numeric literal (integer or floating)
+    Str,    ///< string literal (content dropped)
+    Char,   ///< character literal (content dropped)
+    Punct,  ///< operator / punctuator (maximal munch, e.g. "+=")
+    PP,     ///< whole preprocessor directive, text preserved
+};
+
+struct Tok {
+    Tk kind;
+    std::string text; ///< spelling; empty for Str/Char
+    std::size_t line; ///< 1-based physical line the token starts on
+};
+
+/** Per-physical-line lint facts extracted from comments. */
+struct LineFacts {
+    std::vector<std::string> allows; ///< rule ids from soclint:allow()
+    bool hotBegin = false; ///< soclint:hot-begin(PERF-001)
+    bool hotEnd = false;   ///< soclint:hot-end(PERF-001)
+};
+
+struct LexedFile {
+    std::vector<Tok> toks;
+    std::vector<LineFacts> lines; ///< index i = line i+1
+    std::size_t lineCount = 0;
+};
+
+/** Lex @p source; never throws on malformed input — an unterminated
+ *  literal or comment simply ends at EOF (lint must not die on the
+ *  code it is judging). */
+LexedFile lex(const std::string &source);
+
+/** True when @p line (1-based) or one of the two lines above it
+ *  carries soclint:allow(@p rule) in a comment. */
+bool allowedAt(const LexedFile &lex, std::size_t line,
+               const std::string &rule);
+
+} // namespace soclint
+
+#endif // SOC_TOOLS_SOCLINT_LEXER_HH

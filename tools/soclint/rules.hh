@@ -1,0 +1,51 @@
+/**
+ * @file
+ * soclint rule registry: each rule is a small pass over one file's
+ * token stream (lexer.hh), guarded by a per-rule scope predicate on
+ * the file path.  Rules append Findings; suppression via
+ * soclint:allow(RULE-ID) is checked inside each rule so the rules
+ * that are deliberately unsuppressible (DET-003 range-for, PERF-001
+ * marker imbalance) can opt out.
+ */
+
+#ifndef SOC_TOOLS_SOCLINT_RULES_HH
+#define SOC_TOOLS_SOCLINT_RULES_HH
+
+#include "lexer.hh"
+
+#include <string>
+#include <vector>
+
+namespace soclint
+{
+
+struct Finding {
+    std::string file;    ///< display path (root-relative if possible)
+    std::size_t line;    ///< 1-based
+    std::string rule;    ///< e.g. "DET-004"
+    std::string message;
+    std::string context; ///< normalized source line (baseline key)
+    bool baselined = false;
+};
+
+struct FileCtx {
+    std::string display; ///< path used in findings and scope checks
+    const LexedFile *lex = nullptr;
+    bool allPaths = false; ///< widen every scope predicate (fixtures)
+};
+
+struct Rule {
+    const char *id;
+    const char *brief; ///< one-line description (SARIF metadata)
+    void (*run)(const FileCtx &, std::vector<Finding> &);
+};
+
+/** All rules, in catalog order (DESIGN.md §15). */
+const std::vector<Rule> &ruleRegistry();
+
+/** Run every registered rule over @p ctx. */
+void runAllRules(const FileCtx &ctx, std::vector<Finding> &out);
+
+} // namespace soclint
+
+#endif // SOC_TOOLS_SOCLINT_RULES_HH

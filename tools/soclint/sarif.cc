@@ -1,0 +1,372 @@
+#include "sarif.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace soclint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeSarif(std::ostream &os, const std::vector<Finding> &findings)
+{
+    os << "{\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"soclint\",\n"
+       << "          \"rules\": [\n";
+    const auto &rules = ruleRegistry();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        os << "            {\"id\": \"" << jsonEscape(rules[i].id)
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(rules[i].brief) << "\"}}"
+           << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << "        {\"ruleId\": \"" << jsonEscape(f.rule)
+           << "\", \"level\": \"error\", \"baselineState\": \""
+           << (f.baselined ? "unchanged" : "new")
+           << "\", \"message\": {\"text\": \""
+           << jsonEscape(f.message)
+           << "\"}, \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(f.file)
+           << "\"}, \"region\": {\"startLine\": " << f.line
+           << "}}}]}" << (i + 1 < findings.size() ? "," : "")
+           << "\n";
+    }
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+}
+
+namespace
+{
+
+/**
+ * Strict single-pass JSON scanner.  Build-into-locals, report at
+ * the end: a malformed document can never look "partially valid".
+ */
+class JsonScan
+{
+  public:
+    explicit JsonScan(const std::string &text) : s_(text) {}
+
+    bool
+    run(std::string &error)
+    {
+        ws();
+        if (!readValue(0)) {
+            error = err_;
+            return false;
+        }
+        ws();
+        if (i_ != s_.size()) {
+            error = "trailing content after JSON document";
+            return false;
+        }
+        if (version_ != "2.1.0") {
+            error = "missing or wrong \"version\" (want 2.1.0)";
+            return false;
+        }
+        if (!saw_runs_) {
+            error = "missing \"runs\" array";
+            return false;
+        }
+        if (!saw_driver_soclint_) {
+            error = "driver name \"soclint\" not found";
+            return false;
+        }
+        if (!saw_results_) {
+            error = "missing \"results\" key";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool eof() const { return i_ >= s_.size(); }
+    char peek() const { return eof() ? '\0' : s_[i_]; }
+
+    void
+    ws()
+    {
+        while (!eof() &&
+               (s_[i_] == ' ' || s_[i_] == '\t' ||
+                s_[i_] == '\n' || s_[i_] == '\r'))
+            ++i_;
+    }
+
+    bool
+    fail(const char *why)
+    {
+        if (err_.empty())
+            err_ = why;
+        return false;
+    }
+
+    bool
+    readValue(int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        ws();
+        const char c = peek();
+        if (c == '{')
+            return readObject(depth);
+        if (c == '[')
+            return readArray(depth);
+        if (c == '"') {
+            std::string ignored;
+            return readString(ignored);
+        }
+        if (c == 't')
+            return readLiteral("true");
+        if (c == 'f')
+            return readLiteral("false");
+        if (c == 'n')
+            return readLiteral("null");
+        if (c == '-' ||
+            std::isdigit(static_cast<unsigned char>(c)))
+            return readNumber();
+        return fail("unexpected character in value");
+    }
+
+    bool
+    readObject(int depth)
+    {
+        ++i_; // '{'
+        ws();
+        if (peek() == '}') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            ws();
+            std::string key;
+            if (peek() != '"' || !readString(key))
+                return fail("expected object key string");
+            ws();
+            if (peek() != ':')
+                return fail("expected ':' after key");
+            ++i_;
+            ws();
+            if (key == "version" && depth == 0 &&
+                peek() == '"') {
+                std::string v;
+                if (!readString(v))
+                    return false;
+                version_ = v;
+            } else {
+                if (key == "runs" && depth == 0 &&
+                    peek() == '[')
+                    saw_runs_ = true;
+                if (key == "results")
+                    saw_results_ = true;
+                if (key == "name" && peek() == '"') {
+                    std::string v;
+                    if (!readString(v))
+                        return false;
+                    if (v == "soclint")
+                        saw_driver_soclint_ = true;
+                } else if (!readValue(depth + 1)) {
+                    return false;
+                }
+            }
+            ws();
+            if (peek() == ',') {
+                ++i_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++i_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    readArray(int depth)
+    {
+        ++i_; // '['
+        ws();
+        if (peek() == ']') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            if (!readValue(depth + 1))
+                return false;
+            ws();
+            if (peek() == ',') {
+                ++i_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++i_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    readString(std::string &out)
+    {
+        std::string v;
+        ++i_; // '"'
+        while (!eof()) {
+            const char c = s_[i_];
+            if (c == '"') {
+                ++i_;
+                out = std::move(v);
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++i_;
+                if (eof())
+                    break;
+                const char e = s_[i_];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k) {
+                        ++i_;
+                        if (eof() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(
+                                    s_[i_])))
+                            return fail("bad \\u escape");
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape in string");
+                }
+                v.push_back('?');
+                ++i_;
+                continue;
+            }
+            v.push_back(c);
+            ++i_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    readNumber()
+    {
+        if (peek() == '-')
+            ++i_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("bad number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++i_;
+        if (peek() == '.') {
+            ++i_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad number fraction");
+            while (std::isdigit(
+                static_cast<unsigned char>(peek())))
+                ++i_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++i_;
+            if (peek() == '+' || peek() == '-')
+                ++i_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad number exponent");
+            while (std::isdigit(
+                static_cast<unsigned char>(peek())))
+                ++i_;
+        }
+        return true;
+    }
+
+    bool
+    readLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p != '\0'; ++p, ++i_) {
+            if (eof() || s_[i_] != *p)
+                return fail("bad literal");
+        }
+        return true;
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+    std::string err_;
+    std::string version_;
+    bool saw_runs_ = false;
+    bool saw_results_ = false;
+    bool saw_driver_soclint_ = false;
+};
+
+} // namespace
+
+bool
+checkSarifText(const std::string &text, std::string &error)
+{
+    return JsonScan(text).run(error);
+}
+
+} // namespace soclint

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for soclint, plus a fail-closed validator used
+ * by `--check-sarif`: scripts/static_check.sh re-reads the artifact
+ * it just wrote and fails the gate when the JSON is malformed or
+ * missing required SARIF structure, mirroring bench_check.sh's
+ * treatment of benchmark output.
+ */
+
+#ifndef SOC_TOOLS_SOCLINT_SARIF_HH
+#define SOC_TOOLS_SOCLINT_SARIF_HH
+
+#include "rules.hh"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace soclint
+{
+
+/** Write all @p findings (baselined ones carry baselineState
+ *  "unchanged", fresh ones "new") as a SARIF 2.1.0 log. */
+void writeSarif(std::ostream &os,
+                const std::vector<Finding> &findings);
+
+/** Fail-closed check of a SARIF document: strict JSON
+ *  well-formedness plus the fields the gate depends on (version
+ *  2.1.0, a runs array, driver name "soclint", a results key).
+ *  Returns true when valid; otherwise @p error says why. */
+bool checkSarifText(const std::string &text, std::string &error);
+
+} // namespace soclint
+
+#endif // SOC_TOOLS_SOCLINT_SARIF_HH

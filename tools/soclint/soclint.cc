@@ -1,345 +1,303 @@
 /**
  * @file
- * soclint — determinism and unit-safety linter for the SmartOClock
- * tree.
+ * soclint v2 driver.
  *
  * The simulators must be bit-reproducible (§VII experiments rely on
- * seed-for-seed identical reruns) and the budget arithmetic must not
- * smuggle raw doubles past the power::Watts / power::FreqMHz strong
- * types.  The compiler enforces the types; this checker enforces the
- * conventions the compiler cannot see:
+ * seed-for-seed identical reruns), the wire parsers must fail
+ * closed, and the budget arithmetic must not smuggle raw doubles
+ * past the strong unit types.  The compiler enforces the types;
+ * this checker enforces the conventions the compiler cannot see —
+ * see DESIGN.md §15 for the rule catalog (rules.cc implements it).
  *
- *   DET-001  no wall-clock or libc randomness in simulation code
- *            (time(), gettimeofday(), clock(), std::chrono clocks,
- *            std::rand/srand) — all time comes from sim::Tick, all
- *            randomness from sim::Rng.
- *   DET-002  no unseeded RNG construction (std::random_device,
- *            default-constructed std engines) — every stream must be
- *            derived from the experiment seed.
- *   DET-003  no std::unordered_map / std::unordered_set in the
- *            deterministic merge/recompute paths (src/core,
- *            src/cluster, src/sim) unless the declaration is proven
- *            lookup-only and annotated; iterating one with a
- *            range-for is never excusable — hash order is not part
- *            of the contract.
- *   UNIT-001 no raw `double ...Watts` declarations in the public
- *            headers of src/power and src/core — power quantities
- *            cross module boundaries as power::Watts.
- *   PERF-001 no per-step heap allocation inside a declared replay
- *            hot region.  Regions are opt-in: code between
- *            `soclint:hot-begin(PERF-001)` and
- *            `soclint:hot-end(PERF-001)` marker comments (the
- *            replay inner loops that run once per control step per
- *            rack — millions of times at paper scale) must not
- *            allocate: no new / make_unique / make_shared, no
- *            push_back / emplace_back, no resize / reserve /
- *            assign.  Amortized or setup-time allocations inside a
- *            region carry an annotated justification.  Unbalanced
- *            markers are themselves findings (fail-closed).
+ * Driver shape: collect source files in deterministic sorted
+ * order, lex and run every registered rule across a pool of worker
+ * threads (atomic cursor over the file list, one result slot per
+ * file, merged in file order — the same own-slot discipline
+ * sim::ThreadPool users follow, so output is byte-identical at any
+ * --jobs value), apply the checked-in baseline, report as human
+ * text and/or SARIF 2.1.
  *
- * A finding is suppressed when the offending line, or one of the two
- * lines above it, carries `soclint:allow(RULE-ID)` in a comment.
- * Range-for iteration over an unordered container (DET-003) ignores
- * the annotation: annotate the declaration only after proving the
- * container is never iterated.
- *
- * Usage:  soclint [--all-paths] <file-or-dir>...
- *   --all-paths  apply the path-scoped rules (DET-003, UNIT-001) to
- *                every scanned file; used by the lint self-tests so
- *                fixtures outside src/ still trip the rules.
- *
- * Exit status: 0 clean, 1 findings, 2 usage/IO error.
+ * Exit codes: 0 clean, 1 findings (new, or stale baseline
+ * entries), 2 usage or I/O error.  Unreadable files are fatal
+ * (exit 2) with the path in the message — a linter that silently
+ * skips a file is a gate that silently stopped gating.
  */
 
-#include <cstdio>
+#include "baseline.hh"
+#include "lexer.hh"
+#include "rules.hh"
+#include "sarif.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+namespace fs = std::filesystem;
 
 namespace
 {
 
-namespace fs = std::filesystem;
-
-struct Finding {
-    std::string file;
-    std::size_t line; // 1-based
-    std::string rule;
-    std::string message;
-};
-
 struct Options {
+    std::vector<std::string> paths; ///< roots; default set if empty
+    std::string root = ".";   ///< display paths made relative to it
+    std::string baselinePath;
+    std::string sarifPath;
+    std::string checkSarifPath;
+    std::string baselineUpdatePath;
     bool allPaths = false;
-    std::vector<std::string> roots;
+    unsigned jobs = 0; ///< 0 = hardware concurrency
 };
-
-/** Strip line and block comments plus string/char literals so rule
- *  regexes never fire on prose.  Block comments are tracked across
- *  lines via @p in_block. */
-std::string
-stripCommentsAndStrings(const std::string &line, bool &in_block)
-{
-    std::string out;
-    out.reserve(line.size());
-    for (std::size_t i = 0; i < line.size(); ++i) {
-        if (in_block) {
-            if (line[i] == '*' && i + 1 < line.size() &&
-                line[i + 1] == '/') {
-                in_block = false;
-                ++i;
-            }
-            continue;
-        }
-        const char c = line[i];
-        if (c == '/' && i + 1 < line.size()) {
-            if (line[i + 1] == '/')
-                break; // rest of line is a comment
-            if (line[i + 1] == '*') {
-                in_block = true;
-                ++i;
-                continue;
-            }
-        }
-        if (c == '"' || c == '\'') {
-            const char quote = c;
-            ++i;
-            while (i < line.size()) {
-                if (line[i] == '\\')
-                    ++i;
-                else if (line[i] == quote)
-                    break;
-                ++i;
-            }
-            continue;
-        }
-        out.push_back(c);
-    }
-    return out;
-}
-
-/** True when line i (0-based) or one of the two lines above carries
- *  the allow annotation for @p rule. */
-bool
-allowed(const std::vector<std::string> &lines, std::size_t i,
-        const std::string &rule)
-{
-    const std::string tag = "soclint:allow(" + rule + ")";
-    const std::size_t first = i >= 2 ? i - 2 : 0;
-    for (std::size_t k = first; k <= i; ++k) {
-        if (lines[k].find(tag) != std::string::npos)
-            return true;
-    }
-    return false;
-}
-
-bool
-pathContains(const fs::path &p, const std::string &segment)
-{
-    for (const auto &part : p)
-        if (part.string() == segment)
-            return true;
-    return false;
-}
-
-/** Files where libc/chrono time and raw engines are the point. */
-bool
-isRngImplementation(const fs::path &p)
-{
-    const std::string stem = p.stem().string();
-    return stem == "rng" || stem.rfind("rng_", 0) == 0;
-}
-
-/** DET-003 / UNIT-001 scope: the deterministic merge paths and the
- *  unit-safe public headers, respectively. */
-bool
-inMergePath(const fs::path &p, const Options &opt)
-{
-    if (opt.allPaths)
-        return true;
-    return pathContains(p, "core") || pathContains(p, "cluster") ||
-        pathContains(p, "sim");
-}
-
-bool
-isUnitScopedHeader(const fs::path &p, const Options &opt)
-{
-    const std::string ext = p.extension().string();
-    if (ext != ".hh" && ext != ".hpp" && ext != ".h")
-        return false;
-    if (opt.allPaths)
-        return true;
-    return pathContains(p, "power") || pathContains(p, "core");
-}
-
-const std::regex kWallClock(
-    R"((\btime\s*\(|\bgettimeofday\b|\bclock\s*\(|\bclock_gettime\b|)"
-    R"(system_clock|steady_clock|high_resolution_clock|)"
-    R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|[^_\w]rand\s*\(\s*\)))");
-
-const std::regex kRandomDevice(R"(\bstd\s*::\s*random_device\b)");
-
-// Default-constructed standard engines: `mt19937 g;`, `mt19937 g{};`,
-// `std::default_random_engine e();` — anything without a seed token
-// between the parens/braces.
-const std::regex kUnseededEngine(
-    R"(\b(mt19937(_64)?|default_random_engine|minstd_rand0?|)"
-    R"(ranlux(24|48)(_base)?|knuth_b)\b\s*(\w+)?\s*(\(\s*\)|\{\s*\})?\s*;)");
-
-const std::regex kUnorderedDecl(
-    R"(\bunordered_(map|set)\s*<)");
-
-// Declaration that binds an unordered container to a variable name:
-// the last identifier before ;, {, = or ( on a line that closed the
-// template argument list.
-const std::regex kUnorderedVar(
-    R"(\bunordered_(?:map|set)\s*<.*>\s*&?\s*(\w+)\s*[;{=(])");
-
-const std::regex kRawWattsDouble(
-    R"(\bdouble\s+&?\s*\w*[Ww]atts\w*)");
-
-// Heap-allocation-bearing calls that must not run once per control
-// step: allocator hits dominate the replay inner loop long before
-// the arithmetic does at fleet scale.
-const std::regex kHeapAlloc(
-    R"((\bnew\b|\bmake_unique\b|\bmake_shared\b|)"
-    R"(\bpush_back\s*\(|\bemplace_back\s*\(|)"
-    R"(\.\s*resize\s*\(|\.\s*reserve\s*\(|\.\s*assign\s*\())");
 
 void
-scanFile(const fs::path &path, const Options &opt,
-         std::vector<Finding> &findings)
+usage(std::ostream &os)
 {
-    std::ifstream in(path);
-    std::vector<std::string> lines;
-    for (std::string line; std::getline(in, line);)
-        lines.push_back(line);
+    os << "usage: soclint [options] [path...]\n"
+          "\n"
+          "Token-aware lint for the SmartOClock tree.  With no "
+          "paths, scans\n"
+          "<root>/src <root>/bench <root>/tools <root>/examples.\n"
+          "\n"
+          "  --root DIR             repo root for display paths and "
+          "default roots (default .)\n"
+          "  --all-paths            widen per-rule scope predicates "
+          "to every scanned file\n"
+          "  --jobs N               worker threads (default: "
+          "hardware concurrency)\n"
+          "  --baseline FILE        accepted findings; stale "
+          "entries fail the gate\n"
+          "  --baseline-update FILE rewrite FILE from current "
+          "findings and exit 0\n"
+          "  --sarif FILE           also write a SARIF 2.1 log\n"
+          "  --check-sarif FILE     validate a SARIF file "
+          "(fail-closed) and exit\n"
+          "  -h, --help             this text\n";
+}
 
-    const bool rng_impl = isRngImplementation(path);
-    const bool merge_path = inMergePath(path, opt);
-    const bool unit_header = isUnitScopedHeader(path, opt);
-    const std::string file = path.string();
-
-    // Pass 1: strip comments/strings; collect names of variables
-    // declared as unordered containers for the range-for check.
-    std::vector<std::string> code(lines.size());
-    std::vector<std::string> unordered_vars;
-    bool in_block = false;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        code[i] = stripCommentsAndStrings(lines[i], in_block);
-        std::smatch m;
-        if (std::regex_search(code[i], m, kUnorderedVar))
-            unordered_vars.push_back(m[1].str());
-    }
-
-    // Pass 2: rule checks on the stripped code.  The PERF-001
-    // region markers live in comments, so they are matched against
-    // the raw line before the empty-code skip.
-    bool in_hot = false;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        const std::string &text = code[i];
-        const std::size_t ln = i + 1;
-
-        if (lines[i].find("soclint:hot-begin(PERF-001)") !=
-            std::string::npos) {
-            if (in_hot) {
-                findings.push_back(
-                    {file, ln, "PERF-001",
-                     "nested hot-begin marker; close the previous "
-                     "region first"});
+/** Fail-closed argv handling: everything lands in a local Options
+ *  first; @p out is assigned only once the whole line is valid. */
+bool
+parseArgs(int argc, char **argv, Options &out)
+{
+    Options o;
+    bool ok = true;
+    for (int i = 1; i < argc && ok; ++i) {
+        const std::string arg = argv[i];
+        auto needValue = [&](const char *flag,
+                             std::string &slot) -> bool {
+            if (i + 1 >= argc) {
+                std::cerr << "soclint: " << flag
+                          << " needs a value\n";
+                return false;
             }
-            in_hot = true;
-        }
-        if (lines[i].find("soclint:hot-end(PERF-001)") !=
-            std::string::npos) {
-            if (!in_hot) {
-                findings.push_back(
-                    {file, ln, "PERF-001",
-                     "hot-end marker without a matching "
-                     "hot-begin"});
-            }
-            in_hot = false;
-        }
-
-        if (text.empty())
-            continue;
-
-        if (in_hot && std::regex_search(text, kHeapAlloc) &&
-            !allowed(lines, i, "PERF-001")) {
-            findings.push_back(
-                {file, ln, "PERF-001",
-                 "heap allocation inside a replay hot region; hoist "
-                 "it to setup or annotate the amortization"});
-        }
-
-        if (!rng_impl && std::regex_search(text, kWallClock) &&
-            !allowed(lines, i, "DET-001")) {
-            findings.push_back(
-                {file, ln, "DET-001",
-                 "wall-clock or libc randomness in simulation code; "
-                 "use sim::Tick / sim::Rng"});
-        }
-
-        if (!rng_impl &&
-            (std::regex_search(text, kRandomDevice) ||
-             std::regex_search(text, kUnseededEngine)) &&
-            !allowed(lines, i, "DET-002")) {
-            findings.push_back(
-                {file, ln, "DET-002",
-                 "unseeded RNG construction; derive every stream "
-                 "from the experiment seed"});
-        }
-
-        if (merge_path && std::regex_search(text, kUnorderedDecl) &&
-            text.find("include") == std::string::npos &&
-            !allowed(lines, i, "DET-003")) {
-            findings.push_back(
-                {file, ln, "DET-003",
-                 "unordered container in a deterministic merge path; "
-                 "use std::map/std::set or prove lookup-only and "
-                 "annotate"});
-        }
-
-        if (merge_path) {
-            for (const auto &var : unordered_vars) {
-                const std::regex range_for(
-                    R"(\bfor\s*\(.*:\s*\*?)" + var + R"(\s*\))");
-                if (std::regex_search(text, range_for)) {
-                    // Deliberately not suppressible: hash order is
-                    // never a deterministic iteration order.
-                    findings.push_back(
-                        {file, ln, "DET-003",
-                         "range-for over unordered container '" +
-                             var + "'; iteration order depends on "
-                                   "the hash"});
+            slot = argv[++i];
+            return true;
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--all-paths") {
+            o.allPaths = true;
+        } else if (arg == "--root") {
+            ok = needValue("--root", o.root);
+        } else if (arg == "--baseline") {
+            ok = needValue("--baseline", o.baselinePath);
+        } else if (arg == "--baseline-update") {
+            ok = needValue("--baseline-update",
+                           o.baselineUpdatePath);
+        } else if (arg == "--sarif") {
+            ok = needValue("--sarif", o.sarifPath);
+        } else if (arg == "--check-sarif") {
+            ok = needValue("--check-sarif", o.checkSarifPath);
+        } else if (arg == "--jobs") {
+            std::string v;
+            ok = needValue("--jobs", v);
+            if (ok) {
+                char *end = nullptr;
+                const long n = std::strtol(v.c_str(), &end, 10);
+                if (end == nullptr || *end != '\0' || n < 1 ||
+                    n > 256) {
+                    std::cerr << "soclint: bad --jobs value '"
+                              << v << "'\n";
+                    ok = false;
+                } else {
+                    o.jobs = static_cast<unsigned>(n);
                 }
             }
-        }
-
-        if (unit_header &&
-            std::regex_search(text, kRawWattsDouble) &&
-            !allowed(lines, i, "UNIT-001")) {
-            findings.push_back(
-                {file, ln, "UNIT-001",
-                 "raw double watts in a public header; use "
-                 "power::Watts"});
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "soclint: unknown option '" << arg
+                      << "'\n";
+            ok = false;
+        } else {
+            o.paths.push_back(arg);
         }
     }
-
-    if (in_hot) {
-        findings.push_back(
-            {file, lines.size(), "PERF-001",
-             "hot region never closed (missing hot-end marker)"});
-    }
+    if (!ok)
+        return false;
+    out = std::move(o);
+    return true;
 }
 
 bool
-isSourceFile(const fs::path &p)
+isSourceExt(const fs::path &p)
 {
     const std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
-        ext == ".hpp" || ext == ".h";
+    return ext == ".cc" || ext == ".cpp" || ext == ".cxx" ||
+           ext == ".hh" || ext == ".hpp" || ext == ".h" ||
+           ext == ".ipp";
+}
+
+/** Subdirectories never descended into during recursion: build
+ *  trees, hidden dirs, and fixture corpora (which hold deliberate
+ *  violations).  A fixtures directory passed explicitly as a root
+ *  IS scanned — that is how the engine self-tests run. */
+bool
+skipDirName(const std::string &name)
+{
+    return name.empty() || name[0] == '.' ||
+           name.rfind("build", 0) == 0 || name == "fixtures";
+}
+
+bool
+walkDir(const fs::path &dir, std::vector<fs::path> &out,
+        std::string &error)
+{
+    std::error_code ec;
+    std::vector<fs::path> entries;
+    for (fs::directory_iterator
+             it(dir, fs::directory_options::skip_permission_denied,
+                ec),
+         end;
+         it != end; it.increment(ec)) {
+        if (ec) {
+            error = "cannot read directory '" + dir.string() +
+                    "': " + ec.message();
+            return false;
+        }
+        entries.push_back(it->path());
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path &p : entries) {
+        const fs::file_status st = fs::status(p, ec);
+        if (fs::is_directory(st)) {
+            if (skipDirName(p.filename().string()))
+                continue;
+            if (!walkDir(p, out, error))
+                return false;
+            continue;
+        }
+        if (!isSourceExt(p))
+            continue;
+        if (ec || st.type() == fs::file_type::not_found) {
+            // A source-named entry we cannot stat (e.g. a dangling
+            // symlink) must not be silently skipped.
+            error = "cannot read '" + p.string() + "': " +
+                    (ec ? ec.message() : "broken link");
+            return false;
+        }
+        if (fs::is_regular_file(st))
+            out.push_back(p);
+    }
+    return true;
+}
+
+bool
+collectFrom(const fs::path &p, std::vector<fs::path> &out,
+            std::string &error)
+{
+    std::error_code ec;
+    const fs::file_status st = fs::status(p, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+        error = "cannot read '" + p.string() + "': " +
+                (ec ? ec.message() : "no such file");
+        return false;
+    }
+    if (fs::is_regular_file(st)) {
+        out.push_back(p);
+        return true;
+    }
+    if (!fs::is_directory(st)) {
+        error = "cannot read '" + p.string() +
+                "': not a file or directory";
+        return false;
+    }
+    return walkDir(p, out, error);
+}
+
+std::string
+displayFor(const fs::path &p, const fs::path &root)
+{
+    std::error_code ec;
+    const fs::path abs = fs::weakly_canonical(p, ec);
+    if (ec)
+        return p.generic_string();
+    const fs::path rabs = fs::weakly_canonical(root, ec);
+    if (ec)
+        return p.generic_string();
+    const fs::path rel = abs.lexically_relative(rabs);
+    if (rel.empty() || rel.generic_string().rfind("..", 0) == 0)
+        return p.generic_string();
+    return rel.generic_string();
+}
+
+bool
+readFile(const fs::path &p, std::string &out, std::string &error)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in.is_open()) {
+        error = "cannot read '" + p.string() + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        error = "I/O error while reading '" + p.string() + "'";
+        return false;
+    }
+    out = buf.str();
+    return true;
+}
+
+/** The source line @p lineno (1-based) of @p content, normalized
+ *  for use as a baseline key component. */
+std::string
+contextLine(const std::string &content, std::size_t lineno)
+{
+    std::size_t begin = 0;
+    for (std::size_t ln = 1; ln < lineno; ++ln) {
+        begin = content.find('\n', begin);
+        if (begin == std::string::npos)
+            return "";
+        ++begin;
+    }
+    std::size_t end = content.find('\n', begin);
+    if (end == std::string::npos)
+        end = content.size();
+    return soclint::normalizeContext(
+        content.substr(begin, end - begin));
+}
+
+int
+runCheckSarif(const std::string &path)
+{
+    std::string text, err;
+    if (!readFile(path, text, err)) {
+        std::cerr << "soclint: " << err << "\n";
+        return 2;
+    }
+    if (!soclint::checkSarifText(text, err)) {
+        std::cerr << "soclint: invalid SARIF in '" << path
+                  << "': " << err << "\n";
+        return 2;
+    }
+    std::cout << "soclint: SARIF OK: " << path << "\n";
+    return 0;
 }
 
 } // namespace
@@ -348,49 +306,157 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--all-paths")
-            opt.allPaths = true;
-        else if (arg == "--help" || arg == "-h") {
-            std::puts("usage: soclint [--all-paths] <file-or-dir>...");
-            return 0;
-        } else
-            opt.roots.push_back(arg);
-    }
-    if (opt.roots.empty()) {
-        std::fputs("soclint: no inputs (try --help)\n", stderr);
+    if (!parseArgs(argc, argv, opt)) {
+        usage(std::cerr);
         return 2;
     }
+    if (!opt.checkSarifPath.empty())
+        return runCheckSarif(opt.checkSarifPath);
 
-    std::vector<Finding> findings;
-    for (const auto &root : opt.roots) {
-        const fs::path p(root);
-        std::error_code ec;
-        if (fs::is_directory(p, ec)) {
-            for (const auto &entry :
-                 fs::recursive_directory_iterator(p)) {
-                if (entry.is_regular_file() &&
-                    isSourceFile(entry.path()))
-                    scanFile(entry.path(), opt, findings);
+    const fs::path root = opt.root;
+    std::vector<fs::path> roots;
+    if (opt.paths.empty()) {
+        roots = {root / "src", root / "bench", root / "tools",
+                 root / "examples"};
+    } else {
+        roots.assign(opt.paths.begin(), opt.paths.end());
+    }
+
+    std::vector<fs::path> files;
+    for (const fs::path &r : roots) {
+        std::string err;
+        if (!collectFrom(r, files, err)) {
+            std::cerr << "soclint: error: " << err << "\n";
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
+
+    std::vector<std::string> displays(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i)
+        displays[i] = displayFor(files[i], root);
+
+    // Parallel scan: atomic cursor, one slot per file, merged in
+    // file order below — byte-identical output at any --jobs.
+    std::vector<std::vector<soclint::Finding>> slots(files.size());
+    std::vector<std::string> errors(files.size());
+    std::atomic<std::size_t> cursor{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t idx =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= files.size())
+                return;
+            std::string content, err;
+            if (!readFile(files[idx], content, err)) {
+                errors[idx] = err;
+                continue;
             }
-        } else if (fs::is_regular_file(p, ec)) {
-            scanFile(p, opt, findings);
-        } else {
-            std::fprintf(stderr, "soclint: cannot read %s\n",
-                         root.c_str());
+            const soclint::LexedFile lexed = soclint::lex(content);
+            const soclint::FileCtx ctx{displays[idx], &lexed,
+                                       opt.allPaths};
+            soclint::runAllRules(ctx, slots[idx]);
+            for (soclint::Finding &f : slots[idx])
+                f.context = contextLine(content, f.line);
+        }
+    };
+    unsigned jobs = opt.jobs != 0
+                        ? opt.jobs
+                        : std::max(1u,
+                                   std::thread::hardware_concurrency());
+    jobs = std::min<unsigned>(
+        jobs, std::max<std::size_t>(1, files.size()));
+    if (jobs <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    bool io_failed = false;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (!errors[i].empty()) {
+            std::cerr << "soclint: error: " << errors[i] << "\n";
+            io_failed = true;
+        }
+    }
+    if (io_failed)
+        return 2;
+
+    std::vector<soclint::Finding> findings;
+    for (std::vector<soclint::Finding> &slot : slots)
+        for (soclint::Finding &f : slot)
+            findings.push_back(std::move(f));
+
+    if (!opt.baselineUpdatePath.empty()) {
+        std::ofstream bout(opt.baselineUpdatePath,
+                           std::ios::trunc);
+        if (!bout.is_open()) {
+            std::cerr << "soclint: error: cannot write '"
+                      << opt.baselineUpdatePath << "'\n";
+            return 2;
+        }
+        soclint::writeBaseline(bout, findings);
+        std::cout << "soclint: baseline updated: "
+                  << findings.size() << " entr"
+                  << (findings.size() == 1 ? "y" : "ies")
+                  << " -> " << opt.baselineUpdatePath << "\n";
+        return 0;
+    }
+
+    std::vector<std::string> stale;
+    std::size_t baseline_size = 0;
+    if (!opt.baselinePath.empty()) {
+        soclint::Baseline bl;
+        std::string err;
+        if (!bl.load(opt.baselinePath, err)) {
+            std::cerr << "soclint: error: " << err << "\n";
+            return 2;
+        }
+        baseline_size = bl.size();
+        stale = bl.apply(findings);
+    }
+
+    std::size_t fresh = 0;
+    for (const soclint::Finding &f : findings) {
+        if (f.baselined)
+            continue;
+        ++fresh;
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+        if (!f.context.empty())
+            std::cout << "    " << f.context << "\n";
+    }
+    for (const std::string &key : stale)
+        std::cout << "stale baseline entry (fix the baseline): "
+                  << key << "\n";
+
+    if (!opt.sarifPath.empty()) {
+        std::ofstream sout(opt.sarifPath, std::ios::trunc);
+        if (!sout.is_open()) {
+            std::cerr << "soclint: error: cannot write '"
+                      << opt.sarifPath << "'\n";
+            return 2;
+        }
+        soclint::writeSarif(sout, findings);
+        if (!sout.good()) {
+            std::cerr << "soclint: error: short write to '"
+                      << opt.sarifPath << "'\n";
             return 2;
         }
     }
 
-    for (const auto &f : findings) {
-        std::fprintf(stdout, "%s:%zu: %s: %s\n", f.file.c_str(),
-                     f.line, f.rule.c_str(), f.message.c_str());
-    }
-    if (!findings.empty()) {
-        std::fprintf(stdout, "soclint: %zu finding(s)\n",
-                     findings.size());
-        return 1;
-    }
-    return 0;
+    std::cout << "soclint summary: total=" << findings.size()
+              << " baselined=" << (findings.size() - fresh)
+              << " new=" << fresh << " stale=" << stale.size()
+              << " baseline=" << baseline_size
+              << " files=" << files.size() << " jobs=" << jobs
+              << "\n";
+    return (fresh > 0 || !stale.empty()) ? 1 : 0;
 }
